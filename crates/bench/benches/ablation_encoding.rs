@@ -1,0 +1,45 @@
+//! Encoding ablation (DESIGN.md §5.1): the paper's truncated addition vs an
+//! order-sensitive XOR-rotate mix.
+//!
+//! §3.2 argues truncated addition "randomizes the signature bits" well
+//! enough; this ablation checks whether order sensitivity buys accuracy on
+//! the suite. (Truncated addition is order-insensitive: `{a,b}` and `{b,a}`
+//! collide. XOR-rotate distinguishes them at equal width.)
+
+use ltp_bench::{mean, pct, print_header, run_suite_point};
+use ltp_system::PolicyKind;
+use ltp_workloads::Benchmark;
+
+fn main() {
+    print_header(
+        "Ablation — signature encoding: truncated addition vs XOR-rotate",
+        "Lai & Falsafi, ISCA 2000, §3.2 (encoding choice)",
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "benchmark", "encoder", "predicted%", "mispred%"
+    );
+
+    let encoders = [
+        ("trunc-add", PolicyKind::LtpPerBlock { bits: 13 }),
+        ("xor-rot", PolicyKind::LtpXor { bits: 13 }),
+    ];
+    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); encoders.len()];
+    for benchmark in Benchmark::ALL {
+        for (ei, (name, policy)) in encoders.iter().enumerate() {
+            let m = run_suite_point(benchmark, *policy).metrics;
+            println!(
+                "{:<14} {:>10} {:>10} {:>10}",
+                benchmark.name(),
+                name,
+                pct(m.predicted_pct()),
+                pct(m.mispredicted_pct())
+            );
+            sums[ei].push(m.predicted_pct());
+        }
+    }
+    println!();
+    for (ei, (name, _)) in encoders.iter().enumerate() {
+        println!("  {:<9} average predicted {}%", name, pct(mean(&sums[ei])));
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 6: fraction of invalidations accurately predicted, not predicted,
+//! and mispredicted by DSI, Last-PC, and LTP (per-block, base signature).
+//!
+//! Paper expectations: DSI avg ≈ 47% predicted / 14% premature; Last-PC avg
+//! ≈ 41% / 2%; LTP avg ≈ 79% (up to 98%) / 3%.
+
+use ltp_bench::{mean, pct, print_header, run_suite_point};
+use ltp_system::PolicyKind;
+use ltp_workloads::Benchmark;
+
+fn main() {
+    print_header(
+        "Figure 6 — prediction accuracy of DSI, Last-PC, and LTP",
+        "Lai & Falsafi, ISCA 2000, Figure 6",
+    );
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>10}",
+        "benchmark", "policy", "predicted%", "not-pred%", "mispred%"
+    );
+
+    let policies = [PolicyKind::Dsi, PolicyKind::LastPc, PolicyKind::LTP];
+    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+
+    for benchmark in Benchmark::ALL {
+        for (pi, &policy) in policies.iter().enumerate() {
+            let report = run_suite_point(benchmark, policy);
+            let m = &report.metrics;
+            println!(
+                "{:<14} {:>8} {:>10} {:>10} {:>10}",
+                benchmark.name(),
+                policy.name(),
+                pct(m.predicted_pct()),
+                pct(m.not_predicted_pct()),
+                pct(m.mispredicted_pct()),
+            );
+            sums[pi].push(m.predicted_pct());
+        }
+        println!();
+    }
+
+    println!("averages (paper: dsi 47%, last-pc 41%, ltp 79%):");
+    for (pi, &policy) in policies.iter().enumerate() {
+        println!("  {:<8} predicted {}%", policy.name(), pct(mean(&sums[pi])));
+    }
+}

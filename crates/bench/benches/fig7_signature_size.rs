@@ -1,0 +1,46 @@
+//! Figure 7: LTP prediction sensitivity to the signature size.
+//!
+//! The paper sweeps A=Base(30 bits), B=13, C=11, D=6 and finds 13 bits
+//! sufficient for per-block tables, with accuracy degrading toward 6 bits
+//! for the applications with large instruction footprints (appbt, dsmc,
+//! ocean, unstructured) due to subtrace aliasing.
+
+use ltp_bench::{mean, pct, print_header, run_suite_point};
+use ltp_system::PolicyKind;
+use ltp_workloads::Benchmark;
+
+fn main() {
+    print_header(
+        "Figure 7 — LTP prediction sensitivity to signature size",
+        "Lai & Falsafi, ISCA 2000, Figure 7 (A=30b 'Base', B=13b, C=11b, D=6b)",
+    );
+    println!(
+        "{:<14} {:>5} {:>10} {:>10} {:>10}",
+        "benchmark", "bits", "predicted%", "not-pred%", "mispred%"
+    );
+
+    let widths = [30u8, 13, 11, 6];
+    let mut per_width: Vec<Vec<f64>> = vec![Vec::new(); widths.len()];
+
+    for benchmark in Benchmark::ALL {
+        for (wi, &bits) in widths.iter().enumerate() {
+            let report = run_suite_point(benchmark, PolicyKind::LtpPerBlock { bits });
+            let m = &report.metrics;
+            println!(
+                "{:<14} {:>5} {:>10} {:>10} {:>10}",
+                benchmark.name(),
+                bits,
+                pct(m.predicted_pct()),
+                pct(m.not_predicted_pct()),
+                pct(m.mispredicted_pct()),
+            );
+            per_width[wi].push(m.predicted_pct());
+        }
+        println!();
+    }
+
+    println!("average predicted by width (paper: 13 bits ≈ 30 bits, 6 bits degrades):");
+    for (wi, &bits) in widths.iter().enumerate() {
+        println!("  {:>2} bits: {}%", bits, pct(mean(&per_width[wi])));
+    }
+}

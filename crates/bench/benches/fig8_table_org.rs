@@ -1,0 +1,74 @@
+//! Figure 8: prediction accuracy of per-block vs global last-touch tables.
+//!
+//! The paper compares a 13-bit per-block organization (P) against a 30-bit
+//! global organization (G): cross-block subtrace aliasing drops the global
+//! table's average accuracy from 79% to 58% and raises mispredictions to as
+//! much as 30% (tomcatv's outer/inner column traces being the canonical
+//! aliasing pair). A geometry sweep is appended (the `ablation_global_geometry`
+//! item of DESIGN.md §5): more sets/ways do not fix aliasing because the
+//! interference is semantic (identical signatures), not capacity-driven.
+
+use ltp_bench::{mean, pct, print_header, run_suite_point};
+use ltp_system::PolicyKind;
+use ltp_workloads::Benchmark;
+
+fn main() {
+    print_header(
+        "Figure 8 — per-block (P, 13-bit) vs global (G, 30-bit) tables",
+        "Lai & Falsafi, ISCA 2000, Figure 8 + Table 3 geometry ablation",
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10}",
+        "benchmark", "org", "predicted%", "not-pred%", "mispred%"
+    );
+
+    let orgs = [
+        ("per-block", PolicyKind::LtpPerBlock { bits: 13 }),
+        ("global", PolicyKind::LTP_GLOBAL),
+    ];
+    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); orgs.len()];
+
+    for benchmark in Benchmark::ALL {
+        for (oi, (name, policy)) in orgs.iter().enumerate() {
+            let report = run_suite_point(benchmark, *policy);
+            let m = &report.metrics;
+            println!(
+                "{:<14} {:>10} {:>10} {:>10} {:>10}",
+                benchmark.name(),
+                name,
+                pct(m.predicted_pct()),
+                pct(m.not_predicted_pct()),
+                pct(m.mispredicted_pct()),
+            );
+            sums[oi].push(m.predicted_pct());
+        }
+        println!();
+    }
+    println!("averages (paper: per-block 79%, global 58%):");
+    for (oi, (name, _)) in orgs.iter().enumerate() {
+        println!("  {:<9} predicted {}%", name, pct(mean(&sums[oi])));
+    }
+
+    // Geometry ablation: capacity does not cure cross-block aliasing.
+    println!();
+    println!("global-table geometry ablation (tomcatv, the §5.3 aliasing case):");
+    println!("{:>8} {:>5} {:>10} {:>10}", "sets", "ways", "predicted%", "mispred%");
+    for (sets, ways) in [(512u32, 2u32), (2048, 4), (8192, 8)] {
+        let report = run_suite_point(
+            Benchmark::Tomcatv,
+            PolicyKind::LtpGlobal {
+                bits: 30,
+                sets,
+                ways,
+            },
+        );
+        let m = &report.metrics;
+        println!(
+            "{:>8} {:>5} {:>10} {:>10}",
+            sets,
+            ways,
+            pct(m.predicted_pct()),
+            pct(m.mispredicted_pct())
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 9: execution-time speedup of DSI and LTP over the base DSM.
+//!
+//! Paper expectations: LTP averages +11% (best +30%), hurting at most one
+//! application by <1%; DSI averages only +3% and *slows down* four of the
+//! nine applications (bursty self-invalidation and prematures).
+
+use ltp_bench::{print_header, run_suite_point};
+use ltp_system::PolicyKind;
+use ltp_workloads::Benchmark;
+
+fn main() {
+    print_header(
+        "Figure 9 — speedup of speculative self-invalidation",
+        "Lai & Falsafi, ISCA 2000, Figure 9",
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "benchmark", "base(cyc)", "dsi(cyc)", "ltp(cyc)", "dsi-spd", "ltp-spd"
+    );
+
+    let mut dsi_speedups = Vec::new();
+    let mut ltp_speedups = Vec::new();
+    let mut dsi_slowdowns = 0u32;
+
+    for benchmark in Benchmark::ALL {
+        let base = run_suite_point(benchmark, PolicyKind::Base).metrics;
+        let dsi = run_suite_point(benchmark, PolicyKind::Dsi).metrics;
+        let ltp = run_suite_point(benchmark, PolicyKind::LTP).metrics;
+        let s_dsi = dsi.speedup_vs(&base);
+        let s_ltp = ltp.speedup_vs(&base);
+        if s_dsi < 1.0 {
+            dsi_slowdowns += 1;
+        }
+        dsi_speedups.push(s_dsi);
+        ltp_speedups.push(s_ltp);
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>9.3} {:>9.3}",
+            benchmark.name(),
+            base.exec_cycles,
+            dsi.exec_cycles,
+            ltp.exec_cycles,
+            s_dsi,
+            s_ltp,
+        );
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!();
+    println!(
+        "averages: dsi {:.3} (paper 1.03), ltp {:.3} (paper 1.11)",
+        avg(&dsi_speedups),
+        avg(&ltp_speedups)
+    );
+    println!(
+        "dsi slows down {dsi_slowdowns} of 9 applications (paper: 4 of 9); \
+         ltp best {:.3} (paper 1.30)",
+        ltp_speedups.iter().cloned().fold(f64::MIN, f64::max)
+    );
+}

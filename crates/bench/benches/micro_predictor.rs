@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks of the predictor hot paths: per-touch probe,
+//! invalidation-time learning, and the DSI versioning hooks.
+//!
+//! The paper argues the LTP must be on-chip because every shared-memory
+//! instruction consults it; these benches characterize the software model's
+//! per-event cost (which bounds full-system simulation speed).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ltp_core::{
+    BlockId, DsiPolicy, FillInfo, FillKind, LastPc, Pc, PerBlockLtp, PredictorConfig,
+    SelfInvalidationPolicy, SignatureBits, Touch,
+};
+use std::hint::black_box;
+
+fn fill_touch(block: u64, pc: u32) -> Touch {
+    Touch {
+        block: BlockId::new(block),
+        pc: Pc::new(pc),
+        is_write: false,
+        exclusive: false,
+        fill: Some(FillInfo {
+            kind: FillKind::Demand,
+            dir_version: 1,
+            migratory_upgrade: false,
+        }),
+    }
+}
+
+fn hit_touch(block: u64, pc: u32) -> Touch {
+    Touch {
+        block: BlockId::new(block),
+        pc: Pc::new(pc),
+        is_write: false,
+        exclusive: false,
+        fill: None,
+    }
+}
+
+/// One trained trace episode: fill + 3 hits + invalidation over 64 blocks.
+fn episode<P: SelfInvalidationPolicy>(p: &mut P) {
+    for b in 0..64u64 {
+        p.on_touch(black_box(fill_touch(b, 0x4000)));
+        for i in 0..3u32 {
+            p.on_touch(black_box(hit_touch(b, 0x4010 + i * 8)));
+        }
+        p.on_invalidation(BlockId::new(b));
+    }
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictor_episode_64blocks");
+    group.bench_function("per_block_ltp_13b", |bench| {
+        bench.iter_batched(
+            || PerBlockLtp::new(SignatureBits::PER_BLOCK_DEFAULT, 16, PredictorConfig::default()),
+            |mut p| episode(&mut p),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("last_pc", |bench| {
+        bench.iter_batched(
+            || LastPc::with_config(16, PredictorConfig::default()),
+            |mut p| episode(&mut p),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("dsi", |bench| {
+        bench.iter_batched(
+            DsiPolicy::new,
+            |mut p| episode(&mut p),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_steady_state_touches(c: &mut Criterion) {
+    // A trained predictor processing hit touches (the common case the paper
+    // wants filtered/buffered at L2).
+    let mut p = PerBlockLtp::new(SignatureBits::PER_BLOCK_DEFAULT, 16, PredictorConfig::default());
+    for _ in 0..3 {
+        episode(&mut p);
+    }
+    c.bench_function("trained_ltp_touch", |bench| {
+        let mut i = 0u64;
+        bench.iter(|| {
+            i += 1;
+            p.on_touch(black_box(hit_touch(i % 64, 0x4010)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_predictors, bench_steady_state_touches);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table 2: benchmarks and inputs — the paper's suite next to the scaled
+//! synthetic inputs this reproduction runs (see DESIGN.md §2 for why the
+//! kernels are synthetic and what each preserves).
+
+use ltp_bench::print_header;
+use ltp_workloads::{Benchmark, WorkloadParams};
+
+fn main() {
+    print_header(
+        "Table 2 — benchmarks and inputs",
+        "Lai & Falsafi, ISCA 2000, Table 2",
+    );
+    println!(
+        "{:<14} {:<42} {:>12}",
+        "benchmark", "paper input", "scaled iters"
+    );
+    for b in Benchmark::ALL {
+        println!(
+            "{:<14} {:<42} {:>12}",
+            b.name(),
+            b.paper_input(),
+            b.default_iterations()
+        );
+    }
+    println!();
+    let params = WorkloadParams::default();
+    println!(
+        "default machine: {} nodes, seed {:#x}",
+        params.nodes, params.seed
+    );
+    println!("per-kernel structure: see ltp-workloads rustdoc and DESIGN.md §3.4");
+}

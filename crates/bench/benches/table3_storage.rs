@@ -1,0 +1,59 @@
+//! Table 3: number of last-touch signature entries and per-block storage
+//! overhead for the per-block and global organizations.
+//!
+//! Paper expectations: per-block tables average 2.8 entries/block ≈ 7 bytes
+//! per actively-shared block (13-bit signatures + 2-bit counters + the
+//! current-signature register); the global table drops entries to 0.8/block
+//! but, needing 30-bit signatures, only reaches ≈6 bytes.
+
+use ltp_bench::{print_header, run_suite_point};
+use ltp_system::PolicyKind;
+use ltp_workloads::Benchmark;
+
+fn main() {
+    print_header(
+        "Table 3 — signature entries (ent) and overhead bytes (ovh) per block",
+        "Lai & Falsafi, ISCA 2000, Table 3",
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark", "perblk-ent", "perblk-ovh", "global-ent", "global-ovh"
+    );
+
+    let mut pb_ent = Vec::new();
+    let mut pb_ovh = Vec::new();
+    let mut gl_ent = Vec::new();
+    let mut gl_ovh = Vec::new();
+
+    for benchmark in Benchmark::ALL {
+        let pb = run_suite_point(benchmark, PolicyKind::LtpPerBlock { bits: 13 })
+            .metrics
+            .storage;
+        let gl = run_suite_point(benchmark, PolicyKind::LTP_GLOBAL)
+            .metrics
+            .storage;
+        println!(
+            "{:<14} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            benchmark.name(),
+            pb.entries_per_block(),
+            pb.overhead_bytes_per_block(),
+            gl.entries_per_block(),
+            gl.overhead_bytes_per_block(),
+        );
+        pb_ent.push(pb.entries_per_block());
+        pb_ovh.push(pb.overhead_bytes_per_block());
+        gl_ent.push(gl.entries_per_block());
+        gl_ovh.push(gl.overhead_bytes_per_block());
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!();
+    println!(
+        "averages: per-block {:.1} ent / {:.1} B (paper 2.8 / 7); \
+         global {:.1} ent / {:.1} B (paper 0.8 / 6)",
+        avg(&pb_ent),
+        avg(&pb_ovh),
+        avg(&gl_ent),
+        avg(&gl_ovh)
+    );
+}

@@ -1,0 +1,43 @@
+//! Calibration helper: one benchmark under the four interesting predictor
+//! configurations, with the raw counters the figure benches summarize.
+//!
+//! ```sh
+//! cargo run --release -p ltp-bench --example cal -- tomcatv
+//! ```
+
+use ltp_system::{ExperimentSpec, PolicyKind};
+use ltp_workloads::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench = match args.get(1).map(|s| s.as_str()) {
+        Some("appbt") => Benchmark::Appbt,
+        Some("barnes") => Benchmark::Barnes,
+        Some("dsmc") => Benchmark::Dsmc,
+        Some("em3d") => Benchmark::Em3d,
+        Some("moldyn") => Benchmark::Moldyn,
+        Some("ocean") => Benchmark::Ocean,
+        Some("raytrace") => Benchmark::Raytrace,
+        Some("tomcatv") => Benchmark::Tomcatv,
+        _ => Benchmark::Unstructured,
+    };
+    println!("{bench} on the 32-node ISCA'00 machine:");
+    for (name, policy) in [
+        ("ltp13", PolicyKind::LtpPerBlock { bits: 13 }),
+        ("ltp30", PolicyKind::LtpPerBlock { bits: 30 }),
+        ("lastpc", PolicyKind::LastPc),
+        ("dsi", PolicyKind::Dsi),
+    ] {
+        let r = ExperimentSpec::isca00(bench, policy).run();
+        let m = &r.metrics;
+        println!(
+            "{name:>7}: pred {:5.1}% not {:5.1}% mis {:5.1}% | inv_events {} selfinv {} timely {:.0}%",
+            m.predicted_pct(),
+            m.not_predicted_pct(),
+            m.mispredicted_pct(),
+            m.invalidation_events(),
+            m.self_invalidations_sent,
+            m.timeliness_pct()
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! # `ltp-bench` — support code for the figure/table harness
+//!
+//! Each bench target under `benches/` regenerates one table or figure of the
+//! paper (run `cargo bench -p ltp-bench --bench fig6_accuracy` etc., or all
+//! of them with `cargo bench`). This library holds the shared scaffolding:
+//! suite iteration, report formatting, and the geometric-mean/average
+//! helpers the paper's summary numbers use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ltp_system::{ExperimentSpec, PolicyKind, RunReport};
+use ltp_workloads::{Benchmark, WorkloadParams};
+
+/// Runs one benchmark under one policy with the paper's 32-node machine.
+pub fn run_suite_point(benchmark: Benchmark, policy: PolicyKind) -> RunReport {
+    ExperimentSpec::isca00(benchmark, policy).run()
+}
+
+/// Runs one benchmark under one policy with custom workload parameters.
+pub fn run_with_params(
+    benchmark: Benchmark,
+    policy: PolicyKind,
+    workload: WorkloadParams,
+) -> RunReport {
+    let mut spec = ExperimentSpec::isca00(benchmark, policy);
+    spec.workload = workload;
+    spec.run()
+}
+
+/// Arithmetic mean of a slice (the paper reports arithmetic averages for
+/// accuracy percentages).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Prints the standard header naming the figure/table being regenerated.
+pub fn print_header(what: &str, paper_ref: &str) {
+    println!();
+    println!("==============================================================================");
+    println!("{what}");
+    println!("reproduces: {paper_ref}");
+    println!("machine: 32-node CC-NUMA, Table 1 configuration (scaled Table 2 inputs)");
+    println!("==============================================================================");
+}
+
+/// Formats a percentage cell.
+pub fn pct(v: f64) -> String {
+    format!("{v:5.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_handles_empty_and_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn pct_formats_width() {
+        assert_eq!(pct(7.25), "  7.2");
+    }
+}

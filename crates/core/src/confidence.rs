@@ -1,0 +1,129 @@
+//! Two-bit saturating confidence counters (paper §4).
+//!
+//! "To estimate confidence for a predicted signature, we simply associate
+//! two-bit saturating counters with each last-touch signature. The two-bit
+//! counters are widely used as an effective mechanism to filter low-accuracy
+//! predictions."
+//!
+//! A signature entry only *fires* (triggers speculative self-invalidation)
+//! when its counter is saturated; entries under training or entries whose
+//! predictions were recently verified wrong fall back to learning mode, and
+//! the corresponding invalidations are reported as "not predicted" rather
+//! than risked as premature self-invalidations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A two-bit saturating counter in `0..=3`.
+///
+/// # Examples
+///
+/// ```
+/// use ltp_core::TwoBitCounter;
+///
+/// let mut c = TwoBitCounter::new(2);
+/// assert!(!c.is_saturated());
+/// c.strengthen();
+/// assert!(c.is_saturated());
+/// c.weaken();
+/// c.weaken();
+/// assert_eq!(c.value(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TwoBitCounter(u8);
+
+impl TwoBitCounter {
+    /// The maximum (saturated) value.
+    pub const MAX: u8 = 3;
+
+    /// Creates a counter at `initial`, clamped to `0..=3`.
+    pub fn new(initial: u8) -> Self {
+        TwoBitCounter(initial.min(Self::MAX))
+    }
+
+    /// The current value in `0..=3`.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Whether the counter is saturated (the fire condition).
+    #[inline]
+    pub const fn is_saturated(self) -> bool {
+        self.0 == Self::MAX
+    }
+
+    /// Increments, saturating at 3. Called when the entry's prediction is
+    /// verified correct or its signature again terminates a trace.
+    #[inline]
+    pub fn strengthen(&mut self) {
+        if self.0 < Self::MAX {
+            self.0 += 1;
+        }
+    }
+
+    /// Decrements, saturating at 0. Called when the entry's prediction is
+    /// verified premature or its signature matched mid-trace (subtrace
+    /// aliasing).
+    #[inline]
+    pub fn weaken(&mut self) {
+        self.0 = self.0.saturating_sub(1);
+    }
+}
+
+impl Default for TwoBitCounter {
+    /// Defaults to 0 (untrained).
+    fn default() -> Self {
+        TwoBitCounter(0)
+    }
+}
+
+impl fmt::Display for TwoBitCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/3", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_on_construction() {
+        assert_eq!(TwoBitCounter::new(200).value(), 3);
+        assert_eq!(TwoBitCounter::new(0).value(), 0);
+    }
+
+    #[test]
+    fn strengthen_saturates() {
+        let mut c = TwoBitCounter::new(3);
+        c.strengthen();
+        assert_eq!(c.value(), 3);
+        assert!(c.is_saturated());
+    }
+
+    #[test]
+    fn weaken_saturates_at_zero() {
+        let mut c = TwoBitCounter::new(0);
+        c.weaken();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn typical_training_sequence() {
+        // A fresh entry must be confirmed before it fires.
+        let mut c = TwoBitCounter::new(2);
+        assert!(!c.is_saturated());
+        c.strengthen();
+        assert!(c.is_saturated());
+        // One bad outcome silences it again.
+        c.weaken();
+        assert!(!c.is_saturated());
+    }
+
+    #[test]
+    fn display_shows_value() {
+        assert_eq!(TwoBitCounter::new(1).to_string(), "1/3");
+    }
+}

@@ -1,0 +1,152 @@
+//! The Last-PC predictor (paper §5.1's strawman).
+//!
+//! "Last-PC uses the same two-level organization as an LTP but maintains a
+//! list of last PCs prior to invalidation rather than a trace signature."
+//!
+//! Implemented as a [`TracePredictor`] whose encoder is degenerate: the
+//! "signature" is simply the most recent touching PC, so the second-level
+//! table stores the set of PCs that have terminated traces. The shared
+//! machinery then gives Last-PC exactly the confidence filtering the paper
+//! describes — which is why its *misprediction* rate stays low (~2%) even
+//! though instruction reuse caps its *coverage* at ~41%.
+
+use crate::encode::{Signature, SignatureBits, SignatureEncoder};
+use crate::ltp::{PredictorConfig, TracePredictor};
+use crate::table::PerBlockTable;
+use crate::types::Pc;
+
+/// Degenerate encoder whose running "signature" is just the last touching
+/// PC.
+///
+/// # Examples
+///
+/// ```
+/// use ltp_core::{LastPcEncoder, Pc, SignatureEncoder};
+///
+/// let enc = LastPcEncoder::default();
+/// let sig = enc.encode_trace(&[Pc::new(0x10), Pc::new(0x20), Pc::new(0x30)]);
+/// assert_eq!(sig, enc.start(Pc::new(0x30)), "history is forgotten");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LastPcEncoder;
+
+impl SignatureEncoder for LastPcEncoder {
+    fn start(&self, pc: Pc) -> Signature {
+        Signature::from_bits(pc.value(), self.width())
+    }
+
+    fn fold(&self, _current: Signature, pc: Pc) -> Signature {
+        self.start(pc)
+    }
+
+    fn width(&self) -> SignatureBits {
+        // A full PC: the paper's "minimum number of bits to identify a
+        // single PC" is 30.
+        SignatureBits::BASE
+    }
+}
+
+/// The Last-PC predictor: per-block tables of last-touch PCs.
+pub type LastPc = TracePredictor<LastPcEncoder, PerBlockTable>;
+
+impl LastPc {
+    /// Creates a Last-PC predictor.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ltp_core::{LastPc, PredictorConfig, SelfInvalidationPolicy};
+    ///
+    /// let p = LastPc::with_config(16, PredictorConfig::default());
+    /// assert_eq!(p.name(), "last-pc");
+    /// ```
+    pub fn with_config(capacity_per_block: usize, config: PredictorConfig) -> Self {
+        TracePredictor::with_parts(
+            LastPcEncoder,
+            PerBlockTable::new(
+                LastPcEncoder.width(),
+                capacity_per_block,
+                config.initial_confidence,
+            ),
+            config,
+            "last-pc",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FillInfo, FillKind, SelfInvalidationPolicy, Touch};
+    use crate::types::BlockId;
+
+    fn touch(block: u64, pc: u32, fill: bool) -> Touch {
+        Touch {
+            block: BlockId::new(block),
+            pc: Pc::new(pc),
+            is_write: false,
+            exclusive: false,
+            fill: fill.then_some(FillInfo {
+                kind: FillKind::Demand,
+                dir_version: 0,
+                migratory_upgrade: false,
+            }),
+        }
+    }
+
+    fn run_trace(p: &mut LastPc, block: u64, pcs: &[u32]) -> Option<usize> {
+        let mut fired = None;
+        for (i, &pc) in pcs.iter().enumerate() {
+            if p.on_touch(touch(block, pc, i == 0)) {
+                fired = Some(i);
+                break;
+            }
+        }
+        if fired.is_none() {
+            p.on_invalidation(BlockId::new(block));
+        }
+        fired
+    }
+
+    #[test]
+    fn distinct_last_pc_predicts_fine() {
+        // Figure 3(a): a streamlined code with a unique last-touch PC is the
+        // case Last-PC handles.
+        let mut p = LastPc::with_config(16, PredictorConfig::default());
+        let trace = [0x100, 0x104, 0x108];
+        run_trace(&mut p, 1, &trace);
+        run_trace(&mut p, 1, &trace);
+        assert_eq!(run_trace(&mut p, 1, &trace), Some(2));
+    }
+
+    #[test]
+    fn repeated_pc_in_loop_defeats_last_pc() {
+        // Figure 3(c): PCj touches the block twice. The PC "signature" at
+        // the first occurrence equals the one at the last, so the entry is
+        // ambiguous and must never arm — coverage loss, not mispredictions.
+        let mut p = LastPc::with_config(16, PredictorConfig::default());
+        let trace = [0x100, 0x200, 0x200];
+        for _ in 0..8 {
+            assert_eq!(run_trace(&mut p, 2, &trace), None);
+        }
+        assert_eq!(p.fired_total(), 0);
+    }
+
+    #[test]
+    fn procedure_reuse_defeats_last_pc_but_not_ltp() {
+        // Figure 3(b): foo() is called twice; PCj is the last touch only in
+        // the second call. Last-PC sees PCj twice → ambiguous → quiet.
+        // (The companion LTP test in ltp.rs shows the trace signature
+        // distinguishes the two calls.)
+        let mut p = LastPc::with_config(16, PredictorConfig::default());
+        let trace = [0x100, 0x200, 0x200]; // PCi, then PCj in each call
+        for _ in 0..5 {
+            assert_eq!(run_trace(&mut p, 3, &trace), None);
+        }
+    }
+
+    #[test]
+    fn encoder_width_is_thirty_bits() {
+        assert_eq!(LastPcEncoder.width(), SignatureBits::BASE);
+    }
+}

@@ -1,0 +1,549 @@
+//! The two-level trace-based Last-Touch Predictor (paper §3.2–§3.3, §4).
+//!
+//! [`TracePredictor`] is generic over a [`SignatureEncoder`] (first level:
+//! the per-block *current signature* register) and a [`LastTouchTable`]
+//! (second level: previously-observed last-touch signatures). The paper's
+//! three predictor variants are all instances:
+//!
+//! * [`PerBlockLtp`] — truncated-addition signatures, per-block tables
+//!   (the "base case" design, Figure 4 top);
+//! * [`GlobalLtp`] — truncated-addition signatures, one global table
+//!   (Figure 4 bottom);
+//! * [`crate::last_pc::LastPc`] — degenerate encoder that remembers only the
+//!   most recent PC, per-block tables (the strawman of §5.1).
+//!
+//! # Learning and prediction
+//!
+//! A *trace* starts at a demand coherence miss (current signature :=
+//! faulting PC) and is extended by every subsequent touch (signature :=
+//! `fold(signature, pc)`). After each touch the predictor probes the
+//! last-touch table:
+//!
+//! * confident match → **fire**: ask the cache controller to self-invalidate
+//!   the block; the directory later reports [`VerifyOutcome::Correct`]
+//!   (strengthen) or [`VerifyOutcome::Premature`] (reset/weaken).
+//! * weak match → remember the match and keep going; matches are resolved
+//!   when the trace completes.
+//!
+//! When an external invalidation ends a trace, the final signature is
+//! learned: inserted fresh, strengthened if it matched exactly at the last
+//! touch, or *weakened* when it had also matched earlier in the same trace —
+//! such a signature can only ever fire early (the subtrace-aliasing hazard
+//! of §3.1), so the confidence counter pins it down. Signatures that matched
+//! mid-trace but were not the final signature are likewise weakened.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::encode::{Signature, SignatureEncoder, TruncatedAdd};
+use crate::policy::{FillKind, SelfInvalidationPolicy, Touch, VerifyOutcome};
+use crate::table::{GlobalTable, LastTouchTable, PerBlockTable, Probe, StorageStats};
+use crate::types::BlockId;
+
+/// Penalty applied to a signature entry whose prediction was verified
+/// premature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PrematurePenalty {
+    /// Decrement the two-bit counter by one.
+    Weaken,
+    /// Reset the counter to zero (default): one bad self-invalidation costs
+    /// hundreds of cycles, so re-arming should require full retraining.
+    #[default]
+    Reset,
+}
+
+/// Tuning knobs shared by every [`TracePredictor`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Confidence of a freshly inserted signature (0..=3). The default of 2
+    /// means one confirmation saturates the counter and arms the entry.
+    pub initial_confidence: u8,
+    /// Penalty for verified-premature predictions.
+    pub premature_penalty: PrematurePenalty,
+    /// Whether to self-invalidate read-only (Shared) copies as well as dirty
+    /// (Exclusive) ones. The paper does both; `false` is the
+    /// `ablation_shared_selfinv` variant.
+    pub self_invalidate_shared: bool,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            initial_confidence: 2,
+            premature_penalty: PrematurePenalty::Reset,
+            self_invalidate_shared: true,
+        }
+    }
+}
+
+/// Per-block in-flight trace state (the first predictor level).
+#[derive(Debug, Clone)]
+struct TraceState {
+    /// Running signature of the touches since the last demand miss.
+    sig: Signature,
+    /// Signatures that matched the table during this trace without firing;
+    /// resolved (weakened / disambiguated) when the trace completes.
+    matched: Vec<Signature>,
+}
+
+/// A two-level trace-based last-touch predictor (see module docs).
+#[derive(Debug)]
+pub struct TracePredictor<E, T> {
+    encoder: E,
+    table: T,
+    config: PredictorConfig,
+    name: &'static str,
+    traces: HashMap<BlockId, TraceState>,
+    /// FIFO of signatures whose self-invalidations await directory verdicts.
+    pending: HashMap<BlockId, VecDeque<Signature>>,
+    fired_total: u64,
+}
+
+impl<E: SignatureEncoder, T: LastTouchTable> TracePredictor<E, T> {
+    /// Creates a predictor from its two levels and a configuration.
+    pub fn with_parts(encoder: E, table: T, config: PredictorConfig, name: &'static str) -> Self {
+        TracePredictor {
+            encoder,
+            table,
+            config,
+            name,
+            traces: HashMap::new(),
+            pending: HashMap::new(),
+            fired_total: 0,
+        }
+    }
+
+    /// The encoder in use (exposed for reporting).
+    pub fn encoder(&self) -> &E {
+        &self.encoder
+    }
+
+    /// Number of self-invalidations this predictor has requested.
+    pub fn fired_total(&self) -> u64 {
+        self.fired_total
+    }
+
+    /// The current signature for `block`, if a trace is in flight. Exposed
+    /// for tests and the protocol-walkthrough example.
+    pub fn current_signature(&self, block: BlockId) -> Option<Signature> {
+        self.traces.get(&block).map(|t| t.sig)
+    }
+}
+
+impl<E: SignatureEncoder, T: LastTouchTable> SelfInvalidationPolicy for TracePredictor<E, T> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn on_touch(&mut self, touch: Touch) -> bool {
+        let is_demand_fill = matches!(
+            touch.fill,
+            Some(f) if f.kind == FillKind::Demand
+        );
+        let state = if is_demand_fill {
+            // A new trace begins at the faulting instruction (§3.2: "an LTP
+            // initializes a block's current signature upon a coherence miss
+            // with the PC of the faulting instruction").
+            self.traces.insert(
+                touch.block,
+                TraceState {
+                    sig: self.encoder.start(touch.pc),
+                    matched: Vec::new(),
+                },
+            );
+            self.traces.get_mut(&touch.block).expect("just inserted")
+        } else {
+            // Hit or upgrade: the trace continues. A missing state here means
+            // the block was cached before this policy attached; start fresh.
+            self.traces
+                .entry(touch.block)
+                .and_modify(|t| t.sig = self.encoder.fold(t.sig, touch.pc))
+                .or_insert_with(|| TraceState {
+                    sig: self.encoder.start(touch.pc),
+                    matched: Vec::new(),
+                })
+        };
+
+        let sig = state.sig;
+        match self.table.probe(touch.block, sig) {
+            Probe::Miss => false,
+            Probe::MatchConfident => {
+                if self.config.self_invalidate_shared || touch.exclusive {
+                    // Fire: the trace ends here by choice; the directory's
+                    // verification verdict arrives via `on_verification`.
+                    self.traces.remove(&touch.block);
+                    self.table.note_block(touch.block);
+                    self.pending.entry(touch.block).or_default().push_back(sig);
+                    self.fired_total += 1;
+                    true
+                } else {
+                    state.matched.push(sig);
+                    false
+                }
+            }
+            Probe::MatchWeak => {
+                state.matched.push(sig);
+                false
+            }
+        }
+    }
+
+    fn on_invalidation(&mut self, block: BlockId) {
+        // The block is "actively shared" by the paper's definition (fetched
+        // and eventually invalidated), so it counts for storage accounting
+        // even if no signature is ever stored.
+        self.table.note_block(block);
+        let Some(state) = self.traces.remove(&block) else {
+            return;
+        };
+        let final_sig = state.sig;
+        // The final signature is ambiguous when it also matched earlier in
+        // this same trace: firing on it can only ever be premature.
+        let final_matches = state.matched.iter().filter(|&&m| m == final_sig).count();
+        let ambiguous = final_matches >= 2;
+        // Signatures that matched mid-trace were aliases of a longer trace;
+        // weaken each once.
+        let mut weakened = HashSet::new();
+        for m in state.matched {
+            if m != final_sig && weakened.insert(m) {
+                self.table.weaken(block, m);
+            }
+        }
+        self.table.learn(block, final_sig, ambiguous);
+    }
+
+    fn on_verification(&mut self, block: BlockId, outcome: VerifyOutcome) {
+        let Some(sig) = self.pending.get_mut(&block).and_then(VecDeque::pop_front) else {
+            debug_assert!(false, "verification without a pending prediction");
+            return;
+        };
+        match outcome {
+            VerifyOutcome::Correct => self.table.strengthen(block, sig),
+            VerifyOutcome::Premature => match self.config.premature_penalty {
+                PrematurePenalty::Weaken => self.table.weaken(block, sig),
+                PrematurePenalty::Reset => self.table.reset(block, sig),
+            },
+        }
+    }
+
+    fn storage(&self) -> StorageStats {
+        self.table.storage()
+    }
+}
+
+/// The paper's base-case predictor: truncated-addition signatures with a
+/// per-block last-touch table (PAp-like).
+pub type PerBlockLtp = TracePredictor<TruncatedAdd, PerBlockTable>;
+
+/// The storage-reduced variant: truncated-addition signatures with one
+/// global, set-associative last-touch table (PAg-like).
+pub type GlobalLtp = TracePredictor<TruncatedAdd, GlobalTable>;
+
+impl PerBlockLtp {
+    /// Creates the base-case per-block LTP.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ltp_core::{PerBlockLtp, PredictorConfig, SignatureBits, SelfInvalidationPolicy};
+    ///
+    /// let ltp = PerBlockLtp::new(SignatureBits::PER_BLOCK_DEFAULT, 16, PredictorConfig::default());
+    /// assert_eq!(ltp.name(), "ltp");
+    /// ```
+    pub fn new(
+        bits: crate::encode::SignatureBits,
+        capacity_per_block: usize,
+        config: PredictorConfig,
+    ) -> Self {
+        TracePredictor::with_parts(
+            TruncatedAdd::new(bits),
+            PerBlockTable::new(bits, capacity_per_block, config.initial_confidence),
+            config,
+            "ltp",
+        )
+    }
+}
+
+impl GlobalLtp {
+    /// Creates the global-table LTP.
+    pub fn new(
+        bits: crate::encode::SignatureBits,
+        sets: usize,
+        ways: usize,
+        config: PredictorConfig,
+    ) -> Self {
+        TracePredictor::with_parts(
+            TruncatedAdd::new(bits),
+            GlobalTable::new(bits, sets, ways, config.initial_confidence),
+            config,
+            "ltp-global",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::SignatureBits;
+    use crate::policy::FillInfo;
+    use crate::types::Pc;
+
+    fn ltp() -> PerBlockLtp {
+        PerBlockLtp::new(SignatureBits::BASE, 16, PredictorConfig::default())
+    }
+
+    fn fill_touch(block: u64, pc: u32) -> Touch {
+        Touch {
+            block: BlockId::new(block),
+            pc: Pc::new(pc),
+            is_write: false,
+            exclusive: false,
+            fill: Some(FillInfo {
+                kind: FillKind::Demand,
+                dir_version: 0,
+                migratory_upgrade: false,
+            }),
+        }
+    }
+
+    fn hit_touch(block: u64, pc: u32) -> Touch {
+        Touch {
+            block: BlockId::new(block),
+            pc: Pc::new(pc),
+            is_write: false,
+            exclusive: false,
+            fill: None,
+        }
+    }
+
+    /// Runs one complete trace (miss + hits) followed by an external
+    /// invalidation; returns the index (0-based) of the touch at which the
+    /// predictor fired, if any.
+    fn run_trace(p: &mut PerBlockLtp, block: u64, pcs: &[u32]) -> Option<usize> {
+        let mut fired_at = None;
+        for (i, &pc) in pcs.iter().enumerate() {
+            let touch = if i == 0 {
+                fill_touch(block, pc)
+            } else {
+                hit_touch(block, pc)
+            };
+            if p.on_touch(touch) {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        if fired_at.is_none() {
+            p.on_invalidation(BlockId::new(block));
+        }
+        fired_at
+    }
+
+    #[test]
+    fn learns_simple_trace_and_fires_third_time() {
+        // Figure 3(a): miss at PCi, touches at PCj, PCk, then invalidation.
+        let mut p = ltp();
+        let trace = [0x100, 0x104, 0x108];
+        assert_eq!(run_trace(&mut p, 1, &trace), None, "training trace");
+        assert_eq!(run_trace(&mut p, 1, &trace), None, "confirming trace");
+        // Third time: fires exactly at the last touch (index 2).
+        assert_eq!(run_trace(&mut p, 1, &trace), Some(2));
+        p.on_verification(BlockId::new(1), VerifyOutcome::Correct);
+        assert_eq!(run_trace(&mut p, 1, &trace), Some(2), "stays armed");
+        assert_eq!(p.fired_total(), 2);
+    }
+
+    #[test]
+    fn loop_traces_fire_at_correct_repetition() {
+        // Figure 3(c): the same PC touches the block twice (two array
+        // elements per cache block). A single PC cannot express "the second
+        // occurrence", but the running signature can.
+        let mut p = ltp();
+        let trace = [0x100, 0x200, 0x200];
+        run_trace(&mut p, 2, &trace);
+        run_trace(&mut p, 2, &trace);
+        // Fires at the *second* PC 0x200, not the first.
+        assert_eq!(run_trace(&mut p, 2, &trace), Some(2));
+    }
+
+    #[test]
+    fn single_touch_trace_fires_on_fill_access() {
+        // em3d-style: one touch per sharing phase.
+        let mut p = ltp();
+        run_trace(&mut p, 3, &[0x500]);
+        run_trace(&mut p, 3, &[0x500]);
+        assert_eq!(run_trace(&mut p, 3, &[0x500]), Some(0));
+    }
+
+    #[test]
+    fn premature_fire_resets_confidence() {
+        let mut p = ltp();
+        let short = [0x100, 0x104];
+        let long = [0x100, 0x104, 0x108];
+        // Train the short trace until armed.
+        run_trace(&mut p, 4, &short);
+        run_trace(&mut p, 4, &short);
+        // The long trace now fires early at index 1 (subtrace aliasing,
+        // Figure 3(d) red/black discussion).
+        assert_eq!(run_trace(&mut p, 4, &long), Some(1));
+        p.on_verification(BlockId::new(4), VerifyOutcome::Premature);
+        // Counter reset: the short trace must retrain from zero. Three
+        // further confirmations are needed before it fires again.
+        assert_eq!(run_trace(&mut p, 4, &short), None);
+        assert_eq!(run_trace(&mut p, 4, &short), None);
+        assert_eq!(run_trace(&mut p, 4, &short), None);
+        assert_eq!(run_trace(&mut p, 4, &short), Some(1));
+    }
+
+    #[test]
+    fn ambiguous_final_signature_never_arms() {
+        // A trace whose final signature also appears mid-trace (e.g. a PC
+        // sequence summing to zero between the two points) must not arm:
+        // firing on it is always premature. Craft one with wrap-around: with
+        // 6-bit signatures, PCs {4, 64} give sig 4 then (4+64)%64 = 4 again.
+        let bits = SignatureBits::new(6).unwrap();
+        let mut p = PerBlockLtp::new(bits, 16, PredictorConfig::default());
+        let trace = [4, 64];
+        for _ in 0..6 {
+            assert_eq!(
+                run_trace(&mut p, 5, &trace),
+                None,
+                "sig aliases its own prefix; must stay quiet"
+            );
+        }
+    }
+
+    #[test]
+    fn upgrade_does_not_restart_trace() {
+        let mut p = ltp();
+        let b = BlockId::new(6);
+        // Trace: miss-read at 0x10, upgrade-write at 0x20, invalidation.
+        let run = |p: &mut PerBlockLtp| {
+            p.on_touch(fill_touch(6, 0x10));
+            let upgrade = Touch {
+                block: b,
+                pc: Pc::new(0x20),
+                is_write: true,
+                exclusive: true,
+                fill: Some(FillInfo {
+                    kind: FillKind::Upgrade,
+                    dir_version: 1,
+                    migratory_upgrade: true,
+                }),
+            };
+            p.on_touch(upgrade)
+        };
+        run(&mut p);
+        p.on_invalidation(b);
+        run(&mut p);
+        p.on_invalidation(b);
+        // Third run fires at the upgrade touch — the signature covers the
+        // whole {0x10, 0x20} trace, proving the upgrade continued the trace.
+        assert!(run(&mut p));
+        let enc = TruncatedAdd::new(SignatureBits::BASE);
+        assert_eq!(
+            p.pending.get(&b).and_then(|q| q.front()).copied(),
+            Some(enc.encode_trace(&[Pc::new(0x10), Pc::new(0x20)]))
+        );
+    }
+
+    #[test]
+    fn shared_copy_not_fired_when_configured_exclusive_only() {
+        let config = PredictorConfig {
+            self_invalidate_shared: false,
+            ..PredictorConfig::default()
+        };
+        let mut p = PerBlockLtp::new(SignatureBits::BASE, 16, config);
+        run_trace(&mut p, 7, &[0x100]);
+        run_trace(&mut p, 7, &[0x100]);
+        // Read-only copy: the confident match is suppressed.
+        assert!(!p.on_touch(fill_touch(7, 0x100)));
+        p.on_invalidation(BlockId::new(7));
+        // Dirty copy: fires.
+        let mut t = fill_touch(7, 0x100);
+        t.exclusive = true;
+        t.is_write = true;
+        assert!(p.on_touch(t));
+    }
+
+    #[test]
+    fn distinct_blocks_have_distinct_tables() {
+        let mut p = ltp();
+        run_trace(&mut p, 8, &[0x100]);
+        run_trace(&mut p, 8, &[0x100]);
+        // Block 9 shares the code path but must train independently.
+        assert_eq!(run_trace(&mut p, 9, &[0x100]), None);
+    }
+
+    #[test]
+    fn storage_counts_actively_shared_blocks() {
+        let mut p = ltp();
+        run_trace(&mut p, 10, &[0x100, 0x104]);
+        run_trace(&mut p, 11, &[0x100]);
+        let s = p.storage();
+        assert_eq!(s.blocks_tracked, 2);
+        assert_eq!(s.live_entries, 2);
+    }
+
+    #[test]
+    fn current_signature_tracks_trace() {
+        let mut p = ltp();
+        p.on_touch(fill_touch(12, 0x30));
+        p.on_touch(hit_touch(12, 0x40));
+        let enc = TruncatedAdd::new(SignatureBits::BASE);
+        assert_eq!(
+            p.current_signature(BlockId::new(12)),
+            Some(enc.encode_trace(&[Pc::new(0x30), Pc::new(0x40)]))
+        );
+        p.on_invalidation(BlockId::new(12));
+        assert_eq!(p.current_signature(BlockId::new(12)), None);
+    }
+
+    #[test]
+    fn global_table_aliases_across_blocks() {
+        // Two blocks with the same trace: the second block benefits from the
+        // first block's training (and can be misled by it — Figure 8).
+        let mut p = GlobalLtp::new(SignatureBits::BASE, 256, 4, PredictorConfig::default());
+        let mut run = |block: u64, pcs: &[u32]| -> Option<usize> {
+            let mut fired = None;
+            for (i, &pc) in pcs.iter().enumerate() {
+                let t = if i == 0 {
+                    fill_touch(block, pc)
+                } else {
+                    hit_touch(block, pc)
+                };
+                if p.on_touch(t) {
+                    fired = Some(i);
+                    break;
+                }
+            }
+            if fired.is_none() {
+                p.on_invalidation(BlockId::new(block));
+            }
+            fired
+        };
+        run(20, &[0x700, 0x704]);
+        run(20, &[0x700, 0x704]);
+        // Block 21 never trained, but the global entry is saturated.
+        assert_eq!(run(21, &[0x700, 0x704]), Some(1));
+    }
+
+    #[test]
+    fn weak_matches_resolved_at_invalidation() {
+        // Train a short trace once (counter 2). During a longer trace it
+        // matches mid-way; at invalidation it must be weakened (counter 1),
+        // so confirming the short trace once more does NOT arm it.
+        let mut p = ltp();
+        let short = [0x100, 0x104];
+        let long = [0x100, 0x104, 0x108];
+        run_trace(&mut p, 22, &short); // insert sig(short) at 2
+        run_trace(&mut p, 22, &long); // weaken to 1, learn sig(long) at 2
+        run_trace(&mut p, 22, &short); // strengthen to 2
+        assert_eq!(run_trace(&mut p, 22, &short), None, "still weak");
+        assert_eq!(
+            run_trace(&mut p, 22, &short),
+            Some(1),
+            "armed after one more confirmation"
+        );
+    }
+}

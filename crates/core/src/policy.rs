@@ -1,0 +1,199 @@
+//! The seam between predictors and the DSM: [`SelfInvalidationPolicy`].
+//!
+//! Each node of the simulated machine owns one policy object. The node's
+//! cache controller reports coherence events (fills, touches, invalidations,
+//! synchronization, verification outcomes) and the policy answers with
+//! self-invalidation decisions. The base system uses [`NullPolicy`]; the
+//! paper's predictors live in [`crate::ltp`], [`crate::last_pc`], and
+//! [`crate::dsi`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::table::StorageStats;
+use crate::types::{BlockId, Pc};
+
+/// How a block arrived in (or was upgraded within) the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FillKind {
+    /// A demand miss brought the block in from the home node. Starts a new
+    /// trace for trace-based predictors.
+    Demand,
+    /// An upgrade (Shared → Exclusive) granted write permission to an
+    /// already-cached block. The trace continues: the local copy was never
+    /// invalidated.
+    Upgrade,
+}
+
+/// Directory metadata piggybacked on a fill reply.
+///
+/// Carries what the DSI versioning protocol needs; trace predictors only look
+/// at [`FillKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FillInfo {
+    /// Demand fill or in-place upgrade.
+    pub kind: FillKind,
+    /// The block's write-version number at the directory (incremented every
+    /// time a new writer is granted exclusive access).
+    pub dir_version: u32,
+    /// True when this fill is an exclusive request issued while the
+    /// requester held the only read-only copy — the migratory pattern whose
+    /// candidates DSI deliberately skips (paper §5.1: selecting them causes
+    /// frequent premature self-invalidation).
+    pub migratory_upgrade: bool,
+}
+
+/// One memory access to a cached shared block, as seen by a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Touch {
+    /// The block touched.
+    pub block: BlockId,
+    /// The static instruction performing the touch.
+    pub pc: Pc,
+    /// Store (or atomic read-modify-write) vs load.
+    pub is_write: bool,
+    /// Whether the local copy holds write permission once this access
+    /// completes. Policies configured to self-invalidate only dirty copies
+    /// consult this.
+    pub exclusive: bool,
+    /// Present when this access is the one that missed (the fill reply has
+    /// just arrived) or upgraded; `None` for ordinary cache hits.
+    pub fill: Option<FillInfo>,
+}
+
+/// A synchronization boundary visible to the policy (what DSI hooks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncKind {
+    /// A lock acquire completed.
+    LockAcquire,
+    /// A lock release completed.
+    LockRelease,
+    /// A global barrier completed.
+    Barrier,
+}
+
+/// The verified outcome of a speculative self-invalidation (paper §4's
+/// directory verification mask).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VerifyOutcome {
+    /// The sharing phase moved on (read→write or write→read transition at
+    /// the directory) without this node re-touching the block: the
+    /// self-invalidation was correct.
+    Correct,
+    /// This node requested the block again before any other processor's
+    /// conflicting access: the self-invalidation was premature.
+    Premature,
+}
+
+/// A per-node speculative self-invalidation policy.
+///
+/// Implementations must be deterministic functions of the event sequence
+/// they observe. All methods have empty defaults except [`Self::name`], so a
+/// policy only implements the hooks it uses.
+///
+/// # Protocol contract
+///
+/// * `on_touch` is invoked for **every** load/store/RMW a processor performs
+///   on a shared block, including the access whose miss just filled the
+///   block (`touch.fill = Some(..)`). Returning `true` asks the cache
+///   controller to self-invalidate the block (writeback if dirty) right
+///   after the access completes.
+/// * `on_invalidation` is invoked when an external invalidation removes the
+///   block; it is **not** invoked for self-invalidations.
+/// * `on_sync` may return blocks to self-invalidate in bulk (DSI's
+///   synchronization-triggered flush). Returning blocks not currently cached
+///   is allowed; the controller ignores them.
+/// * `on_verification` reports the directory's verdict for an earlier
+///   self-invalidation of `block`, in FIFO order per block.
+pub trait SelfInvalidationPolicy: fmt::Debug {
+    /// A short stable name used in reports ("base", "dsi", "last-pc", "ltp").
+    fn name(&self) -> &'static str;
+
+    /// Observes one access; returns `true` to self-invalidate the block now.
+    fn on_touch(&mut self, touch: Touch) -> bool {
+        let _ = touch;
+        false
+    }
+
+    /// Observes an external invalidation of `block`.
+    fn on_invalidation(&mut self, block: BlockId) {
+        let _ = block;
+    }
+
+    /// Observes a synchronization boundary; returns blocks to self-invalidate.
+    fn on_sync(&mut self, kind: SyncKind) -> Vec<BlockId> {
+        let _ = kind;
+        Vec::new()
+    }
+
+    /// Observes the verified outcome of an earlier self-invalidation.
+    fn on_verification(&mut self, block: BlockId, outcome: VerifyOutcome) {
+        let _ = (block, outcome);
+    }
+
+    /// Reports predictor storage for Table 3 (zero for policies without
+    /// signature tables).
+    fn storage(&self) -> StorageStats {
+        StorageStats {
+            blocks_tracked: 0,
+            live_entries: 0,
+            signature_bits: 0,
+        }
+    }
+}
+
+/// The base system: never self-invalidates.
+///
+/// # Examples
+///
+/// ```
+/// use ltp_core::{BlockId, NullPolicy, Pc, SelfInvalidationPolicy, Touch};
+///
+/// let mut p = NullPolicy;
+/// let t = Touch {
+///     block: BlockId::new(0),
+///     pc: Pc::new(4),
+///     is_write: false,
+///     exclusive: false,
+///     fill: None,
+/// };
+/// assert!(!p.on_touch(t));
+/// assert_eq!(p.name(), "base");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullPolicy;
+
+impl SelfInvalidationPolicy for NullPolicy {
+    fn name(&self) -> &'static str {
+        "base"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_policy_never_fires() {
+        let mut p = NullPolicy;
+        for i in 0..10 {
+            let t = Touch {
+                block: BlockId::new(i),
+                pc: Pc::new(0x100),
+                is_write: i % 2 == 0,
+                exclusive: i % 2 == 0,
+                fill: Some(FillInfo {
+                    kind: FillKind::Demand,
+                    dir_version: 0,
+                    migratory_upgrade: false,
+                }),
+            };
+            assert!(!p.on_touch(t));
+        }
+        assert!(p.on_sync(SyncKind::Barrier).is_empty());
+        p.on_invalidation(BlockId::new(0));
+        p.on_verification(BlockId::new(0), VerifyOutcome::Correct);
+        assert_eq!(p.storage().live_entries, 0);
+    }
+}

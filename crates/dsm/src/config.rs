@@ -1,0 +1,350 @@
+//! System configuration (paper Table 1).
+//!
+//! [`SystemConfig`] gathers every timing and geometry parameter of the
+//! simulated CC-NUMA machine. [`SystemConfig::isca00`] reproduces Table 1 of
+//! the paper:
+//!
+//! | parameter | value |
+//! |---|---|
+//! | nodes | 32 |
+//! | processor speed | 600 MHz |
+//! | cache block size | 32 bytes |
+//! | local memory / network-cache access | 104 cycles |
+//! | network latency | 80 cycles |
+//! | round-trip miss latency | ≈416 cycles |
+//! | remote-to-local access ratio | ≈4 |
+//!
+//! The builder validates its inputs ([C-VALIDATE]) and the defaults decompose
+//! the 416-cycle round trip as: NI serialization (8) + network (80) +
+//! directory service (24 control + 104 memory) + NI (8) + network (80) +
+//! requester-side network-cache fill (104) + issue/fill overhead ≈ 409.
+//!
+//! [C-VALIDATE]: https://rust-lang.github.io/api-guidelines/dependability.html
+
+use std::fmt;
+
+use ltp_core::{BlockId, NodeId};
+use ltp_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Error produced by [`SystemConfigBuilder::build`] on invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The machine needs at least two nodes to share anything.
+    TooFewNodes(u16),
+    /// A timing parameter that must be nonzero was zero.
+    ZeroTiming(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TooFewNodes(n) => {
+                write!(f, "a DSM needs at least 2 nodes, got {n}")
+            }
+            ConfigError::ZeroTiming(what) => {
+                write!(f, "timing parameter `{what}` must be nonzero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Full machine configuration. Construct via [`SystemConfig::builder`] or
+/// [`SystemConfig::isca00`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    nodes: u16,
+    block_bytes: u32,
+    cpu_hit: Cycle,
+    mem_access: Cycle,
+    dir_control: Cycle,
+    net_latency: Cycle,
+    ni_occupancy: Cycle,
+    pipeline_stages: u32,
+}
+
+impl SystemConfig {
+    /// The paper's Table 1 machine: 32 nodes, 32-byte blocks, 104-cycle
+    /// memory, 80-cycle network, two-stage pipelined protocol engines.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ltp_dsm::SystemConfig;
+    ///
+    /// let cfg = SystemConfig::isca00();
+    /// assert_eq!(cfg.nodes(), 32);
+    /// // Remote read round trip ≈ 416 cycles (Table 1).
+    /// let rt = cfg.remote_round_trip_estimate();
+    /// assert!((380..=440).contains(&rt.as_u64()), "round trip {rt}");
+    /// ```
+    pub fn isca00() -> Self {
+        SystemConfig::builder()
+            .build()
+            .expect("ISCA'00 defaults are valid")
+    }
+
+    /// Starts a builder preloaded with the ISCA'00 defaults.
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder::default()
+    }
+
+    /// Number of nodes in the machine.
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// Coherence block size in bytes (32 in the paper).
+    pub fn block_bytes(&self) -> u32 {
+        self.block_bytes
+    }
+
+    /// Processor-cache hit latency.
+    pub fn cpu_hit(&self) -> Cycle {
+        self.cpu_hit
+    }
+
+    /// One local-memory / network-cache access (Table 1: 104 cycles).
+    pub fn mem_access(&self) -> Cycle {
+        self.mem_access
+    }
+
+    /// Protocol-engine occupancy for a control-only message.
+    pub fn dir_control(&self) -> Cycle {
+        self.dir_control
+    }
+
+    /// Service time for a directory operation that moves data (control +
+    /// one memory access).
+    pub fn dir_data_service(&self) -> Cycle {
+        self.dir_control + self.mem_access
+    }
+
+    /// One-way point-to-point network latency (Table 1: 80 cycles).
+    pub fn net_latency(&self) -> Cycle {
+        self.net_latency
+    }
+
+    /// Network-interface serialization time per message (the contention
+    /// point the paper models).
+    pub fn ni_occupancy(&self) -> Cycle {
+        self.ni_occupancy
+    }
+
+    /// Depth of the pipelined protocol engine (Table 1 note: an "aggressive
+    /// two-stage pipelined protocol engine").
+    pub fn pipeline_stages(&self) -> u32 {
+        self.pipeline_stages
+    }
+
+    /// The home node of `block`: blocks are interleaved round-robin across
+    /// nodes, the common fine-grain DSM layout.
+    pub fn home_of(&self, block: BlockId) -> NodeId {
+        NodeId::new((block.index() % u64::from(self.nodes)) as u16)
+    }
+
+    /// Back-of-envelope remote read round trip for an Idle block, used to
+    /// sanity-check against Table 1's 416 cycles.
+    pub fn remote_round_trip_estimate(&self) -> Cycle {
+        self.cpu_hit
+            + self.ni_occupancy
+            + self.net_latency
+            + self.dir_data_service()
+            + self.ni_occupancy
+            + self.net_latency
+            + self.mem_access
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::isca00()
+    }
+}
+
+/// Builder for [`SystemConfig`] (all setters take `&mut self` and return it,
+/// so one-liners and stepwise configuration both work).
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    nodes: u16,
+    block_bytes: u32,
+    cpu_hit: u64,
+    mem_access: u64,
+    dir_control: u64,
+    net_latency: u64,
+    ni_occupancy: u64,
+    pipeline_stages: u32,
+}
+
+impl Default for SystemConfigBuilder {
+    fn default() -> Self {
+        SystemConfigBuilder {
+            nodes: 32,
+            block_bytes: 32,
+            cpu_hit: 1,
+            mem_access: 104,
+            dir_control: 24,
+            net_latency: 80,
+            ni_occupancy: 8,
+            pipeline_stages: 2,
+        }
+    }
+}
+
+impl SystemConfigBuilder {
+    /// Sets the node count.
+    pub fn nodes(&mut self, nodes: u16) -> &mut Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Sets the block size in bytes.
+    pub fn block_bytes(&mut self, bytes: u32) -> &mut Self {
+        self.block_bytes = bytes;
+        self
+    }
+
+    /// Sets the processor-cache hit latency in cycles.
+    pub fn cpu_hit(&mut self, cycles: u64) -> &mut Self {
+        self.cpu_hit = cycles;
+        self
+    }
+
+    /// Sets the local-memory access time in cycles.
+    pub fn mem_access(&mut self, cycles: u64) -> &mut Self {
+        self.mem_access = cycles;
+        self
+    }
+
+    /// Sets the control-message engine occupancy in cycles.
+    pub fn dir_control(&mut self, cycles: u64) -> &mut Self {
+        self.dir_control = cycles;
+        self
+    }
+
+    /// Sets the one-way network latency in cycles.
+    pub fn net_latency(&mut self, cycles: u64) -> &mut Self {
+        self.net_latency = cycles;
+        self
+    }
+
+    /// Sets the per-message NI serialization time in cycles.
+    pub fn ni_occupancy(&mut self, cycles: u64) -> &mut Self {
+        self.ni_occupancy = cycles;
+        self
+    }
+
+    /// Sets the protocol-engine pipeline depth (≥1).
+    pub fn pipeline_stages(&mut self, stages: u32) -> &mut Self {
+        self.pipeline_stages = stages;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if fewer than 2 nodes are configured or any
+    /// required timing parameter is zero.
+    pub fn build(&self) -> Result<SystemConfig, ConfigError> {
+        if self.nodes < 2 {
+            return Err(ConfigError::TooFewNodes(self.nodes));
+        }
+        for (name, v) in [
+            ("mem_access", self.mem_access),
+            ("dir_control", self.dir_control),
+            ("net_latency", self.net_latency),
+            ("cpu_hit", self.cpu_hit),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::ZeroTiming(name));
+            }
+        }
+        if self.pipeline_stages == 0 {
+            return Err(ConfigError::ZeroTiming("pipeline_stages"));
+        }
+        Ok(SystemConfig {
+            nodes: self.nodes,
+            block_bytes: self.block_bytes,
+            cpu_hit: Cycle::new(self.cpu_hit),
+            mem_access: Cycle::new(self.mem_access),
+            dir_control: Cycle::new(self.dir_control),
+            net_latency: Cycle::new(self.net_latency),
+            ni_occupancy: Cycle::new(self.ni_occupancy),
+            pipeline_stages: self.pipeline_stages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isca00_matches_table1() {
+        let cfg = SystemConfig::isca00();
+        assert_eq!(cfg.nodes(), 32);
+        assert_eq!(cfg.block_bytes(), 32);
+        assert_eq!(cfg.mem_access(), Cycle::new(104));
+        assert_eq!(cfg.net_latency(), Cycle::new(80));
+        assert_eq!(cfg.pipeline_stages(), 2);
+    }
+
+    #[test]
+    fn round_trip_near_416() {
+        let rt = SystemConfig::isca00().remote_round_trip_estimate().as_u64();
+        assert!((380..=440).contains(&rt), "estimate {rt} not near 416");
+    }
+
+    #[test]
+    fn remote_to_local_ratio_near_4() {
+        let cfg = SystemConfig::isca00();
+        let ratio =
+            cfg.remote_round_trip_estimate().as_u64() as f64 / cfg.mem_access().as_u64() as f64;
+        assert!((3.0..=5.0).contains(&ratio), "ratio {ratio} not ≈4");
+    }
+
+    #[test]
+    fn homes_are_round_robin() {
+        let cfg = SystemConfig::isca00();
+        assert_eq!(cfg.home_of(BlockId::new(0)), NodeId::new(0));
+        assert_eq!(cfg.home_of(BlockId::new(31)), NodeId::new(31));
+        assert_eq!(cfg.home_of(BlockId::new(32)), NodeId::new(0));
+        assert_eq!(cfg.home_of(BlockId::new(65)), NodeId::new(1));
+    }
+
+    #[test]
+    fn builder_validates_nodes() {
+        let err = SystemConfig::builder().nodes(1).build().unwrap_err();
+        assert_eq!(err, ConfigError::TooFewNodes(1));
+        assert!(err.to_string().contains("at least 2"));
+    }
+
+    #[test]
+    fn builder_validates_timing() {
+        let err = SystemConfig::builder().net_latency(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroTiming("net_latency"));
+        let err = SystemConfig::builder().pipeline_stages(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroTiming("pipeline_stages"));
+    }
+
+    #[test]
+    fn builder_customization() {
+        let cfg = SystemConfig::builder()
+            .nodes(4)
+            .mem_access(50)
+            .net_latency(10)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.nodes(), 4);
+        assert_eq!(cfg.mem_access(), Cycle::new(50));
+        assert_eq!(cfg.dir_data_service(), Cycle::new(74));
+    }
+
+    #[test]
+    fn default_is_isca00() {
+        assert_eq!(SystemConfig::default(), SystemConfig::isca00());
+    }
+}

@@ -1,0 +1,918 @@
+//! The full-map write-invalidate directory (paper §2, §4).
+//!
+//! Each home node runs a [`Directory`] holding, per block: the sharing state
+//! (Idle / Shared / Exclusive, plus a transient Busy state while
+//! invalidations are being collected), a full-map sharer set, the DSI
+//! write-version number, the home copy of the data token, the §4
+//! *verification mask* of self-invalidators, and a queue of requests shelved
+//! while the block is Busy.
+//!
+//! The directory is a pure state machine: [`Directory::process`] consumes one
+//! message and returns the messages to emit, the requests to re-inject, and
+//! the service class for the protocol engine's timing model. All races the
+//! protocol can produce — self-invalidations crossing invalidations,
+//! upgrades racing writers, stale acknowledgements — are resolved here and
+//! covered by unit tests.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use ltp_core::{BlockId, NodeId, VerifyOutcome};
+use ltp_sim::stats::Counter;
+
+use crate::msg::{Message, MsgKind};
+
+/// Engine-time classification of one directory service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceClass {
+    /// State bookkeeping only.
+    Control,
+    /// The service moved a data block (one memory access).
+    Data,
+}
+
+/// Result of processing one message at the directory.
+#[derive(Debug, Clone, Default)]
+pub struct DirStep {
+    /// Protocol messages to emit after the service completes.
+    pub sends: Vec<Message>,
+    /// Shelved requests to re-inject into the engine (the block left its
+    /// Busy state).
+    pub reinject: Vec<Message>,
+    /// Timing class of this service.
+    pub data_service: bool,
+}
+
+impl DirStep {
+    fn control() -> Self {
+        DirStep::default()
+    }
+
+    fn data() -> Self {
+        DirStep {
+            data_service: true,
+            ..DirStep::default()
+        }
+    }
+}
+
+/// Stable + transient directory states for one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DirState {
+    /// Only the home copy exists.
+    Idle,
+    /// Read-only copies at the listed nodes.
+    Shared(BTreeSet<NodeId>),
+    /// A writable copy at one node.
+    Exclusive(NodeId),
+    /// Collecting invalidation acks / writeback for an in-flight request.
+    Busy(Busy),
+}
+
+/// The in-flight transaction while Busy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Busy {
+    requester: NodeId,
+    /// Grant exclusive (GetX/Upgrade) vs read-only (GetS).
+    want_exclusive: bool,
+    /// Reply with `UpgradeAck` (requester kept its data) instead of `DataX`.
+    upgrade_reply: bool,
+    /// Nodes whose acknowledgement or writeback is still awaited.
+    waiting: BTreeSet<NodeId>,
+    /// Verification verdict to piggyback on the eventual reply.
+    verify: Option<VerifyOutcome>,
+}
+
+/// One §4 verification-mask entry: a node that self-invalidated and awaits a
+/// verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MaskEntry {
+    node: NodeId,
+    /// The copy relinquished was exclusive (writeback) vs read-only.
+    relinquished_exclusive: bool,
+    /// Whether the self-invalidation was processed in a stable state —
+    /// i.e. it reached the directory *before* the conflicting request
+    /// (Table 4's timeliness).
+    timely: bool,
+}
+
+/// Per-block directory record.
+#[derive(Debug, Clone)]
+struct DirBlock {
+    state: DirState,
+    /// DSI write-version: incremented on every exclusive grant.
+    version: u32,
+    /// Home copy of the data token.
+    token: u64,
+    /// §4 verification mask.
+    mask: Vec<MaskEntry>,
+    /// Requests shelved while Busy.
+    pending: VecDeque<Message>,
+}
+
+impl Default for DirBlock {
+    fn default() -> Self {
+        DirBlock {
+            state: DirState::Idle,
+            version: 0,
+            token: 0,
+            mask: Vec::new(),
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+/// Counters the directory keeps for reports and invariant checks.
+#[derive(Debug, Clone, Default)]
+pub struct DirCounters {
+    /// Invalidation messages sent to sharers/owners on behalf of requests.
+    pub invalidations_sent: Counter,
+    /// Self-invalidations applied in a stable state (timely).
+    pub self_inv_timely: Counter,
+    /// Self-invalidations that arrived while the conflicting request was
+    /// already in flight (late; they served as the awaited ack).
+    pub self_inv_late: Counter,
+    /// Stale messages ignored (acks for completed transactions etc.).
+    pub stale_ignored: Counter,
+}
+
+/// A home node's directory.
+///
+/// # Examples
+///
+/// ```
+/// use ltp_core::{BlockId, NodeId};
+/// use ltp_dsm::{Directory, Message, MsgKind};
+///
+/// let home = NodeId::new(0);
+/// let mut dir = Directory::new(home);
+/// let b = BlockId::new(0);
+/// // A cold read is served directly from home.
+/// let step = dir.process(Message::new(NodeId::new(1), home, b, MsgKind::GetS));
+/// assert_eq!(step.sends.len(), 1);
+/// assert!(matches!(step.sends[0].kind, MsgKind::DataS { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Directory {
+    home: NodeId,
+    blocks: HashMap<BlockId, DirBlock>,
+    counters: DirCounters,
+}
+
+impl Directory {
+    /// Creates the directory for home node `home`.
+    pub fn new(home: NodeId) -> Self {
+        Directory {
+            home,
+            blocks: HashMap::new(),
+            counters: DirCounters::default(),
+        }
+    }
+
+    /// The home node this directory serves.
+    pub fn home(&self) -> NodeId {
+        self.home
+    }
+
+    /// Statistics counters.
+    pub fn counters(&self) -> &DirCounters {
+        &self.counters
+    }
+
+    /// The DSI write-version of `block` (0 if never written).
+    pub fn version_of(&self, block: BlockId) -> u32 {
+        self.blocks.get(&block).map_or(0, |b| b.version)
+    }
+
+    /// Whether `block` is in a stable Idle state (for tests/examples).
+    pub fn is_idle(&self, block: BlockId) -> bool {
+        self.blocks
+            .get(&block)
+            .is_none_or(|b| b.state == DirState::Idle)
+    }
+
+    /// Processes one incoming message; see module docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msg.dst` is not this directory's home or if a cache reply
+    /// kind (`DataS` etc.) is delivered to the directory.
+    pub fn process(&mut self, msg: Message) -> DirStep {
+        assert_eq!(msg.dst, self.home, "message routed to the wrong home");
+        match msg.kind {
+            MsgKind::GetS | MsgKind::GetX | MsgKind::Upgrade => self.process_request(msg),
+            MsgKind::SelfInvClean => self.process_self_inv(msg, None),
+            MsgKind::SelfInvDirty { token } => self.process_self_inv(msg, Some(token)),
+            MsgKind::InvAck {
+                had_copy: _,
+                dirty_token,
+            } => self.process_inv_ack(msg, dirty_token),
+            other => panic!("directory received non-protocol message {other:?}"),
+        }
+    }
+
+    /// Resolves the verification mask against an arriving request. Returns
+    /// the verdict to piggyback for the requester (if it was itself in the
+    /// mask) plus zero-latency `VerifyCorrect` notifications for others.
+    fn resolve_mask(
+        &mut self,
+        block: BlockId,
+        requester: NodeId,
+        write_request: bool,
+    ) -> (Option<VerifyOutcome>, Vec<Message>) {
+        let home = self.home;
+        let entry = self.blocks.entry(block).or_default();
+        let mut verify_for_requester = None;
+        let mut notifications = Vec::new();
+        entry.mask.retain(|m| {
+            if m.node == requester {
+                // The self-invalidator itself came back first: premature.
+                verify_for_requester = Some(VerifyOutcome::Premature);
+                false
+            } else if m.relinquished_exclusive || write_request {
+                // A conflicting access by another node: the relinquished copy
+                // would have been invalidated anyway — correct.
+                notifications.push(Message::new(
+                    home,
+                    m.node,
+                    block,
+                    MsgKind::VerifyCorrect { timely: m.timely },
+                ));
+                false
+            } else {
+                // Read-relinquisher observed by another reader: undecided.
+                true
+            }
+        });
+        (verify_for_requester, notifications)
+    }
+
+    fn process_request(&mut self, msg: Message) -> DirStep {
+        let block = msg.block;
+        // Shelve requests for Busy blocks (the pipelined engine holds off
+        // conflicting transactions rather than NACKing).
+        if let DirState::Busy(_) = self.blocks.entry(block).or_default().state {
+            self.blocks
+                .get_mut(&block)
+                .expect("just inserted")
+                .pending
+                .push_back(msg);
+            return DirStep::control();
+        }
+
+        let write_request = matches!(msg.kind, MsgKind::GetX | MsgKind::Upgrade);
+        let (verify, mut notifications) = self.resolve_mask(block, msg.src, write_request);
+        let home = self.home;
+        let entry = self.blocks.get_mut(&block).expect("resolved above");
+
+        let mut step = match (&mut entry.state, msg.kind) {
+            // ---- reads ----------------------------------------------------
+            (DirState::Idle, MsgKind::GetS) => {
+                entry.state = DirState::Shared(BTreeSet::from([msg.src]));
+                let mut s = DirStep::data();
+                s.sends.push(Message::new(
+                    home,
+                    msg.src,
+                    block,
+                    MsgKind::DataS {
+                        version: entry.version,
+                        token: entry.token,
+                        verify,
+                    },
+                ));
+                s
+            }
+            (DirState::Shared(sharers), MsgKind::GetS) => {
+                sharers.insert(msg.src);
+                let mut s = DirStep::data();
+                s.sends.push(Message::new(
+                    home,
+                    msg.src,
+                    block,
+                    MsgKind::DataS {
+                        version: entry.version,
+                        token: entry.token,
+                        verify,
+                    },
+                ));
+                s
+            }
+            (DirState::Exclusive(owner), MsgKind::GetS) => {
+                // Migratory-favoring protocol (§2): a read invalidates the
+                // writer's copy entirely.
+                debug_assert_ne!(*owner, msg.src, "owner re-requesting its own block");
+                let owner = *owner;
+                entry.state = DirState::Busy(Busy {
+                    requester: msg.src,
+                    want_exclusive: false,
+                    upgrade_reply: false,
+                    waiting: BTreeSet::from([owner]),
+                    verify,
+                });
+                self.counters.invalidations_sent.incr();
+                let mut s = DirStep::control();
+                s.sends
+                    .push(Message::new(home, owner, block, MsgKind::Inv));
+                s
+            }
+
+            // ---- writes ---------------------------------------------------
+            (DirState::Idle, MsgKind::GetX | MsgKind::Upgrade) => {
+                // Upgrade on Idle: the requester's copy was invalidated while
+                // the upgrade was in flight; serve it as a full write miss.
+                entry.version += 1;
+                entry.state = DirState::Exclusive(msg.src);
+                let mut s = DirStep::data();
+                s.sends.push(Message::new(
+                    home,
+                    msg.src,
+                    block,
+                    MsgKind::DataX {
+                        version: entry.version,
+                        token: entry.token,
+                        verify,
+                    },
+                ));
+                s
+            }
+            (DirState::Shared(sharers), MsgKind::Upgrade) if sharers.contains(&msg.src) => {
+                if sharers.len() == 1 {
+                    // Sole sharer upgrading: the migratory pattern.
+                    entry.version += 1;
+                    entry.state = DirState::Exclusive(msg.src);
+                    let mut s = DirStep::control();
+                    s.sends.push(Message::new(
+                        home,
+                        msg.src,
+                        block,
+                        MsgKind::UpgradeAck {
+                            version: entry.version,
+                            migratory: true,
+                            verify,
+                        },
+                    ));
+                    s
+                } else {
+                    let waiting: BTreeSet<NodeId> =
+                        sharers.iter().copied().filter(|&n| n != msg.src).collect();
+                    let mut s = DirStep::control();
+                    for &n in &waiting {
+                        self.counters.invalidations_sent.incr();
+                        s.sends.push(Message::new(home, n, block, MsgKind::Inv));
+                    }
+                    entry.state = DirState::Busy(Busy {
+                        requester: msg.src,
+                        want_exclusive: true,
+                        upgrade_reply: true,
+                        waiting,
+                        verify,
+                    });
+                    s
+                }
+            }
+            (DirState::Shared(sharers), MsgKind::GetX | MsgKind::Upgrade) => {
+                // GetX, or an Upgrade from a node that lost its copy.
+                let waiting: BTreeSet<NodeId> =
+                    sharers.iter().copied().filter(|&n| n != msg.src).collect();
+                if waiting.is_empty() {
+                    entry.version += 1;
+                    entry.state = DirState::Exclusive(msg.src);
+                    let mut s = DirStep::data();
+                    s.sends.push(Message::new(
+                        home,
+                        msg.src,
+                        block,
+                        MsgKind::DataX {
+                            version: entry.version,
+                            token: entry.token,
+                            verify,
+                        },
+                    ));
+                    s
+                } else {
+                    let mut s = DirStep::control();
+                    for &n in &waiting {
+                        self.counters.invalidations_sent.incr();
+                        s.sends.push(Message::new(home, n, block, MsgKind::Inv));
+                    }
+                    entry.state = DirState::Busy(Busy {
+                        requester: msg.src,
+                        want_exclusive: true,
+                        upgrade_reply: false,
+                        waiting,
+                        verify,
+                    });
+                    s
+                }
+            }
+            (DirState::Exclusive(owner), MsgKind::GetX | MsgKind::Upgrade) => {
+                debug_assert_ne!(*owner, msg.src, "owner re-requesting exclusively");
+                let owner = *owner;
+                entry.state = DirState::Busy(Busy {
+                    requester: msg.src,
+                    want_exclusive: true,
+                    upgrade_reply: false,
+                    waiting: BTreeSet::from([owner]),
+                    verify,
+                });
+                self.counters.invalidations_sent.incr();
+                let mut s = DirStep::control();
+                s.sends
+                    .push(Message::new(home, owner, block, MsgKind::Inv));
+                s
+            }
+            (DirState::Busy(_), _) => unreachable!("busy handled above"),
+            (state, kind) => unreachable!("unhandled request {kind:?} in {state:?}"),
+        };
+        step.sends.append(&mut notifications);
+        step
+    }
+
+    fn process_self_inv(&mut self, msg: Message, writeback: Option<u64>) -> DirStep {
+        let block = msg.block;
+        let home = self.home;
+        let entry = self.blocks.entry(block).or_default();
+        match &mut entry.state {
+            DirState::Shared(sharers) if writeback.is_none() && sharers.contains(&msg.src) => {
+                sharers.remove(&msg.src);
+                if sharers.is_empty() {
+                    entry.state = DirState::Idle;
+                }
+                entry.mask.push(MaskEntry {
+                    node: msg.src,
+                    relinquished_exclusive: false,
+                    timely: true,
+                });
+                self.counters.self_inv_timely.incr();
+                DirStep::control()
+            }
+            DirState::Exclusive(owner) if *owner == msg.src => {
+                let token = writeback.expect("exclusive owner must write back");
+                debug_assert!(token >= entry.token, "token regressed on writeback");
+                entry.token = token;
+                entry.state = DirState::Idle;
+                entry.mask.push(MaskEntry {
+                    node: msg.src,
+                    relinquished_exclusive: true,
+                    timely: true,
+                });
+                self.counters.self_inv_timely.incr();
+                DirStep::data()
+            }
+            DirState::Busy(busy) if busy.waiting.contains(&msg.src) => {
+                // The self-invalidation crossed the Inv we sent: it serves as
+                // the awaited acknowledgement, but it is *late* — the
+                // conflicting request was already being serviced.
+                busy.waiting.remove(&msg.src);
+                let requester = busy.requester;
+                let relinq_ex = writeback.is_some();
+                if let Some(token) = writeback {
+                    debug_assert!(token >= entry.token, "token regressed on writeback");
+                    entry.token = token;
+                }
+                self.counters.self_inv_late.incr();
+                let mut step = if relinq_ex {
+                    DirStep::data()
+                } else {
+                    DirStep::control()
+                };
+                // Verified immediately: the in-service request is the
+                // conflicting access. (It cannot be the self-invalidator
+                // itself — a node with a cached copy does not request.)
+                debug_assert_ne!(requester, msg.src);
+                step.sends.push(Message::new(
+                    home,
+                    msg.src,
+                    block,
+                    MsgKind::VerifyCorrect { timely: false },
+                ));
+                self.finish_busy_if_ready(block, &mut step);
+                step
+            }
+            _ => {
+                // Stale: the copy was already invalidated by a crossing Inv.
+                self.counters.stale_ignored.incr();
+                DirStep::control()
+            }
+        }
+    }
+
+    fn process_inv_ack(&mut self, msg: Message, dirty_token: Option<u64>) -> DirStep {
+        let block = msg.block;
+        let entry = self.blocks.entry(block).or_default();
+        match &mut entry.state {
+            DirState::Busy(busy) if busy.waiting.contains(&msg.src) => {
+                busy.waiting.remove(&msg.src);
+                if let Some(token) = dirty_token {
+                    debug_assert!(token >= entry.token, "token regressed on writeback");
+                    entry.token = token;
+                }
+                let mut step = if dirty_token.is_some() {
+                    DirStep::data()
+                } else {
+                    DirStep::control()
+                };
+                self.finish_busy_if_ready(block, &mut step);
+                step
+            }
+            _ => {
+                // An ack for a transaction a self-invalidation already
+                // completed.
+                self.counters.stale_ignored.incr();
+                DirStep::control()
+            }
+        }
+    }
+
+    /// Completes the Busy transaction once every awaited ack arrived:
+    /// sends the grant and re-injects shelved requests.
+    fn finish_busy_if_ready(&mut self, block: BlockId, step: &mut DirStep) {
+        let home = self.home;
+        let entry = self.blocks.get_mut(&block).expect("busy block exists");
+        let DirState::Busy(busy) = &entry.state else {
+            return;
+        };
+        if !busy.waiting.is_empty() {
+            return;
+        }
+        let busy = busy.clone();
+        if busy.want_exclusive {
+            entry.version += 1;
+            entry.state = DirState::Exclusive(busy.requester);
+            let kind = if busy.upgrade_reply {
+                MsgKind::UpgradeAck {
+                    version: entry.version,
+                    migratory: false,
+                    verify: busy.verify,
+                }
+            } else {
+                MsgKind::DataX {
+                    version: entry.version,
+                    token: entry.token,
+                    verify: busy.verify,
+                }
+            };
+            step.sends
+                .push(Message::new(home, busy.requester, block, kind));
+        } else {
+            entry.state = DirState::Shared(BTreeSet::from([busy.requester]));
+            step.sends.push(Message::new(
+                home,
+                busy.requester,
+                block,
+                MsgKind::DataS {
+                    version: entry.version,
+                    token: entry.token,
+                    verify: busy.verify,
+                },
+            ));
+        }
+        // The reply moves data (except pure upgrade acks).
+        step.data_service |= !busy.upgrade_reply;
+        step.reinject.extend(entry.pending.drain(..));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn b(i: u64) -> BlockId {
+        BlockId::new(i)
+    }
+
+    fn msg(src: u16, block: u64, kind: MsgKind) -> Message {
+        Message::new(n(src), n(0), b(block), kind)
+    }
+
+    fn dir() -> Directory {
+        Directory::new(n(0))
+    }
+
+    #[test]
+    fn cold_read_served_from_home() {
+        let mut d = dir();
+        let step = d.process(msg(1, 0, MsgKind::GetS));
+        assert!(step.data_service);
+        assert_eq!(step.sends.len(), 1);
+        assert_eq!(step.sends[0].dst, n(1));
+        assert!(matches!(
+            step.sends[0].kind,
+            MsgKind::DataS { version: 0, token: 0, verify: None }
+        ));
+    }
+
+    #[test]
+    fn write_increments_version() {
+        let mut d = dir();
+        let step = d.process(msg(1, 0, MsgKind::GetX));
+        assert!(matches!(
+            step.sends[0].kind,
+            MsgKind::DataX { version: 1, .. }
+        ));
+        assert_eq!(d.version_of(b(0)), 1);
+    }
+
+    #[test]
+    fn read_to_exclusive_invalidates_owner_then_replies() {
+        let mut d = dir();
+        d.process(msg(1, 0, MsgKind::GetX));
+        // P2 reads: owner P1 must be invalidated first.
+        let step = d.process(msg(2, 0, MsgKind::GetS));
+        assert_eq!(step.sends.len(), 1);
+        assert_eq!(step.sends[0].dst, n(1));
+        assert!(matches!(step.sends[0].kind, MsgKind::Inv));
+        // P1's writeback completes the transaction.
+        let step = d.process(msg(
+            1,
+            0,
+            MsgKind::InvAck {
+                had_copy: true,
+                dirty_token: Some(5),
+            },
+        ));
+        assert!(step.data_service);
+        let reply = step.sends.last().unwrap();
+        assert_eq!(reply.dst, n(2));
+        assert!(matches!(reply.kind, MsgKind::DataS { token: 5, .. }));
+        assert_eq!(d.counters().invalidations_sent.count(), 1);
+    }
+
+    #[test]
+    fn write_to_shared_invalidates_all_readers() {
+        let mut d = dir();
+        d.process(msg(1, 0, MsgKind::GetS));
+        d.process(msg(2, 0, MsgKind::GetS));
+        d.process(msg(3, 0, MsgKind::GetS));
+        let step = d.process(msg(4, 0, MsgKind::GetX));
+        let inv_dsts: Vec<NodeId> = step.sends.iter().map(|m| m.dst).collect();
+        assert_eq!(inv_dsts, vec![n(1), n(2), n(3)]);
+        // Acks trickle in; the grant goes out with the last one.
+        for src in [1, 2, 3] {
+            let step = d.process(msg(
+                src,
+                0,
+                MsgKind::InvAck {
+                    had_copy: true,
+                    dirty_token: None,
+                },
+            ));
+            if src == 3 {
+                assert!(matches!(
+                    step.sends.last().unwrap().kind,
+                    MsgKind::DataX { version: 1, .. }
+                ));
+            } else {
+                assert!(step.sends.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn sole_sharer_upgrade_is_migratory() {
+        let mut d = dir();
+        d.process(msg(1, 0, MsgKind::GetS));
+        let step = d.process(msg(1, 0, MsgKind::Upgrade));
+        assert!(matches!(
+            step.sends[0].kind,
+            MsgKind::UpgradeAck {
+                migratory: true,
+                version: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn multi_sharer_upgrade_is_not_migratory() {
+        let mut d = dir();
+        d.process(msg(1, 0, MsgKind::GetS));
+        d.process(msg(2, 0, MsgKind::GetS));
+        let step = d.process(msg(1, 0, MsgKind::Upgrade));
+        assert!(matches!(step.sends[0].kind, MsgKind::Inv));
+        assert_eq!(step.sends[0].dst, n(2));
+        let step = d.process(msg(
+            2,
+            0,
+            MsgKind::InvAck {
+                had_copy: true,
+                dirty_token: None,
+            },
+        ));
+        assert!(matches!(
+            step.sends.last().unwrap().kind,
+            MsgKind::UpgradeAck {
+                migratory: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn busy_block_shelves_requests_and_reinjects() {
+        let mut d = dir();
+        d.process(msg(1, 0, MsgKind::GetX));
+        d.process(msg(2, 0, MsgKind::GetS)); // Busy now
+        let step = d.process(msg(3, 0, MsgKind::GetS)); // shelved
+        assert!(step.sends.is_empty());
+        let step = d.process(msg(
+            1,
+            0,
+            MsgKind::InvAck {
+                had_copy: true,
+                dirty_token: Some(1),
+            },
+        ));
+        assert_eq!(step.reinject.len(), 1);
+        assert_eq!(step.reinject[0].src, n(3));
+    }
+
+    #[test]
+    fn self_inv_clean_clears_sharer_and_masks() {
+        let mut d = dir();
+        d.process(msg(1, 0, MsgKind::GetS));
+        let step = d.process(msg(1, 0, MsgKind::SelfInvClean));
+        assert!(step.sends.is_empty());
+        assert!(d.is_idle(b(0)));
+        assert_eq!(d.counters().self_inv_timely.count(), 1);
+        // A subsequent writer finds Idle: 2-hop grant + verification.
+        let step = d.process(msg(2, 0, MsgKind::GetX));
+        assert_eq!(step.sends.len(), 2);
+        assert!(matches!(step.sends[0].kind, MsgKind::DataX { .. }));
+        assert!(matches!(
+            step.sends[1].kind,
+            MsgKind::VerifyCorrect { timely: true }
+        ));
+        assert_eq!(step.sends[1].dst, n(1));
+    }
+
+    #[test]
+    fn self_inv_dirty_writes_back_and_idles() {
+        let mut d = dir();
+        d.process(msg(1, 0, MsgKind::GetX));
+        let step = d.process(msg(1, 0, MsgKind::SelfInvDirty { token: 9 }));
+        assert!(step.data_service);
+        assert!(d.is_idle(b(0)));
+        // The next reader gets the written-back data in 2 hops.
+        let step = d.process(msg(2, 0, MsgKind::GetS));
+        assert!(matches!(
+            step.sends[0].kind,
+            MsgKind::DataS { token: 9, .. }
+        ));
+        // …and the self-invalidator learns it was correct & timely.
+        assert!(matches!(
+            step.sends[1].kind,
+            MsgKind::VerifyCorrect { timely: true }
+        ));
+    }
+
+    #[test]
+    fn premature_self_inv_detected_on_reuse() {
+        let mut d = dir();
+        d.process(msg(1, 0, MsgKind::GetX));
+        d.process(msg(1, 0, MsgKind::SelfInvDirty { token: 2 }));
+        // The same node comes back before anyone else: premature.
+        let step = d.process(msg(1, 0, MsgKind::GetX));
+        assert!(matches!(
+            step.sends[0].kind,
+            MsgKind::DataX {
+                verify: Some(VerifyOutcome::Premature),
+                token: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn read_relinquisher_confirmed_only_by_writer() {
+        let mut d = dir();
+        d.process(msg(1, 0, MsgKind::GetS));
+        d.process(msg(2, 0, MsgKind::GetS));
+        d.process(msg(1, 0, MsgKind::SelfInvClean));
+        // Another reader does not resolve the verdict…
+        let step = d.process(msg(3, 0, MsgKind::GetS));
+        assert_eq!(step.sends.len(), 1, "no verification yet");
+        // …a writer does. P2 and P3 still hold copies and get Invs; P1's
+        // self-invalidation is confirmed.
+        let step = d.process(msg(4, 0, MsgKind::GetX));
+        let verify: Vec<&Message> = step
+            .sends
+            .iter()
+            .filter(|m| matches!(m.kind, MsgKind::VerifyCorrect { .. }))
+            .collect();
+        assert_eq!(verify.len(), 1);
+        assert_eq!(verify[0].dst, n(1));
+        let invs = step
+            .sends
+            .iter()
+            .filter(|m| matches!(m.kind, MsgKind::Inv))
+            .count();
+        assert_eq!(invs, 2);
+    }
+
+    #[test]
+    fn self_inv_crossing_inv_counts_as_late_ack() {
+        let mut d = dir();
+        d.process(msg(1, 0, MsgKind::GetX));
+        // P2 wants the block: Inv sent to P1.
+        d.process(msg(2, 0, MsgKind::GetS));
+        // P1's self-invalidation was already in flight: it arrives instead of
+        // the InvAck.
+        let step = d.process(msg(1, 0, MsgKind::SelfInvDirty { token: 3 }));
+        // It completes the transaction…
+        let reply = step
+            .sends
+            .iter()
+            .find(|m| matches!(m.kind, MsgKind::DataS { .. }))
+            .expect("grant sent");
+        assert_eq!(reply.dst, n(2));
+        // …but is verified correct-late.
+        assert!(step
+            .sends
+            .iter()
+            .any(|m| matches!(m.kind, MsgKind::VerifyCorrect { timely: false }) && m.dst == n(1)));
+        assert_eq!(d.counters().self_inv_late.count(), 1);
+        // P1's InvAck for the crossed Inv arrives afterwards: ignored.
+        let step = d.process(msg(
+            1,
+            0,
+            MsgKind::InvAck {
+                had_copy: false,
+                dirty_token: None,
+            },
+        ));
+        assert!(step.sends.is_empty());
+        assert_eq!(d.counters().stale_ignored.count(), 1);
+    }
+
+    #[test]
+    fn stale_self_inv_after_invalidation_is_ignored() {
+        let mut d = dir();
+        d.process(msg(1, 0, MsgKind::GetS));
+        d.process(msg(1, 0, MsgKind::SelfInvClean));
+        // A second (buggy/duplicate) self-inv is ignored.
+        let step = d.process(msg(1, 0, MsgKind::SelfInvClean));
+        assert!(step.sends.is_empty());
+        assert_eq!(d.counters().stale_ignored.count(), 1);
+    }
+
+    #[test]
+    fn upgrade_race_served_as_write_miss() {
+        let mut d = dir();
+        d.process(msg(1, 0, MsgKind::GetS));
+        d.process(msg(2, 0, MsgKind::GetX));
+        d.process(msg(
+            1,
+            0,
+            MsgKind::InvAck {
+                had_copy: true,
+                dirty_token: None,
+            },
+        ));
+        // P1 lost its copy to P2; P1's Upgrade (sent before the Inv arrived)
+        // shows up now that the block is Exclusive(P2): treat as GetX.
+        let step = d.process(msg(1, 0, MsgKind::Upgrade));
+        assert!(matches!(step.sends[0].kind, MsgKind::Inv));
+        assert_eq!(step.sends[0].dst, n(2));
+        let step = d.process(msg(
+            2,
+            0,
+            MsgKind::InvAck {
+                had_copy: true,
+                dirty_token: Some(4),
+            },
+        ));
+        let grant = step.sends.last().unwrap();
+        assert_eq!(grant.dst, n(1));
+        assert!(matches!(grant.kind, MsgKind::DataX { token: 4, .. }));
+    }
+
+    #[test]
+    fn token_flows_through_write_chain() {
+        let mut d = dir();
+        d.process(msg(1, 0, MsgKind::GetX)); // P1 writes (token 1 at P1)
+        d.process(msg(2, 0, MsgKind::GetX)); // P2 wants it
+        let step = d.process(msg(
+            1,
+            0,
+            MsgKind::InvAck {
+                had_copy: true,
+                dirty_token: Some(1),
+            },
+        ));
+        assert!(
+            matches!(step.sends.last().unwrap().kind, MsgKind::DataX { token: 1, .. }),
+            "P2 must observe P1's write"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong home")]
+    fn misrouted_message_panics() {
+        let mut d = dir();
+        d.process(Message::new(n(1), n(5), b(0), MsgKind::GetS));
+    }
+}

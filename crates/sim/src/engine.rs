@@ -1,0 +1,268 @@
+//! The simulation driver: repeatedly pops the earliest event and hands it to
+//! the [`World`].
+//!
+//! The engine is deliberately minimal — a `World` is any state machine that
+//! consumes `(time, event)` pairs and may schedule further events. The full
+//! CC-NUMA machine in `ltp-system` is one `World`; unit tests here use toy
+//! worlds.
+
+use crate::event::EventQueue;
+use crate::time::Cycle;
+
+/// A state machine driven by timestamped events.
+///
+/// Implementations receive each event exactly once, in deterministic
+/// `(time, scheduling-sequence)` order, together with a scheduler handle used
+/// to enqueue follow-up events.
+pub trait World {
+    /// The event payload this world consumes.
+    type Event;
+
+    /// Handles one event at simulated time `now`, optionally scheduling more.
+    fn handle(&mut self, now: Cycle, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+
+    /// Invoked after every handled event; returning `true` stops the run even
+    /// if events remain pending (used for "run until all CPUs finished").
+    ///
+    /// The default never stops early; the run then ends when the event queue
+    /// drains.
+    fn finished(&self) -> bool {
+        false
+    }
+}
+
+/// Why a [`Simulation::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The event queue drained.
+    Drained,
+    /// [`World::finished`] returned `true`.
+    Finished,
+    /// The configured horizon was reached with events still pending — almost
+    /// always a livelock/deadlock symptom in this repository, surfaced loudly.
+    HorizonReached,
+}
+
+/// Summary statistics for a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// The clock value when the run stopped.
+    pub end_time: Cycle,
+    /// Number of events delivered to the world.
+    pub events_handled: u64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+}
+
+/// A discrete-event simulation: a [`World`] plus its future-event list and
+/// clock.
+///
+/// # Examples
+///
+/// ```
+/// use ltp_sim::{Cycle, EventQueue, Simulation, StopReason, World};
+///
+/// /// Counts down, rescheduling itself until it reaches zero.
+/// struct Countdown(u32);
+///
+/// impl World for Countdown {
+///     type Event = ();
+///     fn handle(&mut self, now: Cycle, _: (), q: &mut EventQueue<()>) {
+///         if self.0 > 0 {
+///             self.0 -= 1;
+///             q.schedule(now + Cycle::new(10), ());
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(Countdown(3));
+/// sim.queue_mut().schedule(Cycle::ZERO, ());
+/// let summary = sim.run();
+/// assert_eq!(summary.stop, StopReason::Drained);
+/// assert_eq!(summary.end_time, Cycle::new(30));
+/// assert_eq!(summary.events_handled, 4);
+/// ```
+pub struct Simulation<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    now: Cycle,
+    horizon: Cycle,
+    events_handled: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Creates a simulation over `world` with an empty event queue and an
+    /// unbounded horizon.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            queue: EventQueue::new(),
+            now: Cycle::ZERO,
+            horizon: Cycle::MAX,
+            events_handled: 0,
+        }
+    }
+
+    /// Sets a hard horizon: the run stops (with
+    /// [`StopReason::HorizonReached`]) before handling any event scheduled
+    /// after `horizon`. Protects tests and benches from protocol deadlocks
+    /// turning into hangs.
+    pub fn with_horizon(mut self, horizon: Cycle) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world (e.g. to seed initial state).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Exclusive access to the event queue (e.g. to seed initial events).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<W::Event> {
+        &mut self.queue
+    }
+
+    /// Split-borrows the world and the event queue together (for priming
+    /// initial events from world state).
+    pub fn world_and_queue_mut(&mut self) -> (&mut W, &mut EventQueue<W::Event>) {
+        (&mut self.world, &mut self.queue)
+    }
+
+    /// Consumes the simulation, returning the world (for post-run metric
+    /// extraction).
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Runs until the queue drains, the world reports completion, or the
+    /// horizon is hit.
+    pub fn run(&mut self) -> RunSummary {
+        loop {
+            if self.world.finished() {
+                return self.summary(StopReason::Finished);
+            }
+            match self.queue.peek_time() {
+                None => return self.summary(StopReason::Drained),
+                Some(at) if at > self.horizon => {
+                    return self.summary(StopReason::HorizonReached);
+                }
+                Some(_) => {}
+            }
+            let (at, event) = self.queue.pop().expect("peeked entry must pop");
+            debug_assert!(at >= self.now, "time went backwards: {} < {}", at, self.now);
+            self.now = at;
+            self.events_handled += 1;
+            self.world.handle(at, event, &mut self.queue);
+        }
+    }
+
+    fn summary(&self, stop: StopReason) -> RunSummary {
+        RunSummary {
+            end_time: self.now,
+            events_handled: self.events_handled,
+            stop,
+        }
+    }
+}
+
+impl<W: World + std::fmt::Debug> std::fmt::Debug for Simulation<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending_events", &self.queue.len())
+            .field("world", &self.world)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct Recorder {
+        seen: Vec<(u64, u32)>,
+        stop_after: Option<usize>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+
+        fn handle(&mut self, now: Cycle, event: u32, _q: &mut EventQueue<u32>) {
+            self.seen.push((now.as_u64(), event));
+        }
+
+        fn finished(&self) -> bool {
+            self.stop_after.is_some_and(|n| self.seen.len() >= n)
+        }
+    }
+
+    #[test]
+    fn drains_in_order() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.queue_mut().schedule(Cycle::new(30), 3);
+        sim.queue_mut().schedule(Cycle::new(10), 1);
+        sim.queue_mut().schedule(Cycle::new(20), 2);
+        let s = sim.run();
+        assert_eq!(s.stop, StopReason::Drained);
+        assert_eq!(s.events_handled, 3);
+        assert_eq!(sim.world().seen, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn finished_stops_early() {
+        let mut sim = Simulation::new(Recorder {
+            stop_after: Some(1),
+            ..Recorder::default()
+        });
+        sim.queue_mut().schedule(Cycle::new(1), 1);
+        sim.queue_mut().schedule(Cycle::new(2), 2);
+        let s = sim.run();
+        assert_eq!(s.stop, StopReason::Finished);
+        assert_eq!(s.events_handled, 1);
+    }
+
+    #[test]
+    fn horizon_stops_runaway_worlds() {
+        struct Forever;
+        impl World for Forever {
+            type Event = ();
+            fn handle(&mut self, now: Cycle, _: (), q: &mut EventQueue<()>) {
+                q.schedule(now + Cycle::new(1), ());
+            }
+        }
+        let mut sim = Simulation::new(Forever).with_horizon(Cycle::new(100));
+        sim.queue_mut().schedule(Cycle::ZERO, ());
+        let s = sim.run();
+        assert_eq!(s.stop, StopReason::HorizonReached);
+        assert!(s.end_time <= Cycle::new(100));
+    }
+
+    #[test]
+    fn empty_queue_returns_immediately() {
+        let mut sim = Simulation::new(Recorder::default());
+        let s = sim.run();
+        assert_eq!(s.stop, StopReason::Drained);
+        assert_eq!(s.events_handled, 0);
+        assert_eq!(s.end_time, Cycle::ZERO);
+    }
+
+    #[test]
+    fn into_world_returns_final_state() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.queue_mut().schedule(Cycle::new(4), 9);
+        sim.run();
+        let world = sim.into_world();
+        assert_eq!(world.seen, vec![(4, 9)]);
+    }
+}

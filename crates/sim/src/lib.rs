@@ -1,0 +1,70 @@
+//! # `ltp-sim` — deterministic discrete-event simulation kernel
+//!
+//! The substrate beneath the ISCA 2000 *Last-Touch Prediction* reproduction.
+//! This crate knows nothing about caches or predictors; it provides:
+//!
+//! * [`Cycle`] — simulated time in processor cycles;
+//! * [`EventQueue`] — a future-event list with a deterministic total order;
+//! * [`Simulation`]/[`World`] — the event-dispatch loop;
+//! * [`SimRng`] — seeded randomness so workloads are reproducible;
+//! * [`stats`] — counters, mean accumulators, ratios, histograms used by the
+//!   protocol engines and the experiment harness.
+//!
+//! Determinism is the design center: the paper's predictors learn from the
+//! *order* of coherence events, so reproducing its tables requires that two
+//! runs with the same configuration observe identical event interleavings.
+//! The queue therefore breaks timestamp ties by scheduling sequence, and all
+//! randomness flows through explicitly-seeded [`SimRng`] streams.
+//!
+//! # Examples
+//!
+//! A two-event ping/pong world:
+//!
+//! ```
+//! use ltp_sim::{Cycle, EventQueue, Simulation, World};
+//!
+//! #[derive(Default)]
+//! struct PingPong {
+//!     pings: u32,
+//! }
+//!
+//! enum Ev {
+//!     Ping,
+//!     Pong,
+//! }
+//!
+//! impl World for PingPong {
+//!     type Event = Ev;
+//!     fn handle(&mut self, now: Cycle, ev: Ev, q: &mut EventQueue<Ev>) {
+//!         match ev {
+//!             Ev::Ping if self.pings < 3 => {
+//!                 self.pings += 1;
+//!                 q.schedule(now + Cycle::new(80), Ev::Pong);
+//!             }
+//!             Ev::Ping => {}
+//!             Ev::Pong => q.schedule(now + Cycle::new(80), Ev::Ping),
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(PingPong::default());
+//! sim.queue_mut().schedule(Cycle::ZERO, Ev::Ping);
+//! let summary = sim.run();
+//! assert_eq!(sim.world().pings, 3);
+//! assert_eq!(summary.end_time, Cycle::new(80 * 6));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod engine;
+mod event;
+mod rng;
+pub mod stats;
+mod time;
+
+pub use engine::{RunSummary, Simulation, StopReason, World};
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use time::Cycle;

@@ -1,0 +1,359 @@
+//! Statistics primitives shared by the protocol engines, predictors, and the
+//! experiment harness.
+//!
+//! The paper reports averages (queueing delay, service time), fractions
+//! (prediction accuracy classes, timeliness), and per-block entry counts
+//! (storage overhead); [`Counter`], [`MeanAccumulator`], [`Ratio`], and
+//! [`Histogram`] cover all of them.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Cycle;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use ltp_sim::stats::Counter;
+///
+/// let mut invalidations = Counter::new();
+/// invalidations.add(3);
+/// invalidations.incr();
+/// assert_eq!(invalidations.count(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.count += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.count)
+    }
+}
+
+/// Accumulates samples and reports their arithmetic mean.
+///
+/// Used for the Table 4 columns (per-message queueing delay and service
+/// time).
+///
+/// # Examples
+///
+/// ```
+/// use ltp_sim::stats::MeanAccumulator;
+///
+/// let mut queueing = MeanAccumulator::new();
+/// queueing.record(10.0);
+/// queueing.record(30.0);
+/// assert_eq!(queueing.mean(), Some(20.0));
+/// assert_eq!(queueing.samples(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeanAccumulator {
+    sum: f64,
+    samples: u64,
+    max: f64,
+}
+
+impl MeanAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        MeanAccumulator::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: f64) {
+        self.sum += sample;
+        self.samples += 1;
+        if sample > self.max {
+            self.max = sample;
+        }
+    }
+
+    /// Records a [`Cycle`] duration as a sample.
+    pub fn record_cycles(&mut self, cycles: Cycle) {
+        self.record(cycles.as_u64() as f64);
+    }
+
+    /// The mean of all samples, or `None` if none were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.samples > 0).then(|| self.sum / self.samples as f64)
+    }
+
+    /// The mean, or 0.0 when empty (convenient for table printing).
+    pub fn mean_or_zero(&self) -> f64 {
+        self.mean().unwrap_or(0.0)
+    }
+
+    /// The largest recorded sample (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &MeanAccumulator) {
+        self.sum += other.sum;
+        self.samples += other.samples;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+/// A numerator/denominator pair reported as a percentage.
+///
+/// # Examples
+///
+/// ```
+/// use ltp_sim::stats::Ratio;
+///
+/// let mut timely = Ratio::new();
+/// timely.record(true);
+/// timely.record(true);
+/// timely.record(false);
+/// assert!((timely.percent() - 66.66).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Creates an empty ratio (0/0, reported as 0%).
+    pub fn new() -> Self {
+        Ratio::default()
+    }
+
+    /// Records one outcome.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Numerator.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Denominator.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `hits / total` as a fraction in `[0, 1]`; 0 when empty.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// `fraction() * 100`.
+    pub fn percent(&self) -> f64 {
+        self.fraction() * 100.0
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Buckets are `[bounds[i-1], bounds[i])` with two open-ended extremes. Used
+/// for distribution sanity checks (e.g. signature-table occupancy spread).
+///
+/// # Examples
+///
+/// ```
+/// use ltp_sim::stats::Histogram;
+///
+/// let mut h = Histogram::with_bounds(&[10, 100]);
+/// h.record(5);
+/// h.record(50);
+/// h.record(500);
+/// assert_eq!(h.bucket_counts(), &[1, 1, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    samples: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            samples: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| sample < b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.samples += 1;
+        self.sum += u128::from(sample);
+        if sample > self.max {
+            self.max = sample;
+        }
+    }
+
+    /// Per-bucket counts; the last bucket is open-ended.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.count(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn mean_accumulator_basic() {
+        let mut m = MeanAccumulator::new();
+        assert_eq!(m.mean(), None);
+        assert_eq!(m.mean_or_zero(), 0.0);
+        m.record(2.0);
+        m.record(4.0);
+        m.record_cycles(Cycle::new(6));
+        assert_eq!(m.mean(), Some(4.0));
+        assert_eq!(m.samples(), 3);
+        assert_eq!(m.max(), 6.0);
+        assert_eq!(m.sum(), 12.0);
+    }
+
+    #[test]
+    fn mean_accumulator_merge() {
+        let mut a = MeanAccumulator::new();
+        a.record(1.0);
+        let mut b = MeanAccumulator::new();
+        b.record(3.0);
+        b.record(5.0);
+        a.merge(&b);
+        assert_eq!(a.samples(), 3);
+        assert_eq!(a.mean(), Some(3.0));
+        assert_eq!(a.max(), 5.0);
+    }
+
+    #[test]
+    fn ratio_edge_cases() {
+        let r = Ratio::new();
+        assert_eq!(r.percent(), 0.0);
+        let mut r = Ratio::new();
+        r.record(true);
+        assert_eq!(r.percent(), 100.0);
+        assert_eq!(r.hits(), 1);
+        assert_eq!(r.total(), 1);
+    }
+
+    #[test]
+    fn histogram_bucketizes() {
+        let mut h = Histogram::with_bounds(&[2, 4]);
+        for v in [0, 1, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_counts(), &[2, 2, 2]);
+        assert_eq!(h.samples(), 6);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 110.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::with_bounds(&[4, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bound")]
+    fn histogram_rejects_empty_bounds() {
+        Histogram::with_bounds(&[]);
+    }
+}

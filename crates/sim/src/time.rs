@@ -1,0 +1,201 @@
+//! Simulated time.
+//!
+//! All simulator components agree on a single global clock measured in
+//! processor [`Cycle`]s. The ISCA'00 configuration (Table 1) assumes a
+//! 600 MHz processor, so one cycle is 1.67 ns; nothing in this crate depends
+//! on the wall-clock interpretation, only on cycle arithmetic.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in processor cycles.
+///
+/// `Cycle` is a transparent [`u64`] newtype ([C-NEWTYPE]) so that event
+/// timestamps, latencies, and durations cannot be confused with ordinary
+/// integers such as node identifiers or block numbers.
+///
+/// # Examples
+///
+/// ```
+/// use ltp_sim::Cycle;
+///
+/// let start = Cycle::ZERO;
+/// let later = start + Cycle::new(416);
+/// assert_eq!(later - start, Cycle::new(416));
+/// assert!(later > start);
+/// ```
+///
+/// [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Time zero: the instant at which every simulation starts.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The greatest representable instant; used as an "infinite" horizon.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a cycle count from a raw `u64`.
+    #[inline]
+    pub const fn new(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: `self - other`, or [`Cycle::ZERO`] if `other`
+    /// is later than `self`.
+    ///
+    /// Queueing-delay computations use this to express "how long past `other`
+    /// is `self`" without underflow panics when the resource was idle.
+    #[inline]
+    pub const fn saturating_sub(self, other: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the later of two instants.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(cycle: Cycle) -> Self {
+        cycle.0
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Cycle::saturating_sub`] when the ordering is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(Cycle::default(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let a = Cycle::new(100);
+        let b = Cycle::new(42);
+        assert_eq!((a + b) - b, a);
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_to_zero() {
+        assert_eq!(Cycle::new(5).saturating_sub(Cycle::new(9)), Cycle::ZERO);
+        assert_eq!(Cycle::new(9).saturating_sub(Cycle::new(5)), Cycle::new(4));
+    }
+
+    #[test]
+    fn min_max_select_correct_endpoint() {
+        let early = Cycle::new(1);
+        let late = Cycle::new(2);
+        assert_eq!(early.max(late), late);
+        assert_eq!(early.min(late), early);
+        assert_eq!(late.max(late), late);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Cycle::new(416).to_string(), "416cy");
+    }
+
+    #[test]
+    fn sums_like_u64() {
+        let total: Cycle = [1u64, 2, 3].into_iter().map(Cycle::new).sum();
+        assert_eq!(total, Cycle::new(6));
+    }
+
+    #[test]
+    fn conversions_are_lossless() {
+        let c: Cycle = 77u64.into();
+        let raw: u64 = c.into();
+        assert_eq!(raw, 77);
+        assert_eq!(c.as_u64(), 77);
+    }
+}

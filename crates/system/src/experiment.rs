@@ -1,0 +1,262 @@
+//! The experiment driver: benchmark × policy × predictor-geometry → report.
+//!
+//! [`ExperimentSpec`] is the single entry point the examples, integration
+//! tests, and the figure/table benches all use. It assembles a [`Machine`]
+//! with one policy instance per node, runs it to completion under a
+//! deadlock-catching horizon, and returns a serializable [`RunReport`].
+
+use ltp_core::{
+    DsiPolicy, GlobalLtp, LastPc, NullPolicy, PerBlockLtp, PredictorConfig,
+    SelfInvalidationPolicy, SignatureBits,
+};
+use ltp_dsm::SystemConfig;
+use ltp_sim::{Cycle, Simulation, StopReason};
+use ltp_workloads::{Benchmark, WorkloadParams};
+use serde::{Deserialize, Serialize};
+
+use crate::machine::Machine;
+use crate::metrics::Metrics;
+
+/// Which self-invalidation policy every node runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// No self-invalidation (the baseline DSM).
+    Base,
+    /// Dynamic Self-Invalidation (versioning + sync-boundary flush).
+    Dsi,
+    /// The single-PC strawman predictor.
+    LastPc,
+    /// The per-block (PAp-like) trace LTP with the given signature width.
+    LtpPerBlock {
+        /// Signature width in bits (the paper sweeps 30/13/11/6).
+        bits: u8,
+    },
+    /// The global-table (PAg-like) trace LTP.
+    LtpGlobal {
+        /// Signature width in bits (30 needed for usable accuracy).
+        bits: u8,
+        /// Number of sets in the global table.
+        sets: u32,
+        /// Associativity of the global table.
+        ways: u32,
+    },
+    /// Per-block trace LTP with the order-sensitive XOR-rotate encoder
+    /// instead of the paper's truncated addition (the `ablation_encoding`
+    /// variant).
+    LtpXor {
+        /// Signature width in bits.
+        bits: u8,
+    },
+}
+
+impl PolicyKind {
+    /// The paper's base-case LTP: per-block tables, 13-bit signatures.
+    pub const LTP: PolicyKind = PolicyKind::LtpPerBlock { bits: 13 };
+    /// The paper's global-table configuration: 30-bit signatures in a
+    /// small shared table — the whole point of the PAg organization is
+    /// storage reduction, so the default is sized well below the aggregate
+    /// per-block capacity and competes for entries.
+    pub const LTP_GLOBAL: PolicyKind = PolicyKind::LtpGlobal {
+        bits: 30,
+        sets: 256,
+        ways: 2,
+    };
+
+    /// Short display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Base => "base",
+            PolicyKind::Dsi => "dsi",
+            PolicyKind::LastPc => "last-pc",
+            PolicyKind::LtpPerBlock { .. } => "ltp",
+            PolicyKind::LtpGlobal { .. } => "ltp-global",
+            PolicyKind::LtpXor { .. } => "ltp-xor",
+        }
+    }
+
+    /// Instantiates one policy object for a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a signature width is outside `1..=32`.
+    pub fn build(self, config: PredictorConfig) -> Box<dyn SelfInvalidationPolicy> {
+        /// Per-block signature-table capacity (LRU beyond this). Sized above
+        /// the paper's worst observed demand (dsmc: 7.8 signatures/block).
+        const PER_BLOCK_CAPACITY: usize = 16;
+        match self {
+            PolicyKind::Base => Box::new(NullPolicy),
+            PolicyKind::Dsi => Box::new(DsiPolicy::new()),
+            PolicyKind::LastPc => Box::new(LastPc::with_config(PER_BLOCK_CAPACITY, config)),
+            PolicyKind::LtpPerBlock { bits } => {
+                let bits = SignatureBits::new(bits).expect("valid signature width");
+                Box::new(PerBlockLtp::new(bits, PER_BLOCK_CAPACITY, config))
+            }
+            PolicyKind::LtpGlobal { bits, sets, ways } => {
+                let bits = SignatureBits::new(bits).expect("valid signature width");
+                Box::new(GlobalLtp::new(bits, sets as usize, ways as usize, config))
+            }
+            PolicyKind::LtpXor { bits } => {
+                let bits = SignatureBits::new(bits).expect("valid signature width");
+                Box::new(ltp_core::TracePredictor::with_parts(
+                    ltp_core::XorRotate::new(bits, 5),
+                    ltp_core::PerBlockTable::new(bits, PER_BLOCK_CAPACITY, config.initial_confidence),
+                    config,
+                    "ltp-xor",
+                ))
+            }
+        }
+    }
+}
+
+/// A complete experiment description.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Which benchmark to run.
+    pub benchmark: Benchmark,
+    /// Which self-invalidation policy to run on every node.
+    pub policy: PolicyKind,
+    /// Workload sizing parameters.
+    pub workload: WorkloadParams,
+    /// Predictor tuning knobs.
+    pub predictor: PredictorConfig,
+}
+
+impl ExperimentSpec {
+    /// An experiment on the paper's 32-node machine with default scaling.
+    pub fn isca00(benchmark: Benchmark, policy: PolicyKind) -> Self {
+        ExperimentSpec {
+            benchmark,
+            policy,
+            workload: WorkloadParams::default(),
+            predictor: PredictorConfig::default(),
+        }
+    }
+
+    /// A small/fast variant for tests.
+    pub fn quick(benchmark: Benchmark, policy: PolicyKind, nodes: u16, iters: u32) -> Self {
+        ExperimentSpec {
+            benchmark,
+            policy,
+            workload: WorkloadParams::quick(nodes, iters),
+            predictor: PredictorConfig::default(),
+        }
+    }
+
+    /// Runs the experiment to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine deadlocks (horizon reached with unfinished
+    /// processors) — by construction this indicates a protocol bug, and the
+    /// panic message carries the stuck-node diagnosis.
+    pub fn run(&self) -> RunReport {
+        let config = SystemConfig::builder()
+            .nodes(self.workload.nodes)
+            .build()
+            .expect("valid node count");
+        let n = self.workload.nodes;
+        let policies = (0..n).map(|_| self.policy.build(self.predictor)).collect();
+        let programs = self.benchmark.programs(&self.workload);
+        let machine = Machine::new(config, policies, programs);
+
+        let mut sim = Simulation::new(machine).with_horizon(Cycle::new(HORIZON_CYCLES));
+        {
+            let (world, queue) = sim.world_and_queue_mut();
+            world.prime(queue);
+        }
+        let summary = sim.run();
+        assert_ne!(
+            summary.stop,
+            StopReason::HorizonReached,
+            "{} under {:?} deadlocked; stuck nodes:\n{}",
+            self.benchmark,
+            self.policy,
+            sim.world().stuck_report()
+        );
+        let machine = sim.into_world();
+        assert!(machine.all_finished(), "drained but processors unfinished");
+        RunReport {
+            benchmark: self.benchmark,
+            policy: self.policy,
+            metrics: machine.into_metrics(),
+            events_handled: summary.events_handled,
+        }
+    }
+}
+
+/// Simulation horizon: generous enough for every scaled workload, small
+/// enough to fail fast on livelock.
+const HORIZON_CYCLES: u64 = 2_000_000_000;
+
+/// The outcome of one experiment run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The benchmark that ran.
+    pub benchmark: Benchmark,
+    /// The policy that ran.
+    pub policy: PolicyKind,
+    /// Aggregated metrics.
+    pub metrics: Metrics,
+    /// Simulator events handled (activity indicator).
+    pub events_handled: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_em3d_runs_clean() {
+        let report = ExperimentSpec::quick(Benchmark::Em3d, PolicyKind::Base, 4, 3).run();
+        assert!(report.metrics.exec_cycles > 0);
+        assert!(report.metrics.misses > 0);
+        assert_eq!(report.metrics.predicted, 0, "base never self-invalidates");
+        assert_eq!(report.metrics.mispredicted, 0);
+        assert!(report.metrics.not_predicted > 0, "sharing causes invalidations");
+    }
+
+    #[test]
+    fn ltp_em3d_predicts_most_invalidations() {
+        let report = ExperimentSpec::quick(Benchmark::Em3d, PolicyKind::LTP, 4, 12).run();
+        let m = &report.metrics;
+        assert!(
+            m.predicted_pct() > 60.0,
+            "em3d is the best case; got {:.1}% ({} of {})",
+            m.predicted_pct(),
+            m.predicted,
+            m.invalidation_events()
+        );
+        assert!(m.mispredicted_pct() < 10.0);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let spec = ExperimentSpec::quick(Benchmark::Raytrace, PolicyKind::LTP, 4, 3);
+        let a = spec.run();
+        let b = spec.run();
+        assert_eq!(a.metrics.exec_cycles, b.metrics.exec_cycles);
+        assert_eq!(a.metrics.predicted, b.metrics.predicted);
+        assert_eq!(a.events_handled, b.events_handled);
+    }
+
+    #[test]
+    fn policy_kinds_build() {
+        for kind in [
+            PolicyKind::Base,
+            PolicyKind::Dsi,
+            PolicyKind::LastPc,
+            PolicyKind::LTP,
+            PolicyKind::LTP_GLOBAL,
+        ] {
+            let p = kind.build(PredictorConfig::default());
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn report_serializes() {
+        let report = ExperimentSpec::quick(Benchmark::Em3d, PolicyKind::Base, 2, 1).run();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("em3d"));
+    }
+}

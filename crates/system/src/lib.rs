@@ -1,0 +1,35 @@
+//! # `ltp-system` — full-system composition
+//!
+//! Glues the pieces of the ISCA 2000 Last-Touch Prediction reproduction into
+//! a runnable machine:
+//!
+//! * [`Machine`] — 32 nodes, each a program-interpreting CPU plus network
+//!   cache plus self-invalidation policy, over the `ltp-dsm` directory
+//!   protocol, protocol engines, and contended network interfaces;
+//! * [`ExperimentSpec`] — benchmark × policy → [`RunReport`], the entry
+//!   point used by the examples, the integration tests, and every
+//!   figure/table bench;
+//! * [`Metrics`] — the quantities behind Figures 6–9 and Tables 3–4.
+//!
+//! # Example
+//!
+//! ```
+//! use ltp_system::{ExperimentSpec, PolicyKind};
+//! use ltp_workloads::Benchmark;
+//!
+//! // A quick 4-node em3d run with the paper's base-case LTP.
+//! let report = ExperimentSpec::quick(Benchmark::Em3d, PolicyKind::LTP, 4, 8).run();
+//! assert!(report.metrics.predicted > 0, "LTP learns em3d's one-touch traces");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod experiment;
+mod machine;
+mod metrics;
+
+pub use experiment::{ExperimentSpec, PolicyKind, RunReport};
+pub use machine::{Event, Machine};
+pub use metrics::Metrics;

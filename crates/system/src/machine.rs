@@ -1,0 +1,1158 @@
+//! The full-machine world: CPUs, caches, policies, directories, engines, and
+//! network interfaces composed into one deterministic discrete-event
+//! simulation.
+//!
+//! [`Machine`] implements [`ltp_sim::World`]. Three event kinds drive it:
+//!
+//! * [`Event::CpuStep`] — a processor is ready to issue its next operation
+//!   (program ops, lock spin iterations, barrier arrivals);
+//! * [`Event::Arrive`] — a protocol message reaches its destination node
+//!   (directory-bound kinds enter the home's protocol engine; cache-bound
+//!   kinds complete fills, invalidate copies, or deliver verification
+//!   verdicts);
+//! * [`Event::EngineDrain`] — a home's protocol engine is ready to service
+//!   its next queued message.
+//!
+//! Locks are executed here as test-and-test-and-set loops over their shared
+//! block, so lock blocks generate genuine coherence traffic: spin reads
+//! touch the block (training the predictors on variable-length traces —
+//! the `raytrace` effect), test-and-set upgrades are migratory, and releases
+//! ping-pong ownership.
+
+use std::collections::{BTreeSet, HashMap};
+
+use ltp_core::{
+    BlockId, NodeId, Pc, SelfInvalidationPolicy, SyncKind, Touch, VerifyOutcome,
+};
+use ltp_dsm::{AccessOutcome, Directory, Message, MsgKind, NetIface, NodeCache, ProtocolEngine, SystemConfig};
+use ltp_sim::{Cycle, EventQueue, World};
+use ltp_workloads::{Lock, Op, Program};
+
+use crate::metrics::Metrics;
+
+/// Cycles between successive spin-test reads while a lock is observed held.
+/// Coarse enough to keep event counts bounded, fine enough that waiting
+/// times translate into visibly variable spin-trace lengths.
+const SPIN_INTERVAL: u64 = 40;
+
+/// The event alphabet of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// The processor on this node is ready for its next operation.
+    CpuStep(NodeId),
+    /// A protocol message arrives at `msg.dst`.
+    Arrive(Message),
+    /// The protocol engine at this home may start its next service.
+    EngineDrain(NodeId),
+}
+
+/// What the blocked CPU was doing when its access missed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Continuation {
+    /// An ordinary program load/store.
+    Plain,
+    /// The spin-test read of a lock acquisition.
+    LockTest(Lock),
+    /// The post-backoff confirmation read before a test-and-set.
+    LockConfirm(Lock),
+    /// The test-and-set write of a lock acquisition.
+    LockTas(Lock),
+    /// The releasing store of a lock.
+    LockRelease(Lock),
+    /// The spin load of an ad-hoc flag wait.
+    FlagWait(Pc),
+}
+
+/// Context of an outstanding miss.
+#[derive(Debug, Clone, Copy)]
+struct MemCtx {
+    block: BlockId,
+    pc: Pc,
+    is_write: bool,
+    cont: Continuation,
+}
+
+/// Per-node execution state.
+#[derive(Debug)]
+enum ExecState {
+    /// The next `CpuStep` fetches a fresh op.
+    Ready,
+    /// Mid lock-acquisition; the next `CpuStep` continues the given stage.
+    Locking(Lock, LockStage),
+    /// Spinning on an ad-hoc flag; the next `CpuStep` re-reads it.
+    FlagSpin(Pc, BlockId),
+    /// Waiting for a fill.
+    BlockedMem(MemCtx),
+    /// Waiting at a barrier.
+    InBarrier(u32),
+    /// Program complete.
+    Finished,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LockStage {
+    /// Spin-reading until the lock looks free.
+    Test,
+    /// Observed free; after a randomized backoff, re-read to confirm it is
+    /// still free before attempting the test-and-set. Most contenders see
+    /// the winner's store at this point and go back to spinning without
+    /// ever issuing the RMW — classic test-and-test-and-set with backoff,
+    /// which keeps the thundering herd off the directory and makes
+    /// lock-block traces vary from visit to visit.
+    Confirm,
+    /// Confirmed free: issue the test-and-set RMW.
+    Tas,
+}
+
+/// Accuracy/traffic counters accumulated per node.
+#[derive(Debug, Default, Clone, Copy)]
+struct NodeCounters {
+    predicted: u64,
+    predicted_timely: u64,
+    not_predicted: u64,
+    mispredicted: u64,
+    misses: u64,
+    hits: u64,
+    self_inv_sent: u64,
+    lock_failures: u64,
+}
+
+/// One node: processor (program interpreter), cache, and policy.
+struct NodeState {
+    id: NodeId,
+    cache: NodeCache,
+    policy: Box<dyn SelfInvalidationPolicy>,
+    program: Box<dyn Program>,
+    exec: ExecState,
+    counters: NodeCounters,
+}
+
+impl std::fmt::Debug for NodeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeState")
+            .field("id", &self.id)
+            .field("exec", &self.exec)
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+/// Logical lock word state (the simulated "value" of a lock block).
+#[derive(Debug, Default, Clone, Copy)]
+struct LockWord {
+    held: bool,
+    owner: Option<NodeId>,
+}
+
+/// The composed CC-NUMA machine.
+///
+/// Build one with [`Machine::new`], seed initial [`Event::CpuStep`] events
+/// via [`Machine::prime`], run it under [`ltp_sim::Simulation`], then call
+/// [`Machine::into_metrics`].
+///
+/// Most users should go through `ltp_system::ExperimentSpec` instead.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: SystemConfig,
+    nodes: Vec<NodeState>,
+    dirs: Vec<Directory>,
+    engines: Vec<ProtocolEngine>,
+    nis: Vec<NetIface>,
+    locks: HashMap<BlockId, LockWord>,
+    /// Flag-wait progress: how many generations of each flag block this node
+    /// has consumed. The flag's current generation is the block's data token
+    /// (its write count), so spins observe real coherence state — a stale
+    /// cached copy really does show the old generation.
+    flag_waited: HashMap<(u16, BlockId), u64>,
+    barrier_waiting: BTreeSet<u16>,
+    barrier_id: Option<u32>,
+    finished: usize,
+    last_finish: Cycle,
+    messages: u64,
+    /// Per-home, per-block timestamp of the last departed directory send.
+    ///
+    /// The pipelined engine completes short (control) services faster than
+    /// long (data) ones, so a later-serviced `Inv` could otherwise depart
+    /// before an earlier grant for the same block and overtake it on the
+    /// (per source→destination FIFO) network — delivering an invalidation
+    /// for a copy that has not arrived yet. Directory sends for one block
+    /// therefore depart in service order.
+    dir_send_order: Vec<HashMap<BlockId, Cycle>>,
+    /// Block whose protocol messages are traced to stderr
+    /// (`LTP_TRACE_BLOCK=<id>`, read once at construction).
+    trace_block: Option<BlockId>,
+    /// Whether flag-wait progress is traced (`LTP_TRACE_FLAGS=1`).
+    trace_flags: bool,
+}
+
+impl Machine {
+    /// Assembles a machine from per-node policies and programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `policies` and `programs` both have exactly
+    /// `cfg.nodes()` elements.
+    pub fn new(
+        cfg: SystemConfig,
+        policies: Vec<Box<dyn SelfInvalidationPolicy>>,
+        programs: Vec<Box<dyn Program>>,
+    ) -> Self {
+        let n = cfg.nodes() as usize;
+        assert_eq!(policies.len(), n, "one policy per node");
+        assert_eq!(programs.len(), n, "one program per node");
+        let nodes: Vec<NodeState> = policies
+            .into_iter()
+            .zip(programs)
+            .enumerate()
+            .map(|(i, (policy, program))| NodeState {
+                id: NodeId::new(i as u16),
+                cache: NodeCache::new(NodeId::new(i as u16)),
+                policy,
+                program,
+                exec: ExecState::Ready,
+                counters: NodeCounters::default(),
+            })
+            .collect();
+        let dirs = (0..n).map(|i| Directory::new(NodeId::new(i as u16))).collect();
+        let engines = (0..n)
+            .map(|_| ProtocolEngine::new(cfg.pipeline_stages()))
+            .collect();
+        let nis = (0..n).map(|_| NetIface::new(cfg.ni_occupancy())).collect();
+        Machine {
+            cfg,
+            nodes,
+            dirs,
+            engines,
+            nis,
+            locks: HashMap::new(),
+            flag_waited: HashMap::new(),
+            barrier_waiting: BTreeSet::new(),
+            barrier_id: None,
+            finished: 0,
+            last_finish: Cycle::ZERO,
+            messages: 0,
+            dir_send_order: (0..n).map(|_| HashMap::new()).collect(),
+            trace_block: std::env::var("LTP_TRACE_BLOCK")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .map(BlockId::new),
+            trace_flags: std::env::var_os("LTP_TRACE_FLAGS").is_some(),
+        }
+    }
+
+    /// Schedules the initial `CpuStep` for every node at time zero.
+    pub fn prime(&self, queue: &mut EventQueue<Event>) {
+        for node in &self.nodes {
+            queue.schedule(Cycle::ZERO, Event::CpuStep(node.id));
+        }
+    }
+
+    /// Whether every processor has finished its program.
+    pub fn all_finished(&self) -> bool {
+        self.finished == self.nodes.len()
+    }
+
+    /// Human-readable stuck-state diagnosis for horizon overruns.
+    pub fn stuck_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for n in &self.nodes {
+            if !matches!(n.exec, ExecState::Finished) {
+                let _ = writeln!(out, "{}: {:?}", n.id, n.exec);
+            }
+        }
+        out
+    }
+
+    /// Extracts the aggregated run metrics, consuming the machine.
+    pub fn into_metrics(self) -> Metrics {
+        let mut m = Metrics {
+            exec_cycles: self.last_finish.as_u64(),
+            messages: self.messages,
+            ..Metrics::default()
+        };
+        let mut storage_blocks = 0u64;
+        let mut storage_entries = 0u64;
+        let mut storage_bits = 0u8;
+        for n in &self.nodes {
+            m.predicted += n.counters.predicted;
+            m.predicted_timely += n.counters.predicted_timely;
+            m.not_predicted += n.counters.not_predicted;
+            m.mispredicted += n.counters.mispredicted;
+            m.misses += n.counters.misses;
+            m.hits += n.counters.hits;
+            m.self_invalidations_sent += n.counters.self_inv_sent;
+            let s = n.policy.storage();
+            storage_blocks += s.blocks_tracked;
+            storage_entries += s.live_entries;
+            storage_bits = storage_bits.max(s.signature_bits);
+        }
+        m.storage = ltp_core::StorageStats {
+            blocks_tracked: storage_blocks,
+            live_entries: storage_entries,
+            signature_bits: storage_bits,
+        };
+        for e in &self.engines {
+            m.dir_queueing.merge(&e.stats().queueing);
+            m.dir_service.merge(&e.stats().service);
+        }
+        for d in &self.dirs {
+            m.invalidations_sent += d.counters().invalidations_sent.count();
+            m.stale_ignored += d.counters().stale_ignored.count();
+        }
+        m
+    }
+
+    // ---- routing ---------------------------------------------------------
+
+    /// Routes a message from its source at `at`: verification meta-messages
+    /// deliver instantly, home-local messages skip the network, and remote
+    /// messages serialize through the source NI then cross the network.
+    fn route(&mut self, msg: Message, at: Cycle, q: &mut EventQueue<Event>) {
+        if matches!(msg.kind, MsgKind::VerifyCorrect { .. }) {
+            q.schedule(at, Event::Arrive(msg));
+            return;
+        }
+        if msg.src == msg.dst {
+            q.schedule(at, Event::Arrive(msg));
+            return;
+        }
+        let depart = self.nis[msg.src.index()].depart(at);
+        q.schedule(depart + self.cfg.net_latency(), Event::Arrive(msg));
+    }
+
+    fn is_directory_bound(kind: MsgKind) -> bool {
+        matches!(
+            kind,
+            MsgKind::GetS
+                | MsgKind::GetX
+                | MsgKind::Upgrade
+                | MsgKind::SelfInvClean
+                | MsgKind::SelfInvDirty { .. }
+                | MsgKind::InvAck { .. }
+        )
+    }
+
+    // ---- CPU execution ---------------------------------------------------
+
+    fn cpu_step(&mut self, now: Cycle, p: NodeId, q: &mut EventQueue<Event>) {
+        let i = p.index();
+        match &self.nodes[i].exec {
+            ExecState::Ready => self.fetch_and_issue(now, p, q),
+            ExecState::FlagSpin(pc, block) => {
+                let (pc, block) = (*pc, *block);
+                self.issue_access(now, p, pc, block, false, Continuation::FlagWait(pc), q);
+            }
+            ExecState::Locking(lock, stage) => {
+                let (lock, stage) = (*lock, *stage);
+                match stage {
+                    LockStage::Test | LockStage::Confirm => self.issue_access(
+                        now,
+                        p,
+                        lock.spin_pc,
+                        lock.block,
+                        false,
+                        if stage == LockStage::Test {
+                            Continuation::LockTest(lock)
+                        } else {
+                            Continuation::LockConfirm(lock)
+                        },
+                        q,
+                    ),
+                    LockStage::Tas => self.issue_access(
+                        now,
+                        p,
+                        lock.tas_pc,
+                        lock.block,
+                        true,
+                        Continuation::LockTas(lock),
+                        q,
+                    ),
+                }
+            }
+            state => unreachable!("CpuStep for {p} in state {state:?}"),
+        }
+    }
+
+    fn fetch_and_issue(&mut self, now: Cycle, p: NodeId, q: &mut EventQueue<Event>) {
+        let i = p.index();
+        match self.nodes[i].program.next_op() {
+            None => {
+                self.nodes[i].exec = ExecState::Finished;
+                self.finished += 1;
+                self.last_finish = self.last_finish.max(now);
+                // A node finishing shrinks the barrier population; a barrier
+                // that was waiting only on this node must now release.
+                self.maybe_release_barrier(now, q);
+            }
+            Some(Op::Think(c)) => {
+                q.schedule(now + Cycle::new(c), Event::CpuStep(p));
+            }
+            Some(Op::Read { pc, block }) => {
+                self.issue_access(now, p, pc, block, false, Continuation::Plain, q);
+            }
+            Some(Op::Write { pc, block }) => {
+                self.issue_access(now, p, pc, block, true, Continuation::Plain, q);
+            }
+            Some(Op::Lock(lock)) => {
+                self.nodes[i].exec = ExecState::Locking(lock, LockStage::Test);
+                self.issue_access(
+                    now,
+                    p,
+                    lock.spin_pc,
+                    lock.block,
+                    false,
+                    Continuation::LockTest(lock),
+                    q,
+                );
+            }
+            Some(Op::Unlock(lock)) => {
+                self.issue_access(
+                    now,
+                    p,
+                    lock.release_pc,
+                    lock.block,
+                    true,
+                    Continuation::LockRelease(lock),
+                    q,
+                );
+            }
+            Some(Op::Barrier(id)) => self.barrier_arrive(now, p, id, q),
+            Some(Op::FlagSet { pc, block }) => {
+                // The signalling store is an ordinary write; the flag's
+                // generation is the block token the write bumps.
+                self.issue_access(now, p, pc, block, true, Continuation::Plain, q);
+            }
+            Some(Op::FlagWait { pc, block }) => {
+                self.issue_access(now, p, pc, block, false, Continuation::FlagWait(pc), q);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // one parameter per access attribute
+    fn issue_access(
+        &mut self,
+        now: Cycle,
+        p: NodeId,
+        pc: Pc,
+        block: BlockId,
+        is_write: bool,
+        cont: Continuation,
+        q: &mut EventQueue<Event>,
+    ) {
+        let i = p.index();
+        match self.nodes[i].cache.access(block, is_write) {
+            AccessOutcome::Hit { exclusive } => {
+                self.nodes[i].counters.hits += 1;
+                let fire = self.nodes[i].policy.on_touch(Touch {
+                    block,
+                    pc,
+                    is_write,
+                    exclusive,
+                    fill: None,
+                });
+                if fire {
+                    self.self_invalidate(now, p, block, q);
+                }
+                self.complete_access(now + self.cfg.cpu_hit(), p, block, cont, q);
+            }
+            AccessOutcome::Miss(kind) => {
+                self.nodes[i].counters.misses += 1;
+                self.nodes[i].exec = ExecState::BlockedMem(MemCtx {
+                    block,
+                    pc,
+                    is_write,
+                    cont,
+                });
+                let home = self.cfg.home_of(block);
+                self.route(Message::new(p, home, block, kind), now, q);
+            }
+        }
+    }
+
+    /// Finishes an access (hit or fill), advancing lock state machines and
+    /// scheduling the processor's next step.
+    fn complete_access(
+        &mut self,
+        resume_at: Cycle,
+        p: NodeId,
+        block: BlockId,
+        cont: Continuation,
+        q: &mut EventQueue<Event>,
+    ) {
+        let i = p.index();
+        match cont {
+            Continuation::Plain => {
+                self.nodes[i].exec = ExecState::Ready;
+                q.schedule(resume_at, Event::CpuStep(p));
+            }
+            Continuation::LockTest(lock) => {
+                debug_assert_eq!(block, lock.block);
+                let held = self.locks.entry(lock.block).or_default().held;
+                if held {
+                    // Keep spinning: each retest is a real touch of the lock
+                    // block (usually a cache hit, until a release
+                    // invalidates the copy).
+                    self.nodes[i].exec = ExecState::Locking(lock, LockStage::Test);
+                    q.schedule(resume_at + Cycle::new(SPIN_INTERVAL), Event::CpuStep(p));
+                } else {
+                    // Looks free: back off a randomized interval, then
+                    // confirm before attempting the RMW.
+                    self.nodes[i].counters.lock_failures += 1;
+                    let slots = Self::backoff_slots(p, self.nodes[i].counters.lock_failures);
+                    self.nodes[i].exec = ExecState::Locking(lock, LockStage::Confirm);
+                    q.schedule(
+                        resume_at + Cycle::new(SPIN_INTERVAL * slots),
+                        Event::CpuStep(p),
+                    );
+                }
+            }
+            Continuation::LockConfirm(lock) => {
+                debug_assert_eq!(block, lock.block);
+                let held = self.locks.entry(lock.block).or_default().held;
+                if held {
+                    // Someone won during the backoff: resume spinning
+                    // without ever issuing the test-and-set.
+                    self.nodes[i].exec = ExecState::Locking(lock, LockStage::Test);
+                    q.schedule(resume_at + Cycle::new(SPIN_INTERVAL), Event::CpuStep(p));
+                } else {
+                    self.nodes[i].exec = ExecState::Locking(lock, LockStage::Tas);
+                    q.schedule(resume_at, Event::CpuStep(p));
+                }
+            }
+            Continuation::LockTas(lock) => {
+                let word = self.locks.entry(lock.block).or_default();
+                if word.held {
+                    // Lost the race: back off before spinning again. The
+                    // deterministic pseudo-random backoff breaks up the
+                    // test-and-set herd so lock-block traces vary per visit
+                    // (the raytrace §5.4 effect: "locks spin a variable
+                    // number of times per visit").
+                    self.nodes[i].counters.lock_failures += 1;
+                    let backoff = Self::backoff_slots(p, self.nodes[i].counters.lock_failures);
+                    self.nodes[i].exec = ExecState::Locking(lock, LockStage::Test);
+                    q.schedule(
+                        resume_at + Cycle::new(SPIN_INTERVAL * backoff),
+                        Event::CpuStep(p),
+                    );
+                } else {
+                    word.held = true;
+                    word.owner = Some(p);
+                    self.nodes[i].exec = ExecState::Ready;
+                    if lock.exposed {
+                        self.sync_boundary(resume_at, p, SyncKind::LockAcquire, q);
+                    }
+                    q.schedule(resume_at, Event::CpuStep(p));
+                }
+            }
+            Continuation::LockRelease(lock) => {
+                let word = self.locks.entry(lock.block).or_default();
+                debug_assert_eq!(word.owner, Some(p), "release by non-owner");
+                word.held = false;
+                word.owner = None;
+                self.nodes[i].exec = ExecState::Ready;
+                if lock.exposed {
+                    self.sync_boundary(resume_at, p, SyncKind::LockRelease, q);
+                }
+                q.schedule(resume_at, Event::CpuStep(p));
+            }
+            Continuation::FlagWait(pc) => {
+                // Observe the generation from the (possibly stale) cached
+                // copy — exactly what real spin code would see.
+                let observed = self.nodes[i]
+                    .cache
+                    .line(block)
+                    .map_or(0, |l| l.token);
+                if self.trace_flags {
+                    eprintln!(
+                        "[{resume_at}] {p} flagwait {block}: observed={observed} waited={:?} line={:?}",
+                        self.flag_waited.get(&(p.index() as u16, block)),
+                        self.nodes[i].cache.line(block)
+                    );
+                }
+                let waited = self
+                    .flag_waited
+                    .entry((p.index() as u16, block))
+                    .or_insert(0);
+                if observed > *waited {
+                    *waited += 1;
+                    self.nodes[i].exec = ExecState::Ready;
+                    q.schedule(resume_at, Event::CpuStep(p));
+                } else {
+                    self.nodes[i].exec = ExecState::FlagSpin(pc, block);
+                    q.schedule(resume_at + Cycle::new(SPIN_INTERVAL), Event::CpuStep(p));
+                }
+            }
+        }
+    }
+
+    fn barrier_arrive(&mut self, now: Cycle, p: NodeId, id: u32, q: &mut EventQueue<Event>) {
+        debug_assert!(
+            self.barrier_id.is_none_or(|b| b == id),
+            "concurrent barriers {:?} vs {id}",
+            self.barrier_id
+        );
+        self.barrier_id = Some(id);
+        self.nodes[p.index()].exec = ExecState::InBarrier(id);
+        self.barrier_waiting.insert(p.index() as u16);
+        self.maybe_release_barrier(now, q);
+    }
+
+    /// Releases the pending barrier once every still-running node has
+    /// arrived. Checked on each arrival and whenever a node finishes.
+    fn maybe_release_barrier(&mut self, now: Cycle, q: &mut EventQueue<Event>) {
+        if self.barrier_waiting.is_empty() {
+            return;
+        }
+        let participants = self
+            .nodes
+            .iter()
+            .filter(|n| !matches!(n.exec, ExecState::Finished))
+            .count();
+        if self.barrier_waiting.len() == participants {
+            // Everyone arrived: release all, emitting the synchronization
+            // boundary DSI hooks (this is where DSI's flush burst happens).
+            let waiting: Vec<u16> =
+                std::mem::take(&mut self.barrier_waiting).into_iter().collect();
+            let released_id = self.barrier_id;
+            self.barrier_id = None;
+            for idx in waiting {
+                let node = NodeId::new(idx);
+                debug_assert!(
+                    matches!(self.nodes[node.index()].exec,
+                        ExecState::InBarrier(id) if Some(id) == released_id),
+                    "node released from a barrier it was not waiting at"
+                );
+                self.nodes[node.index()].exec = ExecState::Ready;
+                self.sync_boundary(now, node, SyncKind::Barrier, q);
+                q.schedule(now + self.cfg.cpu_hit(), Event::CpuStep(node));
+            }
+        }
+    }
+
+    /// Reports a synchronization boundary to the node's policy and performs
+    /// any bulk self-invalidation it requests (DSI's flush).
+    fn sync_boundary(&mut self, now: Cycle, p: NodeId, kind: SyncKind, q: &mut EventQueue<Event>) {
+        let flushes = self.nodes[p.index()].policy.on_sync(kind);
+        for block in flushes {
+            self.self_invalidate(now, p, block, q);
+        }
+    }
+
+    /// Deterministic pseudo-random backoff (in spin-interval slots) after a
+    /// failed test-and-set, derived from the node id and its cumulative
+    /// failure count so reruns reproduce exactly.
+    fn backoff_slots(p: NodeId, failures: u64) -> u64 {
+        let mut z = (p.index() as u64 + 1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(failures.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z ^= z >> 29;
+        z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+        1 + ((z >> 33) % 6)
+    }
+
+    /// Executes one self-invalidation: drops the local copy and notifies the
+    /// home (clean notification or dirty writeback).
+    fn self_invalidate(&mut self, now: Cycle, p: NodeId, block: BlockId, q: &mut EventQueue<Event>) {
+        let Some(kind) = self.nodes[p.index()].cache.self_invalidate(block) else {
+            return; // absent or mid-transaction: skip (bulk flushes may race)
+        };
+        self.nodes[p.index()].counters.self_inv_sent += 1;
+        let home = self.cfg.home_of(block);
+        self.route(Message::new(p, home, block, kind), now, q);
+    }
+
+    // ---- message handling ------------------------------------------------
+
+    fn arrive(&mut self, now: Cycle, msg: Message, q: &mut EventQueue<Event>) {
+        self.messages += 1;
+        if self.trace_block == Some(msg.block) {
+            eprintln!("[{now}] arrive {} -> {}: {:?}", msg.src, msg.dst, msg.kind);
+        }
+        if Self::is_directory_bound(msg.kind) {
+            let h = msg.dst.index();
+            if self.engines[h].enqueue(now, msg) {
+                let at = self.engines[h].next_ready(now);
+                q.schedule(at, Event::EngineDrain(msg.dst));
+            }
+        } else {
+            self.cache_side(now, msg, q);
+        }
+    }
+
+    fn engine_drain(&mut self, now: Cycle, h: NodeId, q: &mut EventQueue<Event>) {
+        let hi = h.index();
+        let Some((msg, _)) = self.engines[hi].dequeue(now) else {
+            return;
+        };
+        let step = self.dirs[hi].process(msg);
+        let service = if step.data_service {
+            self.cfg.dir_data_service()
+        } else {
+            self.cfg.dir_control()
+        };
+        let done = self.engines[hi].begin_service(now, service);
+        // Clamp departures so sends for one block leave in service order
+        // (see `dir_send_order`).
+        let depart = {
+            let last = self.dir_send_order[hi].entry(msg.block).or_insert(Cycle::ZERO);
+            let depart = done.max(*last);
+            *last = depart;
+            depart
+        };
+        for m in step.sends {
+            debug_assert_eq!(m.block, msg.block, "directory sends stay on-block");
+            self.route(m, depart, q);
+        }
+        for r in step.reinject {
+            q.schedule(depart, Event::Arrive(r));
+        }
+        if self.engines[hi].arm_next_drain() {
+            let at = self.engines[hi].next_ready(now);
+            q.schedule(at, Event::EngineDrain(h));
+        }
+    }
+
+    fn cache_side(&mut self, now: Cycle, msg: Message, q: &mut EventQueue<Event>) {
+        let p = msg.dst;
+        let i = p.index();
+        match msg.kind {
+            MsgKind::Inv => {
+                let resp = self.nodes[i].cache.handle_inv(msg.block);
+                if resp.had_copy {
+                    self.nodes[i].counters.not_predicted += 1;
+                    self.nodes[i].policy.on_invalidation(msg.block);
+                }
+                let home = self.cfg.home_of(msg.block);
+                self.route(
+                    Message::new(
+                        p,
+                        home,
+                        msg.block,
+                        MsgKind::InvAck {
+                            had_copy: resp.had_copy,
+                            dirty_token: resp.dirty_token,
+                        },
+                    ),
+                    now,
+                    q,
+                );
+            }
+            MsgKind::VerifyCorrect { timely } => {
+                self.nodes[i].counters.predicted += 1;
+                if timely {
+                    self.nodes[i].counters.predicted_timely += 1;
+                }
+                self.nodes[i].policy.on_verification(msg.block, VerifyOutcome::Correct);
+            }
+            MsgKind::DataS { .. } | MsgKind::DataX { .. } | MsgKind::UpgradeAck { .. } => {
+                self.complete_fill(now, msg, q);
+            }
+            other => unreachable!("cache received {other:?}"),
+        }
+    }
+
+    fn complete_fill(&mut self, now: Cycle, msg: Message, q: &mut EventQueue<Event>) {
+        let p = msg.dst;
+        let i = p.index();
+        let fill = self.nodes[i].cache.apply_reply(msg.block, msg.kind);
+        // Resolve an earlier prediction first (FIFO per block), then start
+        // the new trace with this access's touch.
+        if let Some(v) = fill.verify {
+            match v {
+                VerifyOutcome::Premature => {
+                    self.nodes[i].counters.mispredicted += 1;
+                    self.nodes[i]
+                        .policy
+                        .on_verification(msg.block, VerifyOutcome::Premature);
+                }
+                VerifyOutcome::Correct => {
+                    self.nodes[i].counters.predicted += 1;
+                    self.nodes[i]
+                        .policy
+                        .on_verification(msg.block, VerifyOutcome::Correct);
+                }
+            }
+        }
+        let ExecState::BlockedMem(ctx) = self.nodes[i].exec else {
+            unreachable!("fill for {p} which is not blocked");
+        };
+        debug_assert_eq!(ctx.block, msg.block, "fill for the wrong block");
+        let fire = self.nodes[i].policy.on_touch(Touch {
+            block: ctx.block,
+            pc: ctx.pc,
+            is_write: ctx.is_write,
+            exclusive: fill.exclusive,
+            fill: Some(fill.info),
+        });
+        if fire {
+            self.self_invalidate(now, p, ctx.block, q);
+        }
+        // The requester-side network-cache install costs one memory access
+        // (this is what stretches the round trip to Table 1's ≈416 cycles).
+        self.complete_access(now + self.cfg.mem_access(), p, ctx.block, ctx.cont, q);
+    }
+}
+
+impl World for Machine {
+    type Event = Event;
+
+    fn handle(&mut self, now: Cycle, event: Event, q: &mut EventQueue<Event>) {
+        match event {
+            Event::CpuStep(p) => self.cpu_step(now, p, q),
+            Event::Arrive(msg) => self.arrive(now, msg, q),
+            Event::EngineDrain(h) => self.engine_drain(now, h, q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltp_core::NullPolicy;
+    use ltp_sim::{Simulation, StopReason};
+    use ltp_workloads::LoopedScript;
+
+    fn small_cfg(nodes: u16) -> SystemConfig {
+        SystemConfig::builder().nodes(nodes).build().unwrap()
+    }
+
+    fn null_policies(n: u16) -> Vec<Box<dyn SelfInvalidationPolicy>> {
+        (0..n)
+            .map(|_| Box::new(NullPolicy) as Box<dyn SelfInvalidationPolicy>)
+            .collect()
+    }
+
+    fn run(machine: Machine) -> (Metrics, StopReason) {
+        let mut sim = Simulation::new(machine).with_horizon(Cycle::new(50_000_000));
+        {
+            let (world, queue) = sim.world_and_queue_mut();
+            world.prime(queue);
+        }
+        let summary = sim.run();
+        assert_ne!(
+            summary.stop,
+            StopReason::HorizonReached,
+            "machine stuck:\n{}",
+            sim.world().stuck_report()
+        );
+        let m = sim.into_world().into_metrics();
+        (m, summary.stop)
+    }
+
+    fn read(pc: u32, b: u64) -> Op {
+        Op::Read {
+            pc: Pc::new(pc),
+            block: BlockId::new(b),
+        }
+    }
+
+    fn write(pc: u32, b: u64) -> Op {
+        Op::Write {
+            pc: Pc::new(pc),
+            block: BlockId::new(b),
+        }
+    }
+
+    #[test]
+    fn empty_programs_finish_immediately() {
+        let cfg = small_cfg(2);
+        let programs: Vec<Box<dyn Program>> = (0..2)
+            .map(|_| Box::new(LoopedScript::new(vec![], vec![], 0)) as Box<dyn Program>)
+            .collect();
+        let machine = Machine::new(cfg, null_policies(2), programs);
+        let (m, _) = run(machine);
+        assert!(m.exec_cycles < 10);
+        assert_eq!(m.misses, 0);
+    }
+
+    #[test]
+    fn single_remote_read_round_trip_near_416() {
+        let cfg = small_cfg(2);
+        // Node 1 reads block 0 (home: node 0). One remote miss.
+        let programs: Vec<Box<dyn Program>> = vec![
+            Box::new(LoopedScript::new(vec![], vec![], 0)),
+            Box::new(LoopedScript::new(vec![read(0x10, 0)], vec![], 0)),
+        ];
+        let machine = Machine::new(cfg, null_policies(2), programs);
+        let (m, _) = run(machine);
+        assert_eq!(m.misses, 1);
+        assert!(
+            (380..=450).contains(&m.exec_cycles),
+            "round trip {} not ≈416",
+            m.exec_cycles
+        );
+    }
+
+    #[test]
+    fn producer_consumer_counts_invalidations() {
+        let cfg = small_cfg(4);
+        // Node 1 writes block 0 then barriers; node 2 reads it after the
+        // barrier (invalidating node 1's exclusive copy); others just
+        // barrier.
+        let programs: Vec<Box<dyn Program>> = vec![
+            Box::new(LoopedScript::new(vec![Op::Barrier(0)], vec![], 0)),
+            Box::new(LoopedScript::new(
+                vec![write(0x20, 0), Op::Barrier(0)],
+                vec![],
+                0,
+            )),
+            Box::new(LoopedScript::new(
+                vec![Op::Barrier(0), read(0x30, 0)],
+                vec![],
+                0,
+            )),
+            Box::new(LoopedScript::new(vec![Op::Barrier(0)], vec![], 0)),
+        ];
+        let machine = Machine::new(cfg, null_policies(4), programs);
+        let (m, _) = run(machine);
+        // The read invalidated the writer's copy: one invalidation event,
+        // not predicted (base system).
+        assert_eq!(m.not_predicted, 1);
+        assert_eq!(m.predicted, 0);
+        assert_eq!(m.invalidations_sent, 1);
+    }
+
+    #[test]
+    fn lock_provides_mutual_exclusion_traffic() {
+        let cfg = small_cfg(4);
+        let lock = Lock::library(BlockId::new(0), 0x100);
+        let body = vec![
+            Op::Lock(lock),
+            write(0x200, 4), // protected block (home: node 0)
+            Op::Unlock(lock),
+            Op::Think(50),
+        ];
+        let programs: Vec<Box<dyn Program>> = (0..4)
+            .map(|i| {
+                Box::new(LoopedScript::new(
+                    vec![Op::Think(i as u64 * 13)],
+                    body.clone(),
+                    5,
+                )) as Box<dyn Program>
+            })
+            .collect();
+        let machine = Machine::new(cfg, null_policies(4), programs);
+        let (m, _) = run(machine);
+        // 4 nodes × 5 critical sections each; the protected block migrates,
+        // so plenty of invalidations happen and the run completes (mutual
+        // exclusion never deadlocks).
+        assert!(m.not_predicted > 0);
+        assert!(m.misses >= 20, "each CS needs at least one miss");
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_nodes() {
+        let cfg = small_cfg(8);
+        let programs: Vec<Box<dyn Program>> = (0..8u64)
+            .map(|i| {
+                Box::new(LoopedScript::new(
+                    vec![Op::Think(i * 100), Op::Barrier(0), write(0x40, i)],
+                    vec![],
+                    0,
+                )) as Box<dyn Program>
+            })
+            .collect();
+        let machine = Machine::new(cfg, null_policies(8), programs);
+        let (m, _) = run(machine);
+        // All the writes happen after the slowest node arrives (700+).
+        assert!(m.exec_cycles > 700);
+        assert_eq!(m.misses, 8);
+    }
+
+    /// A policy that self-invalidates after every touch — maximal
+    /// speculation pressure on the protocol's race handling.
+    #[derive(Debug, Default)]
+    struct AlwaysFire {
+        fired: u64,
+        correct: u64,
+        premature: u64,
+    }
+
+    impl SelfInvalidationPolicy for AlwaysFire {
+        fn name(&self) -> &'static str {
+            "always-fire"
+        }
+        fn on_touch(&mut self, _t: Touch) -> bool {
+            self.fired += 1;
+            true
+        }
+        fn on_verification(&mut self, _b: BlockId, outcome: VerifyOutcome) {
+            match outcome {
+                VerifyOutcome::Correct => self.correct += 1,
+                VerifyOutcome::Premature => self.premature += 1,
+            }
+        }
+    }
+
+    #[test]
+    fn always_firing_policy_survives_and_gets_verified() {
+        // Two nodes ping-ponging a block while self-invalidating after
+        // every single touch: the densest possible self-invalidation race
+        // load. The run must complete and verification verdicts must flow.
+        let cfg = small_cfg(2);
+        let mk = |stagger: u64| -> Box<dyn Program> {
+            Box::new(LoopedScript::new(
+                vec![Op::Think(stagger)],
+                vec![write(0x40, 0), Op::Think(300), read(0x44, 1), Op::Think(200)],
+                20,
+            ))
+        };
+        let policies: Vec<Box<dyn SelfInvalidationPolicy>> = vec![
+            Box::new(AlwaysFire::default()),
+            Box::new(AlwaysFire::default()),
+        ];
+        let machine = Machine::new(cfg, policies, vec![mk(0), mk(150)]);
+        let (m, _) = run(machine);
+        assert!(m.self_invalidations_sent > 10, "speculation actually ran");
+        assert!(
+            m.predicted + m.mispredicted > 0,
+            "the directory verified outcomes"
+        );
+        // Token monotonicity is asserted inside the directory on every
+        // writeback; reaching here means no write was lost.
+    }
+
+    #[test]
+    fn premature_self_invalidation_is_reported_to_the_culprit() {
+        // One node writes the same block repeatedly while always firing:
+        // every refetch is by the self-invalidator itself → premature.
+        let cfg = small_cfg(2);
+        let programs: Vec<Box<dyn Program>> = vec![
+            Box::new(LoopedScript::new(
+                vec![],
+                vec![write(0x60, 0), Op::Think(100)],
+                10,
+            )),
+            Box::new(LoopedScript::new(vec![], vec![], 0)),
+        ];
+        let policies: Vec<Box<dyn SelfInvalidationPolicy>> = vec![
+            Box::new(AlwaysFire::default()),
+            Box::new(AlwaysFire::default()),
+        ];
+        let machine = Machine::new(cfg, policies, programs);
+        let (m, _) = run(machine);
+        assert!(m.mispredicted >= 8, "got {} prematures", m.mispredicted);
+        assert_eq!(m.predicted, 0, "nobody else ever wants the block");
+    }
+
+    #[test]
+    fn flag_handoff_pipelines_across_nodes() {
+        // A 3-stage pipeline: node 0 signals node 1, node 1 signals node 2.
+        let cfg = small_cfg(3);
+        let flag = |i: u64| BlockId::new(100 + i);
+        let programs: Vec<Box<dyn Program>> = vec![
+            Box::new(LoopedScript::new(
+                vec![
+                    write(0x10, 0),
+                    Op::FlagSet {
+                        pc: Pc::new(0x20),
+                        block: flag(1),
+                    },
+                ],
+                vec![],
+                0,
+            )),
+            Box::new(LoopedScript::new(
+                vec![
+                    Op::FlagWait {
+                        pc: Pc::new(0x24),
+                        block: flag(1),
+                    },
+                    read(0x14, 0),
+                    write(0x18, 1),
+                    Op::FlagSet {
+                        pc: Pc::new(0x20),
+                        block: flag(2),
+                    },
+                ],
+                vec![],
+                0,
+            )),
+            Box::new(LoopedScript::new(
+                vec![
+                    Op::FlagWait {
+                        pc: Pc::new(0x24),
+                        block: flag(2),
+                    },
+                    read(0x1c, 1),
+                ],
+                vec![],
+                0,
+            )),
+        ];
+        let machine = Machine::new(cfg, null_policies(3), programs);
+        let (m, stop) = run(machine);
+        assert_eq!(stop, StopReason::Drained);
+        // The chain forced real coherence transfers of blocks 0 and 1.
+        assert!(m.not_predicted >= 2, "handoffs invalidate producer copies");
+    }
+
+    #[test]
+    fn lock_backoff_is_deterministic() {
+        let a = Machine::backoff_slots(NodeId::new(3), 7);
+        let b = Machine::backoff_slots(NodeId::new(3), 7);
+        assert_eq!(a, b);
+        assert!((1..=6).contains(&a));
+        // Different nodes and different failure counts spread.
+        let spread: std::collections::HashSet<u64> = (0..16u16)
+            .map(|n| Machine::backoff_slots(NodeId::new(n), 1))
+            .collect();
+        assert!(spread.len() > 2, "backoff must not be uniform: {spread:?}");
+    }
+
+    #[test]
+    fn contended_lock_serializes_critical_sections() {
+        // Under a contended lock with a shared counter block, each holder
+        // writes the counter once; the token (write count) at the end must
+        // equal the total number of critical sections — no lost updates.
+        let cfg = small_cfg(6);
+        let lock = Lock::library(BlockId::new(0), 0x100);
+        let cs = 4u32;
+        let programs: Vec<Box<dyn Program>> = (0..6u64)
+            .map(|i| {
+                Box::new(LoopedScript::new(
+                    vec![Op::Think(i * 29)],
+                    vec![
+                        Op::Lock(lock),
+                        write(0x200, 7),
+                        Op::Unlock(lock),
+                        Op::Think(120),
+                    ],
+                    cs,
+                )) as Box<dyn Program>
+            })
+            .collect();
+        let machine = Machine::new(cfg, null_policies(6), programs);
+        let mut sim = Simulation::new(machine).with_horizon(Cycle::new(50_000_000));
+        {
+            let (world, queue) = sim.world_and_queue_mut();
+            world.prime(queue);
+        }
+        let summary = sim.run();
+        assert_ne!(summary.stop, StopReason::HorizonReached);
+        // Recover the final token by reading the machine's cache state: the
+        // last writer holds the newest token (6 nodes × 4 sections).
+        let world = sim.world();
+        let newest = (0..6)
+            .filter_map(|i| world.nodes[i].cache.line(BlockId::new(7)))
+            .map(|l| l.token)
+            .max()
+            .expect("someone holds the counter");
+        assert_eq!(newest, u64::from(cs) * 6, "every critical section counted");
+    }
+
+    #[test]
+    fn finished_nodes_do_not_block_barriers() {
+        let cfg = small_cfg(2);
+        // Node 0 finishes immediately; node 1 then hits a barrier that only
+        // it participates in.
+        let programs: Vec<Box<dyn Program>> = vec![
+            Box::new(LoopedScript::new(vec![], vec![], 0)),
+            Box::new(LoopedScript::new(vec![Op::Think(500), Op::Barrier(0)], vec![], 0)),
+        ];
+        let machine = Machine::new(cfg, null_policies(2), programs);
+        let (_, stop) = run(machine);
+        assert_eq!(stop, StopReason::Drained);
+    }
+}

@@ -1,0 +1,161 @@
+//! Run metrics: everything the paper's tables and figures are built from.
+//!
+//! One [`Metrics`] value summarizes a full-machine run:
+//!
+//! * the **invalidation classification** of Figures 6/7/8 — every
+//!   invalidation event at a node is either *predicted* (a verified-correct
+//!   self-invalidation replaced it) or *not predicted* (a real invalidation
+//!   arrived); *mispredicted* (verified-premature self-invalidations) are
+//!   counted on top, which is why the paper's stacked bars exceed 100%;
+//! * **timeliness** (Table 4): the fraction of correct self-invalidations
+//!   that reached the directory before the conflicting request;
+//! * **directory queueing/service** (Table 4) merged over all home engines;
+//! * **execution cycles** (Figure 9's speedups);
+//! * **predictor storage** (Table 3) merged over all nodes.
+
+use ltp_core::StorageStats;
+use ltp_sim::stats::MeanAccumulator;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated statistics of one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Verified-correct self-invalidations (the "predicted" class).
+    pub predicted: u64,
+    /// Subset of `predicted` that reached the directory before the
+    /// conflicting request.
+    pub predicted_timely: u64,
+    /// External invalidations that removed a cached copy ("not predicted").
+    pub not_predicted: u64,
+    /// Verified-premature self-invalidations ("mispredicted").
+    pub mispredicted: u64,
+    /// Execution time: the cycle at which the last CPU finished its program.
+    pub exec_cycles: u64,
+    /// Coherence misses (GetS/GetX/Upgrade issued).
+    pub misses: u64,
+    /// Cache hits to shared blocks.
+    pub hits: u64,
+    /// Self-invalidation messages actually sent.
+    pub self_invalidations_sent: u64,
+    /// Invalidation messages the directories sent on behalf of requests.
+    pub invalidations_sent: u64,
+    /// Total protocol messages delivered.
+    pub messages: u64,
+    /// Directory-engine queueing delay per message (cycles).
+    pub dir_queueing: MeanAccumulator,
+    /// Directory-engine service time per message (cycles).
+    pub dir_service: MeanAccumulator,
+    /// Merged predictor storage accounting (Table 3).
+    pub storage: StorageStats,
+    /// Stale protocol messages ignored by directories (race bookkeeping).
+    pub stale_ignored: u64,
+}
+
+impl Metrics {
+    /// Total invalidation events: the denominator of the Figure 6 fractions.
+    pub fn invalidation_events(&self) -> u64 {
+        self.predicted + self.not_predicted
+    }
+
+    /// Percentage of invalidations correctly predicted.
+    pub fn predicted_pct(&self) -> f64 {
+        percent(self.predicted, self.invalidation_events())
+    }
+
+    /// Percentage of invalidations not predicted.
+    pub fn not_predicted_pct(&self) -> f64 {
+        percent(self.not_predicted, self.invalidation_events())
+    }
+
+    /// Premature self-invalidations as a percentage of invalidation events
+    /// (plotted *on top of* the 100% bar, as in Figure 6).
+    pub fn mispredicted_pct(&self) -> f64 {
+        percent(self.mispredicted, self.invalidation_events())
+    }
+
+    /// Fraction of correct self-invalidations that were timely (Table 4).
+    pub fn timeliness_pct(&self) -> f64 {
+        percent(self.predicted_timely, self.predicted)
+    }
+
+    /// Speedup of this run relative to a baseline run's execution time.
+    pub fn speedup_vs(&self, base: &Metrics) -> f64 {
+        if self.exec_cycles == 0 {
+            0.0
+        } else {
+            base.exec_cycles as f64 / self.exec_cycles as f64
+        }
+    }
+}
+
+fn percent(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(predicted: u64, not_predicted: u64, mispredicted: u64) -> Metrics {
+        Metrics {
+            predicted,
+            not_predicted,
+            mispredicted,
+            ..Metrics::default()
+        }
+    }
+
+    #[test]
+    fn percentages_partition_invalidations() {
+        let m = metrics(79, 21, 3);
+        assert!((m.predicted_pct() - 79.0).abs() < 1e-9);
+        assert!((m.not_predicted_pct() - 21.0).abs() < 1e-9);
+        assert!((m.mispredicted_pct() - 3.0).abs() < 1e-9);
+        assert_eq!(m.invalidation_events(), 100);
+    }
+
+    #[test]
+    fn empty_metrics_report_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.predicted_pct(), 0.0);
+        assert_eq!(m.timeliness_pct(), 0.0);
+    }
+
+    #[test]
+    fn timeliness_is_fraction_of_predicted() {
+        let m = Metrics {
+            predicted: 10,
+            predicted_timely: 9,
+            ..Metrics::default()
+        };
+        assert!((m.timeliness_pct() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_compares_exec_cycles() {
+        let base = Metrics {
+            exec_cycles: 1100,
+            ..Metrics::default()
+        };
+        let ltp = Metrics {
+            exec_cycles: 1000,
+            ..Metrics::default()
+        };
+        assert!((ltp.speedup_vs(&base) - 1.1).abs() < 1e-9);
+        let broken = Metrics::default();
+        assert_eq!(broken.speedup_vs(&base), 0.0);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let m = metrics(1, 2, 3);
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(json.contains("\"predicted\":1"));
+        let back: Metrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.predicted, 1);
+    }
+}

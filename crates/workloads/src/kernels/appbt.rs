@@ -1,0 +1,200 @@
+//! `appbt` — NAS block-tridiagonal solver (paper input: 12×12×12 cubes,
+//! 40 iters).
+//!
+//! Paper §5.1: *"In appbt, most last-touches to data blocks are spread among
+//! different PCs. The application, however, uses spin-locks in a gaussian
+//! elimination phase to synchronize processors. Last-PC predicts most of
+//! the data block last-touches, but fails to predict the last-touches to
+//! the spin-locks, achieving a prediction accuracy of 75%. Because the
+//! spin-locks are not exposed to DSI, it fails to predict a large fraction
+//! of the invalidations, only predicting 40% of them correctly. Moreover,
+//! DSI predicts 25% of the invalidations prematurely."*
+//!
+//! Structure: a pipelined gaussian-elimination sweep hands rows from node
+//! `p-1` to `p` through **ad-hoc flags** ([`Op::FlagSet`]/[`Op::FlagWait`]
+//! — invisible to DSI). Row blocks are written by a multi-PC sequence
+//! (`AW1, AW2, AW3` — distinct final PC: Last-PC friendly) and consumed
+//! with an early probe + late read (the early probe makes DSI's
+//! barrier-flushed copies premature). Half the rows end with a repeated
+//! store PC, which only trace signatures can disambiguate — the gap between
+//! Last-PC's 75% and LTP's ≈90%. Boundary-condition blocks exchanged across
+//! the barrier give DSI the fraction it does predict.
+
+use ltp_core::{BlockId, Pc};
+
+use super::{read, write};
+use crate::program::{LoopedScript, Op, Program};
+
+/// PC of the consumer's early probe load.
+pub const PC_EARLY_PROBE: u32 = 0x6815c;
+/// PC of the consumer's post-flag late load.
+pub const PC_LATE_LOAD: u32 = 0x69a1c;
+/// PCs of the three-stage row update (distinct: Last-PC predicts these).
+pub const PC_ROW_W1: u32 = 0x606c8;
+/// Second stage.
+pub const PC_ROW_W2: u32 = 0x68fac;
+/// Third stage (unique final touch).
+pub const PC_ROW_W3: u32 = 0x632e4;
+/// PC of the flag signal store.
+pub const PC_FLAG_SET: u32 = 0x6b74c;
+/// PC of the flag spin load.
+pub const PC_FLAG_WAIT: u32 = 0x6a65c;
+/// PC of the boundary-condition store.
+pub const PC_BC_STORE: u32 = 0x6b388;
+/// PC of the boundary-condition load.
+pub const PC_BC_LOAD: u32 = 0x68b80;
+
+/// Row blocks per node (half end `…W2,W3`, half end `…W2,W2`).
+const ROW_BLOCKS: u64 = 10;
+/// Boundary-condition blocks per node.
+const BC_BLOCKS: u64 = 6;
+/// One flag block per node.
+const NODE_SPAN: u64 = ROW_BLOCKS + BC_BLOCKS + 1;
+/// Default iteration count (paper: 40, scaled).
+pub const DEFAULT_ITERS: u32 = 20;
+
+fn row_block(node: u64, j: u64) -> u64 {
+    node * NODE_SPAN + j
+}
+
+fn bc_block(node: u64, j: u64) -> u64 {
+    node * NODE_SPAN + ROW_BLOCKS + j
+}
+
+fn flag_block(node: u64) -> u64 {
+    node * NODE_SPAN + ROW_BLOCKS + BC_BLOCKS
+}
+
+/// Builds the per-node programs.
+pub fn programs(nodes: u16, iterations: u32) -> Vec<Box<dyn Program>> {
+    let n = u64::from(nodes);
+    (0..nodes)
+        .map(|p| {
+            let pu = u64::from(p);
+            let pred = (pu + n - 1) % n;
+            let mut body = Vec::new();
+
+            // Early probe of the predecessor's rows (before the flag!) —
+            // after DSI's barrier flush this refetch is premature.
+            for j in 0..ROW_BLOCKS {
+                body.push(read(PC_EARLY_PROBE, row_block(pred, j)));
+            }
+
+            // Wait for the predecessor's hand-off (ad-hoc, invisible to
+            // DSI). Node 0 leads the sweep and never waits.
+            if p != 0 {
+                body.push(Op::FlagWait {
+                    pc: Pc::new(PC_FLAG_WAIT),
+                    block: BlockId::new(flag_block(pu)),
+                });
+            }
+
+            // Consume the predecessor's rows for real.
+            for j in 0..ROW_BLOCKS {
+                body.push(read(PC_LATE_LOAD, row_block(pred, j)));
+                body.push(Op::Think(10));
+            }
+
+            // Eliminate: update my rows with a multi-PC sequence. Half the
+            // rows end with a distinct PC (W1,W2,W3 — Last-PC succeeds),
+            // half end with a repeated PC (W1,W2,W2 — only LTP succeeds).
+            for j in 0..ROW_BLOCKS {
+                body.push(write(PC_ROW_W1, row_block(pu, j)));
+                body.push(write(PC_ROW_W2, row_block(pu, j)));
+                if j % 2 == 0 {
+                    body.push(write(PC_ROW_W3, row_block(pu, j)));
+                } else {
+                    body.push(write(PC_ROW_W2, row_block(pu, j)));
+                }
+                body.push(Op::Think(12));
+            }
+
+            // Hand off to the successor (the last node wraps to complete
+            // the ring in the next iteration — its set is consumed by node
+            // 0's flag only if node 0 waited; node 0 never waits, so the
+            // last node signals nobody).
+            if pu + 1 < n {
+                body.push(Op::FlagSet {
+                    pc: Pc::new(PC_FLAG_SET),
+                    block: BlockId::new(flag_block(pu + 1)),
+                });
+            }
+
+            // Boundary conditions, then the iteration barrier (the only
+            // synchronization DSI sees).
+            for j in 0..BC_BLOCKS {
+                body.push(write(PC_BC_STORE, bc_block(pu, j)));
+            }
+            body.push(Op::Think(100));
+            body.push(Op::Barrier(0));
+            for j in 0..BC_BLOCKS {
+                body.push(read(PC_BC_LOAD, bc_block(pred, j)));
+            }
+            body.push(Op::Barrier(1));
+
+            Box::new(LoopedScript::new(
+                vec![Op::Think(u64::from(p) * 5)],
+                body,
+                iterations,
+            )) as Box<dyn Program>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::collect_ops;
+
+    #[test]
+    fn flags_are_invisible_to_dsi() {
+        let mut progs = programs(3, 1);
+        for p in progs.iter_mut() {
+            for op in collect_ops(p.as_mut()) {
+                assert!(
+                    !matches!(op, Op::Lock(_) | Op::Unlock(_)),
+                    "appbt synchronizes with flags, not library locks"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_zero_leads_without_waiting() {
+        let mut progs = programs(3, 1);
+        let ops = collect_ops(progs[0].as_mut());
+        assert!(!ops.iter().any(|op| matches!(op, Op::FlagWait { .. })));
+        assert!(ops.iter().any(|op| matches!(op, Op::FlagSet { .. })));
+    }
+
+    #[test]
+    fn half_the_rows_end_with_a_repeated_pc() {
+        let mut progs = programs(2, 1);
+        let ops = collect_ops(progs[0].as_mut());
+        let last_store = |b: u64| -> Vec<u32> {
+            ops.iter()
+                .filter_map(|op| match op {
+                    Op::Write { pc, block } if block.index() == b => Some(pc.value()),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(last_store(row_block(0, 0)), vec![PC_ROW_W1, PC_ROW_W2, PC_ROW_W3]);
+        assert_eq!(last_store(row_block(0, 1)), vec![PC_ROW_W1, PC_ROW_W2, PC_ROW_W2]);
+    }
+
+    #[test]
+    fn early_probe_precedes_the_flag_wait() {
+        let mut progs = programs(3, 1);
+        let ops = collect_ops(progs[1].as_mut());
+        let probe = ops
+            .iter()
+            .position(|op| matches!(op, Op::Read { pc, .. } if pc.value() == PC_EARLY_PROBE))
+            .unwrap();
+        let wait = ops
+            .iter()
+            .position(|op| matches!(op, Op::FlagWait { .. }))
+            .unwrap();
+        assert!(probe < wait);
+    }
+}

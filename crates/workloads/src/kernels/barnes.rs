@@ -1,0 +1,196 @@
+//! `barnes` — Barnes-Hut N-body simulation (SPLASH-2; paper input: 4K
+//! particles, 21 iters).
+//!
+//! Paper §5.1: *"In barnes, the application's main data structure (an
+//! octree) changes dynamically and frequently. Due to frequent
+//! allocation/deallocation of dynamic memory, the last-touch signatures
+//! associated with blocks become obsolete, reducing correct predictions and
+//! increasing mispredictions. ... LTP and Last-PC achieve accuracies of 22%
+//! and 20% respectively. Because barnes is lock-intensive, DSI manages to
+//! predict invalidations after a critical section, achieving 42%."*
+//!
+//! Structure: a global pool of tree-cell blocks is re-bound every iteration
+//! (seeded RNG), so the PC sequence touching a given *block* keeps changing
+//! and learned signatures go stale. A small stable subset (two blocks per
+//! node with fixed producer/consumer and fixed traces) provides the ≈20%
+//! the predictors do catch. Tree updates go through a handful of heavily
+//! contended library locks — the lock-intensity DSI exploits.
+
+use ltp_core::{BlockId, Pc};
+use ltp_sim::SimRng;
+
+use crate::program::{Lock, LoopedScript, Op, Program};
+
+/// PC of the tree-cell insertion store.
+pub const PC_TREE_STORE: u32 = 0x8de88;
+/// PC bases of the force-walk loads: the tree walk descends through code at
+/// a different static site per tree level, so the trace vocabulary is wide
+/// and the per-block traces rarely recur once the octree re-binds.
+pub const PC_WALK_LOADS: [u32; 6] = [0x801a8, 0x8c240, 0x84f6c, 0x8a318, 0x832e4, 0x87d90];
+/// PC of the stable-subtree load.
+pub const PC_STABLE_LOAD: u32 = 0x8ce48;
+/// PC of the force-walk acceleration update store.
+pub const PC_WALK_STORE: u32 = 0x85b14;
+/// PC base of the cell locks.
+pub const PC_LOCK_BASE: u32 = 0x828dc;
+
+/// Tree-cell blocks per node in the global pool.
+const TREE_PER_NODE: u64 = 6;
+/// Of those, how many keep a stable binding (the predictable fraction).
+const STABLE_PER_NODE: u64 = 1;
+/// Number of global cell locks (enough to keep contention moderate — the
+/// lock-intensity DSI exploits comes from frequency, not queue length).
+const CELL_LOCKS: u64 = 8;
+/// Bodies inserted per node per iteration.
+const INSERTS: usize = 2;
+/// Force-walk path reads per node per iteration.
+const WALKS: usize = 7;
+/// Default iteration count (matches the paper's 21).
+pub const DEFAULT_ITERS: u32 = 21;
+
+fn tree_block(nodes: u16, idx: u64) -> u64 {
+    idx % (u64::from(nodes) * TREE_PER_NODE)
+}
+
+fn lock_block(nodes: u16, l: u64) -> u64 {
+    u64::from(nodes) * TREE_PER_NODE + l
+}
+
+/// Builds the per-node programs (the octree re-binding churn comes from
+/// `seed`; identical seeds give identical runs).
+pub fn programs(nodes: u16, iterations: u32, seed: u64) -> Vec<Box<dyn Program>> {
+    let mut root_rng = SimRng::from_seed(seed ^ 0xBA41E5);
+    let n = u64::from(nodes);
+    (0..nodes)
+        .map(|p| {
+            let pu = u64::from(p);
+            let mut rng = root_rng.derive(pu);
+            let mut ops = vec![Op::Think(u64::from(p) * 21)];
+            for _iter in 0..iterations {
+                ops.push(Op::Barrier(0));
+                // Build phase: insert bodies under cell locks. The first
+                // insert always targets this node's stable cell; the rest
+                // hit RNG-chosen cells (the re-binding churn).
+                for i in 0..INSERTS {
+                    let lock = Lock::library(
+                        BlockId::new(lock_block(nodes, rng.below(CELL_LOCKS))),
+                        PC_LOCK_BASE,
+                    );
+                    let target = if i == 0 {
+                        pu * TREE_PER_NODE // stable binding
+                    } else {
+                        tree_block(nodes, rng.next_u64())
+                    };
+                    ops.push(Op::Lock(lock));
+                    ops.push(Op::Write {
+                        pc: Pc::new(PC_TREE_STORE),
+                        block: BlockId::new(target),
+                    });
+                    ops.push(Op::Unlock(lock));
+                    ops.push(Op::Think(30));
+                }
+                ops.push(Op::Barrier(1));
+                // Force phase: walk random paths, plus one stable read of
+                // the successor's stable cells (fixed trace every
+                // iteration: the fraction LTP can learn).
+                for s in 0..STABLE_PER_NODE {
+                    ops.push(Op::Read {
+                        pc: Pc::new(PC_STABLE_LOAD),
+                        block: BlockId::new(((pu + 1) % n) * TREE_PER_NODE + s),
+                    });
+                }
+                // Walks draw from a small per-iteration "hot" subtree with
+                // replacement: blocks get revisited an unpredictable number
+                // of times, so a predictor that fires after the first read
+                // is frequently premature — the signature-staleness effect
+                // of the rebuilt octree. A random third of the visits also
+                // update the cell (body accelerations), which keeps the
+                // directory's verification verdicts flowing.
+                let hot: Vec<u64> = (0..4).map(|_| tree_block(nodes, rng.next_u64())).collect();
+                for _ in 0..WALKS {
+                    let a = hot[rng.below(hot.len() as u64) as usize];
+                    let b = hot[rng.below(hot.len() as u64) as usize];
+                    let pc_a = PC_WALK_LOADS[rng.below(PC_WALK_LOADS.len() as u64) as usize];
+                    let pc_b = PC_WALK_LOADS[rng.below(PC_WALK_LOADS.len() as u64) as usize];
+                    ops.push(Op::Read {
+                        pc: Pc::new(pc_a),
+                        block: BlockId::new(a),
+                    });
+                    ops.push(Op::Read {
+                        pc: Pc::new(pc_b),
+                        block: BlockId::new(b),
+                    });
+                    if rng.chance(2, 3) {
+                        ops.push(Op::Write {
+                            pc: Pc::new(PC_WALK_STORE),
+                            block: BlockId::new(b),
+                        });
+                    }
+                    ops.push(Op::Think(60));
+                }
+                ops.push(Op::Barrier(2));
+            }
+            Box::new(LoopedScript::new(ops, vec![], 0)) as Box<dyn Program>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::collect_ops;
+
+    #[test]
+    fn runs_are_seed_deterministic() {
+        let mut a = programs(4, 2, 99);
+        let mut b = programs(4, 2, 99);
+        for (pa, pb) in a.iter_mut().zip(b.iter_mut()) {
+            assert_eq!(collect_ops(pa.as_mut()), collect_ops(pb.as_mut()));
+        }
+    }
+
+    #[test]
+    fn different_seeds_rebind_differently() {
+        let mut a = programs(4, 2, 1);
+        let mut b = programs(4, 2, 2);
+        let ops_a = collect_ops(a[0].as_mut());
+        let ops_b = collect_ops(b[0].as_mut());
+        assert_ne!(ops_a, ops_b, "the octree churn must depend on the seed");
+    }
+
+    #[test]
+    fn stable_cells_are_touched_every_iteration() {
+        let iters = 3;
+        let mut progs = programs(3, iters, 7);
+        let ops = collect_ops(progs[0].as_mut());
+        let stable_writes = ops
+            .iter()
+            .filter(|op| {
+                matches!(op, Op::Write { block, .. } if block.index() == 0)
+            })
+            .count();
+        assert!(stable_writes >= iters as usize, "node 0's stable cell");
+        let stable_reads = ops
+            .iter()
+            .filter(|op| {
+                matches!(op, Op::Read { pc, .. } if pc.value() == PC_STABLE_LOAD)
+            })
+            .count();
+        assert_eq!(stable_reads, (iters as u64 * STABLE_PER_NODE) as usize);
+    }
+
+    #[test]
+    fn uses_few_contended_locks() {
+        let mut progs = programs(8, 2, 3);
+        let mut locks = std::collections::HashSet::new();
+        for p in progs.iter_mut() {
+            for op in collect_ops(p.as_mut()) {
+                if let Op::Lock(l) = op {
+                    assert!(l.exposed);
+                    locks.insert(l.block);
+                }
+            }
+        }
+        assert!(locks.len() <= CELL_LOCKS as usize);
+    }
+}

@@ -1,0 +1,207 @@
+//! `dsmc` — discrete simulation Monte Carlo of gas particles (paper input:
+//! 48600 molecules, 9720 cells, 400 iters).
+//!
+//! Paper §5.1: *"In dsmc communication occurs through message buffers
+//! implemented through a library. Multiple calls to the messaging code in
+//! the same computation phase result in multiple accesses to a block by the
+//! same instruction, preventing Last-PC from accurately predicting
+//! invalidations. Subsequent accesses to the main data structure beyond the
+//! synchronization in the message buffers significantly reduce DSI's
+//! ability to predict and result in a large number of mispredictions."*
+//! §5.4: computation overlaps most invalidations, so self-invalidation
+//! barely changes execution time.
+//!
+//! Structure: cell blocks are updated in two half-phases **straddling** the
+//! lock-protected message exchange (DSI flushes them at the lock boundary
+//! and the second half-phase pays premature misses); buffers are filled
+//! through one library store PC (×4 per block, every neighbour, every call)
+//! and drained by the consumer's library load PC after the barrier.
+
+use ltp_core::BlockId;
+
+use super::{read, read_n, write_n};
+use crate::program::{Lock, LoopedScript, Op, Program};
+
+/// PC of the library's buffer-fill store (shared by every call site).
+pub const PC_LIB_STORE: u32 = 0x76b64;
+/// PC of the library's buffer-drain load.
+pub const PC_LIB_LOAD: u32 = 0x7386c;
+/// PC of the first-half cell update store.
+pub const PC_CELL_STORE_A: u32 = 0x772fc;
+/// PC of the second-half cell update store (beyond the sync).
+pub const PC_CELL_STORE_B: u32 = 0x796d8;
+/// PC of the neighbour's boundary-cell load.
+pub const PC_BOUNDARY_LOAD: u32 = 0x74734;
+/// PC of the owner's post-barrier cell tally check.
+pub const PC_CELL_CHECK: u32 = 0x75210;
+/// PC base of the per-channel message lock.
+pub const PC_LOCK_BASE: u32 = 0x7cf34;
+
+/// Cell blocks per node.
+const CELL_BLOCKS: u64 = 4;
+/// Message-buffer blocks per outgoing channel (one per library call round).
+const BUF_BLOCKS: u64 = 2;
+/// Outgoing channels (neighbours messaged per iteration).
+const CHANNELS: u64 = 2;
+/// Per-node span: cells + channel buffers + channel locks.
+const NODE_SPAN: u64 = CELL_BLOCKS + CHANNELS * BUF_BLOCKS + CHANNELS;
+/// Default iteration count (paper: 400, scaled).
+pub const DEFAULT_ITERS: u32 = 18;
+
+fn cell_block(node: u64, j: u64) -> u64 {
+    node * NODE_SPAN + j
+}
+
+fn buf_block(node: u64, channel: u64, j: u64) -> u64 {
+    node * NODE_SPAN + CELL_BLOCKS + channel * BUF_BLOCKS + j
+}
+
+fn lock_block(node: u64, channel: u64) -> u64 {
+    node * NODE_SPAN + CELL_BLOCKS + CHANNELS * BUF_BLOCKS + channel
+}
+
+/// Builds the per-node programs.
+pub fn programs(nodes: u16, iterations: u32) -> Vec<Box<dyn Program>> {
+    let n = u64::from(nodes);
+    (0..nodes)
+        .map(|p| {
+            let pu = u64::from(p);
+            let mut body = Vec::new();
+
+            // Move particles: heavy local computation, then the first half
+            // of the cell updates. Computation dominates (paper §5.4: dsmc
+            // overlaps most invalidations, so self-invalidation is
+            // execution-time-neutral).
+            body.push(Op::Think(30_000));
+            // Sample the neighbour's boundary cells at phase start — their
+            // producer updates them *mid-phase*, so these copies are
+            // invalidated with no synchronization boundary in between:
+            // traffic DSI structurally cannot predict.
+            let nb = (pu + 1) % n;
+            for j in 0..CELL_BLOCKS {
+                body.push(read(PC_BOUNDARY_LOAD, cell_block(nb, j)));
+            }
+            for j in 0..CELL_BLOCKS {
+                write_n(&mut body, PC_CELL_STORE_A, cell_block(pu, j), 2);
+            }
+
+            // Message exchange through the library: same store PC for every
+            // channel and every buffer block — and TWO calls per phase
+            // ("multiple calls to the messaging code in the same computation
+            // phase"), each call filling one buffer block per channel.
+            for round in 0..BUF_BLOCKS {
+                for c in 0..CHANNELS {
+                    let lock = Lock::library(
+                        BlockId::new(lock_block(pu, c)),
+                        PC_LOCK_BASE + (c as u32) * 16,
+                    );
+                    body.push(Op::Lock(lock));
+                    write_n(&mut body, PC_LIB_STORE, buf_block(pu, c, round), 2);
+                    body.push(Op::Unlock(lock));
+                }
+                body.push(Op::Think(400)); // particle bookkeeping between calls
+            }
+
+            // Beyond the synchronization: the second half of the cell
+            // updates — DSI flushed the cells at the lock boundary, so these
+            // stores refetch prematurely.
+            for j in 0..CELL_BLOCKS / 2 {
+                write_n(&mut body, PC_CELL_STORE_B, cell_block(pu, j), 2);
+            }
+            body.push(Op::Think(12_000));
+            body.push(Op::Barrier(0));
+
+            // Drain incoming messages (channel c of the predecessor at
+            // distance c+1).
+            for c in 0..CHANNELS {
+                let sender = (pu + n - (c + 1)) % n;
+                for j in 0..BUF_BLOCKS {
+                    read_n(&mut body, PC_LIB_LOAD, buf_block(sender, c, j), 2);
+                }
+            }
+            // Re-sample two boundary cells beyond the barrier (sharing that
+            // spans the synchronization, as with the cells above), and
+            // tally-check two of my own cells — the barrier flushed them, so
+            // this is another premature refetch for DSI.
+            for j in 0..2u64.min(CELL_BLOCKS) {
+                body.push(read(PC_BOUNDARY_LOAD, cell_block(nb, j)));
+            }
+            for j in 0..2u64.min(CELL_BLOCKS) {
+                body.push(read(PC_CELL_CHECK, cell_block(pu, j)));
+            }
+            body.push(Op::Barrier(1));
+
+            Box::new(LoopedScript::new(
+                vec![Op::Think(u64::from(p) * 19)],
+                body,
+                iterations,
+            )) as Box<dyn Program>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::collect_ops;
+
+    #[test]
+    fn library_store_pc_is_shared_across_channels() {
+        let mut progs = programs(3, 1);
+        let ops = collect_ops(progs[0].as_mut());
+        let buf_stores: std::collections::HashSet<u64> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Write { pc, block } if pc.value() == PC_LIB_STORE => Some(block.index()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            buf_stores.len() as u64,
+            CHANNELS * BUF_BLOCKS,
+            "one PC fills every buffer block"
+        );
+    }
+
+    #[test]
+    fn cell_updates_straddle_the_message_locks() {
+        let mut progs = programs(2, 1);
+        let ops = collect_ops(progs[0].as_mut());
+        let first_a = ops
+            .iter()
+            .position(|op| matches!(op, Op::Write { pc, .. } if pc.value() == PC_CELL_STORE_A))
+            .unwrap();
+        let last_unlock = ops
+            .iter()
+            .rposition(|op| matches!(op, Op::Unlock(_)))
+            .unwrap();
+        let first_b = ops
+            .iter()
+            .position(|op| matches!(op, Op::Write { pc, .. } if pc.value() == PC_CELL_STORE_B))
+            .unwrap();
+        assert!(first_a < last_unlock && last_unlock < first_b);
+    }
+
+    #[test]
+    fn consumers_drain_the_right_buffers() {
+        let nodes = 4u16;
+        let mut progs = programs(nodes, 1);
+        // Every buffer block written by someone must be read by someone.
+        let mut written = std::collections::HashSet::new();
+        let mut read_set = std::collections::HashSet::new();
+        for p in progs.iter_mut() {
+            for op in collect_ops(p.as_mut()) {
+                match op {
+                    Op::Write { pc, block } if pc.value() == PC_LIB_STORE => {
+                        written.insert(block.index());
+                    }
+                    Op::Read { pc, block } if pc.value() == PC_LIB_LOAD => {
+                        read_set.insert(block.index());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(written, read_set);
+    }
+}

@@ -1,0 +1,82 @@
+//! The nine synthetic kernels (paper Table 2).
+//!
+//! Each submodule reproduces one application's sharing pattern as analyzed
+//! in §5.1 of the paper. The kernels share a small op-construction
+//! vocabulary defined here.
+//!
+//! PC ranges are disjoint per kernel (0x1000 × kernel index) purely for
+//! readability of traces; only one kernel runs per simulation.
+
+pub mod appbt;
+pub mod barnes;
+pub mod dsmc;
+pub mod em3d;
+pub mod moldyn;
+pub mod ocean;
+pub mod raytrace;
+pub mod tomcatv;
+pub mod unstructured;
+
+use ltp_core::{BlockId, Pc};
+
+use crate::program::Op;
+
+/// A read op (internal construction helper).
+pub(crate) fn read(pc: u32, block: u64) -> Op {
+    Op::Read {
+        pc: Pc::new(pc),
+        block: BlockId::new(block),
+    }
+}
+
+/// A write op.
+pub(crate) fn write(pc: u32, block: u64) -> Op {
+    Op::Write {
+        pc: Pc::new(pc),
+        block: BlockId::new(block),
+    }
+}
+
+/// Pushes `n` repetitions of a read (multiple elements per block touched by
+/// the same instruction — the pattern that defeats Last-PC).
+pub(crate) fn read_n(ops: &mut Vec<Op>, pc: u32, block: u64, n: usize) {
+    for _ in 0..n {
+        ops.push(read(pc, block));
+    }
+}
+
+/// Pushes `n` repetitions of a write.
+pub(crate) fn write_n(ops: &mut Vec<Op>, pc: u32, block: u64, n: usize) {
+    for _ in 0..n {
+        ops.push(write(pc, block));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_expected_ops() {
+        assert_eq!(
+            read(0x10, 5),
+            Op::Read {
+                pc: Pc::new(0x10),
+                block: BlockId::new(5)
+            }
+        );
+        assert_eq!(
+            write(0x14, 6),
+            Op::Write {
+                pc: Pc::new(0x14),
+                block: BlockId::new(6)
+            }
+        );
+        let mut v = Vec::new();
+        read_n(&mut v, 1, 2, 3);
+        write_n(&mut v, 4, 5, 2);
+        assert_eq!(v.len(), 5);
+        assert!(matches!(v[2], Op::Read { .. }));
+        assert!(matches!(v[4], Op::Write { .. }));
+    }
+}

@@ -1,0 +1,275 @@
+//! `ocean` — eddy-current ocean simulation with red/black SOR (SPLASH-2;
+//! paper input: 128×128, 12 iters).
+//!
+//! Paper §5.1: *"Ocean implements a red/black SOR algorithm in a
+//! computation phase encapsulated in a function invoked twice every
+//! iteration. The resulting multiple touches by the function's PCs reduce
+//! prediction accuracy in Last-PC to 40%. Sharing blocks in ocean often
+//! spans beyond critical sections; a block's producer in a critical section
+//! reads the block in the subsequent phase. As a result, DSI predicts only
+//! 38% of the invalidations accurately and generates 20% mispredicted
+//! invalidations."*
+//!
+//! Structure: border blocks receive two stores from the *same* stencil PC
+//! in the red pass and two more in the black pass (the twice-invoked
+//! function); a lock-protected work block is written in the critical
+//! section and **read again after the release** — DSI flushes it at the
+//! boundary and pays a premature miss; single-touch boundary-condition
+//! blocks give Last-PC the fraction it does predict.
+
+use super::{read_n, write_n};
+use crate::program::{Lock, LoopedScript, Op, Program};
+
+/// PC of the SOR stencil store (same function, red and black passes).
+pub const PC_SOR_STORE: u32 = 0x51640;
+/// PC of the border gather load.
+pub const PC_BORDER_LOAD: u32 = 0x59728;
+/// PC of the critical-section work store.
+pub const PC_WORK_STORE: u32 = 0x56c00;
+/// PC of the producer's post-critical-section re-read.
+pub const PC_WORK_REREAD: u32 = 0x50820;
+/// PC of the consumer's work-block load.
+pub const PC_WORK_LOAD: u32 = 0x507a0;
+/// PC of the single-touch boundary-condition store.
+pub const PC_BC_STORE: u32 = 0x517fc;
+/// PC of the consumer's post-barrier border re-read (the "sharing spans
+/// beyond critical sections" access).
+pub const PC_BORDER_REREAD: u32 = 0x53d6c;
+/// PC of the single-touch boundary-condition load.
+pub const PC_BC_LOAD: u32 =0x537f8;
+/// PC base of the per-node lock.
+pub const PC_LOCK_BASE: u32 = 0x53b8c;
+
+/// Border blocks per node written every iteration.
+const BORDER_BLOCKS: u64 = 8;
+/// Border blocks written only on alternate iterations (red vs black grid
+/// parity): their consumers refetch without a version change half the time,
+/// which is exactly the "varying sharing pattern" that defeats DSI's
+/// versioning filter (§2.1).
+const ALT_BORDER_BLOCKS: u64 = 5;
+/// Single-touch boundary-condition blocks per node.
+const BC_BLOCKS: u64 = 5;
+/// Lock-protected work blocks per node.
+const WORK_BLOCKS: u64 = 3;
+/// One lock block per node.
+const NODE_SPAN: u64 = BORDER_BLOCKS + ALT_BORDER_BLOCKS + BC_BLOCKS + WORK_BLOCKS + 1;
+/// Default iteration count (paper: 12).
+pub const DEFAULT_ITERS: u32 = 16;
+
+fn border_block(node: u64, j: u64) -> u64 {
+    node * NODE_SPAN + j
+}
+
+fn alt_border_block(node: u64, j: u64) -> u64 {
+    node * NODE_SPAN + BORDER_BLOCKS + j
+}
+
+fn bc_block(node: u64, j: u64) -> u64 {
+    node * NODE_SPAN + BORDER_BLOCKS + ALT_BORDER_BLOCKS + j
+}
+
+fn work_block(node: u64, j: u64) -> u64 {
+    node * NODE_SPAN + BORDER_BLOCKS + ALT_BORDER_BLOCKS + BC_BLOCKS + j
+}
+
+fn lock_block(node: u64) -> u64 {
+    node * NODE_SPAN + BORDER_BLOCKS + ALT_BORDER_BLOCKS + BC_BLOCKS + WORK_BLOCKS
+}
+
+/// Builds the per-node programs.
+///
+/// The loop body covers **two** SOR iterations (one red-parity, one
+/// black-parity) so the alternating border strips are written only every
+/// other iteration.
+pub fn programs(nodes: u16, iterations: u32) -> Vec<Box<dyn Program>> {
+    let n = u64::from(nodes);
+    (0..nodes)
+        .map(|p| {
+            let pu = u64::from(p);
+            let pred = (pu + n - 1) % n;
+            let lock = Lock::library(
+                ltp_core::BlockId::new(lock_block(pu)),
+                PC_LOCK_BASE,
+            );
+            let mut body = Vec::new();
+            for parity in 0..2u64 {
+                push_iteration(&mut body, pu, pred, lock, parity == 0);
+            }
+            Box::new(LoopedScript::new(
+                vec![Op::Think(u64::from(p) * 17)],
+                body,
+                iterations.div_ceil(2),
+            )) as Box<dyn Program>
+        })
+        .collect()
+}
+
+/// Appends one SOR iteration; `write_alt` selects the grid parity whose
+/// alternating strips get updated.
+fn push_iteration(body: &mut Vec<Op>, pu: u64, pred: u64, lock: Lock, write_alt: bool) {
+    {
+            // Critical section first: update the work blocks under the
+            // lock.
+            body.push(Op::Lock(lock));
+            for j in 0..WORK_BLOCKS {
+                write_n(body, PC_WORK_STORE, work_block(pu, j), 2);
+            }
+            body.push(Op::Unlock(lock));
+
+            // Sharing spans beyond the critical section: the producer reads
+            // its work blocks again after releasing the lock (DSI already
+            // flushed them — a premature self-invalidation every time).
+            for j in 0..WORK_BLOCKS {
+                body.push(super::read(PC_WORK_REREAD, work_block(pu, j)));
+            }
+
+            // Red pass: the stencil function updates each border block
+            // (2 elements per pass).
+            for j in 0..BORDER_BLOCKS {
+                write_n(body, PC_SOR_STORE, border_block(pu, j), 2);
+                body.push(Op::Think(6));
+            }
+
+            // Black pass: the SAME function runs again over the borders —
+            // identical PCs, two more stores per block.
+            for j in 0..BORDER_BLOCKS {
+                write_n(body, PC_SOR_STORE, border_block(pu, j), 2);
+                body.push(Op::Think(6));
+            }
+
+            // Alternating strips: updated only on red-parity iterations.
+            if write_alt {
+                for j in 0..ALT_BORDER_BLOCKS {
+                    write_n(body, PC_SOR_STORE, alt_border_block(pu, j), 2);
+                }
+            }
+
+            // Boundary conditions: single-touch stores.
+            for j in 0..BC_BLOCKS {
+                body.push(super::write(PC_BC_STORE, bc_block(pu, j)));
+            }
+            body.push(Op::Think(150));
+            body.push(Op::Barrier(0));
+
+            // Neighbour exchange: read the predecessor's borders (×2 — the
+            // gather is also multi-element), its alternating strips (every
+            // iteration, though they change only every other one), its
+            // boundary conditions (single touch: Last-PC's bread and
+            // butter) and its work blocks.
+            for j in 0..BORDER_BLOCKS {
+                read_n(body, PC_BORDER_LOAD, border_block(pred, j), 2);
+                body.push(Op::Think(6));
+            }
+            for j in 0..ALT_BORDER_BLOCKS {
+                read_n(body, PC_BORDER_LOAD, alt_border_block(pred, j), 2);
+            }
+            for j in 0..BC_BLOCKS {
+                body.push(super::read(PC_BC_LOAD, bc_block(pred, j)));
+            }
+            for j in 0..WORK_BLOCKS {
+                body.push(super::read(PC_WORK_LOAD, work_block(pred, j)));
+            }
+            body.push(Op::Barrier(1));
+
+            // Sharing spans beyond the synchronization on the consumer side
+            // as well: the next phase re-reads the borders and boundary
+            // conditions it gathered before the barrier. DSI flushed them at
+            // the barrier — another premature refetch — and the refetched
+            // copy's version is unchanged, so its eventual invalidation goes
+            // unpredicted.
+            for j in 0..BORDER_BLOCKS / 2 {
+                body.push(super::read(PC_BORDER_REREAD, border_block(pred, j)));
+            }
+            body.push(super::read(PC_BORDER_REREAD, bc_block(pred, 0)));
+            body.push(Op::Think(40));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::collect_ops;
+
+    #[test]
+    fn borders_get_four_stores_by_one_pc_per_iteration() {
+        // The loop body covers two SOR iterations (red/black parity).
+        let mut progs = programs(2, 2);
+        let ops = collect_ops(progs[0].as_mut());
+        let b = border_block(0, 0);
+        let stores = ops
+            .iter()
+            .filter(|op| {
+                matches!(op, Op::Write { pc, block }
+                    if block.index() == b && pc.value() == PC_SOR_STORE)
+            })
+            .count();
+        assert_eq!(stores, 8, "2 iterations × (red ×2 + black ×2), same PC");
+    }
+
+    #[test]
+    fn alternating_strips_written_every_other_iteration() {
+        let mut progs = programs(2, 2);
+        let ops = collect_ops(progs[0].as_mut());
+        let alt = alt_border_block(0, 0);
+        let writes = ops
+            .iter()
+            .filter(|op| matches!(op, Op::Write { block, .. } if block.index() == alt))
+            .count();
+        let reads_by_peer = {
+            let mut peer = programs(2, 2);
+            collect_ops(peer[1].as_mut())
+                .iter()
+                .filter(|op| matches!(op, Op::Read { block, .. } if block.index() == alt))
+                .count()
+        };
+        assert_eq!(writes, 2, "written once per red iteration only");
+        assert_eq!(reads_by_peer, 4, "read ×2 every iteration regardless");
+    }
+
+    #[test]
+    fn producer_rereads_work_blocks_after_unlock() {
+        let mut progs = programs(2, 1);
+        let ops = collect_ops(progs[0].as_mut());
+        let unlock_at = ops
+            .iter()
+            .position(|op| matches!(op, Op::Unlock(_)))
+            .expect("unlock present");
+        let reread_at = ops
+            .iter()
+            .position(|op| matches!(op, Op::Read { pc, .. } if pc.value() == PC_WORK_REREAD))
+            .expect("re-read present");
+        assert!(
+            reread_at > unlock_at,
+            "the re-read must come after the release (beyond the sync)"
+        );
+    }
+
+    #[test]
+    fn bc_blocks_are_single_touch_per_side() {
+        let mut progs = programs(3, 2);
+        let ops = collect_ops(progs[1].as_mut());
+        let own_bc = bc_block(1, 0);
+        let touches = ops
+            .iter()
+            .filter(|op| {
+                matches!(op, Op::Write { block, .. } if block.index() == own_bc)
+            })
+            .count();
+        assert_eq!(touches, 2, "owner writes its bc block once per iteration");
+    }
+
+    #[test]
+    fn every_node_has_a_private_lock() {
+        let mut progs = programs(4, 1);
+        let mut locks = std::collections::HashSet::new();
+        for p in progs.iter_mut() {
+            for op in collect_ops(p.as_mut()) {
+                if let Op::Lock(l) = op {
+                    assert!(l.exposed, "ocean locks are library locks");
+                    locks.insert(l.block);
+                }
+            }
+        }
+        assert_eq!(locks.len(), 4);
+    }
+}

@@ -1,0 +1,176 @@
+//! `raytrace` — parallel ray tracer with a global work pool (SPLASH-2;
+//! paper input: car).
+//!
+//! Paper §5.1: *"In raytrace, there is a global workpool holding the jobs
+//! that all processors work on. The workpool is protected by a lock.
+//! Invalidations of the global workpool are on the execution's critical
+//! path ... Because jobs are assigned to one processor at a given time,
+//! memory blocks exhibit a migratory sharing pattern and as such DSI
+//! exhibits a low prediction accuracy. Both Last-PC and LTP successfully
+//! predict the migratory blocks, achieving an accuracy of 50%."* §5.4:
+//! *"LTP performs slightly worse than DSI; LTP cannot correctly
+//! self-invalidate the critical section locks because they spin a variable
+//! number of times per visit."*
+//!
+//! Structure: one global lock guards a pool counter and descriptor blocks;
+//! every processor repeatedly grabs a job (lock → counter read-modify-write
+//! → descriptor reads, periodically descriptor writes → unlock) and then
+//! renders it against a migrating job-data block with a seeded, variable
+//! think time. Contention on the single lock produces variable-length spin
+//! traces — the part no predictor gets right — while the pool counter and
+//! job data are cleanly migratory.
+
+use ltp_core::{BlockId, Pc};
+use ltp_sim::SimRng;
+
+use crate::program::{Lock, LoopedScript, Op, Program};
+
+/// PC of the pool-counter load.
+pub const PC_POOL_LOAD: u32 = 0x9b2b8;
+/// PC of the pool-counter store.
+pub const PC_POOL_STORE: u32 = 0x96c30;
+/// PC of the descriptor load.
+pub const PC_DESC_LOAD: u32 = 0x95718;
+/// PC of the (periodic) descriptor store.
+pub const PC_DESC_STORE: u32 = 0x94720;
+/// PC of the job-data load.
+pub const PC_JOB_LOAD: u32 = 0x927cc;
+/// PC of the job-data store.
+pub const PC_JOB_STORE: u32 = 0x9371c;
+/// PC base of the pool lock.
+pub const PC_LOCK_BASE: u32 = 0x9f508;
+
+/// The pool counter block.
+const POOL_COUNTER: u64 = 0;
+/// Descriptor blocks following the counter.
+const DESC_BLOCKS: u64 = 6;
+/// The single global lock block.
+const LOCK_BLOCK: u64 = 1 + DESC_BLOCKS;
+/// First job-data block.
+const JOB_DATA_BASE: u64 = LOCK_BLOCK + 1;
+/// Jobs each node processes.
+pub const JOBS_PER_NODE: u32 = 6;
+/// A descriptor write happens every this many jobs (per node).
+const DESC_WRITE_PERIOD: u32 = 4;
+
+/// Builds the per-node programs.
+pub fn programs(nodes: u16, jobs_per_node: u32, seed: u64) -> Vec<Box<dyn Program>> {
+    let n = u64::from(nodes);
+    let mut root_rng = SimRng::from_seed(seed ^ 0x4A77_AACE);
+    (0..nodes)
+        .map(|p| {
+            let pu = u64::from(p);
+            let mut rng = root_rng.derive(pu);
+            let lock = Lock::library(BlockId::new(LOCK_BLOCK), PC_LOCK_BASE);
+            let mut ops = vec![Op::Think(u64::from(p) * 31)];
+            for k in 0..jobs_per_node {
+                // Grab a job from the pool.
+                ops.push(Op::Lock(lock));
+                ops.push(Op::Read {
+                    pc: Pc::new(PC_POOL_LOAD),
+                    block: BlockId::new(POOL_COUNTER),
+                });
+                ops.push(Op::Write {
+                    pc: Pc::new(PC_POOL_STORE),
+                    block: BlockId::new(POOL_COUNTER),
+                });
+                for d in 0..DESC_BLOCKS {
+                    ops.push(Op::Read {
+                        pc: Pc::new(PC_DESC_LOAD),
+                        block: BlockId::new(1 + d),
+                    });
+                }
+                if k % DESC_WRITE_PERIOD == DESC_WRITE_PERIOD - 1 {
+                    for d in 0..DESC_BLOCKS {
+                        ops.push(Op::Write {
+                            pc: Pc::new(PC_DESC_STORE),
+                            block: BlockId::new(1 + d),
+                        });
+                    }
+                }
+                ops.push(Op::Unlock(lock));
+
+                // Render the job: its data block migrates around the
+                // machine as the pool hands work out.
+                let data = JOB_DATA_BASE + ((pu + u64::from(k)) % n);
+                ops.push(Op::Read {
+                    pc: Pc::new(PC_JOB_LOAD),
+                    block: BlockId::new(data),
+                });
+                ops.push(Op::Read {
+                    pc: Pc::new(PC_JOB_LOAD),
+                    block: BlockId::new(data),
+                });
+                ops.push(Op::Write {
+                    pc: Pc::new(PC_JOB_STORE),
+                    block: BlockId::new(data),
+                });
+                // Rendering time varies per job — this is what makes lock
+                // spin counts (and thus lock-block traces) variable. Short
+                // enough that the pool lock stays heavily contended (the
+                // critical section IS raytrace's critical path).
+                ops.push(Op::Think(rng.range(250, 900)));
+            }
+            Box::new(LoopedScript::new(ops, vec![], 0)) as Box<dyn Program>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::collect_ops;
+
+    #[test]
+    fn one_global_lock_guards_the_pool() {
+        let mut progs = programs(6, 3, 5);
+        let mut locks = std::collections::HashSet::new();
+        for p in progs.iter_mut() {
+            for op in collect_ops(p.as_mut()) {
+                if let Op::Lock(l) = op {
+                    locks.insert(l.block);
+                }
+            }
+        }
+        assert_eq!(locks.len(), 1);
+    }
+
+    #[test]
+    fn job_data_migrates_across_nodes() {
+        let nodes = 4u16;
+        let mut progs = programs(nodes, 4, 5);
+        let mut writers: std::collections::HashMap<u64, std::collections::HashSet<usize>> =
+            std::collections::HashMap::new();
+        for (i, p) in progs.iter_mut().enumerate() {
+            for op in collect_ops(p.as_mut()) {
+                if let Op::Write { pc, block } = op {
+                    if pc.value() == PC_JOB_STORE {
+                        writers.entry(block.index()).or_default().insert(i);
+                    }
+                }
+            }
+        }
+        assert!(
+            writers.values().all(|w| w.len() >= 2),
+            "every job block must be written by several nodes: {writers:?}"
+        );
+    }
+
+    #[test]
+    fn think_times_vary_with_seed() {
+        let mut a = programs(2, 4, 1);
+        let mut b = programs(2, 4, 2);
+        assert_ne!(collect_ops(a[0].as_mut()), collect_ops(b[0].as_mut()));
+    }
+
+    #[test]
+    fn descriptor_writes_are_periodic() {
+        let mut progs = programs(2, 8, 3);
+        let ops = collect_ops(progs[0].as_mut());
+        let desc_writes = ops
+            .iter()
+            .filter(|op| matches!(op, Op::Write { pc, .. } if pc.value() == PC_DESC_STORE))
+            .count();
+        assert_eq!(desc_writes as u64, 2 * DESC_BLOCKS, "8 jobs → 2 periods");
+    }
+}

@@ -1,0 +1,210 @@
+//! `tomcatv` — vectorized mesh-generation stencil (SPEC; paper input:
+//! 128×128, 50 iters).
+//!
+//! Paper §5.1: *"Tomcatv is a stencil computation in which multiple array
+//! elements are stored in the same memory block resulting in multiple
+//! references by the same instruction to the block"* — Last-PC collapses
+//! (~2–3%) while trace signatures count the touches. §5.3 adds the global
+//! table hazard: *"each neighbor reads two of each of left and right
+//! neighbors' bordering columns. The computation requires reading the outer
+//! column only once and the inner column twice, resulting in traces for the
+//! outer column blocks becoming subtraces for the inner column blocks."*
+//! DSI reaches only ≈72% because the residual reduction is migratory —
+//! exclusive requests by the sole read-copy holder — which versioning
+//! deliberately skips.
+//!
+//! Structure per machine node: four border-column strips (left/right ×
+//! outer/inner) of `BORDER_BLOCKS` each, updated with 4 stores per block
+//! (4 elements per 32-byte block) and read by exactly one neighbour — outer
+//! blocks with 4 loads, inner blocks with 8 loads *by the same PC*, making
+//! outer traces proper subtraces of inner ones. A per-node residual block
+//! set migrates between neighbours with read-write-write touches.
+
+use super::{read_n, write_n};
+use crate::program::{LoopedScript, Op, Program};
+
+/// PC of the stencil update store (4 elements per block).
+pub const PC_STENCIL: u32 = 0x20664;
+/// PC of the border gather load (outer ×4 / inner ×8 — §5.3 aliasing).
+pub const PC_BORDER: u32 = 0x2bdd4;
+/// PC of the residual-reduction load.
+pub const PC_RES_LOAD: u32 = 0x24668;
+/// PC of the residual-reduction store (two accumulated elements).
+pub const PC_RES_STORE: u32 = 0x23eb0;
+
+/// Blocks per border strip (outer or inner, one side).
+const BORDER_BLOCKS: u64 = 4;
+/// Residual blocks per node (tunes DSI's migratory blind spot to ≈28%).
+const RES_BLOCKS: u64 = 6;
+/// Blocks per node in the layout (4 strips + residuals).
+const NODE_SPAN: u64 = 4 * BORDER_BLOCKS + RES_BLOCKS;
+/// Default iteration count.
+pub const DEFAULT_ITERS: u32 = 25;
+
+/// Strip indices within a node's span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Strip {
+    LeftOuter = 0,
+    LeftInner = 1,
+    RightOuter = 2,
+    RightInner = 3,
+}
+
+fn strip_block(node: u64, strip: Strip, j: u64) -> u64 {
+    node * NODE_SPAN + (strip as u64) * BORDER_BLOCKS + j
+}
+
+fn residual_block(node: u64, j: u64) -> u64 {
+    node * NODE_SPAN + 4 * BORDER_BLOCKS + j
+}
+
+/// Builds the per-node programs.
+pub fn programs(nodes: u16, iterations: u32) -> Vec<Box<dyn Program>> {
+    let n = u64::from(nodes);
+    (0..nodes)
+        .map(|p| {
+            let pu = u64::from(p);
+            let left = (pu + n - 1) % n;
+            let right = (pu + 1) % n;
+            let mut body = Vec::new();
+
+            // Stencil update: 4 stores per border block (one per element).
+            for strip in [
+                Strip::LeftOuter,
+                Strip::LeftInner,
+                Strip::RightOuter,
+                Strip::RightInner,
+            ] {
+                for j in 0..BORDER_BLOCKS {
+                    write_n(&mut body, PC_STENCIL, strip_block(pu, strip, j), 4);
+                    body.push(Op::Think(8));
+                }
+            }
+            body.push(Op::Think(120)); // interior (non-shared) computation
+            body.push(Op::Barrier(0));
+
+            // Border exchange: read the left neighbour's right strips and
+            // the right neighbour's left strips. Outer ×4, inner ×8 — the
+            // same load PC throughout (§5.3).
+            for j in 0..BORDER_BLOCKS {
+                read_n(&mut body, PC_BORDER, strip_block(left, Strip::RightOuter, j), 4);
+                read_n(&mut body, PC_BORDER, strip_block(left, Strip::RightInner, j), 8);
+                read_n(&mut body, PC_BORDER, strip_block(right, Strip::LeftOuter, j), 4);
+                read_n(&mut body, PC_BORDER, strip_block(right, Strip::LeftInner, j), 8);
+                body.push(Op::Think(10));
+            }
+
+            // Residual reduction, phase A: my residual blocks (migratory:
+            // read, then accumulate two elements).
+            for j in 0..RES_BLOCKS {
+                body.push(super::read(PC_RES_LOAD, residual_block(pu, j)));
+                write_n(&mut body, PC_RES_STORE, residual_block(pu, j), 2);
+            }
+            body.push(Op::Barrier(1));
+
+            // Phase B: the predecessor's residual blocks migrate to me.
+            for j in 0..RES_BLOCKS {
+                body.push(super::read(PC_RES_LOAD, residual_block(left, j)));
+                write_n(&mut body, PC_RES_STORE, residual_block(left, j), 2);
+            }
+            body.push(Op::Barrier(2));
+
+            Box::new(LoopedScript::new(
+                vec![Op::Think(u64::from(p) * 11)],
+                body,
+                iterations,
+            )) as Box<dyn Program>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::collect_ops;
+    use ltp_core::Pc;
+
+    #[test]
+    fn inner_border_reads_are_double_the_outer() {
+        let mut programs = programs(4, 1);
+        let ops = collect_ops(programs[0].as_mut());
+        // Outer blocks of the right neighbour's left strip get 4 reads,
+        // inner get 8, all through PC_BORDER.
+        let mut per_block = std::collections::HashMap::new();
+        for op in &ops {
+            if let Op::Read { pc, block } = op {
+                if pc.value() == PC_BORDER {
+                    *per_block.entry(block.index()).or_insert(0u32) += 1;
+                }
+            }
+        }
+        let counts: Vec<u32> = {
+            let mut v: Vec<u32> = per_block.values().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        // 2 outer strips and 2 inner strips of BORDER_BLOCKS each: outer
+        // blocks read ×4, inner ×8.
+        let mut expected = vec![4u32; 2 * BORDER_BLOCKS as usize];
+        expected.extend(vec![8u32; 2 * BORDER_BLOCKS as usize]);
+        assert_eq!(counts, expected);
+    }
+
+    #[test]
+    fn border_reads_share_one_pc() {
+        let mut programs = programs(3, 1);
+        let ops = collect_ops(programs[1].as_mut());
+        let border_pcs: std::collections::HashSet<Pc> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Read { pc, block } if pc.value() == PC_BORDER => {
+                    let _ = block;
+                    Some(*pc)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(border_pcs.len(), 1, "subtrace aliasing needs one PC");
+    }
+
+    #[test]
+    fn residual_blocks_visited_by_two_nodes() {
+        let nodes = 4u16;
+        let mut progs = programs(nodes, 1);
+        let mut visitors: std::collections::HashMap<u64, std::collections::HashSet<usize>> =
+            std::collections::HashMap::new();
+        for (i, p) in progs.iter_mut().enumerate() {
+            for op in collect_ops(p.as_mut()) {
+                if let Op::Write { pc, block } = op {
+                    if pc.value() == PC_RES_STORE {
+                        visitors.entry(block.index()).or_default().insert(i);
+                    }
+                }
+            }
+        }
+        assert_eq!(visitors.len(), (nodes as usize) * RES_BLOCKS as usize);
+        for (block, v) in visitors {
+            assert_eq!(v.len(), 2, "residual {block} must migrate between 2 nodes");
+        }
+    }
+
+    #[test]
+    fn each_border_block_has_exactly_one_reader() {
+        let nodes = 5u16;
+        let mut progs = programs(nodes, 1);
+        let mut readers: std::collections::HashMap<u64, std::collections::HashSet<usize>> =
+            std::collections::HashMap::new();
+        for (i, p) in progs.iter_mut().enumerate() {
+            for op in collect_ops(p.as_mut()) {
+                if let Op::Read { pc, block } = op {
+                    if pc.value() == PC_BORDER {
+                        readers.entry(block.index()).or_default().insert(i);
+                    }
+                }
+            }
+        }
+        for (block, r) in readers {
+            assert_eq!(r.len(), 1, "border block {block} readers");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! `unstructured` — computational fluid dynamics over an unstructured mesh
+//! (paper input: mesh 2K, 30 iters).
+//!
+//! Paper §5.1: *"In unstructured, the main loop iterates over data values
+//! computing a threshold"* — the same instruction touches a block several
+//! times, killing Last-PC — and *"DSI only achieves 38% ... because DSI
+//! does not select blocks with migratory sharing patterns."*
+//!
+//! Structure: edge-data blocks are shared by neighbouring node pairs and
+//! migrate between them every iteration (read ×3 then write ×2 by one side,
+//! then the other), so the dominant traffic is migratory and invisible to
+//! DSI's versioning filter. A smaller producer-consumer set of node-
+//! coordinate blocks (written ×2 by the owner, read ×4 by two neighbours)
+//! provides the fraction DSI does catch.
+
+use super::{read_n, write_n};
+use crate::program::{LoopedScript, Op, Program};
+
+/// PC of the edge-sweep load (threshold computation, ×3 per block).
+pub const PC_EDGE_LOAD: u32 = 0x33924;
+/// PC of the edge-sweep store (×2 per block).
+pub const PC_EDGE_STORE: u32 = 0x323b8;
+/// PC of the coordinate update store (×2 per block).
+pub const PC_COORD_STORE: u32 = 0x3bc88;
+/// PC of the coordinate gather load (×4 per block).
+pub const PC_COORD_LOAD: u32 = 0x31a3c;
+
+/// Edge blocks shared between node p and p+1.
+const EDGE_BLOCKS: u64 = 10;
+/// Coordinate blocks owned per node.
+const COORD_BLOCKS: u64 = 5;
+const NODE_SPAN: u64 = EDGE_BLOCKS + COORD_BLOCKS;
+/// Default iteration count.
+pub const DEFAULT_ITERS: u32 = 25;
+
+fn edge_block(node: u64, j: u64) -> u64 {
+    node * NODE_SPAN + j
+}
+
+fn coord_block(node: u64, j: u64) -> u64 {
+    node * NODE_SPAN + EDGE_BLOCKS + j
+}
+
+/// Builds the per-node programs.
+pub fn programs(nodes: u16, iterations: u32) -> Vec<Box<dyn Program>> {
+    let n = u64::from(nodes);
+    (0..nodes)
+        .map(|p| {
+            let pu = u64::from(p);
+            let pred = (pu + n - 1) % n;
+            let mut body = Vec::new();
+
+            // Sweep over my own edges: threshold reads then accumulate.
+            for j in 0..EDGE_BLOCKS {
+                read_n(&mut body, PC_EDGE_LOAD, edge_block(pu, j), 3);
+                write_n(&mut body, PC_EDGE_STORE, edge_block(pu, j), 2);
+                body.push(Op::Think(15));
+            }
+            // Update my node coordinates.
+            for j in 0..COORD_BLOCKS {
+                write_n(&mut body, PC_COORD_STORE, coord_block(pu, j), 2);
+            }
+            body.push(Op::Barrier(0));
+
+            // Sweep the shared edges from the other side (they migrate).
+            for j in 0..EDGE_BLOCKS {
+                read_n(&mut body, PC_EDGE_LOAD, edge_block(pred, j), 3);
+                write_n(&mut body, PC_EDGE_STORE, edge_block(pred, j), 2);
+                body.push(Op::Think(15));
+            }
+            // Gather neighbour coordinates (two neighbours, ×4 loads).
+            for d in 1..=2u64 {
+                let nb = (pu + d) % n;
+                for j in 0..COORD_BLOCKS {
+                    read_n(&mut body, PC_COORD_LOAD, coord_block(nb, j), 4);
+                }
+            }
+            body.push(Op::Barrier(1));
+
+            Box::new(LoopedScript::new(
+                vec![Op::Think(u64::from(p) * 9)],
+                body,
+                iterations,
+            )) as Box<dyn Program>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::collect_ops;
+
+    #[test]
+    fn edges_are_written_by_exactly_two_nodes() {
+        let nodes = 4u16;
+        let mut progs = programs(nodes, 1);
+        let mut writers: std::collections::HashMap<u64, std::collections::HashSet<usize>> =
+            std::collections::HashMap::new();
+        for (i, p) in progs.iter_mut().enumerate() {
+            for op in collect_ops(p.as_mut()) {
+                if let Op::Write { pc, block } = op {
+                    if pc.value() == PC_EDGE_STORE {
+                        writers.entry(block.index()).or_default().insert(i);
+                    }
+                }
+            }
+        }
+        assert_eq!(writers.len(), (nodes as u64 * EDGE_BLOCKS) as usize);
+        for (b, w) in writers {
+            assert_eq!(w.len(), 2, "edge {b} must migrate between two nodes");
+        }
+    }
+
+    #[test]
+    fn edge_touch_counts_defeat_single_pc_prediction() {
+        let mut progs = programs(3, 1);
+        let ops = collect_ops(progs[0].as_mut());
+        let own_edge = edge_block(0, 0);
+        let touches: Vec<u32> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Read { pc, block } | Op::Write { pc, block }
+                    if block.index() == own_edge =>
+                {
+                    Some(pc.value())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            touches,
+            vec![
+                PC_EDGE_LOAD,
+                PC_EDGE_LOAD,
+                PC_EDGE_LOAD,
+                PC_EDGE_STORE,
+                PC_EDGE_STORE
+            ],
+            "the final store PC repeats: ambiguous for Last-PC"
+        );
+    }
+
+    #[test]
+    fn coord_blocks_have_two_remote_readers() {
+        let nodes = 5u16;
+        let mut progs = programs(nodes, 1);
+        let mut readers: std::collections::HashMap<u64, std::collections::HashSet<usize>> =
+            std::collections::HashMap::new();
+        for (i, p) in progs.iter_mut().enumerate() {
+            for op in collect_ops(p.as_mut()) {
+                if let Op::Read { pc, block } = op {
+                    if pc.value() == PC_COORD_LOAD {
+                        readers.entry(block.index()).or_default().insert(i);
+                    }
+                }
+            }
+        }
+        for (b, r) in readers {
+            assert_eq!(r.len(), 2, "coord block {b} readers");
+        }
+    }
+}

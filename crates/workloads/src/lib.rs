@@ -1,0 +1,25 @@
+//! # `ltp-workloads` — the synthetic benchmark suite
+//!
+//! Nine shared-memory kernels reproducing the *sharing patterns and
+//! instruction-reuse structure* of the applications in Table 2 of the ISCA
+//! 2000 Last-Touch Prediction paper (appbt, barnes, dsmc, em3d, moldyn,
+//! ocean, raytrace, tomcatv, unstructured). The real binaries ran on the
+//! Wisconsin Wind Tunnel II; what the predictors care about is *which PC
+//! sequences touch a block between coherence miss and invalidation, and who
+//! asks for it next* — that is what each kernel here reproduces, using the
+//! paper's own per-application analysis (§5.1) as the specification.
+//!
+//! See `DESIGN.md` §3.4 for the per-benchmark mechanism table and
+//! [`Benchmark`] for the registry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod program;
+mod suite;
+
+pub mod kernels;
+
+pub use program::{collect_ops, Lock, LoopedScript, Op, Program};
+pub use suite::{Benchmark, WorkloadParams};

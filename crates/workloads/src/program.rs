@@ -1,0 +1,256 @@
+//! Programs: the instruction streams driving each simulated processor.
+//!
+//! A [`Program`] yields a sequence of [`Op`]s. Memory operations carry a
+//! stable [`Pc`] per static instruction site — the identity the predictors
+//! correlate on — plus the [`BlockId`] they touch. Synchronization appears
+//! in two flavors:
+//!
+//! * [`Op::Lock`]/[`Op::Unlock`] with [`Lock::exposed`] = `true` — library
+//!   locks whose boundaries are annotated for DSI (the paper's DSI requires
+//!   all synchronization exposed to the hardware);
+//! * the same with `exposed = false` — ad-hoc spin flags (e.g. `appbt`'s
+//!   gaussian-elimination phase) that DSI cannot see, one of the paper's
+//!   explanations for DSI's low appbt accuracy.
+//!
+//! Lock acquisition itself is executed by the system driver as a
+//! test-and-test-and-set loop over the lock's shared block, so lock blocks
+//! produce real coherence traffic (migratory upgrades, variable-length spin
+//! traces) — essential to the `raytrace`/`barnes` results.
+
+use std::fmt;
+
+use ltp_core::{BlockId, Pc};
+use serde::{Deserialize, Serialize};
+
+/// A lock variable living in one shared block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lock {
+    /// The block holding the lock word.
+    pub block: BlockId,
+    /// PC of the spin-test load.
+    pub spin_pc: Pc,
+    /// PC of the test-and-set RMW.
+    pub tas_pc: Pc,
+    /// PC of the releasing store.
+    pub release_pc: Pc,
+    /// Whether acquire/release boundaries are visible to DSI.
+    pub exposed: bool,
+}
+
+impl Lock {
+    /// Creates an exposed (library) lock with PCs derived from a base.
+    pub fn library(block: BlockId, pc_base: u32) -> Self {
+        Lock {
+            block,
+            spin_pc: Pc::new(pc_base),
+            tas_pc: Pc::new(pc_base + 4),
+            release_pc: Pc::new(pc_base + 8),
+            exposed: true,
+        }
+    }
+
+    /// Creates an ad-hoc spin flag invisible to DSI.
+    pub fn ad_hoc(block: BlockId, pc_base: u32) -> Self {
+        Lock {
+            exposed: false,
+            ..Lock::library(block, pc_base)
+        }
+    }
+}
+
+/// One operation of a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Local computation for the given number of cycles (everything that is
+    /// not shared-memory traffic is abstracted into think time).
+    Think(u64),
+    /// A load from a shared block.
+    Read {
+        /// Static instruction site.
+        pc: Pc,
+        /// Block touched.
+        block: BlockId,
+    },
+    /// A store to a shared block.
+    Write {
+        /// Static instruction site.
+        pc: Pc,
+        /// Block touched.
+        block: BlockId,
+    },
+    /// Acquire a lock (expanded by the driver into a test-and-test-and-set
+    /// loop over `lock.block`).
+    Lock(Lock),
+    /// Release a lock (a store to `lock.block`).
+    Unlock(Lock),
+    /// Wait until every node reaches the barrier with this identifier.
+    Barrier(u32),
+    /// Signal an ad-hoc flag: a store that advances the flag's generation.
+    ///
+    /// Flags are ordinary shared blocks; unlike [`Op::Lock`]/[`Op::Unlock`]
+    /// with [`Lock::exposed`], flag synchronization is **never** visible to
+    /// DSI — this is the `appbt` "spin-locks not exposed to DSI" mechanism.
+    FlagSet {
+        /// Static instruction site of the signalling store.
+        pc: Pc,
+        /// The flag block.
+        block: BlockId,
+    },
+    /// Spin until the flag's generation exceeds the number of waits this
+    /// node has already completed on it (pipeline handoff semantics).
+    FlagWait {
+        /// Static instruction site of the spin load.
+        pc: Pc,
+        /// The flag block.
+        block: BlockId,
+    },
+}
+
+/// A per-node instruction stream.
+///
+/// Programs are deterministic: any randomness must be fixed at construction
+/// (from the experiment seed), so a given `(workload, seed, node)` always
+/// yields the same stream.
+pub trait Program: fmt::Debug {
+    /// Returns the next operation, or `None` when the program has finished.
+    fn next_op(&mut self) -> Option<Op>;
+}
+
+/// A program that replays a fixed prologue and then loops a body a fixed
+/// number of times.
+///
+/// This is the compact representation for the static-pattern benchmarks
+/// (em3d, tomcatv, ocean, …): PCs and block addresses repeat identically
+/// every iteration, which is precisely the repetitive behaviour last-touch
+/// prediction exploits, while memory stays proportional to one iteration.
+///
+/// # Examples
+///
+/// ```
+/// use ltp_core::{BlockId, Pc};
+/// use ltp_workloads::{LoopedScript, Op, Program};
+///
+/// let mut p = LoopedScript::new(
+///     vec![Op::Think(5)],
+///     vec![Op::Read { pc: Pc::new(1), block: BlockId::new(0) }],
+///     2,
+/// );
+/// assert_eq!(p.next_op(), Some(Op::Think(5)));
+/// assert!(matches!(p.next_op(), Some(Op::Read { .. })));
+/// assert!(matches!(p.next_op(), Some(Op::Read { .. })));
+/// assert_eq!(p.next_op(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopedScript {
+    prologue: Vec<Op>,
+    body: Vec<Op>,
+    iterations: u32,
+    cursor: usize,
+    in_prologue: bool,
+    iter_done: u32,
+}
+
+impl LoopedScript {
+    /// Creates a script from a prologue, a loop body, and an iteration
+    /// count.
+    pub fn new(prologue: Vec<Op>, body: Vec<Op>, iterations: u32) -> Self {
+        LoopedScript {
+            prologue,
+            body,
+            iterations,
+            cursor: 0,
+            in_prologue: true,
+            iter_done: 0,
+        }
+    }
+
+    /// Total operations this script will emit.
+    pub fn len_ops(&self) -> usize {
+        self.prologue.len() + self.body.len() * self.iterations as usize
+    }
+}
+
+impl Program for LoopedScript {
+    fn next_op(&mut self) -> Option<Op> {
+        loop {
+            if self.in_prologue {
+                if self.cursor < self.prologue.len() {
+                    let op = self.prologue[self.cursor];
+                    self.cursor += 1;
+                    return Some(op);
+                }
+                self.in_prologue = false;
+                self.cursor = 0;
+            }
+            if self.iter_done >= self.iterations || self.body.is_empty() {
+                return None;
+            }
+            if self.cursor < self.body.len() {
+                let op = self.body[self.cursor];
+                self.cursor += 1;
+                return Some(op);
+            }
+            self.cursor = 0;
+            self.iter_done += 1;
+        }
+    }
+}
+
+/// Drains a program into a vector (test helper; beware large programs).
+pub fn collect_ops(p: &mut dyn Program) -> Vec<Op> {
+    std::iter::from_fn(|| p.next_op()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(pc: u32, block: u64) -> Op {
+        Op::Read {
+            pc: Pc::new(pc),
+            block: BlockId::new(block),
+        }
+    }
+
+    #[test]
+    fn looped_script_replays_body() {
+        let mut p = LoopedScript::new(vec![Op::Think(1)], vec![read(1, 0), read(2, 1)], 3);
+        let ops = collect_ops(&mut p);
+        assert_eq!(ops.len(), 1 + 2 * 3);
+        assert_eq!(ops[0], Op::Think(1));
+        assert_eq!(ops[1], ops[3]);
+        assert_eq!(ops[2], ops[4]);
+    }
+
+    #[test]
+    fn zero_iterations_emit_only_prologue() {
+        let mut p = LoopedScript::new(vec![Op::Think(9)], vec![read(1, 0)], 0);
+        assert_eq!(collect_ops(&mut p), vec![Op::Think(9)]);
+    }
+
+    #[test]
+    fn empty_body_terminates() {
+        let mut p = LoopedScript::new(vec![], vec![], 100);
+        assert_eq!(p.next_op(), None);
+        assert_eq!(p.len_ops(), 0);
+    }
+
+    #[test]
+    fn len_ops_matches_emission() {
+        let mut p = LoopedScript::new(vec![Op::Think(1); 3], vec![read(1, 0); 4], 5);
+        assert_eq!(p.len_ops(), 3 + 20);
+        assert_eq!(collect_ops(&mut p).len(), 23);
+    }
+
+    #[test]
+    fn lock_constructors() {
+        let lib = Lock::library(BlockId::new(9), 0x100);
+        assert!(lib.exposed);
+        assert_eq!(lib.spin_pc, Pc::new(0x100));
+        assert_eq!(lib.tas_pc, Pc::new(0x104));
+        assert_eq!(lib.release_pc, Pc::new(0x108));
+        let raw = Lock::ad_hoc(BlockId::new(9), 0x100);
+        assert!(!raw.exposed);
+        assert_eq!(raw.block, lib.block);
+    }
+}

@@ -1,0 +1,53 @@
+//! # `ltp` — Last-Touch Prediction, reproduced
+//!
+//! A full reproduction of Lai & Falsafi, *"Selective, Accurate, and Timely
+//! Self-Invalidation Using Last-Touch Prediction"* (ISCA 2000): the
+//! two-level trace-based Last-Touch Predictor, the Dynamic Self-Invalidation
+//! and Last-PC baselines, a 32-node CC-NUMA simulator with a full-map
+//! write-invalidate directory protocol, and the nine-benchmark evaluation
+//! suite that regenerates every table and figure of the paper.
+//!
+//! This crate is a facade: it re-exports the five member crates so
+//! applications can depend on one name.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `ltp-core` | predictors: LTP (per-block & global), Last-PC, DSI, signatures, confidence |
+//! | [`dsm`] | `ltp-dsm` | directory protocol, caches, protocol engines, network |
+//! | [`sim`] | `ltp-sim` | deterministic discrete-event kernel, RNG, statistics |
+//! | [`system`] | `ltp-system` | full-machine composition and the experiment driver |
+//! | [`workloads`] | `ltp-workloads` | the nine synthetic Table 2 benchmarks |
+//!
+//! # Quick start
+//!
+//! Run the paper's headline experiment — the base-case LTP on `em3d` — and
+//! inspect the Figure 6 classification:
+//!
+//! ```
+//! use ltp::system::{ExperimentSpec, PolicyKind};
+//! use ltp::workloads::Benchmark;
+//!
+//! let report = ExperimentSpec::quick(Benchmark::Em3d, PolicyKind::LTP, 8, 10).run();
+//! let m = &report.metrics;
+//! assert!(m.predicted_pct() > 50.0, "em3d is the predictor's best case");
+//! println!(
+//!     "em3d: {:.1}% predicted, {:.1}% mispredicted, {} cycles",
+//!     m.predicted_pct(),
+//!     m.mispredicted_pct(),
+//!     m.exec_cycles
+//! );
+//! ```
+//!
+//! The runnable examples under `examples/` walk through the predictor API
+//! (`quickstart`), the protocol (`protocol_walkthrough`), and three workload
+//! scenarios; `cargo bench` regenerates every table and figure (see
+//! EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ltp_core as core;
+pub use ltp_dsm as dsm;
+pub use ltp_sim as sim;
+pub use ltp_system as system;
+pub use ltp_workloads as workloads;

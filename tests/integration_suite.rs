@@ -1,0 +1,198 @@
+//! Cross-crate integration tests: every benchmark × every policy runs to
+//! completion on a small machine, deterministically, with sane metrics.
+
+use ltp::system::{ExperimentSpec, PolicyKind, RunReport};
+use ltp::workloads::Benchmark;
+
+const POLICIES: [PolicyKind; 5] = [
+    PolicyKind::Base,
+    PolicyKind::Dsi,
+    PolicyKind::LastPc,
+    PolicyKind::LTP,
+    PolicyKind::LTP_GLOBAL,
+];
+
+fn quick(benchmark: Benchmark, policy: PolicyKind) -> RunReport {
+    ExperimentSpec::quick(benchmark, policy, 8, 4).run()
+}
+
+#[test]
+fn every_benchmark_runs_under_every_policy() {
+    for benchmark in Benchmark::ALL {
+        for policy in POLICIES {
+            let report = quick(benchmark, policy);
+            let m = &report.metrics;
+            assert!(m.exec_cycles > 0, "{benchmark}/{policy:?} ran");
+            assert!(m.misses > 0, "{benchmark}/{policy:?} produced traffic");
+            assert!(
+                m.invalidation_events() > 0,
+                "{benchmark}/{policy:?} produced sharing"
+            );
+        }
+    }
+}
+
+#[test]
+fn metric_invariants_hold_everywhere() {
+    for benchmark in Benchmark::ALL {
+        for policy in POLICIES {
+            let m = quick(benchmark, policy).metrics;
+            assert!(
+                m.predicted_timely <= m.predicted,
+                "{benchmark}/{policy:?}: timely ⊆ predicted"
+            );
+            assert_eq!(
+                m.invalidation_events(),
+                m.predicted + m.not_predicted,
+                "{benchmark}/{policy:?}: classification partitions events"
+            );
+            let total_pct = m.predicted_pct() + m.not_predicted_pct();
+            assert!(
+                (total_pct - 100.0).abs() < 1e-6,
+                "{benchmark}/{policy:?}: percentages sum to 100, got {total_pct}"
+            );
+            if matches!(policy, PolicyKind::Base) {
+                assert_eq!(m.predicted, 0, "base never predicts");
+                assert_eq!(m.mispredicted, 0, "base never mispredicts");
+                assert_eq!(m.self_invalidations_sent, 0, "base never self-invalidates");
+            }
+        }
+    }
+}
+
+#[test]
+fn runs_are_bit_reproducible() {
+    for benchmark in [Benchmark::Barnes, Benchmark::Raytrace, Benchmark::Em3d] {
+        let spec = ExperimentSpec::quick(benchmark, PolicyKind::LTP, 6, 3);
+        let a = spec.run();
+        let b = spec.run();
+        assert_eq!(a.metrics.exec_cycles, b.metrics.exec_cycles, "{benchmark}");
+        assert_eq!(a.metrics.predicted, b.metrics.predicted, "{benchmark}");
+        assert_eq!(a.metrics.messages, b.metrics.messages, "{benchmark}");
+        assert_eq!(a.events_handled, b.events_handled, "{benchmark}");
+    }
+}
+
+#[test]
+fn seeds_change_stochastic_workloads_only() {
+    let run = |benchmark, seed| {
+        let mut spec = ExperimentSpec::quick(benchmark, PolicyKind::Base, 6, 3);
+        spec.workload.seed = seed;
+        spec.run().metrics.exec_cycles
+    };
+    // Stochastic kernels react to the seed…
+    assert_ne!(run(Benchmark::Barnes, 1), run(Benchmark::Barnes, 2));
+    // …static kernels do not.
+    assert_eq!(run(Benchmark::Em3d, 1), run(Benchmark::Em3d, 2));
+    assert_eq!(run(Benchmark::Tomcatv, 1), run(Benchmark::Tomcatv, 2));
+}
+
+#[test]
+fn ltp_beats_last_pc_on_multi_touch_kernels() {
+    // The paper's core claim, on the kernels built to show it.
+    for benchmark in [Benchmark::Tomcatv, Benchmark::Moldyn, Benchmark::Unstructured] {
+        let ltp = ExperimentSpec::quick(benchmark, PolicyKind::LTP, 8, 12)
+            .run()
+            .metrics;
+        let lpc = ExperimentSpec::quick(benchmark, PolicyKind::LastPc, 8, 12)
+            .run()
+            .metrics;
+        assert!(
+            ltp.predicted_pct() > lpc.predicted_pct() + 30.0,
+            "{benchmark}: trace correlation must dominate single-PC \
+             (ltp {:.1}% vs last-pc {:.1}%)",
+            ltp.predicted_pct(),
+            lpc.predicted_pct()
+        );
+    }
+}
+
+#[test]
+fn em3d_all_predictors_learn_the_one_touch_pattern() {
+    for policy in [PolicyKind::LastPc, PolicyKind::LTP] {
+        let m = ExperimentSpec::quick(Benchmark::Em3d, policy, 8, 20).run().metrics;
+        assert!(
+            m.predicted_pct() > 80.0,
+            "{policy:?} on em3d: {:.1}%",
+            m.predicted_pct()
+        );
+        assert!(m.mispredicted_pct() < 5.0);
+    }
+}
+
+#[test]
+fn dsi_skips_migratory_blocks() {
+    // unstructured is migratory-dominated: DSI must underperform LTP badly.
+    let dsi = ExperimentSpec::quick(Benchmark::Unstructured, PolicyKind::Dsi, 8, 12)
+        .run()
+        .metrics;
+    let ltp = ExperimentSpec::quick(Benchmark::Unstructured, PolicyKind::LTP, 8, 12)
+        .run()
+        .metrics;
+    assert!(
+        ltp.predicted_pct() > dsi.predicted_pct() + 20.0,
+        "ltp {:.1}% vs dsi {:.1}%",
+        ltp.predicted_pct(),
+        dsi.predicted_pct()
+    );
+}
+
+#[test]
+fn global_table_suffers_cross_block_aliasing_on_tomcatv() {
+    let per_block = ExperimentSpec::quick(Benchmark::Tomcatv, PolicyKind::LtpPerBlock { bits: 13 }, 8, 12)
+        .run()
+        .metrics;
+    let global = ExperimentSpec::quick(Benchmark::Tomcatv, PolicyKind::LTP_GLOBAL, 8, 12)
+        .run()
+        .metrics;
+    assert!(
+        global.mispredicted_pct() > per_block.mispredicted_pct(),
+        "outer/inner subtrace aliasing must show up as global-table prematures \
+         (global {:.1}% vs per-block {:.1}%)",
+        global.mispredicted_pct(),
+        per_block.mispredicted_pct()
+    );
+}
+
+#[test]
+fn dsi_burstiness_shows_in_directory_queueing() {
+    let base = ExperimentSpec::quick(Benchmark::Em3d, PolicyKind::Base, 8, 12)
+        .run()
+        .metrics;
+    let dsi = ExperimentSpec::quick(Benchmark::Em3d, PolicyKind::Dsi, 8, 12)
+        .run()
+        .metrics;
+    assert!(
+        dsi.dir_queueing.mean_or_zero() > 2.0 * base.dir_queueing.mean_or_zero(),
+        "dsi queueing {:.1} vs base {:.1}",
+        dsi.dir_queueing.mean_or_zero(),
+        base.dir_queueing.mean_or_zero()
+    );
+}
+
+#[test]
+fn ltp_speeds_up_em3d_end_to_end() {
+    let base = ExperimentSpec::quick(Benchmark::Em3d, PolicyKind::Base, 8, 20)
+        .run()
+        .metrics;
+    let ltp = ExperimentSpec::quick(Benchmark::Em3d, PolicyKind::LTP, 8, 20)
+        .run()
+        .metrics;
+    assert!(
+        ltp.speedup_vs(&base) > 1.1,
+        "speedup {:.3}",
+        ltp.speedup_vs(&base)
+    );
+}
+
+#[test]
+fn storage_accounting_reports_signature_tables() {
+    let m = ExperimentSpec::quick(Benchmark::Tomcatv, PolicyKind::LTP, 8, 8)
+        .run()
+        .metrics;
+    assert!(m.storage.blocks_tracked > 0);
+    assert!(m.storage.live_entries > 0);
+    assert_eq!(m.storage.signature_bits, 13);
+    assert!(m.storage.entries_per_block() > 0.0);
+    assert!(m.storage.overhead_bytes_per_block() > 0.0);
+}

@@ -1,0 +1,196 @@
+//! Property tests over the predictors in isolation: arbitrary interleaved
+//! touch/invalidation/verification streams must never break the predictor's
+//! internal bookkeeping, and the signature encoders must satisfy their
+//! algebraic contracts.
+
+use ltp::core::{
+    BlockId, FillInfo, FillKind, GlobalLtp, LastPc, Pc, PerBlockLtp, PredictorConfig,
+    SelfInvalidationPolicy, Signature, SignatureBits, SignatureEncoder, SyncKind, Touch,
+    TruncatedAdd, VerifyOutcome, XorRotate,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One step of a predictor-driving script.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Touch block b with PC site s (write if w).
+    Touch(u8, u8, bool),
+    /// External invalidation of block b (delivered only if the block is
+    /// mid-trace, as the machine would).
+    Invalidate(u8),
+    /// A synchronization boundary.
+    Sync,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0u8..8, 0u8..6, any::<bool>()).prop_map(|(b, s, w)| Step::Touch(b, s, w)),
+        2 => (0u8..8).prop_map(Step::Invalidate),
+        1 => Just(Step::Sync),
+    ]
+}
+
+/// Drives a policy through the script while honouring the machine's
+/// contract: a fired block's trace ends (no invalidation for it until it is
+/// refetched), every fire eventually gets exactly one verification, and the
+/// first touch after an invalidation or fire is a demand fill.
+fn drive<P: SelfInvalidationPolicy>(policy: &mut P, script: &[Step], outcomes: &[bool]) {
+    let mut cached: HashMap<u8, bool> = HashMap::new(); // block -> cached?
+    let mut pending_fires: Vec<u8> = Vec::new();
+    let mut outcome_idx = 0;
+    for s in script {
+        match *s {
+            Step::Touch(b, site, is_write) => {
+                let was_cached = cached.get(&b).copied().unwrap_or(false);
+                let fill = if was_cached {
+                    None
+                } else {
+                    // Refetching after a fire resolves that fire first, in
+                    // FIFO order, as the directory's mask would.
+                    if let Some(pos) = pending_fires.iter().position(|&fb| fb == b) {
+                        pending_fires.remove(pos);
+                        let correct = outcomes.get(outcome_idx).copied().unwrap_or(true);
+                        outcome_idx += 1;
+                        policy.on_verification(
+                            BlockId::new(u64::from(b)),
+                            if correct {
+                                VerifyOutcome::Correct
+                            } else {
+                                VerifyOutcome::Premature
+                            },
+                        );
+                    }
+                    Some(FillInfo {
+                        kind: FillKind::Demand,
+                        dir_version: 0,
+                        migratory_upgrade: false,
+                    })
+                };
+                let fired = policy.on_touch(Touch {
+                    block: BlockId::new(u64::from(b)),
+                    pc: Pc::new(0x4_0000 + u32::from(site) * 0x11b4),
+                    is_write,
+                    exclusive: is_write,
+                    fill,
+                });
+                if fired {
+                    cached.insert(b, false);
+                    pending_fires.push(b);
+                } else {
+                    cached.insert(b, true);
+                }
+            }
+            Step::Invalidate(b) => {
+                if cached.get(&b).copied().unwrap_or(false) {
+                    policy.on_invalidation(BlockId::new(u64::from(b)));
+                    cached.insert(b, false);
+                }
+            }
+            Step::Sync => {
+                for b in policy.on_sync(SyncKind::Barrier) {
+                    let key = b.index() as u8;
+                    cached.insert(key, false);
+                    pending_fires.push(key);
+                }
+            }
+        }
+    }
+    // Resolve any leftover fires so the FIFO drains.
+    for b in pending_fires {
+        policy.on_verification(BlockId::new(u64::from(b)), VerifyOutcome::Correct);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn predictors_survive_arbitrary_event_streams(
+        script in prop::collection::vec(step(), 1..200),
+        outcomes in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let cfg = PredictorConfig::default();
+        let mut per_block = PerBlockLtp::new(SignatureBits::PER_BLOCK_DEFAULT, 4, cfg);
+        drive(&mut per_block, &script, &outcomes);
+        let s = per_block.storage();
+        prop_assert!(s.live_entries <= s.blocks_tracked * 4, "LRU cap respected");
+
+        let mut global = GlobalLtp::new(SignatureBits::BASE, 64, 2, cfg);
+        drive(&mut global, &script, &outcomes);
+        prop_assert!(global.storage().live_entries <= 64 * 2);
+
+        let mut last_pc = LastPc::with_config(4, cfg);
+        drive(&mut last_pc, &script, &outcomes);
+    }
+
+    #[test]
+    fn fired_total_is_monotone_and_bounded_by_touches(
+        script in prop::collection::vec(step(), 1..150),
+    ) {
+        let mut p = PerBlockLtp::new(
+            SignatureBits::PER_BLOCK_DEFAULT,
+            8,
+            PredictorConfig::default(),
+        );
+        let touches = script.iter().filter(|s| matches!(s, Step::Touch(..))).count() as u64;
+        drive(&mut p, &script, &[]);
+        prop_assert!(p.fired_total() <= touches);
+    }
+
+    #[test]
+    fn truncated_add_is_incremental_and_width_masked(
+        pcs in prop::collection::vec(any::<u32>(), 1..40),
+        width in 1u8..=32,
+    ) {
+        let width = SignatureBits::new(width).unwrap();
+        let enc = TruncatedAdd::new(width);
+        let pcs: Vec<Pc> = pcs.into_iter().map(Pc::new).collect();
+        // Incremental folding equals whole-trace encoding.
+        let mut sig = enc.start(pcs[0]);
+        for &pc in &pcs[1..] {
+            sig = enc.fold(sig, pc);
+        }
+        prop_assert_eq!(sig, enc.encode_trace(&pcs));
+        // Signatures never exceed the width.
+        prop_assert_eq!(sig.bits() & !width.mask(), 0);
+        // Truncated addition is exactly a modular sum.
+        let sum: u32 = pcs.iter().fold(0u32, |a, p| a.wrapping_add(p.value()));
+        prop_assert_eq!(sig, Signature::from_bits(sum, width));
+    }
+
+    #[test]
+    fn xor_rotate_is_deterministic_and_masked(
+        pcs in prop::collection::vec(any::<u32>(), 1..40),
+        width in 2u8..=32,
+        rotation in 1u32..8,
+    ) {
+        let width = SignatureBits::new(width).unwrap();
+        let enc = XorRotate::new(width, rotation);
+        let pcs: Vec<Pc> = pcs.into_iter().map(Pc::new).collect();
+        let a = enc.encode_trace(&pcs);
+        let b = enc.encode_trace(&pcs);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a.bits() & !width.mask(), 0);
+    }
+
+    #[test]
+    fn subtrace_extension_changes_truncated_signature_unless_zero_mod(
+        pcs in prop::collection::vec(1u32..0x7fff_ffff, 1..20),
+        extra in 1u32..0x7fff_ffff,
+    ) {
+        // Appending a PC changes the signature iff the PC is nonzero mod
+        // 2^k — the precise condition behind the §3.1 subtrace-aliasing
+        // discussion.
+        let width = SignatureBits::PER_BLOCK_DEFAULT;
+        let enc = TruncatedAdd::new(width);
+        let pcs: Vec<Pc> = pcs.into_iter().map(Pc::new).collect();
+        let base = enc.encode_trace(&pcs);
+        let extended = enc.fold(base, Pc::new(extra));
+        if extra & width.mask() == 0 {
+            prop_assert_eq!(base, extended, "zero-mod PCs alias their prefix");
+        } else {
+            prop_assert_ne!(base, extended);
+        }
+    }
+}
