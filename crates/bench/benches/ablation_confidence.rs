@@ -9,21 +9,21 @@
 //! and `self_invalidate_shared = false` restricts speculation to dirty
 //! copies only.
 
-use ltp_bench::{mean, pct, print_header};
+use ltp_bench::{mean, pct, print_header, SuiteSweep};
 use ltp_core::{PredictorConfig, PrematurePenalty};
-use ltp_system::{ExperimentSpec, PolicyKind};
-use ltp_workloads::Benchmark;
 
 fn run_all(predictor: PredictorConfig) -> (f64, f64) {
-    let mut pred = Vec::new();
-    let mut mis = Vec::new();
-    for benchmark in Benchmark::ALL {
-        let mut spec = ExperimentSpec::isca00(benchmark, PolicyKind::LTP);
-        spec.predictor = predictor;
-        let m = spec.run().metrics;
-        pred.push(m.predicted_pct());
-        mis.push(m.mispredicted_pct());
-    }
+    let sweep = SuiteSweep::with_predictor(&["ltp"], predictor);
+    let pred: Vec<f64> = sweep
+        .reports()
+        .iter()
+        .map(|r| r.metrics.predicted_pct())
+        .collect();
+    let mis: Vec<f64> = sweep
+        .reports()
+        .iter()
+        .map(|r| r.metrics.mispredicted_pct())
+        .collect();
     (mean(&pred), mean(&mis))
 }
 

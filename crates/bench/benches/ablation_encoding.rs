@@ -6,8 +6,7 @@
 //! the suite. (Truncated addition is order-insensitive: `{a,b}` and `{b,a}`
 //! collide. XOR-rotate distinguishes them at equal width.)
 
-use ltp_bench::{mean, pct, print_header, run_suite_point};
-use ltp_system::PolicyKind;
+use ltp_bench::{mean, pct, print_header, SuiteSweep};
 use ltp_workloads::Benchmark;
 
 fn main() {
@@ -20,14 +19,12 @@ fn main() {
         "benchmark", "encoder", "predicted%", "mispred%"
     );
 
-    let encoders = [
-        ("trunc-add", PolicyKind::LtpPerBlock { bits: 13 }),
-        ("xor-rot", PolicyKind::LtpXor { bits: 13 }),
-    ];
+    let encoders = [("trunc-add", "ltp:bits=13"), ("xor-rot", "ltp-xor:bits=13")];
+    let sweep = SuiteSweep::run(&[encoders[0].1, encoders[1].1]);
     let mut sums: Vec<Vec<f64>> = vec![Vec::new(); encoders.len()];
     for benchmark in Benchmark::ALL {
-        for (ei, (name, policy)) in encoders.iter().enumerate() {
-            let m = run_suite_point(benchmark, *policy).metrics;
+        for (ei, (name, _)) in encoders.iter().enumerate() {
+            let m = &sweep.report(benchmark, ei).metrics;
             println!(
                 "{:<14} {:>10} {:>10} {:>10}",
                 benchmark.name(),

@@ -43,7 +43,7 @@ fn main() {
         },
     ));
     messages += step.sends.len() + 2; // + the GetS and the InvAck themselves
-    // Latency: req hop + Inv hop + ack hop + reply hop + 2 directory visits.
+                                      // Latency: req hop + Inv hop + ack hop + reply hop + 2 directory visits.
     let four_hop = cfg.ni_occupancy() + cfg.net_latency() // GetS
         + cfg.dir_control() // lookup, Inv sent
         + cfg.ni_occupancy() + cfg.net_latency() // Inv
@@ -79,7 +79,7 @@ fn main() {
     // --- Figure 2: burst vs spread self-invalidation ---------------------
     println!();
     let flushes = 24u64; // one DSI node flushing its candidate list
-    // DSI: all flushes hand over to the NI at the same instant.
+                         // DSI: all flushes hand over to the NI at the same instant.
     let mut ni = NetIface::new(cfg.ni_occupancy());
     let mut last = Cycle::ZERO;
     for _ in 0..flushes {

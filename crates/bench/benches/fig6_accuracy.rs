@@ -4,8 +4,7 @@
 //! Paper expectations: DSI avg ≈ 47% predicted / 14% premature; Last-PC avg
 //! ≈ 41% / 2%; LTP avg ≈ 79% (up to 98%) / 3%.
 
-use ltp_bench::{mean, pct, print_header, run_suite_point};
-use ltp_system::PolicyKind;
+use ltp_bench::{mean, pct, print_header, SuiteSweep};
 use ltp_workloads::Benchmark;
 
 fn main() {
@@ -18,28 +17,29 @@ fn main() {
         "benchmark", "policy", "predicted%", "not-pred%", "mispred%"
     );
 
-    let policies = [PolicyKind::Dsi, PolicyKind::LastPc, PolicyKind::LTP];
-    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    let specs = ["dsi", "last-pc", "ltp"];
+    let sweep = SuiteSweep::run(&specs);
+    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
 
     for benchmark in Benchmark::ALL {
-        for (pi, &policy) in policies.iter().enumerate() {
-            let report = run_suite_point(benchmark, policy);
+        for (pi, sum) in sums.iter_mut().enumerate() {
+            let report = sweep.report(benchmark, pi);
             let m = &report.metrics;
             println!(
                 "{:<14} {:>8} {:>10} {:>10} {:>10}",
                 benchmark.name(),
-                policy.name(),
+                report.policy,
                 pct(m.predicted_pct()),
                 pct(m.not_predicted_pct()),
                 pct(m.mispredicted_pct()),
             );
-            sums[pi].push(m.predicted_pct());
+            sum.push(m.predicted_pct());
         }
         println!();
     }
 
     println!("averages (paper: dsi 47%, last-pc 41%, ltp 79%):");
-    for (pi, &policy) in policies.iter().enumerate() {
-        println!("  {:<8} predicted {}%", policy.name(), pct(mean(&sums[pi])));
+    for (pi, spec) in specs.iter().enumerate() {
+        println!("  {:<8} predicted {}%", spec, pct(mean(&sums[pi])));
     }
 }

@@ -5,8 +5,7 @@
 //! for the applications with large instruction footprints (appbt, dsmc,
 //! ocean, unstructured) due to subtrace aliasing.
 
-use ltp_bench::{mean, pct, print_header, run_suite_point};
-use ltp_system::PolicyKind;
+use ltp_bench::{mean, pct, print_header, SuiteSweep};
 use ltp_workloads::Benchmark;
 
 fn main() {
@@ -20,12 +19,14 @@ fn main() {
     );
 
     let widths = [30u8, 13, 11, 6];
+    let specs: Vec<String> = widths.iter().map(|b| format!("ltp:bits={b}")).collect();
+    let spec_refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+    let sweep = SuiteSweep::run(&spec_refs);
     let mut per_width: Vec<Vec<f64>> = vec![Vec::new(); widths.len()];
 
     for benchmark in Benchmark::ALL {
         for (wi, &bits) in widths.iter().enumerate() {
-            let report = run_suite_point(benchmark, PolicyKind::LtpPerBlock { bits });
-            let m = &report.metrics;
+            let m = &sweep.report(benchmark, wi).metrics;
             println!(
                 "{:<14} {:>5} {:>10} {:>10} {:>10}",
                 benchmark.name(),

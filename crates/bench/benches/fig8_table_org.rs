@@ -8,8 +8,9 @@
 //! item of DESIGN.md §5): more sets/ways do not fix aliasing because the
 //! interference is semantic (identical signatures), not capacity-driven.
 
-use ltp_bench::{mean, pct, print_header, run_suite_point};
-use ltp_system::PolicyKind;
+use ltp_bench::{mean, pct, print_header, SuiteSweep};
+use ltp_core::PolicyRegistry;
+use ltp_system::SweepSpec;
 use ltp_workloads::Benchmark;
 
 fn main() {
@@ -22,16 +23,13 @@ fn main() {
         "benchmark", "org", "predicted%", "not-pred%", "mispred%"
     );
 
-    let orgs = [
-        ("per-block", PolicyKind::LtpPerBlock { bits: 13 }),
-        ("global", PolicyKind::LTP_GLOBAL),
-    ];
+    let orgs = [("per-block", "ltp:bits=13"), ("global", "ltp-global")];
+    let sweep = SuiteSweep::run(&[orgs[0].1, orgs[1].1]);
     let mut sums: Vec<Vec<f64>> = vec![Vec::new(); orgs.len()];
 
     for benchmark in Benchmark::ALL {
-        for (oi, (name, policy)) in orgs.iter().enumerate() {
-            let report = run_suite_point(benchmark, *policy);
-            let m = &report.metrics;
+        for (oi, (name, _)) in orgs.iter().enumerate() {
+            let m = &sweep.report(benchmark, oi).metrics;
             println!(
                 "{:<14} {:>10} {:>10} {:>10} {:>10}",
                 benchmark.name(),
@@ -52,16 +50,23 @@ fn main() {
     // Geometry ablation: capacity does not cure cross-block aliasing.
     println!();
     println!("global-table geometry ablation (tomcatv, the §5.3 aliasing case):");
-    println!("{:>8} {:>5} {:>10} {:>10}", "sets", "ways", "predicted%", "mispred%");
-    for (sets, ways) in [(512u32, 2u32), (2048, 4), (8192, 8)] {
-        let report = run_suite_point(
-            Benchmark::Tomcatv,
-            PolicyKind::LtpGlobal {
-                bits: 30,
-                sets,
-                ways,
-            },
-        );
+    println!(
+        "{:>8} {:>5} {:>10} {:>10}",
+        "sets", "ways", "predicted%", "mispred%"
+    );
+    let registry = PolicyRegistry::with_builtins();
+    let geometries = [(512u32, 2u32), (2048, 4), (8192, 8)];
+    let specs: Vec<String> = geometries
+        .iter()
+        .map(|(sets, ways)| format!("ltp-global:bits=30,sets={sets},ways={ways}"))
+        .collect();
+    let spec_refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+    let reports = SweepSpec::new()
+        .benchmark(Benchmark::Tomcatv)
+        .policy_specs(&registry, &spec_refs)
+        .expect("geometry specs resolve")
+        .collect();
+    for ((sets, ways), report) in geometries.iter().zip(&reports) {
         let m = &report.metrics;
         println!(
             "{:>8} {:>5} {:>10} {:>10}",

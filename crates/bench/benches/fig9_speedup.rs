@@ -4,8 +4,7 @@
 //! application by <1%; DSI averages only +3% and *slows down* four of the
 //! nine applications (bursty self-invalidation and prematures).
 
-use ltp_bench::{print_header, run_suite_point};
-use ltp_system::PolicyKind;
+use ltp_bench::{print_header, SuiteSweep};
 use ltp_workloads::Benchmark;
 
 fn main() {
@@ -18,16 +17,17 @@ fn main() {
         "benchmark", "base(cyc)", "dsi(cyc)", "ltp(cyc)", "dsi-spd", "ltp-spd"
     );
 
+    let sweep = SuiteSweep::run(&["base", "dsi", "ltp"]);
     let mut dsi_speedups = Vec::new();
     let mut ltp_speedups = Vec::new();
     let mut dsi_slowdowns = 0u32;
 
     for benchmark in Benchmark::ALL {
-        let base = run_suite_point(benchmark, PolicyKind::Base).metrics;
-        let dsi = run_suite_point(benchmark, PolicyKind::Dsi).metrics;
-        let ltp = run_suite_point(benchmark, PolicyKind::LTP).metrics;
-        let s_dsi = dsi.speedup_vs(&base);
-        let s_ltp = ltp.speedup_vs(&base);
+        let base = &sweep.report(benchmark, 0).metrics;
+        let dsi = &sweep.report(benchmark, 1).metrics;
+        let ltp = &sweep.report(benchmark, 2).metrics;
+        let s_dsi = dsi.speedup_vs(base);
+        let s_ltp = ltp.speedup_vs(base);
         if s_dsi < 1.0 {
             dsi_slowdowns += 1;
         }

@@ -1,11 +1,11 @@
-//! Criterion microbenchmarks of the predictor hot paths: per-touch probe,
+//! Microbenchmarks of the predictor hot paths: per-touch probe,
 //! invalidation-time learning, and the DSI versioning hooks.
 //!
 //! The paper argues the LTP must be on-chip because every shared-memory
 //! instruction consults it; these benches characterize the software model's
 //! per-event cost (which bounds full-system simulation speed).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ltp_bench::microbench;
 use ltp_core::{
     BlockId, DsiPolicy, FillInfo, FillKind, LastPc, Pc, PerBlockLtp, PredictorConfig,
     SelfInvalidationPolicy, SignatureBits, Touch,
@@ -47,47 +47,58 @@ fn episode<P: SelfInvalidationPolicy>(p: &mut P) {
     }
 }
 
-fn bench_predictors(c: &mut Criterion) {
-    let mut group = c.benchmark_group("predictor_episode_64blocks");
-    group.bench_function("per_block_ltp_13b", |bench| {
-        bench.iter_batched(
-            || PerBlockLtp::new(SignatureBits::PER_BLOCK_DEFAULT, 16, PredictorConfig::default()),
-            |mut p| episode(&mut p),
-            BatchSize::SmallInput,
-        )
+fn main() {
+    // Each episode closure necessarily constructs a fresh predictor (an
+    // episode trains state, so reuse would change the measured path); the
+    // ctor-only rows measure that per-iteration setup so the event cost is
+    // episode − ctor for each predictor.
+    println!("predictor construction only:");
+    microbench("per_block_ltp_13b/ctor", || {
+        black_box(PerBlockLtp::new(
+            SignatureBits::PER_BLOCK_DEFAULT,
+            16,
+            PredictorConfig::default(),
+        ));
     });
-    group.bench_function("last_pc", |bench| {
-        bench.iter_batched(
-            || LastPc::with_config(16, PredictorConfig::default()),
-            |mut p| episode(&mut p),
-            BatchSize::SmallInput,
-        )
+    microbench("last_pc/ctor", || {
+        black_box(LastPc::with_config(16, PredictorConfig::default()));
     });
-    group.bench_function("dsi", |bench| {
-        bench.iter_batched(
-            DsiPolicy::new,
-            |mut p| episode(&mut p),
-            BatchSize::SmallInput,
-        )
+    microbench("dsi/ctor", || {
+        black_box(DsiPolicy::new());
     });
-    group.finish();
-}
 
-fn bench_steady_state_touches(c: &mut Criterion) {
+    println!();
+    println!("predictor episode (64 blocks × fill + 3 hits + invalidation):");
+    microbench("per_block_ltp_13b/episode_64blocks", || {
+        let mut p = PerBlockLtp::new(
+            SignatureBits::PER_BLOCK_DEFAULT,
+            16,
+            PredictorConfig::default(),
+        );
+        episode(&mut p);
+    });
+    microbench("last_pc/episode_64blocks", || {
+        let mut p = LastPc::with_config(16, PredictorConfig::default());
+        episode(&mut p);
+    });
+    microbench("dsi/episode_64blocks", || {
+        let mut p = DsiPolicy::new();
+        episode(&mut p);
+    });
+
     // A trained predictor processing hit touches (the common case the paper
     // wants filtered/buffered at L2).
-    let mut p = PerBlockLtp::new(SignatureBits::PER_BLOCK_DEFAULT, 16, PredictorConfig::default());
+    let mut p = PerBlockLtp::new(
+        SignatureBits::PER_BLOCK_DEFAULT,
+        16,
+        PredictorConfig::default(),
+    );
     for _ in 0..3 {
         episode(&mut p);
     }
-    c.bench_function("trained_ltp_touch", |bench| {
-        let mut i = 0u64;
-        bench.iter(|| {
-            i += 1;
-            p.on_touch(black_box(hit_touch(i % 64, 0x4010)))
-        })
+    let mut i = 0u64;
+    microbench("trained_ltp_touch", || {
+        i += 1;
+        black_box(p.on_touch(black_box(hit_touch(i % 64, 0x4010))));
     });
 }
-
-criterion_group!(benches, bench_predictors, bench_steady_state_touches);
-criterion_main!(benches);

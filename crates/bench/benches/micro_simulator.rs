@@ -1,39 +1,31 @@
-//! Criterion microbenchmarks of the simulation substrate: event-queue
-//! throughput and a small end-to-end machine run (events per second bound
-//! the full-suite regeneration time).
+//! Microbenchmarks of the simulation substrate: event-queue throughput and
+//! a small end-to-end machine run (events per second bound the full-suite
+//! regeneration time).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ltp_bench::microbench;
 use ltp_sim::{Cycle, EventQueue};
-use ltp_system::{ExperimentSpec, PolicyKind};
+use ltp_system::ExperimentSpec;
 use ltp_workloads::Benchmark;
 use std::hint::black_box;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |bench| {
-        bench.iter_batched(
-            EventQueue::<u64>::new,
-            |mut q| {
-                for i in 0..1000u64 {
-                    q.schedule(Cycle::new((i * 7919) % 1000), i);
-                }
-                while let Some(ev) = q.pop() {
-                    black_box(ev);
-                }
-            },
-            BatchSize::SmallInput,
-        )
+fn main() {
+    microbench("event_queue_push_pop_1k", || {
+        let mut q = EventQueue::<u64>::new();
+        for i in 0..1000u64 {
+            q.schedule(Cycle::new((i * 7919) % 1000), i);
+        }
+        while let Some(ev) = q.pop() {
+            black_box(ev);
+        }
+    });
+
+    let spec = ExperimentSpec::builder(Benchmark::Em3d)
+        .policy_spec("ltp")
+        .expect("builtin spec")
+        .nodes(8)
+        .iterations(2)
+        .build();
+    microbench("em3d_8nodes_2iters_ltp", || {
+        black_box(spec.run().metrics.exec_cycles);
     });
 }
-
-fn bench_small_machine(c: &mut Criterion) {
-    c.bench_function("em3d_8nodes_2iters_ltp", |bench| {
-        bench.iter(|| {
-            let report =
-                ExperimentSpec::quick(Benchmark::Em3d, PolicyKind::LTP, 8, 2).run();
-            black_box(report.metrics.exec_cycles)
-        })
-    });
-}
-
-criterion_group!(benches, bench_event_queue, bench_small_machine);
-criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Sweep-driver scaling baseline: the same cross product executed serially
+//! and in parallel, verified identical, timed, and written to
+//! `BENCH_sweep.json` as JSON lines (one record per run, then a `meta`
+//! record with the wall-clocks).
+//!
+//! Later PRs compare against the committed baseline to track the sweep
+//! driver's performance trajectory.
+//!
+//! ```sh
+//! cargo bench -p ltp-bench --bench sweep_baseline
+//! ```
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::time::Instant;
+
+use ltp_bench::print_header;
+use ltp_core::PolicyRegistry;
+use ltp_system::{JsonLinesSink, NullSink, SweepSpec};
+use ltp_workloads::{Benchmark, WorkloadParams};
+
+/// The baseline lives at the repository root regardless of the bench
+/// process's working directory (cargo runs benches from the package dir).
+fn out_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json")
+}
+
+fn main() {
+    print_header(
+        "Sweep-driver baseline — serial vs parallel wall-clock",
+        "infrastructure benchmark (no paper analogue)",
+    );
+
+    // A representative mid-size cross product: 4 benchmarks × 4 policies ×
+    // 2 machine sizes = 32 runs, sized to finish in seconds.
+    let registry = PolicyRegistry::with_builtins();
+    let sweep = SweepSpec::new()
+        .benchmarks([
+            Benchmark::Em3d,
+            Benchmark::Tomcatv,
+            Benchmark::Moldyn,
+            Benchmark::Raytrace,
+        ])
+        .policy_specs(&registry, &["base", "dsi", "last-pc", "ltp:bits=13"])
+        .expect("builtin specs")
+        .geometry(WorkloadParams::quick(8, 8))
+        .geometry(WorkloadParams::quick(16, 8));
+    let runs = sweep.len();
+
+    let started = Instant::now();
+    let serial = sweep.clone().serial().execute(&mut NullSink);
+    let serial_s = started.elapsed().as_secs_f64();
+    println!("serial:   {runs} runs in {serial_s:.3}s");
+
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let started = Instant::now();
+    let path = out_path();
+    let file = File::create(&path).expect("create BENCH_sweep.json");
+    let mut sink = JsonLinesSink::new(BufWriter::new(file));
+    let parallel = sweep.execute(&mut sink);
+    let parallel_s = started.elapsed().as_secs_f64();
+    println!("parallel: {runs} runs in {parallel_s:.3}s ({workers} workers)");
+    println!("speedup:  {:.2}x", serial_s / parallel_s.max(1e-9));
+
+    assert_eq!(serial, parallel, "parallel sweep must be bit-identical");
+
+    // Append the meta record (wall-clocks) after the per-run lines.
+    let mut out = sink.into_inner();
+    writeln!(
+        out,
+        "{{\"meta\":\"sweep_baseline\",\"runs\":{runs},\"serial_seconds\":{serial_s:.3},\
+         \"parallel_seconds\":{parallel_s:.3},\"workers\":{workers}}}"
+    )
+    .expect("append meta record");
+    out.flush().expect("flush BENCH_sweep.json");
+    println!(
+        "wrote {} ({runs} per-run records + 1 meta record)",
+        path.display()
+    );
+}

@@ -6,8 +6,7 @@
 //! current-signature register); the global table drops entries to 0.8/block
 //! but, needing 30-bit signatures, only reaches ≈6 bytes.
 
-use ltp_bench::{print_header, run_suite_point};
-use ltp_system::PolicyKind;
+use ltp_bench::{print_header, SuiteSweep};
 use ltp_workloads::Benchmark;
 
 fn main() {
@@ -20,18 +19,15 @@ fn main() {
         "benchmark", "perblk-ent", "perblk-ovh", "global-ent", "global-ovh"
     );
 
+    let sweep = SuiteSweep::run(&["ltp:bits=13", "ltp-global"]);
     let mut pb_ent = Vec::new();
     let mut pb_ovh = Vec::new();
     let mut gl_ent = Vec::new();
     let mut gl_ovh = Vec::new();
 
     for benchmark in Benchmark::ALL {
-        let pb = run_suite_point(benchmark, PolicyKind::LtpPerBlock { bits: 13 })
-            .metrics
-            .storage;
-        let gl = run_suite_point(benchmark, PolicyKind::LTP_GLOBAL)
-            .metrics
-            .storage;
+        let pb = &sweep.report(benchmark, 0).metrics.storage;
+        let gl = &sweep.report(benchmark, 1).metrics.storage;
         println!(
             "{:<14} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
             benchmark.name(),

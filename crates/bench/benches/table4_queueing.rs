@@ -8,8 +8,7 @@
 //! request ~79% of the time on average, LTP's >90% (except raytrace, whose
 //! spinning contenders request almost immediately).
 
-use ltp_bench::{print_header, run_suite_point};
-use ltp_system::PolicyKind;
+use ltp_bench::{print_header, SuiteSweep};
 use ltp_workloads::Benchmark;
 
 fn main() {
@@ -26,10 +25,11 @@ fn main() {
         "benchmark", "queue", "service", "queue", "timely%", "queue", "timely%"
     );
 
+    let sweep = SuiteSweep::run(&["base", "dsi", "ltp"]);
     for benchmark in Benchmark::ALL {
-        let base = run_suite_point(benchmark, PolicyKind::Base).metrics;
-        let dsi = run_suite_point(benchmark, PolicyKind::Dsi).metrics;
-        let ltp = run_suite_point(benchmark, PolicyKind::LTP).metrics;
+        let base = &sweep.report(benchmark, 0).metrics;
+        let dsi = &sweep.report(benchmark, 1).metrics;
+        let ltp = &sweep.report(benchmark, 2).metrics;
         println!(
             "{:<14} {:>9.0} {:>9.0} | {:>9.0} {:>8.0}% | {:>9.0} {:>8.0}%",
             benchmark.name(),

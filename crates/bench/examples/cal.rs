@@ -5,33 +5,29 @@
 //! cargo run --release -p ltp-bench --example cal -- tomcatv
 //! ```
 
-use ltp_system::{ExperimentSpec, PolicyKind};
+use ltp_core::PolicyRegistry;
+use ltp_system::SweepSpec;
 use ltp_workloads::Benchmark;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let bench = match args.get(1).map(|s| s.as_str()) {
-        Some("appbt") => Benchmark::Appbt,
-        Some("barnes") => Benchmark::Barnes,
-        Some("dsmc") => Benchmark::Dsmc,
-        Some("em3d") => Benchmark::Em3d,
-        Some("moldyn") => Benchmark::Moldyn,
-        Some("ocean") => Benchmark::Ocean,
-        Some("raytrace") => Benchmark::Raytrace,
-        Some("tomcatv") => Benchmark::Tomcatv,
-        _ => Benchmark::Unstructured,
-    };
+    let bench = args
+        .get(1)
+        .and_then(|s| Benchmark::from_name(s))
+        .unwrap_or(Benchmark::Unstructured);
     println!("{bench} on the 32-node ISCA'00 machine:");
-    for (name, policy) in [
-        ("ltp13", PolicyKind::LtpPerBlock { bits: 13 }),
-        ("ltp30", PolicyKind::LtpPerBlock { bits: 30 }),
-        ("lastpc", PolicyKind::LastPc),
-        ("dsi", PolicyKind::Dsi),
-    ] {
-        let r = ExperimentSpec::isca00(bench, policy).run();
+    let registry = PolicyRegistry::with_builtins();
+    let specs = ["ltp:bits=13", "ltp:bits=30", "last-pc", "dsi"];
+    let reports = SweepSpec::new()
+        .benchmark(bench)
+        .policy_specs(&registry, &specs)
+        .expect("builtin specs")
+        .collect();
+    for r in &reports {
         let m = &r.metrics;
         println!(
-            "{name:>7}: pred {:5.1}% not {:5.1}% mis {:5.1}% | inv_events {} selfinv {} timely {:.0}%",
+            "{:>24}: pred {:5.1}% not {:5.1}% mis {:5.1}% | inv_events {} selfinv {} timely {:.0}%",
+            r.policy_spec,
             m.predicted_pct(),
             m.not_predicted_pct(),
             m.mispredicted_pct(),

@@ -3,29 +3,98 @@
 //! Each bench target under `benches/` regenerates one table or figure of the
 //! paper (run `cargo bench -p ltp-bench --bench fig6_accuracy` etc., or all
 //! of them with `cargo bench`). This library holds the shared scaffolding:
-//! suite iteration, report formatting, and the geometric-mean/average
-//! helpers the paper's summary numbers use.
+//! the [`SuiteSweep`] wrapper over the parallel `SweepSpec` driver, report
+//! formatting, the micro-benchmark timer, and the mean helper the paper's
+//! summary numbers use.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ltp_system::{ExperimentSpec, PolicyKind, RunReport};
-use ltp_workloads::{Benchmark, WorkloadParams};
+use std::hint::black_box;
+use std::time::Instant;
 
-/// Runs one benchmark under one policy with the paper's 32-node machine.
-pub fn run_suite_point(benchmark: Benchmark, policy: PolicyKind) -> RunReport {
-    ExperimentSpec::isca00(benchmark, policy).run()
+use ltp_core::{PolicyRegistry, PredictorConfig};
+use ltp_system::{RunReport, SweepSpec};
+use ltp_workloads::Benchmark;
+
+/// One full-suite sweep: every Table 2 benchmark × the given policy specs
+/// on the paper's 32-node machine, executed in parallel.
+///
+/// Reports are stored in run order (benchmark-major, then policy), so
+/// [`SuiteSweep::report`] is a direct index.
+#[derive(Debug)]
+pub struct SuiteSweep {
+    specs: Vec<String>,
+    reports: Vec<RunReport>,
 }
 
-/// Runs one benchmark under one policy with custom workload parameters.
-pub fn run_with_params(
-    benchmark: Benchmark,
-    policy: PolicyKind,
-    workload: WorkloadParams,
-) -> RunReport {
-    let mut spec = ExperimentSpec::isca00(benchmark, policy);
-    spec.workload = workload;
-    spec.run()
+impl SuiteSweep {
+    /// Sweeps the whole suite under each policy spec with default predictor
+    /// tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spec does not resolve against the built-in registry.
+    pub fn run(specs: &[&str]) -> Self {
+        SuiteSweep::with_predictor(specs, PredictorConfig::default())
+    }
+
+    /// Sweeps the whole suite under each policy spec with custom predictor
+    /// tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spec does not resolve against the built-in registry.
+    pub fn with_predictor(specs: &[&str], predictor: PredictorConfig) -> Self {
+        let registry = PolicyRegistry::with_builtins();
+        let reports = SweepSpec::new()
+            .all_benchmarks()
+            .policy_specs(&registry, specs)
+            .expect("bench policy specs resolve")
+            .predictor(predictor)
+            .collect();
+        SuiteSweep {
+            specs: specs.iter().map(|s| s.to_string()).collect(),
+            reports,
+        }
+    }
+
+    /// The policy specs this sweep ran, in column order.
+    pub fn specs(&self) -> &[String] {
+        &self.specs
+    }
+
+    /// All reports, benchmark-major.
+    pub fn reports(&self) -> &[RunReport] {
+        &self.reports
+    }
+
+    /// The report of one (benchmark, policy-column) cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec_idx` is out of range.
+    pub fn report(&self, benchmark: Benchmark, spec_idx: usize) -> &RunReport {
+        assert!(spec_idx < self.specs.len(), "policy column out of range");
+        let b_idx = Benchmark::ALL
+            .iter()
+            .position(|b| *b == benchmark)
+            .expect("suite benchmark");
+        &self.reports[b_idx * self.specs.len() + spec_idx]
+    }
+}
+
+/// Runs one benchmark under one policy spec on the paper's 32-node machine.
+///
+/// # Panics
+///
+/// Panics if the spec does not resolve against the built-in registry.
+pub fn run_suite_point(benchmark: Benchmark, spec: &str) -> RunReport {
+    ltp_system::ExperimentSpec::builder(benchmark)
+        .policy_spec(spec)
+        .expect("bench policy spec resolves")
+        .build()
+        .run()
 }
 
 /// Arithmetic mean of a slice (the paper reports arithmetic averages for
@@ -53,6 +122,32 @@ pub fn pct(v: f64) -> String {
     format!("{v:5.1}")
 }
 
+/// Times `f` with a calibrated repetition count and prints ns/iteration —
+/// the in-tree replacement for the external micro-benchmark harness.
+///
+/// The loop doubles the iteration count until one timed batch exceeds
+/// ~200 ms, then reports the per-iteration latency of the final batch.
+pub fn microbench<F: FnMut()>(name: &str, mut f: F) {
+    // Warm-up.
+    for _ in 0..3 {
+        black_box(&mut f)();
+    }
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(&mut f)();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 200 || iters >= 1 << 30 {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{name:<40} {ns:>14.1} ns/iter ({iters} iters)");
+            return;
+        }
+        iters *= 2;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +161,12 @@ mod tests {
     #[test]
     fn pct_formats_width() {
         assert_eq!(pct(7.25), "  7.2");
+    }
+
+    #[test]
+    fn microbench_reports_without_panicking() {
+        let mut n = 0u64;
+        microbench("noop", || n = n.wrapping_add(1));
+        assert!(n > 0);
     }
 }

@@ -13,8 +13,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A two-bit saturating counter in `0..=3`.
 ///
 /// # Examples
@@ -30,7 +28,7 @@ use serde::{Deserialize, Serialize};
 /// c.weaken();
 /// assert_eq!(c.value(), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TwoBitCounter(u8);
 
 impl TwoBitCounter {

@@ -99,10 +99,12 @@ impl SelfInvalidationPolicy for DsiPolicy {
                 } else {
                     self.candidates.remove(&touch.block);
                 }
-                self.remembered_version.insert(touch.block, fill.dir_version);
+                self.remembered_version
+                    .insert(touch.block, fill.dir_version);
             }
             FillKind::Upgrade => {
-                self.remembered_version.insert(touch.block, fill.dir_version);
+                self.remembered_version
+                    .insert(touch.block, fill.dir_version);
                 if fill.migratory_upgrade {
                     // Exclusive request while holding the only read-only
                     // copy: migratory; deselect.

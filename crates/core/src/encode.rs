@@ -12,8 +12,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::Pc;
 
 /// Width of a signature in bits. The paper's "Base" configuration is 30 bits
@@ -29,7 +27,7 @@ use crate::types::Pc;
 /// assert_eq!(bits.mask(), (1 << 13) - 1);
 /// # Ok::<(), ltp_core::InvalidSignatureBits>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SignatureBits(u8);
 
 /// Error returned when constructing a [`SignatureBits`] outside `1..=32`.
@@ -90,10 +88,7 @@ impl fmt::Display for SignatureBits {
 ///
 /// Only the low [`SignatureBits`] bits are meaningful; constructors mask
 /// eagerly so equality is width-honest.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Signature(u32);
 
 impl Signature {

@@ -12,6 +12,9 @@
 //!   synchronization-boundary flush);
 //! * [`SelfInvalidationPolicy`] — the interface a DSM node uses to drive any
 //!   of the above;
+//! * [`PolicyFactory`] / [`PolicyRegistry`] — the open policy API: spec
+//!   strings like `"ltp:bits=13"` resolve to factories, and external crates
+//!   register their own (see [`registry`] for the grammar);
 //! * signature encoders, table organizations, and [`TwoBitCounter`]
 //!   confidence filtering.
 //!
@@ -68,6 +71,7 @@ mod encode;
 mod last_pc;
 mod ltp;
 mod policy;
+pub mod registry;
 mod table;
 mod types;
 
@@ -81,5 +85,6 @@ pub use ltp::{GlobalLtp, PerBlockLtp, PredictorConfig, PrematurePenalty, TracePr
 pub use policy::{
     FillInfo, FillKind, NullPolicy, SelfInvalidationPolicy, SyncKind, Touch, VerifyOutcome,
 };
+pub use registry::{PolicyFactory, PolicyRegistry, PolicySpecError, SpecParams};
 pub use table::{GlobalTable, LastTouchTable, PerBlockTable, Probe, StorageStats};
 pub use types::{BlockId, NodeId, Pc};

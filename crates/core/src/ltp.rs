@@ -34,8 +34,6 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use serde::{Deserialize, Serialize};
-
 use crate::encode::{Signature, SignatureEncoder, TruncatedAdd};
 use crate::policy::{FillKind, SelfInvalidationPolicy, Touch, VerifyOutcome};
 use crate::table::{GlobalTable, LastTouchTable, PerBlockTable, Probe, StorageStats};
@@ -43,7 +41,7 @@ use crate::types::BlockId;
 
 /// Penalty applied to a signature entry whose prediction was verified
 /// premature.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PrematurePenalty {
     /// Decrement the two-bit counter by one.
     Weaken,
@@ -54,7 +52,7 @@ pub enum PrematurePenalty {
 }
 
 /// Tuning knobs shared by every [`TracePredictor`] instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PredictorConfig {
     /// Confidence of a freshly inserted signature (0..=3). The default of 2
     /// means one confirmation saturates the counter and arms the entry.

@@ -9,13 +9,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::table::StorageStats;
 use crate::types::{BlockId, Pc};
 
 /// How a block arrived in (or was upgraded within) the cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FillKind {
     /// A demand miss brought the block in from the home node. Starts a new
     /// trace for trace-based predictors.
@@ -30,7 +28,7 @@ pub enum FillKind {
 ///
 /// Carries what the DSI versioning protocol needs; trace predictors only look
 /// at [`FillKind`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FillInfo {
     /// Demand fill or in-place upgrade.
     pub kind: FillKind,
@@ -45,7 +43,7 @@ pub struct FillInfo {
 }
 
 /// One memory access to a cached shared block, as seen by a policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Touch {
     /// The block touched.
     pub block: BlockId,
@@ -63,7 +61,7 @@ pub struct Touch {
 }
 
 /// A synchronization boundary visible to the policy (what DSI hooks).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SyncKind {
     /// A lock acquire completed.
     LockAcquire,
@@ -75,7 +73,7 @@ pub enum SyncKind {
 
 /// The verified outcome of a speculative self-invalidation (paper §4's
 /// directory verification mask).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VerifyOutcome {
     /// The sharing phase moved on (read→write or write→read transition at
     /// the directory) without this node re-touching the block: the

@@ -16,8 +16,6 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::confidence::TwoBitCounter;
 use crate::encode::{Signature, SignatureBits};
 use crate::types::BlockId;
@@ -51,7 +49,7 @@ impl Probe {
 /// ```text
 /// overhead = entries * (sig_bits + 2)/8  +  sig_bits/8
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StorageStats {
     /// Number of blocks that ever allocated predictor state ("actively
     /// shared" blocks: fetched and eventually invalidated at least once).

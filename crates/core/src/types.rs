@@ -8,8 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies one node (processor + memory + directory slice) of the DSM.
 ///
 /// The ISCA'00 evaluation simulates 32 nodes; nothing in this repository
@@ -24,10 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(home.index(), 3);
 /// assert_eq!(home.to_string(), "P3");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(u16);
 
 impl NodeId {
@@ -66,10 +61,7 @@ impl fmt::Display for NodeId {
 /// assert_eq!(b.index(), 128);
 /// assert_eq!(b.to_string(), "B128");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BlockId(u64);
 
 impl BlockId {
@@ -109,10 +101,7 @@ impl fmt::Display for BlockId {
 /// assert_eq!(site.value(), 0x10f4);
 /// assert_eq!(format!("{site}"), "pc:0x10f4");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Pc(u32);
 
 impl Pc {

@@ -25,7 +25,6 @@ use std::fmt;
 
 use ltp_core::{BlockId, NodeId};
 use ltp_sim::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Error produced by [`SystemConfigBuilder::build`] on invalid parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,7 +52,7 @@ impl std::error::Error for ConfigError {}
 
 /// Full machine configuration. Construct via [`SystemConfig::builder`] or
 /// [`SystemConfig::isca00`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SystemConfig {
     nodes: u16,
     block_bytes: u32,
@@ -326,7 +325,10 @@ mod tests {
     fn builder_validates_timing() {
         let err = SystemConfig::builder().net_latency(0).build().unwrap_err();
         assert_eq!(err, ConfigError::ZeroTiming("net_latency"));
-        let err = SystemConfig::builder().pipeline_stages(0).build().unwrap_err();
+        let err = SystemConfig::builder()
+            .pipeline_stages(0)
+            .build()
+            .unwrap_err();
         assert_eq!(err, ConfigError::ZeroTiming("pipeline_stages"));
     }
 

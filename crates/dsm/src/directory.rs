@@ -310,8 +310,7 @@ impl Directory {
                 });
                 self.counters.invalidations_sent.incr();
                 let mut s = DirStep::control();
-                s.sends
-                    .push(Message::new(home, owner, block, MsgKind::Inv));
+                s.sends.push(Message::new(home, owner, block, MsgKind::Inv));
                 s
             }
 
@@ -416,8 +415,7 @@ impl Directory {
                 });
                 self.counters.invalidations_sent.incr();
                 let mut s = DirStep::control();
-                s.sends
-                    .push(Message::new(home, owner, block, MsgKind::Inv));
+                s.sends.push(Message::new(home, owner, block, MsgKind::Inv));
                 s
             }
             (DirState::Busy(_), _) => unreachable!("busy handled above"),
@@ -601,7 +599,11 @@ mod tests {
         assert_eq!(step.sends[0].dst, n(1));
         assert!(matches!(
             step.sends[0].kind,
-            MsgKind::DataS { version: 0, token: 0, verify: None }
+            MsgKind::DataS {
+                version: 0,
+                token: 0,
+                verify: None
+            }
         ));
     }
 
@@ -904,7 +906,10 @@ mod tests {
             },
         ));
         assert!(
-            matches!(step.sends.last().unwrap().kind, MsgKind::DataX { token: 1, .. }),
+            matches!(
+                step.sends.last().unwrap().kind,
+                MsgKind::DataX { token: 1, .. }
+            ),
             "P2 must observe P1's write"
         );
     }

@@ -148,11 +148,16 @@ impl ProtocolEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ltp_core::{BlockId, NodeId};
     use crate::msg::MsgKind;
+    use ltp_core::{BlockId, NodeId};
 
     fn m(i: u16) -> Message {
-        Message::new(NodeId::new(i), NodeId::new(0), BlockId::new(0), MsgKind::GetS)
+        Message::new(
+            NodeId::new(i),
+            NodeId::new(0),
+            BlockId::new(0),
+            MsgKind::GetS,
+        )
     }
 
     #[test]
@@ -182,6 +187,38 @@ mod tests {
         // Ready again after 64, not 128.
         assert_eq!(e.next_ready(Cycle::new(0)), Cycle::new(64));
         assert_eq!(e.next_ready(Cycle::new(100)), Cycle::new(100));
+    }
+
+    #[test]
+    fn initiation_interval_clamps_to_one_cycle() {
+        // When the service time is shorter than the pipeline depth, the
+        // integer initiation interval `service / stages` would round to 0 —
+        // letting the next service start in the same cycle and the engine
+        // process unboundedly many messages per cycle. The engine must
+        // clamp the interval to one cycle.
+        for (stages, service) in [(2u32, 1u64), (4, 2), (4, 3), (8, 1)] {
+            let mut e = ProtocolEngine::new(stages);
+            e.enqueue(Cycle::new(0), m(1));
+            e.dequeue(Cycle::new(0));
+            let done = e.begin_service(Cycle::new(0), Cycle::new(service));
+            assert_eq!(
+                done,
+                Cycle::new(service),
+                "{stages} stages / {service} cycles"
+            );
+            assert_eq!(
+                e.next_ready(Cycle::new(0)),
+                Cycle::new(1),
+                "{stages} stages / {service} cycles: interval clamps to 1"
+            );
+        }
+        // At exactly service == stages the interval is also 1 — the clamp
+        // and the division agree at the boundary.
+        let mut e = ProtocolEngine::new(4);
+        e.enqueue(Cycle::new(0), m(1));
+        e.dequeue(Cycle::new(0));
+        e.begin_service(Cycle::new(0), Cycle::new(4));
+        assert_eq!(e.next_ready(Cycle::new(0)), Cycle::new(1));
     }
 
     #[test]

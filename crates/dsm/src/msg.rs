@@ -7,10 +7,9 @@
 //! serialized; the directory asserts token monotonicity on writebacks).
 
 use ltp_core::{BlockId, NodeId, VerifyOutcome};
-use serde::{Deserialize, Serialize};
 
 /// The wire kinds of the protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MsgKind {
     /// Read miss: request a read-only copy.
     GetS,
@@ -101,7 +100,7 @@ impl MsgKind {
 }
 
 /// One protocol message in flight.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Message {
     /// Sending node.
     pub src: NodeId,

@@ -14,7 +14,6 @@
 
 use ltp_sim::stats::Counter;
 use ltp_sim::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// One node's outgoing network interface.
 ///
@@ -31,7 +30,7 @@ use serde::{Deserialize, Serialize};
 /// // After the burst drains, the interface is free again.
 /// assert_eq!(ni.depart(Cycle::new(500)), Cycle::new(508));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetIface {
     occupancy: Cycle,
     busy_until: Cycle,
@@ -84,7 +83,10 @@ mod tests {
         let t1 = ni.depart(Cycle::new(0));
         let t2 = ni.depart(Cycle::new(0));
         let t3 = ni.depart(Cycle::new(0));
-        assert_eq!((t1, t2, t3), (Cycle::new(8), Cycle::new(16), Cycle::new(24)));
+        assert_eq!(
+            (t1, t2, t3),
+            (Cycle::new(8), Cycle::new(16), Cycle::new(24))
+        );
         assert_eq!(ni.sent(), 3);
     }
 

@@ -6,7 +6,7 @@
 //! they were scheduled. Determinism is a correctness requirement for this
 //! repository — last-touch predictor training data is an interleaving of
 //! coherence events, and reproducible interleavings are what make the
-//! experiment tables in EXPERIMENTS.md reproducible.
+//! regenerated experiment tables reproducible.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

@@ -2,16 +2,15 @@
 //!
 //! All stochastic decisions in the repository (e.g. `barnes` octree churn,
 //! `raytrace` job sizes) draw from a [`SimRng`] seeded from the experiment
-//! specification, so every table in EXPERIMENTS.md is bit-reproducible.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! specification, so every regenerated figure and table is bit-reproducible.
 
 /// A deterministic random-number source.
 ///
-/// Wraps [`rand::rngs::SmallRng`] and exposes only the operations the
-/// workloads need; the narrow surface keeps the determinism contract easy to
-/// audit.
+/// A self-contained xoshiro256++ generator (seeded through SplitMix64, per
+/// the reference implementation) exposing only the operations the workloads
+/// need; the narrow surface keeps the determinism contract easy to audit,
+/// and carrying the generator in-tree keeps the repository free of external
+/// dependencies.
 ///
 /// # Examples
 ///
@@ -24,14 +23,29 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// One SplitMix64 step: advances `seed` and returns the mixed output.
+fn splitmix64(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn from_seed(seed: u64) -> Self {
+        let mut s = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
@@ -49,19 +63,38 @@ impl SimRng {
         SimRng::from_seed(z ^ (z >> 31))
     }
 
-    /// Returns the next raw 64-bit value.
+    /// Returns the next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 
     /// Returns a value uniformly distributed in `[0, bound)`.
+    ///
+    /// Uses unbiased rejection sampling (the draw is retried in the rare
+    /// case it lands in the truncated tail of the 64-bit range).
     ///
     /// # Panics
     ///
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..bound)
+        let zone = u64::MAX - u64::MAX % bound;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
     }
 
     /// Returns a value uniformly distributed in `[lo, hi)`.
@@ -71,7 +104,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range {lo}..{hi}");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Returns `true` with probability `num / den`.
@@ -81,13 +114,13 @@ impl SimRng {
     /// Panics if `den == 0` or `num > den`.
     pub fn chance(&mut self, num: u32, den: u32) -> bool {
         assert!(den > 0 && num <= den, "invalid probability {num}/{den}");
-        self.inner.gen_range(0..den) < num
+        self.below(u64::from(den)) < u64::from(num)
     }
 
     /// Fisher–Yates shuffles `slice` in place.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
     }

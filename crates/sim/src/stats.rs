@@ -8,8 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::Cycle;
 
 /// A monotonically increasing event counter.
@@ -24,7 +22,7 @@ use crate::time::Cycle;
 /// invalidations.incr();
 /// assert_eq!(invalidations.count(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter {
     count: u64,
 }
@@ -76,7 +74,7 @@ impl fmt::Display for Counter {
 /// assert_eq!(queueing.mean(), Some(20.0));
 /// assert_eq!(queueing.samples(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MeanAccumulator {
     sum: f64,
     samples: u64,
@@ -151,7 +149,7 @@ impl MeanAccumulator {
 /// timely.record(false);
 /// assert!((timely.percent() - 66.66).abs() < 0.1);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Ratio {
     hits: u64,
     total: u64,
@@ -212,7 +210,7 @@ impl Ratio {
 /// h.record(500);
 /// assert_eq!(h.bucket_counts(), &[1, 1, 1]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     bounds: Vec<u64>,
     counts: Vec<u64>,

@@ -1,0 +1,133 @@
+//! Deprecated closed-enum policy selection, kept as a thin shim over the
+//! open [`PolicyRegistry`] API.
+//!
+//! `PolicyKind` was the original way experiments named policies: a closed
+//! enum inside this crate, meaning every new policy required editing
+//! `ltp-system`. It survives only as a compatibility veneer — each variant
+//! lowers to a spec string and resolves through the built-in registry. New
+//! code should use spec strings or [`PolicyFactory`] values directly.
+
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use ltp_core::{PolicyFactory, PolicyRegistry, PredictorConfig, SelfInvalidationPolicy};
+
+/// Which self-invalidation policy every node runs.
+#[deprecated(
+    since = "0.1.0",
+    note = "use PolicyRegistry spec strings (e.g. \"ltp:bits=13\") or PolicyFactory values"
+)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// No self-invalidation (the baseline DSM).
+    Base,
+    /// Dynamic Self-Invalidation (versioning + sync-boundary flush).
+    Dsi,
+    /// The single-PC strawman predictor.
+    LastPc,
+    /// The per-block (PAp-like) trace LTP with the given signature width.
+    LtpPerBlock {
+        /// Signature width in bits (the paper sweeps 30/13/11/6).
+        bits: u8,
+    },
+    /// The global-table (PAg-like) trace LTP.
+    LtpGlobal {
+        /// Signature width in bits (30 needed for usable accuracy).
+        bits: u8,
+        /// Number of sets in the global table.
+        sets: u32,
+        /// Associativity of the global table.
+        ways: u32,
+    },
+    /// Per-block trace LTP with the order-sensitive XOR-rotate encoder.
+    LtpXor {
+        /// Signature width in bits.
+        bits: u8,
+    },
+}
+
+impl PolicyKind {
+    /// The paper's base-case LTP: per-block tables, 13-bit signatures.
+    pub const LTP: PolicyKind = PolicyKind::LtpPerBlock { bits: 13 };
+    /// The paper's global-table configuration.
+    pub const LTP_GLOBAL: PolicyKind = PolicyKind::LtpGlobal {
+        bits: 30,
+        sets: 256,
+        ways: 2,
+    };
+
+    /// Short display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Base => "base",
+            PolicyKind::Dsi => "dsi",
+            PolicyKind::LastPc => "last-pc",
+            PolicyKind::LtpPerBlock { .. } => "ltp",
+            PolicyKind::LtpGlobal { .. } => "ltp-global",
+            PolicyKind::LtpXor { .. } => "ltp-xor",
+        }
+    }
+
+    /// The registry spec string this variant lowers to.
+    pub fn spec(self) -> String {
+        match self {
+            PolicyKind::Base => "base".to_string(),
+            PolicyKind::Dsi => "dsi".to_string(),
+            PolicyKind::LastPc => "last-pc".to_string(),
+            PolicyKind::LtpPerBlock { bits } => format!("ltp:bits={bits}"),
+            PolicyKind::LtpGlobal { bits, sets, ways } => {
+                format!("ltp-global:bits={bits},sets={sets},ways={ways}")
+            }
+            PolicyKind::LtpXor { bits } => format!("ltp-xor:bits={bits}"),
+        }
+    }
+
+    /// Resolves this variant to a registry factory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a signature width is outside `1..=32`.
+    pub fn factory(self) -> Arc<dyn PolicyFactory> {
+        PolicyRegistry::with_builtins()
+            .parse(&self.spec())
+            .expect("builtin variants resolve")
+    }
+
+    /// Instantiates one policy object for a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a signature width is outside `1..=32`.
+    pub fn build(self, config: PredictorConfig) -> Box<dyn SelfInvalidationPolicy> {
+        self.factory().build(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_lowers_to_a_resolvable_spec() {
+        for kind in [
+            PolicyKind::Base,
+            PolicyKind::Dsi,
+            PolicyKind::LastPc,
+            PolicyKind::LTP,
+            PolicyKind::LTP_GLOBAL,
+            PolicyKind::LtpXor { bits: 13 },
+        ] {
+            let factory = kind.factory();
+            assert_eq!(factory.name(), kind.name());
+            let policy = kind.build(PredictorConfig::default());
+            assert_eq!(policy.name(), kind.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "an integer in 1..=32")]
+    fn invalid_width_panics_as_before() {
+        PolicyKind::LtpPerBlock { bits: 99 }.build(PredictorConfig::default());
+    }
+}

@@ -1,145 +1,82 @@
-//! The experiment driver: benchmark × policy × predictor-geometry → report.
+//! The experiment driver: benchmark × policy × machine geometry → report.
 //!
-//! [`ExperimentSpec`] is the single entry point the examples, integration
-//! tests, and the figure/table benches all use. It assembles a [`Machine`]
-//! with one policy instance per node, runs it to completion under a
-//! deadlock-catching horizon, and returns a serializable [`RunReport`].
+//! [`ExperimentSpec`] describes one run: a [`Benchmark`], a shared
+//! [`PolicyFactory`] (resolved from a spec string through a
+//! [`PolicyRegistry`] or constructed directly), workload sizing, and
+//! predictor tuning. Construct one through [`ExperimentSpec::builder`] (or
+//! the [`ExperimentSpec::isca00`] / [`ExperimentSpec::quick`] shorthands),
+//! then [`ExperimentSpec::run`] it — or hand many design points to
+//! [`crate::SweepSpec`] to execute in parallel.
 
-use ltp_core::{
-    DsiPolicy, GlobalLtp, LastPc, NullPolicy, PerBlockLtp, PredictorConfig,
-    SelfInvalidationPolicy, SignatureBits,
-};
+use std::sync::Arc;
+
+use ltp_core::{PolicyFactory, PolicyRegistry, PolicySpecError, PredictorConfig};
 use ltp_dsm::SystemConfig;
 use ltp_sim::{Cycle, Simulation, StopReason};
 use ltp_workloads::{Benchmark, WorkloadParams};
-use serde::{Deserialize, Serialize};
 
 use crate::machine::Machine;
-use crate::metrics::Metrics;
-
-/// Which self-invalidation policy every node runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum PolicyKind {
-    /// No self-invalidation (the baseline DSM).
-    Base,
-    /// Dynamic Self-Invalidation (versioning + sync-boundary flush).
-    Dsi,
-    /// The single-PC strawman predictor.
-    LastPc,
-    /// The per-block (PAp-like) trace LTP with the given signature width.
-    LtpPerBlock {
-        /// Signature width in bits (the paper sweeps 30/13/11/6).
-        bits: u8,
-    },
-    /// The global-table (PAg-like) trace LTP.
-    LtpGlobal {
-        /// Signature width in bits (30 needed for usable accuracy).
-        bits: u8,
-        /// Number of sets in the global table.
-        sets: u32,
-        /// Associativity of the global table.
-        ways: u32,
-    },
-    /// Per-block trace LTP with the order-sensitive XOR-rotate encoder
-    /// instead of the paper's truncated addition (the `ablation_encoding`
-    /// variant).
-    LtpXor {
-        /// Signature width in bits.
-        bits: u8,
-    },
-}
-
-impl PolicyKind {
-    /// The paper's base-case LTP: per-block tables, 13-bit signatures.
-    pub const LTP: PolicyKind = PolicyKind::LtpPerBlock { bits: 13 };
-    /// The paper's global-table configuration: 30-bit signatures in a
-    /// small shared table — the whole point of the PAg organization is
-    /// storage reduction, so the default is sized well below the aggregate
-    /// per-block capacity and competes for entries.
-    pub const LTP_GLOBAL: PolicyKind = PolicyKind::LtpGlobal {
-        bits: 30,
-        sets: 256,
-        ways: 2,
-    };
-
-    /// Short display name matching the paper's figure legends.
-    pub fn name(self) -> &'static str {
-        match self {
-            PolicyKind::Base => "base",
-            PolicyKind::Dsi => "dsi",
-            PolicyKind::LastPc => "last-pc",
-            PolicyKind::LtpPerBlock { .. } => "ltp",
-            PolicyKind::LtpGlobal { .. } => "ltp-global",
-            PolicyKind::LtpXor { .. } => "ltp-xor",
-        }
-    }
-
-    /// Instantiates one policy object for a node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a signature width is outside `1..=32`.
-    pub fn build(self, config: PredictorConfig) -> Box<dyn SelfInvalidationPolicy> {
-        /// Per-block signature-table capacity (LRU beyond this). Sized above
-        /// the paper's worst observed demand (dsmc: 7.8 signatures/block).
-        const PER_BLOCK_CAPACITY: usize = 16;
-        match self {
-            PolicyKind::Base => Box::new(NullPolicy),
-            PolicyKind::Dsi => Box::new(DsiPolicy::new()),
-            PolicyKind::LastPc => Box::new(LastPc::with_config(PER_BLOCK_CAPACITY, config)),
-            PolicyKind::LtpPerBlock { bits } => {
-                let bits = SignatureBits::new(bits).expect("valid signature width");
-                Box::new(PerBlockLtp::new(bits, PER_BLOCK_CAPACITY, config))
-            }
-            PolicyKind::LtpGlobal { bits, sets, ways } => {
-                let bits = SignatureBits::new(bits).expect("valid signature width");
-                Box::new(GlobalLtp::new(bits, sets as usize, ways as usize, config))
-            }
-            PolicyKind::LtpXor { bits } => {
-                let bits = SignatureBits::new(bits).expect("valid signature width");
-                Box::new(ltp_core::TracePredictor::with_parts(
-                    ltp_core::XorRotate::new(bits, 5),
-                    ltp_core::PerBlockTable::new(bits, PER_BLOCK_CAPACITY, config.initial_confidence),
-                    config,
-                    "ltp-xor",
-                ))
-            }
-        }
-    }
-}
+use crate::report::RunReport;
 
 /// A complete experiment description.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+///
+/// # Examples
+///
+/// ```
+/// use ltp_system::ExperimentSpec;
+/// use ltp_workloads::Benchmark;
+///
+/// let report = ExperimentSpec::builder(Benchmark::Em3d)
+///     .policy_spec("ltp:bits=13")
+///     .unwrap()
+///     .nodes(4)
+///     .iterations(8)
+///     .build()
+///     .run();
+/// assert!(report.metrics.predicted > 0, "LTP learns em3d's one-touch traces");
+/// ```
+#[derive(Debug, Clone)]
 pub struct ExperimentSpec {
     /// Which benchmark to run.
     pub benchmark: Benchmark,
-    /// Which self-invalidation policy to run on every node.
-    pub policy: PolicyKind,
-    /// Workload sizing parameters.
+    /// The factory instantiating one policy per node.
+    pub policy: Arc<dyn PolicyFactory>,
+    /// Workload sizing parameters (machine geometry).
     pub workload: WorkloadParams,
     /// Predictor tuning knobs.
     pub predictor: PredictorConfig,
 }
 
 impl ExperimentSpec {
-    /// An experiment on the paper's 32-node machine with default scaling.
-    pub fn isca00(benchmark: Benchmark, policy: PolicyKind) -> Self {
-        ExperimentSpec {
-            benchmark,
-            policy,
-            workload: WorkloadParams::default(),
-            predictor: PredictorConfig::default(),
+    /// Starts a builder for `benchmark` (policy defaults to `base`).
+    pub fn builder(benchmark: Benchmark) -> ExperimentBuilder {
+        ExperimentBuilder {
+            spec: ExperimentSpec {
+                benchmark,
+                policy: Arc::new(ltp_core::registry::BaseFactory),
+                workload: WorkloadParams::default(),
+                predictor: PredictorConfig::default(),
+            },
         }
     }
 
+    /// An experiment on the paper's 32-node machine with default scaling.
+    pub fn isca00(benchmark: Benchmark, policy: Arc<dyn PolicyFactory>) -> Self {
+        ExperimentSpec::builder(benchmark).policy(policy).build()
+    }
+
     /// A small/fast variant for tests.
-    pub fn quick(benchmark: Benchmark, policy: PolicyKind, nodes: u16, iters: u32) -> Self {
-        ExperimentSpec {
-            benchmark,
-            policy,
-            workload: WorkloadParams::quick(nodes, iters),
-            predictor: PredictorConfig::default(),
-        }
+    pub fn quick(
+        benchmark: Benchmark,
+        policy: Arc<dyn PolicyFactory>,
+        nodes: u16,
+        iters: u32,
+    ) -> Self {
+        ExperimentSpec::builder(benchmark)
+            .policy(policy)
+            .nodes(nodes)
+            .iterations(iters)
+            .build()
     }
 
     /// Runs the experiment to completion.
@@ -168,19 +105,96 @@ impl ExperimentSpec {
         assert_ne!(
             summary.stop,
             StopReason::HorizonReached,
-            "{} under {:?} deadlocked; stuck nodes:\n{}",
+            "{} under {} deadlocked; stuck nodes:\n{}",
             self.benchmark,
-            self.policy,
+            self.policy.spec(),
             sim.world().stuck_report()
         );
         let machine = sim.into_world();
         assert!(machine.all_finished(), "drained but processors unfinished");
         RunReport {
             benchmark: self.benchmark,
-            policy: self.policy,
+            policy: self.policy.name().to_string(),
+            policy_spec: self.policy.spec(),
+            workload: self.workload,
             metrics: machine.into_metrics(),
             events_handled: summary.events_handled,
         }
+    }
+}
+
+/// Builder for [`ExperimentSpec`] (see [`ExperimentSpec::builder`]).
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    spec: ExperimentSpec,
+}
+
+impl ExperimentBuilder {
+    /// Sets the policy factory every node will build from.
+    pub fn policy(mut self, policy: Arc<dyn PolicyFactory>) -> Self {
+        self.spec.policy = policy;
+        self
+    }
+
+    /// Resolves `spec` through the built-in [`PolicyRegistry`].
+    ///
+    /// For custom policies, resolve through your own registry and pass the
+    /// factory to [`Self::policy`], or use [`Self::policy_spec_in`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PolicySpecError`] from the registry.
+    pub fn policy_spec(self, spec: &str) -> Result<Self, PolicySpecError> {
+        self.policy_spec_in(&PolicyRegistry::with_builtins(), spec)
+    }
+
+    /// Resolves `spec` through the given registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PolicySpecError`] from the registry.
+    pub fn policy_spec_in(
+        self,
+        registry: &PolicyRegistry,
+        spec: &str,
+    ) -> Result<Self, PolicySpecError> {
+        let factory = registry.parse(spec)?;
+        Ok(self.policy(factory))
+    }
+
+    /// Sets the machine size.
+    pub fn nodes(mut self, nodes: u16) -> Self {
+        self.spec.workload.nodes = nodes;
+        self
+    }
+
+    /// Overrides the benchmark's default iteration count.
+    pub fn iterations(mut self, iters: u32) -> Self {
+        self.spec.workload.iterations = Some(iters);
+        self
+    }
+
+    /// Sets the workload seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.workload.seed = seed;
+        self
+    }
+
+    /// Replaces the whole workload-parameter block.
+    pub fn workload(mut self, workload: WorkloadParams) -> Self {
+        self.spec.workload = workload;
+        self
+    }
+
+    /// Sets the predictor tuning knobs.
+    pub fn predictor(mut self, predictor: PredictorConfig) -> Self {
+        self.spec.predictor = predictor;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ExperimentSpec {
+        self.spec
     }
 }
 
@@ -188,36 +202,36 @@ impl ExperimentSpec {
 /// enough to fail fast on livelock.
 const HORIZON_CYCLES: u64 = 2_000_000_000;
 
-/// The outcome of one experiment run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct RunReport {
-    /// The benchmark that ran.
-    pub benchmark: Benchmark,
-    /// The policy that ran.
-    pub policy: PolicyKind,
-    /// Aggregated metrics.
-    pub metrics: Metrics,
-    /// Simulator events handled (activity indicator).
-    pub events_handled: u64,
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn quick(benchmark: Benchmark, spec: &str, nodes: u16, iters: u32) -> RunReport {
+        ExperimentSpec::builder(benchmark)
+            .policy_spec(spec)
+            .unwrap()
+            .nodes(nodes)
+            .iterations(iters)
+            .build()
+            .run()
+    }
+
     #[test]
     fn base_em3d_runs_clean() {
-        let report = ExperimentSpec::quick(Benchmark::Em3d, PolicyKind::Base, 4, 3).run();
+        let report = quick(Benchmark::Em3d, "base", 4, 3);
         assert!(report.metrics.exec_cycles > 0);
         assert!(report.metrics.misses > 0);
         assert_eq!(report.metrics.predicted, 0, "base never self-invalidates");
         assert_eq!(report.metrics.mispredicted, 0);
-        assert!(report.metrics.not_predicted > 0, "sharing causes invalidations");
+        assert!(
+            report.metrics.not_predicted > 0,
+            "sharing causes invalidations"
+        );
     }
 
     #[test]
     fn ltp_em3d_predicts_most_invalidations() {
-        let report = ExperimentSpec::quick(Benchmark::Em3d, PolicyKind::LTP, 4, 12).run();
+        let report = quick(Benchmark::Em3d, "ltp", 4, 12);
         let m = &report.metrics;
         assert!(
             m.predicted_pct() > 60.0,
@@ -231,32 +245,29 @@ mod tests {
 
     #[test]
     fn runs_are_reproducible() {
-        let spec = ExperimentSpec::quick(Benchmark::Raytrace, PolicyKind::LTP, 4, 3);
+        let spec = ExperimentSpec::builder(Benchmark::Raytrace)
+            .policy_spec("ltp")
+            .unwrap()
+            .nodes(4)
+            .iterations(3)
+            .build();
         let a = spec.run();
         let b = spec.run();
-        assert_eq!(a.metrics.exec_cycles, b.metrics.exec_cycles);
-        assert_eq!(a.metrics.predicted, b.metrics.predicted);
-        assert_eq!(a.events_handled, b.events_handled);
+        assert_eq!(a, b, "same spec, same report");
     }
 
     #[test]
-    fn policy_kinds_build() {
-        for kind in [
-            PolicyKind::Base,
-            PolicyKind::Dsi,
-            PolicyKind::LastPc,
-            PolicyKind::LTP,
-            PolicyKind::LTP_GLOBAL,
-        ] {
-            let p = kind.build(PredictorConfig::default());
-            assert!(!p.name().is_empty());
-        }
+    fn report_names_the_policy() {
+        let report = quick(Benchmark::Em3d, "ltp:bits=11", 2, 1);
+        assert_eq!(report.policy, "ltp");
+        assert_eq!(report.policy_spec, "ltp:bits=11,capacity=16");
     }
 
     #[test]
     fn report_serializes() {
-        let report = ExperimentSpec::quick(Benchmark::Em3d, PolicyKind::Base, 2, 1).run();
-        let json = serde_json::to_string(&report).unwrap();
-        assert!(json.contains("em3d"));
+        let report = quick(Benchmark::Em3d, "base", 2, 1);
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\":\"em3d\""), "{json}");
+        assert!(json.contains("\"policy\":\"base\""), "{json}");
     }
 }

@@ -6,19 +6,26 @@
 //! * [`Machine`] — 32 nodes, each a program-interpreting CPU plus network
 //!   cache plus self-invalidation policy, over the `ltp-dsm` directory
 //!   protocol, protocol engines, and contended network interfaces;
-//! * [`ExperimentSpec`] — benchmark × policy → [`RunReport`], the entry
-//!   point used by the examples, the integration tests, and every
-//!   figure/table bench;
+//! * [`ExperimentSpec`] — one benchmark × policy × geometry run, built
+//!   through a builder and a [`ltp_core::PolicyRegistry`] spec string;
+//! * [`SweepSpec`] — cross products of design points executed in parallel,
+//!   streaming per-run [`RunReport`]s through a [`ReportSink`];
 //! * [`Metrics`] — the quantities behind Figures 6–9 and Tables 3–4.
 //!
 //! # Example
 //!
 //! ```
-//! use ltp_system::{ExperimentSpec, PolicyKind};
+//! use ltp_system::ExperimentSpec;
 //! use ltp_workloads::Benchmark;
 //!
 //! // A quick 4-node em3d run with the paper's base-case LTP.
-//! let report = ExperimentSpec::quick(Benchmark::Em3d, PolicyKind::LTP, 4, 8).run();
+//! let report = ExperimentSpec::builder(Benchmark::Em3d)
+//!     .policy_spec("ltp")
+//!     .unwrap()
+//!     .nodes(4)
+//!     .iterations(8)
+//!     .build()
+//!     .run();
 //! assert!(report.metrics.predicted > 0, "LTP learns em3d's one-touch traces");
 //! ```
 
@@ -26,10 +33,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod compat;
 mod experiment;
 mod machine;
 mod metrics;
+mod report;
+mod sweep;
 
-pub use experiment::{ExperimentSpec, PolicyKind, RunReport};
+#[allow(deprecated)]
+pub use compat::PolicyKind;
+pub use experiment::{ExperimentBuilder, ExperimentSpec};
 pub use machine::{Event, Machine};
 pub use metrics::Metrics;
+pub use report::{JsonLinesSink, MemorySink, NullSink, ReportSink, RunReport};
+pub use sweep::SweepSpec;

@@ -21,10 +21,10 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use ltp_core::{
-    BlockId, NodeId, Pc, SelfInvalidationPolicy, SyncKind, Touch, VerifyOutcome,
+use ltp_core::{BlockId, NodeId, Pc, SelfInvalidationPolicy, SyncKind, Touch, VerifyOutcome};
+use ltp_dsm::{
+    AccessOutcome, Directory, Message, MsgKind, NetIface, NodeCache, ProtocolEngine, SystemConfig,
 };
-use ltp_dsm::{AccessOutcome, Directory, Message, MsgKind, NetIface, NodeCache, ProtocolEngine, SystemConfig};
 use ltp_sim::{Cycle, EventQueue, World};
 use ltp_workloads::{Lock, Op, Program};
 
@@ -213,7 +213,9 @@ impl Machine {
                 counters: NodeCounters::default(),
             })
             .collect();
-        let dirs = (0..n).map(|i| Directory::new(NodeId::new(i as u16))).collect();
+        let dirs = (0..n)
+            .map(|i| Directory::new(NodeId::new(i as u16)))
+            .collect();
         let engines = (0..n)
             .map(|_| ProtocolEngine::new(cfg.pipeline_stages()))
             .collect();
@@ -559,10 +561,7 @@ impl Machine {
             Continuation::FlagWait(pc) => {
                 // Observe the generation from the (possibly stale) cached
                 // copy — exactly what real spin code would see.
-                let observed = self.nodes[i]
-                    .cache
-                    .line(block)
-                    .map_or(0, |l| l.token);
+                let observed = self.nodes[i].cache.line(block).map_or(0, |l| l.token);
                 if self.trace_flags {
                     eprintln!(
                         "[{resume_at}] {p} flagwait {block}: observed={observed} waited={:?} line={:?}",
@@ -612,8 +611,9 @@ impl Machine {
         if self.barrier_waiting.len() == participants {
             // Everyone arrived: release all, emitting the synchronization
             // boundary DSI hooks (this is where DSI's flush burst happens).
-            let waiting: Vec<u16> =
-                std::mem::take(&mut self.barrier_waiting).into_iter().collect();
+            let waiting: Vec<u16> = std::mem::take(&mut self.barrier_waiting)
+                .into_iter()
+                .collect();
             let released_id = self.barrier_id;
             self.barrier_id = None;
             for idx in waiting {
@@ -653,7 +653,13 @@ impl Machine {
 
     /// Executes one self-invalidation: drops the local copy and notifies the
     /// home (clean notification or dirty writeback).
-    fn self_invalidate(&mut self, now: Cycle, p: NodeId, block: BlockId, q: &mut EventQueue<Event>) {
+    fn self_invalidate(
+        &mut self,
+        now: Cycle,
+        p: NodeId,
+        block: BlockId,
+        q: &mut EventQueue<Event>,
+    ) {
         let Some(kind) = self.nodes[p.index()].cache.self_invalidate(block) else {
             return; // absent or mid-transaction: skip (bulk flushes may race)
         };
@@ -695,7 +701,9 @@ impl Machine {
         // Clamp departures so sends for one block leave in service order
         // (see `dir_send_order`).
         let depart = {
-            let last = self.dir_send_order[hi].entry(msg.block).or_insert(Cycle::ZERO);
+            let last = self.dir_send_order[hi]
+                .entry(msg.block)
+                .or_insert(Cycle::ZERO);
             let depart = done.max(*last);
             *last = depart;
             depart
@@ -743,7 +751,9 @@ impl Machine {
                 if timely {
                     self.nodes[i].counters.predicted_timely += 1;
                 }
-                self.nodes[i].policy.on_verification(msg.block, VerifyOutcome::Correct);
+                self.nodes[i]
+                    .policy
+                    .on_verification(msg.block, VerifyOutcome::Correct);
             }
             MsgKind::DataS { .. } | MsgKind::DataX { .. } | MsgKind::UpgradeAck { .. } => {
                 self.complete_fill(now, msg, q);
@@ -994,7 +1004,12 @@ mod tests {
         let mk = |stagger: u64| -> Box<dyn Program> {
             Box::new(LoopedScript::new(
                 vec![Op::Think(stagger)],
-                vec![write(0x40, 0), Op::Think(300), read(0x44, 1), Op::Think(200)],
+                vec![
+                    write(0x40, 0),
+                    Op::Think(300),
+                    read(0x44, 1),
+                    Op::Think(200),
+                ],
                 20,
             ))
         };
@@ -1149,7 +1164,11 @@ mod tests {
         // it participates in.
         let programs: Vec<Box<dyn Program>> = vec![
             Box::new(LoopedScript::new(vec![], vec![], 0)),
-            Box::new(LoopedScript::new(vec![Op::Think(500), Op::Barrier(0)], vec![], 0)),
+            Box::new(LoopedScript::new(
+                vec![Op::Think(500), Op::Barrier(0)],
+                vec![],
+                0,
+            )),
         ];
         let machine = Machine::new(cfg, null_policies(2), programs);
         let (_, stop) = run(machine);

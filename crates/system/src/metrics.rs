@@ -15,10 +15,9 @@
 
 use ltp_core::StorageStats;
 use ltp_sim::stats::MeanAccumulator;
-use serde::{Deserialize, Serialize};
 
 /// Aggregated statistics of one simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     /// Verified-correct self-invalidations (the "predicted" class).
     pub predicted: u64,
@@ -148,14 +147,5 @@ mod tests {
         assert!((ltp.speedup_vs(&base) - 1.1).abs() < 1e-9);
         let broken = Metrics::default();
         assert_eq!(broken.speedup_vs(&base), 0.0);
-    }
-
-    #[test]
-    fn serializes_to_json() {
-        let m = metrics(1, 2, 3);
-        let json = serde_json::to_string(&m).unwrap();
-        assert!(json.contains("\"predicted\":1"));
-        let back: Metrics = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.predicted, 1);
     }
 }

@@ -1,0 +1,300 @@
+//! Run reports and the streaming [`ReportSink`] API.
+//!
+//! Every experiment produces a [`RunReport`]; sweeps stream reports through
+//! a [`ReportSink`] *in run order* (the cross-product order of the sweep),
+//! so a sink observes identical sequences whether the sweep executed
+//! serially or in parallel. Two collectors ship in-tree:
+//!
+//! * [`MemorySink`] — keeps every report in memory (aggregation, tests);
+//! * [`JsonLinesSink`] — writes one JSON object per line to any
+//!   [`std::io::Write`] (files, pipes, stdout), the interchange format the
+//!   CLI and the benchmark baselines use.
+//!
+//! The JSON encoder is hand-rolled (this repository carries no external
+//! dependencies); [`RunReport::to_json`] is the single source of the
+//! document shape.
+
+use std::fmt::Write as _;
+use std::io;
+
+use ltp_workloads::{Benchmark, WorkloadParams};
+
+use crate::metrics::Metrics;
+
+/// The outcome of one experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The benchmark that ran.
+    pub benchmark: Benchmark,
+    /// The short family name of the policy ("base", "dsi", "ltp", …).
+    pub policy: String,
+    /// The canonical policy spec string (parameters included).
+    pub policy_spec: String,
+    /// The machine geometry the run used.
+    pub workload: WorkloadParams,
+    /// Aggregated metrics.
+    pub metrics: Metrics,
+    /// Simulator events handled (activity indicator).
+    pub events_handled: u64,
+}
+
+impl RunReport {
+    /// Encodes the report as one compact JSON object.
+    pub fn to_json(&self) -> String {
+        self.to_json_tagged(None)
+    }
+
+    /// Encodes the report with an optional leading `"run":seq` field (the
+    /// sweep's run index), as written by [`JsonLinesSink`].
+    pub fn to_json_tagged(&self, seq: Option<usize>) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        if let Some(seq) = seq {
+            let _ = write!(s, "\"run\":{seq},");
+        }
+        let _ = write!(
+            s,
+            "\"benchmark\":\"{}\",\"policy\":\"{}\",\"policy_spec\":\"{}\",",
+            json_escape(self.benchmark.name()),
+            json_escape(&self.policy),
+            json_escape(&self.policy_spec),
+        );
+        let _ = write!(
+            s,
+            "\"workload\":{{\"nodes\":{},\"seed\":{},\"iterations\":{}}},",
+            self.workload.nodes,
+            self.workload.seed,
+            self.workload
+                .iterations
+                .map_or_else(|| "null".to_string(), |i| i.to_string())
+        );
+        let _ = write!(s, "\"metrics\":{},", metrics_json(&self.metrics));
+        let _ = write!(s, "\"events_handled\":{}", self.events_handled);
+        s.push('}');
+        s
+    }
+}
+
+/// Encodes [`Metrics`] as a JSON object.
+fn metrics_json(m: &Metrics) -> String {
+    let mut s = String::with_capacity(384);
+    s.push('{');
+    let _ = write!(
+        s,
+        "\"predicted\":{},\"predicted_timely\":{},\"not_predicted\":{},\"mispredicted\":{},",
+        m.predicted, m.predicted_timely, m.not_predicted, m.mispredicted
+    );
+    let _ = write!(
+        s,
+        "\"exec_cycles\":{},\"misses\":{},\"hits\":{},\"self_invalidations_sent\":{},\
+         \"invalidations_sent\":{},\"messages\":{},\"stale_ignored\":{},",
+        m.exec_cycles,
+        m.misses,
+        m.hits,
+        m.self_invalidations_sent,
+        m.invalidations_sent,
+        m.messages,
+        m.stale_ignored
+    );
+    let _ = write!(
+        s,
+        "\"dir_queueing\":{{\"mean\":{},\"samples\":{}}},",
+        json_f64(m.dir_queueing.mean_or_zero()),
+        m.dir_queueing.samples()
+    );
+    let _ = write!(
+        s,
+        "\"dir_service\":{{\"mean\":{},\"samples\":{}}},",
+        json_f64(m.dir_service.mean_or_zero()),
+        m.dir_service.samples()
+    );
+    let _ = write!(
+        s,
+        "\"storage\":{{\"blocks_tracked\":{},\"live_entries\":{},\"signature_bits\":{}}}",
+        m.storage.blocks_tracked, m.storage.live_entries, m.storage.signature_bits
+    );
+    s.push('}');
+    s
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Receives per-run reports as a sweep executes.
+///
+/// `seq` is the run's index in the sweep's cross-product order; sinks are
+/// always called with strictly increasing `seq` (0, 1, 2, …) even when runs
+/// complete out of order on worker threads.
+pub trait ReportSink {
+    /// Observes the report of run `seq`.
+    fn record(&mut self, seq: usize, report: &RunReport);
+
+    /// Called once after the last report (flush point).
+    fn finish(&mut self) {}
+}
+
+/// A sink that discards every report.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl ReportSink for NullSink {
+    fn record(&mut self, _seq: usize, _report: &RunReport) {}
+}
+
+/// Collects every report in memory, in run order.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    reports: Vec<RunReport>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// The reports collected so far, in run order.
+    pub fn reports(&self) -> &[RunReport] {
+        &self.reports
+    }
+
+    /// Consumes the sink, returning the collected reports.
+    pub fn into_reports(self) -> Vec<RunReport> {
+        self.reports
+    }
+}
+
+impl ReportSink for MemorySink {
+    fn record(&mut self, seq: usize, report: &RunReport) {
+        debug_assert_eq!(seq, self.reports.len(), "sinks see runs in order");
+        self.reports.push(report.clone());
+    }
+}
+
+/// Streams each report as one JSON line (`{"run":N,...}`) to a writer.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: io::Write> {
+    out: W,
+}
+
+impl<W: io::Write> JsonLinesSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        JsonLinesSink { out }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: io::Write> ReportSink for JsonLinesSink<W> {
+    /// # Panics
+    ///
+    /// Panics on writer errors — a sweep whose output silently vanishes is
+    /// worse than a crashed sweep.
+    fn record(&mut self, seq: usize, report: &RunReport) {
+        writeln!(self.out, "{}", report.to_json_tagged(Some(seq)))
+            .expect("report sink write failed");
+    }
+
+    fn finish(&mut self) {
+        self.out.flush().expect("report sink flush failed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(policy: &str) -> RunReport {
+        RunReport {
+            benchmark: Benchmark::Em3d,
+            policy: policy.to_string(),
+            policy_spec: format!("{policy}:bits=13"),
+            workload: WorkloadParams::quick(4, 2),
+            metrics: Metrics {
+                predicted: 10,
+                not_predicted: 2,
+                exec_cycles: 1234,
+                ..Metrics::default()
+            },
+            events_handled: 77,
+        }
+    }
+
+    #[test]
+    fn json_has_expected_fields() {
+        let json = report("ltp").to_json();
+        for needle in [
+            "\"benchmark\":\"em3d\"",
+            "\"policy\":\"ltp\"",
+            "\"policy_spec\":\"ltp:bits=13\"",
+            "\"predicted\":10",
+            "\"exec_cycles\":1234",
+            "\"events_handled\":77",
+            "\"dir_queueing\":{\"mean\":0,\"samples\":0}",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert!(!json.contains("\"run\":"), "untagged report has no seq");
+    }
+
+    #[test]
+    fn json_lines_sink_tags_and_terminates_lines() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.record(0, &report("base"));
+        sink.record(1, &report("ltp"));
+        sink.finish();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"run\":0,"));
+        assert!(lines[1].starts_with("{\"run\":1,"));
+        assert!(lines.iter().all(|l| l.ends_with('}')));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let mut sink = MemorySink::new();
+        sink.record(0, &report("base"));
+        sink.record(1, &report("ltp"));
+        assert_eq!(sink.reports().len(), 2);
+        assert_eq!(sink.into_reports()[1].policy, "ltp");
+    }
+}

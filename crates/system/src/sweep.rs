@@ -1,0 +1,375 @@
+//! The batched experiment driver: cross products of benchmarks × policies ×
+//! machine geometries, executed in parallel.
+//!
+//! [`SweepSpec`] is how figures, tables, and ablations are produced: declare
+//! the design points once, then [`SweepSpec::execute`] fans the independent
+//! runs out over worker threads (every [`crate::Machine`] is self-contained,
+//! so runs never share mutable state) and streams the per-run
+//! [`RunReport`]s through a [`ReportSink`] *in run order*. Because each
+//! simulation is deterministic, a parallel sweep produces reports
+//! bit-identical to a serial one — parallelism changes wall-clock time and
+//! nothing else.
+//!
+//! # Examples
+//!
+//! ```
+//! use ltp_core::PolicyRegistry;
+//! use ltp_system::SweepSpec;
+//! use ltp_workloads::{Benchmark, WorkloadParams};
+//!
+//! let registry = PolicyRegistry::with_builtins();
+//! let reports = SweepSpec::new()
+//!     .benchmarks([Benchmark::Em3d, Benchmark::Tomcatv])
+//!     .policy_specs(&registry, &["base", "ltp:bits=13"])
+//!     .unwrap()
+//!     .geometry(WorkloadParams::quick(4, 3))
+//!     .collect();
+//! assert_eq!(reports.len(), 4); // 2 benchmarks × 2 policies × 1 geometry
+//! assert_eq!(reports[0].policy, "base");
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+use ltp_core::{PolicyFactory, PolicyRegistry, PolicySpecError, PredictorConfig};
+use ltp_workloads::{Benchmark, WorkloadParams};
+
+use crate::experiment::ExperimentSpec;
+use crate::report::{MemorySink, ReportSink, RunReport};
+
+/// A cross product of benchmarks × policies × machine geometries, plus the
+/// execution strategy for running it.
+///
+/// Run order (the `seq` passed to sinks) is row-major over
+/// `benchmark × policy × geometry`: the geometry varies fastest, then the
+/// policy, then the benchmark.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    benchmarks: Vec<Benchmark>,
+    policies: Vec<Arc<dyn PolicyFactory>>,
+    geometries: Vec<WorkloadParams>,
+    predictor: PredictorConfig,
+    threads: Option<usize>,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec::new()
+    }
+}
+
+impl SweepSpec {
+    /// An empty sweep: no benchmarks, no policies, the default geometry
+    /// (the paper's 32-node machine), automatic parallelism.
+    pub fn new() -> Self {
+        SweepSpec {
+            benchmarks: Vec::new(),
+            policies: Vec::new(),
+            geometries: Vec::new(),
+            predictor: PredictorConfig::default(),
+            threads: None,
+        }
+    }
+
+    /// Adds one benchmark.
+    pub fn benchmark(mut self, benchmark: Benchmark) -> Self {
+        self.benchmarks.push(benchmark);
+        self
+    }
+
+    /// Adds several benchmarks.
+    pub fn benchmarks(mut self, benchmarks: impl IntoIterator<Item = Benchmark>) -> Self {
+        self.benchmarks.extend(benchmarks);
+        self
+    }
+
+    /// Adds the whole nine-application Table 2 suite.
+    pub fn all_benchmarks(self) -> Self {
+        self.benchmarks(Benchmark::ALL)
+    }
+
+    /// Adds one policy factory (the open end of the API: any external
+    /// `impl PolicyFactory` slots in here).
+    pub fn policy(mut self, policy: Arc<dyn PolicyFactory>) -> Self {
+        self.policies.push(policy);
+        self
+    }
+
+    /// Adds one policy resolved from a spec string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PolicySpecError`] from the registry.
+    pub fn policy_spec(
+        mut self,
+        registry: &PolicyRegistry,
+        spec: &str,
+    ) -> Result<Self, PolicySpecError> {
+        self.policies.push(registry.parse(spec)?);
+        Ok(self)
+    }
+
+    /// Adds several policies resolved from spec strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PolicySpecError`] encountered.
+    pub fn policy_specs(
+        mut self,
+        registry: &PolicyRegistry,
+        specs: &[&str],
+    ) -> Result<Self, PolicySpecError> {
+        for spec in specs {
+            self = self.policy_spec(registry, spec)?;
+        }
+        Ok(self)
+    }
+
+    /// Adds one machine geometry (nodes / seed / iteration override).
+    pub fn geometry(mut self, params: WorkloadParams) -> Self {
+        self.geometries.push(params);
+        self
+    }
+
+    /// Shorthand for [`Self::geometry`] with a quick test geometry.
+    pub fn quick_geometry(self, nodes: u16, iterations: u32) -> Self {
+        self.geometry(WorkloadParams::quick(nodes, iterations))
+    }
+
+    /// Sets the predictor tuning knobs shared by every run.
+    pub fn predictor(mut self, predictor: PredictorConfig) -> Self {
+        self.predictor = predictor;
+        self
+    }
+
+    /// Forces serial execution (equivalent to `threads(1)`).
+    pub fn serial(self) -> Self {
+        self.threads(1)
+    }
+
+    /// Caps worker threads; `0` restores automatic sizing (one worker per
+    /// available CPU, capped by the number of runs).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 { None } else { Some(threads) };
+        self
+    }
+
+    /// Number of runs in the cross product.
+    pub fn len(&self) -> usize {
+        self.benchmarks.len() * self.policies.len() * self.geometries.len().max(1)
+    }
+
+    /// Whether the cross product is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes the cross product as individual experiment specs, in
+    /// run order.
+    pub fn runs(&self) -> Vec<ExperimentSpec> {
+        let default_geometry = [WorkloadParams::default()];
+        let geometries: &[WorkloadParams] = if self.geometries.is_empty() {
+            &default_geometry
+        } else {
+            &self.geometries
+        };
+        let mut runs = Vec::with_capacity(self.len());
+        for &benchmark in &self.benchmarks {
+            for policy in &self.policies {
+                for &workload in geometries {
+                    runs.push(ExperimentSpec {
+                        benchmark,
+                        policy: Arc::clone(policy),
+                        workload,
+                        predictor: self.predictor,
+                    });
+                }
+            }
+        }
+        runs
+    }
+
+    /// Executes every run, streaming reports through `sink` in run order,
+    /// and returns the reports (also in run order).
+    ///
+    /// With more than one worker thread, runs execute concurrently and a
+    /// reorder buffer restores run order before the sink observes anything;
+    /// the reports are bit-identical to serial execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any run panics (e.g. a machine deadlock).
+    pub fn execute(&self, sink: &mut dyn ReportSink) -> Vec<RunReport> {
+        let runs = self.runs();
+        let workers = self
+            .threads
+            .unwrap_or_else(|| {
+                thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })
+            .clamp(1, runs.len().max(1));
+
+        let reports = if workers <= 1 {
+            let mut reports = Vec::with_capacity(runs.len());
+            for (seq, run) in runs.iter().enumerate() {
+                let report = run.run();
+                sink.record(seq, &report);
+                reports.push(report);
+            }
+            reports
+        } else {
+            self.execute_parallel(&runs, workers, sink)
+        };
+        sink.finish();
+        reports
+    }
+
+    /// Executes every run into a [`MemorySink`], returning the reports.
+    pub fn collect(&self) -> Vec<RunReport> {
+        self.execute(&mut MemorySink::new())
+    }
+
+    fn execute_parallel(
+        &self,
+        runs: &[ExperimentSpec],
+        workers: usize,
+        sink: &mut dyn ReportSink,
+    ) -> Vec<RunReport> {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, RunReport)>();
+        let mut reports: Vec<Option<RunReport>> = runs.iter().map(|_| None).collect();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let seq = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(run) = runs.get(seq) else { break };
+                    let report = run.run();
+                    if tx.send((seq, report)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Reorder buffer: deliver to the sink in run order no matter
+            // which worker finishes first.
+            let mut pending: BTreeMap<usize, RunReport> = BTreeMap::new();
+            let mut next_emit = 0usize;
+            for (seq, report) in rx {
+                pending.insert(seq, report);
+                while let Some(report) = pending.remove(&next_emit) {
+                    sink.record(next_emit, &report);
+                    reports[next_emit] = Some(report);
+                    next_emit += 1;
+                }
+            }
+        });
+        reports
+            .into_iter()
+            .map(|r| r.expect("scope joined every worker"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::JsonLinesSink;
+    use ltp_core::{NullPolicy, SelfInvalidationPolicy};
+
+    fn small_sweep() -> SweepSpec {
+        let registry = PolicyRegistry::with_builtins();
+        SweepSpec::new()
+            .benchmarks([Benchmark::Em3d, Benchmark::Tomcatv])
+            .policy_specs(&registry, &["base", "dsi", "ltp:bits=13"])
+            .unwrap()
+            .quick_geometry(4, 3)
+    }
+
+    #[test]
+    fn cross_product_order_is_row_major() {
+        let sweep = small_sweep().quick_geometry(2, 1);
+        assert_eq!(sweep.len(), 2 * 3 * 2);
+        let runs = sweep.runs();
+        assert_eq!(runs.len(), 12);
+        // Geometry fastest, then policy, then benchmark.
+        assert_eq!(runs[0].benchmark, Benchmark::Em3d);
+        assert_eq!(runs[0].workload.nodes, 4);
+        assert_eq!(runs[1].workload.nodes, 2);
+        assert_eq!(runs[2].policy.name(), "dsi");
+        assert_eq!(runs[6].benchmark, Benchmark::Tomcatv);
+    }
+
+    #[test]
+    fn default_geometry_is_applied_when_none_given() {
+        let registry = PolicyRegistry::with_builtins();
+        let sweep = SweepSpec::new()
+            .benchmark(Benchmark::Em3d)
+            .policy_spec(&registry, "base")
+            .unwrap();
+        assert_eq!(sweep.len(), 1);
+        assert_eq!(sweep.runs()[0].workload.nodes, 32);
+    }
+
+    #[test]
+    fn parallel_reports_match_serial_exactly() {
+        let sweep = small_sweep();
+        let serial = sweep.clone().serial().collect();
+        let parallel = sweep.threads(4).collect();
+        assert_eq!(serial.len(), 6);
+        assert_eq!(serial, parallel, "parallelism must not change results");
+    }
+
+    #[test]
+    fn sink_sees_runs_in_order_even_in_parallel() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        let reports = small_sweep().threads(4).execute(&mut sink);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), reports.len());
+        for (i, line) in lines.iter().enumerate() {
+            assert!(
+                line.starts_with(&format!("{{\"run\":{i},")),
+                "line {i} out of order: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn external_factories_sweep_without_touching_the_system_crate() {
+        // The acceptance scenario: a policy defined *outside* every ltp
+        // crate, registered and swept through the public API only.
+        #[derive(Debug)]
+        struct AlwaysOff;
+        impl PolicyFactory for AlwaysOff {
+            fn name(&self) -> &str {
+                "always-off"
+            }
+            fn build(&self, _config: PredictorConfig) -> Box<dyn SelfInvalidationPolicy> {
+                Box::new(NullPolicy)
+            }
+        }
+
+        let mut registry = PolicyRegistry::with_builtins();
+        registry.register_factory(Arc::new(AlwaysOff)).unwrap();
+        let reports = SweepSpec::new()
+            .benchmark(Benchmark::Ocean)
+            .policy_spec(&registry, "always-off")
+            .unwrap()
+            .quick_geometry(4, 2)
+            .collect();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].policy, "always-off");
+        assert_eq!(reports[0].metrics.self_invalidations_sent, 0);
+    }
+
+    #[test]
+    fn empty_sweep_is_a_no_op() {
+        let sweep = SweepSpec::new();
+        assert!(sweep.is_empty());
+        assert!(sweep.collect().is_empty());
+    }
+}

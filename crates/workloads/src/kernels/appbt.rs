@@ -179,8 +179,14 @@ mod tests {
                 })
                 .collect()
         };
-        assert_eq!(last_store(row_block(0, 0)), vec![PC_ROW_W1, PC_ROW_W2, PC_ROW_W3]);
-        assert_eq!(last_store(row_block(0, 1)), vec![PC_ROW_W1, PC_ROW_W2, PC_ROW_W2]);
+        assert_eq!(
+            last_store(row_block(0, 0)),
+            vec![PC_ROW_W1, PC_ROW_W2, PC_ROW_W3]
+        );
+        assert_eq!(
+            last_store(row_block(0, 1)),
+            vec![PC_ROW_W1, PC_ROW_W2, PC_ROW_W2]
+        );
     }
 
     #[test]

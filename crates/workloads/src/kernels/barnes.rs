@@ -165,16 +165,12 @@ mod tests {
         let ops = collect_ops(progs[0].as_mut());
         let stable_writes = ops
             .iter()
-            .filter(|op| {
-                matches!(op, Op::Write { block, .. } if block.index() == 0)
-            })
+            .filter(|op| matches!(op, Op::Write { block, .. } if block.index() == 0))
             .count();
         assert!(stable_writes >= iters as usize, "node 0's stable cell");
         let stable_reads = ops
             .iter()
-            .filter(|op| {
-                matches!(op, Op::Read { pc, .. } if pc.value() == PC_STABLE_LOAD)
-            })
+            .filter(|op| matches!(op, Op::Read { pc, .. } if pc.value() == PC_STABLE_LOAD))
             .count();
         assert_eq!(stable_reads, (iters as u64 * STABLE_PER_NODE) as usize);
     }

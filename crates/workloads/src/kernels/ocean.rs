@@ -36,7 +36,7 @@ pub const PC_BC_STORE: u32 = 0x517fc;
 /// beyond critical sections" access).
 pub const PC_BORDER_REREAD: u32 = 0x53d6c;
 /// PC of the single-touch boundary-condition load.
-pub const PC_BC_LOAD: u32 =0x537f8;
+pub const PC_BC_LOAD: u32 = 0x537f8;
 /// PC base of the per-node lock.
 pub const PC_LOCK_BASE: u32 = 0x53b8c;
 
@@ -87,10 +87,7 @@ pub fn programs(nodes: u16, iterations: u32) -> Vec<Box<dyn Program>> {
         .map(|p| {
             let pu = u64::from(p);
             let pred = (pu + n - 1) % n;
-            let lock = Lock::library(
-                ltp_core::BlockId::new(lock_block(pu)),
-                PC_LOCK_BASE,
-            );
+            let lock = Lock::library(ltp_core::BlockId::new(lock_block(pu)), PC_LOCK_BASE);
             let mut body = Vec::new();
             for parity in 0..2u64 {
                 push_iteration(&mut body, pu, pred, lock, parity == 0);
@@ -108,80 +105,80 @@ pub fn programs(nodes: u16, iterations: u32) -> Vec<Box<dyn Program>> {
 /// alternating strips get updated.
 fn push_iteration(body: &mut Vec<Op>, pu: u64, pred: u64, lock: Lock, write_alt: bool) {
     {
-            // Critical section first: update the work blocks under the
-            // lock.
-            body.push(Op::Lock(lock));
-            for j in 0..WORK_BLOCKS {
-                write_n(body, PC_WORK_STORE, work_block(pu, j), 2);
-            }
-            body.push(Op::Unlock(lock));
+        // Critical section first: update the work blocks under the
+        // lock.
+        body.push(Op::Lock(lock));
+        for j in 0..WORK_BLOCKS {
+            write_n(body, PC_WORK_STORE, work_block(pu, j), 2);
+        }
+        body.push(Op::Unlock(lock));
 
-            // Sharing spans beyond the critical section: the producer reads
-            // its work blocks again after releasing the lock (DSI already
-            // flushed them — a premature self-invalidation every time).
-            for j in 0..WORK_BLOCKS {
-                body.push(super::read(PC_WORK_REREAD, work_block(pu, j)));
-            }
+        // Sharing spans beyond the critical section: the producer reads
+        // its work blocks again after releasing the lock (DSI already
+        // flushed them — a premature self-invalidation every time).
+        for j in 0..WORK_BLOCKS {
+            body.push(super::read(PC_WORK_REREAD, work_block(pu, j)));
+        }
 
-            // Red pass: the stencil function updates each border block
-            // (2 elements per pass).
-            for j in 0..BORDER_BLOCKS {
-                write_n(body, PC_SOR_STORE, border_block(pu, j), 2);
-                body.push(Op::Think(6));
-            }
+        // Red pass: the stencil function updates each border block
+        // (2 elements per pass).
+        for j in 0..BORDER_BLOCKS {
+            write_n(body, PC_SOR_STORE, border_block(pu, j), 2);
+            body.push(Op::Think(6));
+        }
 
-            // Black pass: the SAME function runs again over the borders —
-            // identical PCs, two more stores per block.
-            for j in 0..BORDER_BLOCKS {
-                write_n(body, PC_SOR_STORE, border_block(pu, j), 2);
-                body.push(Op::Think(6));
-            }
+        // Black pass: the SAME function runs again over the borders —
+        // identical PCs, two more stores per block.
+        for j in 0..BORDER_BLOCKS {
+            write_n(body, PC_SOR_STORE, border_block(pu, j), 2);
+            body.push(Op::Think(6));
+        }
 
-            // Alternating strips: updated only on red-parity iterations.
-            if write_alt {
-                for j in 0..ALT_BORDER_BLOCKS {
-                    write_n(body, PC_SOR_STORE, alt_border_block(pu, j), 2);
-                }
-            }
-
-            // Boundary conditions: single-touch stores.
-            for j in 0..BC_BLOCKS {
-                body.push(super::write(PC_BC_STORE, bc_block(pu, j)));
-            }
-            body.push(Op::Think(150));
-            body.push(Op::Barrier(0));
-
-            // Neighbour exchange: read the predecessor's borders (×2 — the
-            // gather is also multi-element), its alternating strips (every
-            // iteration, though they change only every other one), its
-            // boundary conditions (single touch: Last-PC's bread and
-            // butter) and its work blocks.
-            for j in 0..BORDER_BLOCKS {
-                read_n(body, PC_BORDER_LOAD, border_block(pred, j), 2);
-                body.push(Op::Think(6));
-            }
+        // Alternating strips: updated only on red-parity iterations.
+        if write_alt {
             for j in 0..ALT_BORDER_BLOCKS {
-                read_n(body, PC_BORDER_LOAD, alt_border_block(pred, j), 2);
+                write_n(body, PC_SOR_STORE, alt_border_block(pu, j), 2);
             }
-            for j in 0..BC_BLOCKS {
-                body.push(super::read(PC_BC_LOAD, bc_block(pred, j)));
-            }
-            for j in 0..WORK_BLOCKS {
-                body.push(super::read(PC_WORK_LOAD, work_block(pred, j)));
-            }
-            body.push(Op::Barrier(1));
+        }
 
-            // Sharing spans beyond the synchronization on the consumer side
-            // as well: the next phase re-reads the borders and boundary
-            // conditions it gathered before the barrier. DSI flushed them at
-            // the barrier — another premature refetch — and the refetched
-            // copy's version is unchanged, so its eventual invalidation goes
-            // unpredicted.
-            for j in 0..BORDER_BLOCKS / 2 {
-                body.push(super::read(PC_BORDER_REREAD, border_block(pred, j)));
-            }
-            body.push(super::read(PC_BORDER_REREAD, bc_block(pred, 0)));
-            body.push(Op::Think(40));
+        // Boundary conditions: single-touch stores.
+        for j in 0..BC_BLOCKS {
+            body.push(super::write(PC_BC_STORE, bc_block(pu, j)));
+        }
+        body.push(Op::Think(150));
+        body.push(Op::Barrier(0));
+
+        // Neighbour exchange: read the predecessor's borders (×2 — the
+        // gather is also multi-element), its alternating strips (every
+        // iteration, though they change only every other one), its
+        // boundary conditions (single touch: Last-PC's bread and
+        // butter) and its work blocks.
+        for j in 0..BORDER_BLOCKS {
+            read_n(body, PC_BORDER_LOAD, border_block(pred, j), 2);
+            body.push(Op::Think(6));
+        }
+        for j in 0..ALT_BORDER_BLOCKS {
+            read_n(body, PC_BORDER_LOAD, alt_border_block(pred, j), 2);
+        }
+        for j in 0..BC_BLOCKS {
+            body.push(super::read(PC_BC_LOAD, bc_block(pred, j)));
+        }
+        for j in 0..WORK_BLOCKS {
+            body.push(super::read(PC_WORK_LOAD, work_block(pred, j)));
+        }
+        body.push(Op::Barrier(1));
+
+        // Sharing spans beyond the synchronization on the consumer side
+        // as well: the next phase re-reads the borders and boundary
+        // conditions it gathered before the barrier. DSI flushed them at
+        // the barrier — another premature refetch — and the refetched
+        // copy's version is unchanged, so its eventual invalidation goes
+        // unpredicted.
+        for j in 0..BORDER_BLOCKS / 2 {
+            body.push(super::read(PC_BORDER_REREAD, border_block(pred, j)));
+        }
+        body.push(super::read(PC_BORDER_REREAD, bc_block(pred, 0)));
+        body.push(Op::Think(40));
     }
 }
 
@@ -251,9 +248,7 @@ mod tests {
         let own_bc = bc_block(1, 0);
         let touches = ops
             .iter()
-            .filter(|op| {
-                matches!(op, Op::Write { block, .. } if block.index() == own_bc)
-            })
+            .filter(|op| matches!(op, Op::Write { block, .. } if block.index() == own_bc))
             .count();
         assert_eq!(touches, 2, "owner writes its bc block once per iteration");
     }

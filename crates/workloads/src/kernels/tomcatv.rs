@@ -87,10 +87,30 @@ pub fn programs(nodes: u16, iterations: u32) -> Vec<Box<dyn Program>> {
             // the right neighbour's left strips. Outer ×4, inner ×8 — the
             // same load PC throughout (§5.3).
             for j in 0..BORDER_BLOCKS {
-                read_n(&mut body, PC_BORDER, strip_block(left, Strip::RightOuter, j), 4);
-                read_n(&mut body, PC_BORDER, strip_block(left, Strip::RightInner, j), 8);
-                read_n(&mut body, PC_BORDER, strip_block(right, Strip::LeftOuter, j), 4);
-                read_n(&mut body, PC_BORDER, strip_block(right, Strip::LeftInner, j), 8);
+                read_n(
+                    &mut body,
+                    PC_BORDER,
+                    strip_block(left, Strip::RightOuter, j),
+                    4,
+                );
+                read_n(
+                    &mut body,
+                    PC_BORDER,
+                    strip_block(left, Strip::RightInner, j),
+                    8,
+                );
+                read_n(
+                    &mut body,
+                    PC_BORDER,
+                    strip_block(right, Strip::LeftOuter, j),
+                    4,
+                );
+                read_n(
+                    &mut body,
+                    PC_BORDER,
+                    strip_block(right, Strip::LeftInner, j),
+                    8,
+                );
                 body.push(Op::Think(10));
             }
 

@@ -120,9 +120,7 @@ mod tests {
         let touches: Vec<u32> = ops
             .iter()
             .filter_map(|op| match op {
-                Op::Read { pc, block } | Op::Write { pc, block }
-                    if block.index() == own_edge =>
-                {
+                Op::Read { pc, block } | Op::Write { pc, block } if block.index() == own_edge => {
                     Some(pc.value())
                 }
                 _ => None,

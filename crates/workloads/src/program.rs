@@ -20,10 +20,9 @@
 use std::fmt;
 
 use ltp_core::{BlockId, Pc};
-use serde::{Deserialize, Serialize};
 
 /// A lock variable living in one shared block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Lock {
     /// The block holding the lock word.
     pub block: BlockId,
@@ -59,7 +58,7 @@ impl Lock {
 }
 
 /// One operation of a program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// Local computation for the given number of cycles (everything that is
     /// not shared-memory traffic is abstracted into think time).

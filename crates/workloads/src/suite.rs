@@ -8,13 +8,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::kernels;
 use crate::program::Program;
 
 /// Parameters shared by every benchmark build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkloadParams {
     /// Machine size (the paper simulates 32).
     pub nodes: u16,
@@ -48,8 +46,7 @@ impl WorkloadParams {
 }
 
 /// The nine applications of Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(rename_all = "lowercase")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Benchmark {
     Appbt,
@@ -92,6 +89,20 @@ impl Benchmark {
         }
     }
 
+    /// Resolves a benchmark from its lowercase name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ltp_workloads::Benchmark;
+    ///
+    /// assert_eq!(Benchmark::from_name("em3d"), Some(Benchmark::Em3d));
+    /// assert_eq!(Benchmark::from_name("doom"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL.into_iter().find(|b| b.name() == name)
+    }
+
     /// The input data set of the paper's Table 2.
     pub fn paper_input(self) -> &'static str {
         match self {
@@ -129,7 +140,9 @@ impl Benchmark {
     /// Panics if `params.nodes < 2` (no sharing is possible).
     pub fn programs(self, params: &WorkloadParams) -> Vec<Box<dyn Program>> {
         assert!(params.nodes >= 2, "workloads need at least 2 nodes");
-        let iters = params.iterations.unwrap_or_else(|| self.default_iterations());
+        let iters = params
+            .iterations
+            .unwrap_or_else(|| self.default_iterations());
         match self {
             Benchmark::Appbt => kernels::appbt::programs(params.nodes, iters),
             Benchmark::Barnes => kernels::barnes::programs(params.nodes, iters, params.seed),
@@ -184,7 +197,10 @@ mod tests {
         let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
         let mut sorted = names.clone();
         sorted.sort_unstable();
-        assert_eq!(names, sorted, "paper figures list benchmarks alphabetically");
+        assert_eq!(
+            names, sorted,
+            "paper figures list benchmarks alphabetically"
+        );
     }
 
     #[test]

@@ -7,29 +7,29 @@
 //! cargo run --release --example migratory_workpool
 //! ```
 
-use ltp::system::{ExperimentSpec, PolicyKind};
+use ltp::core::PolicyRegistry;
+use ltp::system::SweepSpec;
 use ltp::workloads::Benchmark;
 
 fn main() {
+    let registry = PolicyRegistry::with_builtins();
+    let reports = SweepSpec::new()
+        .benchmark(Benchmark::Raytrace)
+        .policy_specs(&registry, &["base", "dsi", "last-pc", "ltp"])
+        .expect("specs resolve")
+        .collect();
+    let base = reports[0].metrics.clone();
+
     println!("migratory work pool (the raytrace kernel), 32 nodes\n");
     println!(
         "{:<8} {:>12} {:>9} {:>10} {:>9} {:>9}",
         "policy", "exec(cyc)", "pred%", "mispred%", "timely%", "speedup"
     );
-
-    let base = ExperimentSpec::isca00(Benchmark::Raytrace, PolicyKind::Base)
-        .run()
-        .metrics;
-    for policy in [
-        PolicyKind::Base,
-        PolicyKind::Dsi,
-        PolicyKind::LastPc,
-        PolicyKind::LTP,
-    ] {
-        let m = ExperimentSpec::isca00(Benchmark::Raytrace, policy).run().metrics;
+    for r in &reports {
+        let m = &r.metrics;
         println!(
             "{:<8} {:>12} {:>8.1}% {:>9.1}% {:>8.1}% {:>9.3}",
-            policy.name(),
+            r.policy,
             m.exec_cycles,
             m.predicted_pct(),
             m.mispredicted_pct(),

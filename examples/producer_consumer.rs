@@ -2,14 +2,18 @@
 //! from raw [`Op`]s, run it under every policy, and show where the speedup
 //! comes from.
 //!
+//! This example sits one layer below `ExperimentSpec`: it composes a
+//! [`Machine`] directly from programs and registry-built policies, which is
+//! the route for workloads that are not part of the Table 2 suite.
+//!
 //! ```sh
 //! cargo run --release --example producer_consumer
 //! ```
 
-use ltp::core::{BlockId, Pc, SelfInvalidationPolicy};
+use ltp::core::{BlockId, Pc, PolicyRegistry, PredictorConfig, SelfInvalidationPolicy};
 use ltp::dsm::SystemConfig;
 use ltp::sim::{Cycle, Simulation, StopReason};
-use ltp::system::{Machine, PolicyKind};
+use ltp::system::Machine;
 use ltp::workloads::{LoopedScript, Op, Program};
 
 /// Builds a ring of producers: node p writes its slice each iteration and
@@ -46,7 +50,11 @@ fn programs(nodes: u16, blocks_per_node: u64, iters: u32) -> Vec<Box<dyn Program
 
 fn main() {
     let nodes = 16u16;
-    let cfg = SystemConfig::builder().nodes(nodes).build().expect("valid config");
+    let cfg = SystemConfig::builder()
+        .nodes(nodes)
+        .build()
+        .expect("valid config");
+    let registry = PolicyRegistry::with_builtins();
     println!("producer/consumer ring, {nodes} nodes, 8 blocks each, 20 iterations\n");
     println!(
         "{:<8} {:>12} {:>10} {:>10} {:>10} {:>9}",
@@ -54,14 +62,10 @@ fn main() {
     );
 
     let mut base_cycles = None;
-    for policy in [
-        PolicyKind::Base,
-        PolicyKind::Dsi,
-        PolicyKind::LastPc,
-        PolicyKind::LTP,
-    ] {
+    for spec in ["base", "dsi", "last-pc", "ltp"] {
+        let factory = registry.parse(spec).expect("builtin spec");
         let policies: Vec<Box<dyn SelfInvalidationPolicy>> = (0..nodes)
-            .map(|_| policy.build(Default::default()))
+            .map(|_| factory.build(PredictorConfig::default()))
             .collect();
         let machine = Machine::new(cfg.clone(), policies, programs(nodes, 8, 20));
         let mut sim = Simulation::new(machine).with_horizon(Cycle::new(1_000_000_000));
@@ -75,7 +79,7 @@ fn main() {
         let base = *base_cycles.get_or_insert(m.exec_cycles);
         println!(
             "{:<8} {:>12} {:>10} {:>9.1}% {:>9.1}% {:>9.3}",
-            policy.name(),
+            factory.name(),
             m.exec_cycles,
             m.misses,
             m.predicted_pct(),

@@ -32,7 +32,10 @@ fn main() {
     let s = dir.process(Message::new(writer, home, block, MsgKind::GetX));
     show("P3 writes (GetX)", &s.sends);
     let s = dir.process(Message::new(reader, home, block, MsgKind::GetS));
-    show("P1 reads (GetS) — must invalidate the writer first", &s.sends);
+    show(
+        "P1 reads (GetS) — must invalidate the writer first",
+        &s.sends,
+    );
     let s = dir.process(Message::new(
         writer,
         home,
@@ -42,7 +45,10 @@ fn main() {
             dirty_token: Some(1),
         },
     ));
-    show("P3's writeback arrives — now the reply can go out", &s.sends);
+    show(
+        "P3's writeback arrives — now the reply can go out",
+        &s.sends,
+    );
     println!("    => 4 network messages on P1's critical path\n");
 
     // --- Self-invalidating path (Figure 1, right) --------------------

@@ -1,15 +1,15 @@
 //! Quickstart: train a Last-Touch Predictor by hand, then run a full
-//! machine experiment.
+//! machine sweep.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use ltp::core::{
-    BlockId, FillInfo, FillKind, Pc, PerBlockLtp, PredictorConfig, SelfInvalidationPolicy,
-    SignatureBits, Touch, VerifyOutcome,
+    BlockId, FillInfo, FillKind, Pc, PerBlockLtp, PolicyRegistry, PredictorConfig,
+    SelfInvalidationPolicy, SignatureBits, Touch, VerifyOutcome,
 };
-use ltp::system::{ExperimentSpec, PolicyKind};
+use ltp::system::SweepSpec;
 use ltp::workloads::Benchmark;
 
 fn main() {
@@ -70,17 +70,23 @@ fn main() {
     }
 
     // ---------------------------------------------------------------
-    // Part 2: the same predictor inside the full 32-node machine.
+    // Part 2: the same predictor inside the full 32-node machine —
+    // three policies, swept in parallel by the experiment driver.
     // ---------------------------------------------------------------
     println!();
     println!("running em3d on the 32-node CC-NUMA (Table 1 configuration)…");
-    for policy in [PolicyKind::Base, PolicyKind::Dsi, PolicyKind::LTP] {
-        let report = ExperimentSpec::isca00(Benchmark::Em3d, policy).run();
+    let registry = PolicyRegistry::with_builtins();
+    let reports = SweepSpec::new()
+        .benchmark(Benchmark::Em3d)
+        .policy_specs(&registry, &["base", "dsi", "ltp"])
+        .expect("specs resolve")
+        .collect();
+    for report in &reports {
         let m = &report.metrics;
         println!(
             "  {:<5}  exec {:>9} cycles | predicted {:>5.1}% | mispredicted {:>4.1}% | \
              dir queueing {:>6.0} cycles",
-            policy.name(),
+            report.policy,
             m.exec_cycles,
             m.predicted_pct(),
             m.mispredicted_pct(),

@@ -3,38 +3,42 @@
 //! the case that defeats single-PC prediction and, for the global table,
 //! makes outer-column traces subtraces of inner-column traces (§5.3).
 //!
-//! Sweeps the signature width to show the Figure 7 trade-off on this
-//! kernel.
+//! Sweeps the signature width through one parallel [`SweepSpec`] to show
+//! the Figure 7 trade-off on this kernel.
 //!
 //! ```sh
 //! cargo run --release --example stencil_sweep
 //! ```
 
-use ltp::system::{ExperimentSpec, PolicyKind};
+use ltp::core::PolicyRegistry;
+use ltp::system::SweepSpec;
 use ltp::workloads::Benchmark;
 
 fn main() {
-    println!("tomcatv stencil, 32 nodes: predictor comparison\n");
-    println!(
-        "{:<22} {:>10} {:>10}",
-        "predictor", "pred%", "mispred%"
-    );
-    let points = [
-        ("last-pc (single PC)", PolicyKind::LastPc),
-        ("ltp per-block 30b", PolicyKind::LtpPerBlock { bits: 30 }),
-        ("ltp per-block 13b", PolicyKind::LtpPerBlock { bits: 13 }),
-        ("ltp per-block 11b", PolicyKind::LtpPerBlock { bits: 11 }),
-        ("ltp per-block 6b", PolicyKind::LtpPerBlock { bits: 6 }),
-        ("ltp global 30b", PolicyKind::LTP_GLOBAL),
-        ("dsi", PolicyKind::Dsi),
+    let registry = PolicyRegistry::with_builtins();
+    let specs = [
+        "last-pc",
+        "ltp:bits=30",
+        "ltp:bits=13",
+        "ltp:bits=11",
+        "ltp:bits=6",
+        "ltp-global",
+        "dsi",
     ];
-    for (name, policy) in points {
-        let m = ExperimentSpec::isca00(Benchmark::Tomcatv, policy).run().metrics;
+    let reports = SweepSpec::new()
+        .benchmark(Benchmark::Tomcatv)
+        .policy_specs(&registry, &specs)
+        .expect("specs resolve")
+        .collect();
+
+    println!("tomcatv stencil, 32 nodes: predictor comparison\n");
+    println!("{:<30} {:>10} {:>10}", "predictor", "pred%", "mispred%");
+    for r in &reports {
         println!(
-            "{:<22} {:>9.1}% {:>9.1}%",
-            name,
-            m.predicted_pct(),
-            m.mispredicted_pct()
+            "{:<30} {:>9.1}% {:>9.1}%",
+            r.policy_spec,
+            r.metrics.predicted_pct(),
+            r.metrics.mispredicted_pct()
         );
     }
 

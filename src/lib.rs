@@ -21,13 +21,20 @@
 //! # Quick start
 //!
 //! Run the paper's headline experiment — the base-case LTP on `em3d` — and
-//! inspect the Figure 6 classification:
+//! inspect the Figure 6 classification. Policies are named by registry spec
+//! strings (see [`ltp_core::registry`] for the grammar):
 //!
 //! ```
-//! use ltp::system::{ExperimentSpec, PolicyKind};
+//! use ltp::system::ExperimentSpec;
 //! use ltp::workloads::Benchmark;
 //!
-//! let report = ExperimentSpec::quick(Benchmark::Em3d, PolicyKind::LTP, 8, 10).run();
+//! let report = ExperimentSpec::builder(Benchmark::Em3d)
+//!     .policy_spec("ltp:bits=13")
+//!     .unwrap()
+//!     .nodes(8)
+//!     .iterations(10)
+//!     .build()
+//!     .run();
 //! let m = &report.metrics;
 //! assert!(m.predicted_pct() > 50.0, "em3d is the predictor's best case");
 //! println!(
@@ -38,10 +45,32 @@
 //! );
 //! ```
 //!
+//! Whole design-space sweeps go through [`ltp::system::SweepSpec`], which
+//! runs the cross product benchmark × policy × geometry in parallel and
+//! streams per-run reports through a [`ltp::system::ReportSink`]:
+//!
+//! ```
+//! use ltp::core::PolicyRegistry;
+//! use ltp::system::SweepSpec;
+//! use ltp::workloads::Benchmark;
+//!
+//! let registry = PolicyRegistry::with_builtins();
+//! let reports = SweepSpec::new()
+//!     .benchmark(Benchmark::Em3d)
+//!     .policy_specs(&registry, &["base", "ltp"])
+//!     .unwrap()
+//!     .quick_geometry(4, 4)
+//!     .collect();
+//! assert_eq!(reports.len(), 2);
+//! ```
+//!
 //! The runnable examples under `examples/` walk through the predictor API
-//! (`quickstart`), the protocol (`protocol_walkthrough`), and three workload
-//! scenarios; `cargo bench` regenerates every table and figure (see
-//! EXPERIMENTS.md).
+//! (`quickstart`), the protocol (`protocol_walkthrough`), custom policy
+//! registration (`custom_policy`), and three workload scenarios;
+//! `cargo bench` regenerates every table and figure.
+//!
+//! [`ltp::system::SweepSpec`]: crate::system::SweepSpec
+//! [`ltp::system::ReportSink`]: crate::system::ReportSink
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

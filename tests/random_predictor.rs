@@ -1,18 +1,21 @@
-//! Property tests over the predictors in isolation: arbitrary interleaved
+//! Randomized tests over the predictors in isolation: arbitrary interleaved
 //! touch/invalidation/verification streams must never break the predictor's
 //! internal bookkeeping, and the signature encoders must satisfy their
 //! algebraic contracts.
+//!
+//! Generation is driven by the repository's own seeded [`SimRng`], so every
+//! "random" case is reproducible from its printed seed.
 
 use ltp::core::{
     BlockId, FillInfo, FillKind, GlobalLtp, LastPc, Pc, PerBlockLtp, PredictorConfig,
     SelfInvalidationPolicy, Signature, SignatureBits, SignatureEncoder, SyncKind, Touch,
     TruncatedAdd, VerifyOutcome, XorRotate,
 };
-use proptest::prelude::*;
+use ltp::sim::SimRng;
 use std::collections::HashMap;
 
 /// One step of a predictor-driving script.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Step {
     /// Touch block b with PC site s (write if w).
     Touch(u8, u8, bool),
@@ -23,12 +26,17 @@ enum Step {
     Sync,
 }
 
-fn step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        4 => (0u8..8, 0u8..6, any::<bool>()).prop_map(|(b, s, w)| Step::Touch(b, s, w)),
-        2 => (0u8..8).prop_map(Step::Invalidate),
-        1 => Just(Step::Sync),
-    ]
+fn gen_step(rng: &mut SimRng) -> Step {
+    match rng.below(7) {
+        0..=3 => Step::Touch(rng.below(8) as u8, rng.below(6) as u8, rng.chance(1, 2)),
+        4 | 5 => Step::Invalidate(rng.below(8) as u8),
+        _ => Step::Sync,
+    }
+}
+
+fn gen_script(rng: &mut SimRng, max_len: u64) -> Vec<Step> {
+    let len = rng.range(1, max_len) as usize;
+    (0..len).map(|_| gen_step(rng)).collect()
 }
 
 /// Drives a policy through the script while honouring the machine's
@@ -102,95 +110,109 @@ fn drive<P: SelfInvalidationPolicy>(policy: &mut P, script: &[Step], outcomes: &
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn predictors_survive_arbitrary_event_streams(
-        script in prop::collection::vec(step(), 1..200),
-        outcomes in prop::collection::vec(any::<bool>(), 64),
-    ) {
+#[test]
+fn predictors_survive_arbitrary_event_streams() {
+    let mut rng = SimRng::from_seed(0x15CA_2000_0011);
+    for case in 0..256 {
+        let script = gen_script(&mut rng, 200);
+        let outcomes: Vec<bool> = (0..64).map(|_| rng.chance(1, 2)).collect();
         let cfg = PredictorConfig::default();
+
         let mut per_block = PerBlockLtp::new(SignatureBits::PER_BLOCK_DEFAULT, 4, cfg);
         drive(&mut per_block, &script, &outcomes);
         let s = per_block.storage();
-        prop_assert!(s.live_entries <= s.blocks_tracked * 4, "LRU cap respected");
+        assert!(
+            s.live_entries <= s.blocks_tracked * 4,
+            "case {case}: LRU cap respected"
+        );
 
         let mut global = GlobalLtp::new(SignatureBits::BASE, 64, 2, cfg);
         drive(&mut global, &script, &outcomes);
-        prop_assert!(global.storage().live_entries <= 64 * 2);
+        assert!(global.storage().live_entries <= 64 * 2, "case {case}");
 
         let mut last_pc = LastPc::with_config(4, cfg);
         drive(&mut last_pc, &script, &outcomes);
     }
+}
 
-    #[test]
-    fn fired_total_is_monotone_and_bounded_by_touches(
-        script in prop::collection::vec(step(), 1..150),
-    ) {
+#[test]
+fn fired_total_is_monotone_and_bounded_by_touches() {
+    let mut rng = SimRng::from_seed(0x15CA_2000_0012);
+    for case in 0..128 {
+        let script = gen_script(&mut rng, 150);
         let mut p = PerBlockLtp::new(
             SignatureBits::PER_BLOCK_DEFAULT,
             8,
             PredictorConfig::default(),
         );
-        let touches = script.iter().filter(|s| matches!(s, Step::Touch(..))).count() as u64;
+        let touches = script
+            .iter()
+            .filter(|s| matches!(s, Step::Touch(..)))
+            .count() as u64;
         drive(&mut p, &script, &[]);
-        prop_assert!(p.fired_total() <= touches);
+        assert!(p.fired_total() <= touches, "case {case}");
     }
+}
 
-    #[test]
-    fn truncated_add_is_incremental_and_width_masked(
-        pcs in prop::collection::vec(any::<u32>(), 1..40),
-        width in 1u8..=32,
-    ) {
-        let width = SignatureBits::new(width).unwrap();
+#[test]
+fn truncated_add_is_incremental_and_width_masked() {
+    let mut rng = SimRng::from_seed(0x15CA_2000_0013);
+    for _ in 0..256 {
+        let width = SignatureBits::new(rng.range(1, 33) as u8).unwrap();
         let enc = TruncatedAdd::new(width);
-        let pcs: Vec<Pc> = pcs.into_iter().map(Pc::new).collect();
+        let pcs: Vec<Pc> = (0..rng.range(1, 40))
+            .map(|_| Pc::new(rng.next_u64() as u32))
+            .collect();
         // Incremental folding equals whole-trace encoding.
         let mut sig = enc.start(pcs[0]);
         for &pc in &pcs[1..] {
             sig = enc.fold(sig, pc);
         }
-        prop_assert_eq!(sig, enc.encode_trace(&pcs));
+        assert_eq!(sig, enc.encode_trace(&pcs));
         // Signatures never exceed the width.
-        prop_assert_eq!(sig.bits() & !width.mask(), 0);
+        assert_eq!(sig.bits() & !width.mask(), 0);
         // Truncated addition is exactly a modular sum.
         let sum: u32 = pcs.iter().fold(0u32, |a, p| a.wrapping_add(p.value()));
-        prop_assert_eq!(sig, Signature::from_bits(sum, width));
+        assert_eq!(sig, Signature::from_bits(sum, width));
     }
+}
 
-    #[test]
-    fn xor_rotate_is_deterministic_and_masked(
-        pcs in prop::collection::vec(any::<u32>(), 1..40),
-        width in 2u8..=32,
-        rotation in 1u32..8,
-    ) {
-        let width = SignatureBits::new(width).unwrap();
+#[test]
+fn xor_rotate_is_deterministic_and_masked() {
+    let mut rng = SimRng::from_seed(0x15CA_2000_0014);
+    for _ in 0..256 {
+        let width = SignatureBits::new(rng.range(2, 33) as u8).unwrap();
+        let rotation = rng.range(1, 8) as u32;
         let enc = XorRotate::new(width, rotation);
-        let pcs: Vec<Pc> = pcs.into_iter().map(Pc::new).collect();
+        let pcs: Vec<Pc> = (0..rng.range(1, 40))
+            .map(|_| Pc::new(rng.next_u64() as u32))
+            .collect();
         let a = enc.encode_trace(&pcs);
         let b = enc.encode_trace(&pcs);
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(a.bits() & !width.mask(), 0);
+        assert_eq!(a, b);
+        assert_eq!(a.bits() & !width.mask(), 0);
     }
+}
 
-    #[test]
-    fn subtrace_extension_changes_truncated_signature_unless_zero_mod(
-        pcs in prop::collection::vec(1u32..0x7fff_ffff, 1..20),
-        extra in 1u32..0x7fff_ffff,
-    ) {
-        // Appending a PC changes the signature iff the PC is nonzero mod
-        // 2^k — the precise condition behind the §3.1 subtrace-aliasing
-        // discussion.
-        let width = SignatureBits::PER_BLOCK_DEFAULT;
-        let enc = TruncatedAdd::new(width);
-        let pcs: Vec<Pc> = pcs.into_iter().map(Pc::new).collect();
+#[test]
+fn subtrace_extension_changes_truncated_signature_unless_zero_mod() {
+    // Appending a PC changes the signature iff the PC is nonzero mod
+    // 2^k — the precise condition behind the §3.1 subtrace-aliasing
+    // discussion.
+    let mut rng = SimRng::from_seed(0x15CA_2000_0015);
+    let width = SignatureBits::PER_BLOCK_DEFAULT;
+    let enc = TruncatedAdd::new(width);
+    for _ in 0..256 {
+        let pcs: Vec<Pc> = (0..rng.range(1, 20))
+            .map(|_| Pc::new(rng.range(1, 0x7fff_ffff) as u32))
+            .collect();
+        let extra = rng.range(1, 0x7fff_ffff) as u32;
         let base = enc.encode_trace(&pcs);
         let extended = enc.fold(base, Pc::new(extra));
         if extra & width.mask() == 0 {
-            prop_assert_eq!(base, extended, "zero-mod PCs alias their prefix");
+            assert_eq!(base, extended, "zero-mod PCs alias their prefix");
         } else {
-            prop_assert_ne!(base, extended);
+            assert_ne!(base, extended);
         }
     }
 }
