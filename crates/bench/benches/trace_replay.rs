@@ -1,0 +1,92 @@
+//! Trace replay throughput baseline: end-to-end runs driven by recorded
+//! `.ltrace` streams vs the synthetic kernels that produced them, plus the
+//! raw encode/decode and stream-generation microbenchmarks.
+//!
+//! Replay must be at least competitive with synthesis — the whole point of
+//! capture-once/replay-anywhere is to make sweeping recorded scenarios
+//! cheap — and the two paths are asserted bit-identical before timing.
+//!
+//! ```sh
+//! cargo bench -p ltp-bench --bench trace_replay
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ltp_bench::{microbench, print_header};
+use ltp_system::ExperimentSpec;
+use ltp_workloads::{collect_ops, Benchmark, Trace, WorkloadParams};
+
+fn main() {
+    print_header(
+        "Trace replay vs synthetic generation — throughput baseline",
+        "infrastructure benchmark (no paper analogue)",
+    );
+
+    let params = WorkloadParams::quick(8, 12);
+    let benchmarks = [Benchmark::Em3d, Benchmark::Tomcatv, Benchmark::Raytrace];
+
+    println!(
+        "{:<12} {:>9} {:>9} {:>10} {:>12} {:>12}",
+        "benchmark", "ops", "bytes", "B/op", "synth(ms)", "replay(ms)"
+    );
+    for benchmark in benchmarks {
+        let trace = Arc::new(Trace::record(benchmark, &params));
+        let mut encoded = Vec::new();
+        trace.write_to(&mut encoded).expect("encodes");
+
+        // Fidelity gate before timing anything.
+        let direct = ExperimentSpec::builder(benchmark)
+            .policy_spec("ltp")
+            .expect("builtin spec")
+            .workload(params)
+            .build();
+        let replay = ExperimentSpec::replay(Arc::clone(&trace))
+            .policy_spec("ltp")
+            .expect("builtin spec")
+            .build();
+        assert_eq!(replay.run(), direct.run(), "{benchmark}: replay differs");
+
+        let time = |spec: &ExperimentSpec| {
+            let started = Instant::now();
+            let report = spec.run();
+            (started.elapsed().as_secs_f64() * 1e3, report)
+        };
+        // Warm, then time one run of each path.
+        let (synth_ms, _) = time(&direct);
+        let (replay_ms, _) = time(&replay);
+
+        println!(
+            "{:<12} {:>9} {:>9} {:>10.2} {:>12.2} {:>12.2}",
+            benchmark.name(),
+            trace.total_ops(),
+            encoded.len(),
+            encoded.len() as f64 / trace.total_ops().max(1) as f64,
+            synth_ms,
+            replay_ms
+        );
+    }
+
+    println!();
+    let trace = Arc::new(Trace::record(Benchmark::Tomcatv, &params));
+    let mut encoded = Vec::new();
+    trace.write_to(&mut encoded).expect("encodes");
+
+    microbench("trace encode (tomcatv, 8 nodes)", || {
+        let mut out = Vec::with_capacity(encoded.len());
+        trace.write_to(&mut out).expect("encodes");
+    });
+    microbench("trace decode (tomcatv, 8 nodes)", || {
+        Trace::read_from(&encoded[..]).expect("decodes");
+    });
+    microbench("stream drain: synthetic programs", || {
+        for mut p in Benchmark::Tomcatv.programs(&params) {
+            collect_ops(p.as_mut());
+        }
+    });
+    microbench("stream drain: trace replay", || {
+        for mut p in Trace::programs(&trace) {
+            collect_ops(p.as_mut());
+        }
+    });
+}

@@ -8,7 +8,7 @@
 //! summary numbers use.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::hint::black_box;
 use std::time::Instant;

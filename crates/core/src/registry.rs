@@ -426,6 +426,43 @@ impl PolicyRegistry {
     /// shareable factory; parameters it does not take are rejected as
     /// unknown.
     ///
+    /// # Examples
+    ///
+    /// A parameterized external policy, registered and resolved by spec
+    /// string:
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    ///
+    /// use ltp_core::{
+    ///     NullPolicy, PolicyFactory, PolicyRegistry, PredictorConfig, SelfInvalidationPolicy,
+    /// };
+    ///
+    /// #[derive(Debug)]
+    /// struct EveryN(u64);
+    /// impl PolicyFactory for EveryN {
+    ///     fn name(&self) -> &str {
+    ///         "every-n"
+    ///     }
+    ///     fn spec(&self) -> String {
+    ///         format!("every-n:n={}", self.0)
+    ///     }
+    ///     fn build(&self, _config: PredictorConfig) -> Box<dyn SelfInvalidationPolicy> {
+    ///         Box::new(NullPolicy) // a real policy would count touches
+    ///     }
+    /// }
+    ///
+    /// let mut registry = PolicyRegistry::with_builtins();
+    /// registry
+    ///     .register("every-n", "fires every n touches [n=8]", |params| {
+    ///         let n = params.take_u64_in("n", 1, 1 << 16)?.unwrap_or(8);
+    ///         Ok(Arc::new(EveryN(n)))
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!(registry.parse("every-n:n=4").unwrap().spec(), "every-n:n=4");
+    /// assert!(registry.parse("every-n:typo=1").is_err(), "unknown keys are rejected");
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`PolicySpecError::DuplicateName`] if `name` is taken.

@@ -33,7 +33,7 @@
 //! correct/premature verdicts and Table 4's timeliness.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod cache;

@@ -1,11 +1,12 @@
-//! The experiment driver: benchmark × policy × machine geometry → report.
+//! The experiment driver: workload × policy × machine geometry → report.
 //!
-//! [`ExperimentSpec`] describes one run: a [`Benchmark`], a shared
-//! [`PolicyFactory`] (resolved from a spec string through a
-//! [`PolicyRegistry`] or constructed directly), workload sizing, and
-//! predictor tuning. Construct one through [`ExperimentSpec::builder`] (or
-//! the [`ExperimentSpec::isca00`] / [`ExperimentSpec::quick`] shorthands),
-//! then [`ExperimentSpec::run`] it — or hand many design points to
+//! [`ExperimentSpec`] describes one run: a [`WorkloadSource`] (a synthetic
+//! [`ltp_workloads::Benchmark`] or a recorded [`Trace`]), a shared [`PolicyFactory`]
+//! (resolved from a spec string through a [`PolicyRegistry`] or constructed
+//! directly), workload sizing, and predictor tuning. Construct one through
+//! [`ExperimentSpec::builder`] (or the [`ExperimentSpec::isca00`] /
+//! [`ExperimentSpec::quick`] / [`ExperimentSpec::replay`] shorthands), then
+//! [`ExperimentSpec::run`] it — or hand many design points to
 //! [`crate::SweepSpec`] to execute in parallel.
 
 use std::sync::Arc;
@@ -13,7 +14,7 @@ use std::sync::Arc;
 use ltp_core::{PolicyFactory, PolicyRegistry, PolicySpecError, PredictorConfig};
 use ltp_dsm::SystemConfig;
 use ltp_sim::{Cycle, Simulation, StopReason};
-use ltp_workloads::{Benchmark, WorkloadParams};
+use ltp_workloads::{Trace, WorkloadParams, WorkloadSource};
 
 use crate::machine::Machine;
 use crate::report::RunReport;
@@ -37,42 +38,72 @@ use crate::report::RunReport;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ExperimentSpec {
-    /// Which benchmark to run.
-    pub benchmark: Benchmark,
+    /// Which workload to run: a synthetic benchmark or a recorded trace.
+    pub source: WorkloadSource,
     /// The factory instantiating one policy per node.
     pub policy: Arc<dyn PolicyFactory>,
-    /// Workload sizing parameters (machine geometry).
+    /// Workload sizing parameters (machine geometry). Trace sources pin
+    /// their recorded geometry: whatever is requested here, the run uses
+    /// [`WorkloadSource::effective_params`].
     pub workload: WorkloadParams,
     /// Predictor tuning knobs.
     pub predictor: PredictorConfig,
 }
 
 impl ExperimentSpec {
-    /// Starts a builder for `benchmark` (policy defaults to `base`).
-    pub fn builder(benchmark: Benchmark) -> ExperimentBuilder {
+    /// Starts a builder for any workload source — a
+    /// [`ltp_workloads::Benchmark`], a [`Trace`], or an explicit
+    /// [`WorkloadSource`] (policy defaults to `base`).
+    pub fn builder(source: impl Into<WorkloadSource>) -> ExperimentBuilder {
+        let source = source.into();
+        let workload = source.effective_params(WorkloadParams::default());
         ExperimentBuilder {
             spec: ExperimentSpec {
-                benchmark,
+                source,
                 policy: Arc::new(ltp_core::registry::BaseFactory),
-                workload: WorkloadParams::default(),
+                workload,
                 predictor: PredictorConfig::default(),
             },
         }
     }
 
+    /// Starts a builder replaying a recorded trace at its recorded
+    /// geometry.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    ///
+    /// use ltp_system::ExperimentSpec;
+    /// use ltp_workloads::{Benchmark, Trace, WorkloadParams};
+    ///
+    /// let params = WorkloadParams::quick(4, 3);
+    /// let trace = Arc::new(Trace::record(Benchmark::Em3d, &params));
+    ///
+    /// let direct = ExperimentSpec::builder(Benchmark::Em3d)
+    ///     .policy_spec("ltp").unwrap().workload(params).build().run();
+    /// let replayed = ExperimentSpec::replay(Arc::clone(&trace))
+    ///     .policy_spec("ltp").unwrap().build().run();
+    /// assert_eq!(replayed, direct, "replay is bit-identical");
+    /// ```
+    pub fn replay(trace: Arc<Trace>) -> ExperimentBuilder {
+        ExperimentSpec::builder(trace)
+    }
+
     /// An experiment on the paper's 32-node machine with default scaling.
-    pub fn isca00(benchmark: Benchmark, policy: Arc<dyn PolicyFactory>) -> Self {
-        ExperimentSpec::builder(benchmark).policy(policy).build()
+    pub fn isca00(source: impl Into<WorkloadSource>, policy: Arc<dyn PolicyFactory>) -> Self {
+        ExperimentSpec::builder(source).policy(policy).build()
     }
 
     /// A small/fast variant for tests.
     pub fn quick(
-        benchmark: Benchmark,
+        source: impl Into<WorkloadSource>,
         policy: Arc<dyn PolicyFactory>,
         nodes: u16,
         iters: u32,
     ) -> Self {
-        ExperimentSpec::builder(benchmark)
+        ExperimentSpec::builder(source)
             .policy(policy)
             .nodes(nodes)
             .iterations(iters)
@@ -87,13 +118,14 @@ impl ExperimentSpec {
     /// processors) — by construction this indicates a protocol bug, and the
     /// panic message carries the stuck-node diagnosis.
     pub fn run(&self) -> RunReport {
+        let workload = self.source.effective_params(self.workload);
         let config = SystemConfig::builder()
-            .nodes(self.workload.nodes)
+            .nodes(workload.nodes)
             .build()
             .expect("valid node count");
-        let n = self.workload.nodes;
+        let n = workload.nodes;
         let policies = (0..n).map(|_| self.policy.build(self.predictor)).collect();
-        let programs = self.benchmark.programs(&self.workload);
+        let programs = self.source.programs(&workload);
         let machine = Machine::new(config, policies, programs);
 
         let mut sim = Simulation::new(machine).with_horizon(Cycle::new(HORIZON_CYCLES));
@@ -106,17 +138,17 @@ impl ExperimentSpec {
             summary.stop,
             StopReason::HorizonReached,
             "{} under {} deadlocked; stuck nodes:\n{}",
-            self.benchmark,
+            self.source,
             self.policy.spec(),
             sim.world().stuck_report()
         );
         let machine = sim.into_world();
         assert!(machine.all_finished(), "drained but processors unfinished");
         RunReport {
-            benchmark: self.benchmark,
+            benchmark: self.source.name().to_string(),
             policy: self.policy.name().to_string(),
             policy_spec: self.policy.spec(),
-            workload: self.workload,
+            workload,
             metrics: machine.into_metrics(),
             events_handled: summary.events_handled,
         }
@@ -205,6 +237,7 @@ const HORIZON_CYCLES: u64 = 2_000_000_000;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ltp_workloads::Benchmark;
 
     fn quick(benchmark: Benchmark, spec: &str, nodes: u16, iters: u32) -> RunReport {
         ExperimentSpec::builder(benchmark)
@@ -254,6 +287,39 @@ mod tests {
         let a = spec.run();
         let b = spec.run();
         assert_eq!(a, b, "same spec, same report");
+    }
+
+    #[test]
+    fn trace_replay_reproduces_the_synthetic_run() {
+        let params = WorkloadParams::quick(4, 3);
+        let trace = Arc::new(Trace::record(Benchmark::Raytrace, &params));
+        let direct = ExperimentSpec::builder(Benchmark::Raytrace)
+            .policy_spec("ltp")
+            .unwrap()
+            .workload(params)
+            .build()
+            .run();
+        let replayed = ExperimentSpec::replay(trace)
+            .policy_spec("ltp")
+            .unwrap()
+            .build()
+            .run();
+        assert_eq!(replayed, direct);
+    }
+
+    #[test]
+    fn trace_geometry_overrides_builder_geometry() {
+        let params = WorkloadParams::quick(4, 2);
+        let trace = Arc::new(Trace::record(Benchmark::Em3d, &params));
+        // A (mistaken) .nodes() override on a trace run is ignored: the
+        // recorded geometry wins.
+        let report = ExperimentSpec::replay(trace)
+            .policy_spec("base")
+            .unwrap()
+            .nodes(16)
+            .build()
+            .run();
+        assert_eq!(report.workload, params);
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //! * [`Machine`] — 32 nodes, each a program-interpreting CPU plus network
 //!   cache plus self-invalidation policy, over the `ltp-dsm` directory
 //!   protocol, protocol engines, and contended network interfaces;
-//! * [`ExperimentSpec`] — one benchmark × policy × geometry run, built
-//!   through a builder and a [`ltp_core::PolicyRegistry`] spec string;
+//! * [`ExperimentSpec`] — one workload × policy × geometry run, built
+//!   through a builder and a [`ltp_core::PolicyRegistry`] spec string; the
+//!   workload is any [`ltp_workloads::WorkloadSource`] — a synthetic
+//!   benchmark or a recorded [`ltp_workloads::Trace`] (see
+//!   [`ExperimentSpec::replay`]);
 //! * [`SweepSpec`] — cross products of design points executed in parallel,
 //!   streaming per-run [`RunReport`]s through a [`ReportSink`];
 //! * [`Metrics`] — the quantities behind Figures 6–9 and Tables 3–4.
@@ -30,7 +33,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod compat;

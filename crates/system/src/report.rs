@@ -17,15 +17,16 @@
 use std::fmt::Write as _;
 use std::io;
 
-use ltp_workloads::{Benchmark, WorkloadParams};
+use ltp_workloads::WorkloadParams;
 
 use crate::metrics::Metrics;
 
 /// The outcome of one experiment run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
-    /// The benchmark that ran.
-    pub benchmark: Benchmark,
+    /// The workload that ran: a benchmark name, or the name recorded in a
+    /// replayed trace's header.
+    pub benchmark: String,
     /// The short family name of the policy ("base", "dsi", "ltp", …).
     pub policy: String,
     /// The canonical policy spec string (parameters included).
@@ -55,7 +56,7 @@ impl RunReport {
         let _ = write!(
             s,
             "\"benchmark\":\"{}\",\"policy\":\"{}\",\"policy_spec\":\"{}\",",
-            json_escape(self.benchmark.name()),
+            json_escape(&self.benchmark),
             json_escape(&self.policy),
             json_escape(&self.policy_spec),
         );
@@ -235,7 +236,7 @@ mod tests {
 
     fn report(policy: &str) -> RunReport {
         RunReport {
-            benchmark: Benchmark::Em3d,
+            benchmark: "em3d".to_string(),
             policy: policy.to_string(),
             policy_spec: format!("{policy}:bits=13"),
             workload: WorkloadParams::quick(4, 2),

@@ -1,4 +1,4 @@
-//! The batched experiment driver: cross products of benchmarks × policies ×
+//! The batched experiment driver: cross products of workloads × policies ×
 //! machine geometries, executed in parallel.
 //!
 //! [`SweepSpec`] is how figures, tables, and ablations are produced: declare
@@ -35,20 +35,22 @@ use std::sync::Arc;
 use std::thread;
 
 use ltp_core::{PolicyFactory, PolicyRegistry, PolicySpecError, PredictorConfig};
-use ltp_workloads::{Benchmark, WorkloadParams};
+use ltp_workloads::{Benchmark, Trace, WorkloadParams, WorkloadSource};
 
 use crate::experiment::ExperimentSpec;
 use crate::report::{MemorySink, ReportSink, RunReport};
 
-/// A cross product of benchmarks × policies × machine geometries, plus the
-/// execution strategy for running it.
+/// A cross product of workload sources × policies × machine geometries,
+/// plus the execution strategy for running it.
 ///
-/// Run order (the `seq` passed to sinks) is row-major over
-/// `benchmark × policy × geometry`: the geometry varies fastest, then the
-/// policy, then the benchmark.
+/// Sources may be synthetic benchmarks, recorded traces, or both in one
+/// sweep (trace sources pin their recorded geometry; see
+/// [`SweepSpec::trace`]). Run order (the `seq` passed to sinks) is
+/// row-major over `source × policy × geometry`: the geometry varies
+/// fastest, then the policy, then the source.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
-    benchmarks: Vec<Benchmark>,
+    sources: Vec<WorkloadSource>,
     policies: Vec<Arc<dyn PolicyFactory>>,
     geometries: Vec<WorkloadParams>,
     predictor: PredictorConfig,
@@ -62,11 +64,11 @@ impl Default for SweepSpec {
 }
 
 impl SweepSpec {
-    /// An empty sweep: no benchmarks, no policies, the default geometry
+    /// An empty sweep: no workloads, no policies, the default geometry
     /// (the paper's 32-node machine), automatic parallelism.
     pub fn new() -> Self {
         SweepSpec {
-            benchmarks: Vec::new(),
+            sources: Vec::new(),
             policies: Vec::new(),
             geometries: Vec::new(),
             predictor: PredictorConfig::default(),
@@ -74,21 +76,37 @@ impl SweepSpec {
         }
     }
 
-    /// Adds one benchmark.
-    pub fn benchmark(mut self, benchmark: Benchmark) -> Self {
-        self.benchmarks.push(benchmark);
+    /// Adds one workload source (a benchmark, a recorded trace, or an
+    /// explicit [`WorkloadSource`]).
+    pub fn source(mut self, source: impl Into<WorkloadSource>) -> Self {
+        self.sources.push(source.into());
         self
+    }
+
+    /// Adds one benchmark.
+    pub fn benchmark(self, benchmark: Benchmark) -> Self {
+        self.source(benchmark)
     }
 
     /// Adds several benchmarks.
     pub fn benchmarks(mut self, benchmarks: impl IntoIterator<Item = Benchmark>) -> Self {
-        self.benchmarks.extend(benchmarks);
+        self.sources
+            .extend(benchmarks.into_iter().map(WorkloadSource::from));
         self
     }
 
     /// Adds the whole nine-application Table 2 suite.
     pub fn all_benchmarks(self) -> Self {
         self.benchmarks(Benchmark::ALL)
+    }
+
+    /// Adds one recorded trace as a workload source.
+    ///
+    /// A trace replays at its recorded geometry regardless of the sweep's
+    /// [`SweepSpec::geometry`] list — with several geometries, the trace's
+    /// design points repeat identically (sinks still see every run).
+    pub fn trace(self, trace: Arc<Trace>) -> Self {
+        self.source(trace)
     }
 
     /// Adds one policy factory (the open end of the API: any external
@@ -159,7 +177,7 @@ impl SweepSpec {
 
     /// Number of runs in the cross product.
     pub fn len(&self) -> usize {
-        self.benchmarks.len() * self.policies.len() * self.geometries.len().max(1)
+        self.sources.len() * self.policies.len() * self.geometries.len().max(1)
     }
 
     /// Whether the cross product is empty.
@@ -177,13 +195,13 @@ impl SweepSpec {
             &self.geometries
         };
         let mut runs = Vec::with_capacity(self.len());
-        for &benchmark in &self.benchmarks {
+        for source in &self.sources {
             for policy in &self.policies {
                 for &workload in geometries {
                     runs.push(ExperimentSpec {
-                        benchmark,
+                        source: source.clone(),
                         policy: Arc::clone(policy),
-                        workload,
+                        workload: source.effective_params(workload),
                         predictor: self.predictor,
                     });
                 }
@@ -295,12 +313,12 @@ mod tests {
         assert_eq!(sweep.len(), 2 * 3 * 2);
         let runs = sweep.runs();
         assert_eq!(runs.len(), 12);
-        // Geometry fastest, then policy, then benchmark.
-        assert_eq!(runs[0].benchmark, Benchmark::Em3d);
+        // Geometry fastest, then policy, then source.
+        assert_eq!(runs[0].source.name(), "em3d");
         assert_eq!(runs[0].workload.nodes, 4);
         assert_eq!(runs[1].workload.nodes, 2);
         assert_eq!(runs[2].policy.name(), "dsi");
-        assert_eq!(runs[6].benchmark, Benchmark::Tomcatv);
+        assert_eq!(runs[6].source.name(), "tomcatv");
     }
 
     #[test]
@@ -364,6 +382,39 @@ mod tests {
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].policy, "always-off");
         assert_eq!(reports[0].metrics.self_invalidations_sent, 0);
+    }
+
+    #[test]
+    fn traces_and_synthetics_mix_in_one_sweep() {
+        let params = WorkloadParams::quick(4, 2);
+        let trace = Arc::new(Trace::record(Benchmark::Em3d, &params));
+        let registry = PolicyRegistry::with_builtins();
+        let reports = SweepSpec::new()
+            .trace(Arc::clone(&trace))
+            .benchmark(Benchmark::Em3d)
+            .policy_specs(&registry, &["base", "ltp"])
+            .unwrap()
+            .geometry(params)
+            .collect();
+        assert_eq!(reports.len(), 4);
+        // The trace rows are bit-identical to the synthetic rows.
+        assert_eq!(reports[0], reports[2], "base: replay == synthetic");
+        assert_eq!(reports[1], reports[3], "ltp: replay == synthetic");
+    }
+
+    #[test]
+    fn trace_sources_pin_geometry_in_sweeps() {
+        let recorded = WorkloadParams::quick(4, 2);
+        let trace = Arc::new(Trace::record(Benchmark::Ocean, &recorded));
+        let registry = PolicyRegistry::with_builtins();
+        let reports = SweepSpec::new()
+            .trace(trace)
+            .policy_spec(&registry, "base")
+            .unwrap()
+            .quick_geometry(8, 9) // ignored by the trace source
+            .collect();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].workload, recorded);
     }
 
     #[test]

@@ -11,15 +11,25 @@
 //!
 //! See `DESIGN.md` §3.4 for the per-benchmark mechanism table and
 //! [`Benchmark`] for the registry.
+//!
+//! Beyond the synthetic kernels, the [`trace`] module captures any
+//! benchmark's per-node op streams into a compact versioned `.ltrace` file
+//! ([`TraceWriter`], [`Trace`]) and replays them ([`TraceProgram`]); a
+//! [`WorkloadSource`] names either kind of workload — synthetic or
+//! recorded — so traces are first-class inputs to experiments and sweeps.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod program;
+mod source;
 mod suite;
 
 pub mod kernels;
+pub mod trace;
 
 pub use program::{collect_ops, Lock, LoopedScript, Op, Program};
+pub use source::WorkloadSource;
 pub use suite::{Benchmark, WorkloadParams};
+pub use trace::{Trace, TraceError, TraceProgram, TraceWriter};

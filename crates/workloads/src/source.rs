@@ -1,0 +1,157 @@
+//! [`WorkloadSource`]: one name for "anything that can drive a machine".
+//!
+//! The experiment and sweep drivers used to accept only the closed
+//! [`Benchmark`] enum; the trace subsystem opens that surface. A source is
+//! either a synthetic Table 2 kernel or a recorded [`Trace`], and the two
+//! mix freely inside one sweep — an externally produced `.ltrace` file is
+//! exactly as runnable as an in-tree benchmark.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::program::Program;
+use crate::suite::{Benchmark, WorkloadParams};
+use crate::trace::Trace;
+
+/// A workload the experiment driver can run: a synthetic benchmark or a
+/// recorded trace.
+///
+/// Synthetic sources honour the full [`WorkloadParams`] (nodes, seed,
+/// iteration override). A trace pins its geometry at record time — the
+/// per-node streams *are* the workload — so replay always uses the
+/// recorded parameters; see [`WorkloadSource::effective_params`].
+#[derive(Debug, Clone)]
+pub enum WorkloadSource {
+    /// One of the nine Table 2 kernels, generated at run time.
+    Synthetic(Benchmark),
+    /// A recorded trace, replayed verbatim (geometry pinned at record
+    /// time). Shared via [`Arc`] so sweeping one trace under many policies
+    /// never copies the streams.
+    Trace(Arc<Trace>),
+}
+
+impl WorkloadSource {
+    /// The workload's display name: the benchmark name, or the name
+    /// recorded in the trace header.
+    pub fn name(&self) -> &str {
+        match self {
+            WorkloadSource::Synthetic(benchmark) => benchmark.name(),
+            WorkloadSource::Trace(trace) => trace.name(),
+        }
+    }
+
+    /// The parameters a run of this source will actually use: `requested`
+    /// for synthetic sources, the recorded parameters for traces.
+    pub fn effective_params(&self, requested: WorkloadParams) -> WorkloadParams {
+        match self {
+            WorkloadSource::Synthetic(_) => requested,
+            WorkloadSource::Trace(trace) => trace.workload(),
+        }
+    }
+
+    /// Builds one program per node.
+    ///
+    /// `params` must already be the [`WorkloadSource::effective_params`]
+    /// for this source (the experiment driver guarantees that).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.nodes < 2`, or — for trace sources — if
+    /// `params.nodes` disagrees with the recorded geometry.
+    pub fn programs(&self, params: &WorkloadParams) -> Vec<Box<dyn Program>> {
+        match self {
+            WorkloadSource::Synthetic(benchmark) => benchmark.programs(params),
+            WorkloadSource::Trace(trace) => {
+                assert!(params.nodes >= 2, "workloads need at least 2 nodes");
+                assert_eq!(
+                    params.nodes,
+                    trace.nodes(),
+                    "trace `{}` was recorded on {} nodes",
+                    trace.name(),
+                    trace.nodes()
+                );
+                Trace::programs(trace)
+            }
+        }
+    }
+
+    /// The underlying benchmark, if this is a synthetic source.
+    pub fn as_benchmark(&self) -> Option<Benchmark> {
+        match self {
+            WorkloadSource::Synthetic(benchmark) => Some(*benchmark),
+            WorkloadSource::Trace(_) => None,
+        }
+    }
+}
+
+impl From<Benchmark> for WorkloadSource {
+    fn from(benchmark: Benchmark) -> Self {
+        WorkloadSource::Synthetic(benchmark)
+    }
+}
+
+impl From<Arc<Trace>> for WorkloadSource {
+    fn from(trace: Arc<Trace>) -> Self {
+        WorkloadSource::Trace(trace)
+    }
+}
+
+impl From<Trace> for WorkloadSource {
+    fn from(trace: Trace) -> Self {
+        WorkloadSource::Trace(Arc::new(trace))
+    }
+}
+
+impl fmt::Display for WorkloadSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::collect_ops;
+
+    #[test]
+    fn synthetic_sources_pass_params_through() {
+        let source = WorkloadSource::from(Benchmark::Em3d);
+        assert_eq!(source.name(), "em3d");
+        assert_eq!(source.as_benchmark(), Some(Benchmark::Em3d));
+        let params = WorkloadParams::quick(4, 2);
+        assert_eq!(source.effective_params(params), params);
+        assert_eq!(source.programs(&params).len(), 4);
+    }
+
+    #[test]
+    fn trace_sources_pin_their_recorded_geometry() {
+        let recorded = WorkloadParams::quick(3, 1);
+        let source = WorkloadSource::from(Trace::record(Benchmark::Ocean, &recorded));
+        assert_eq!(source.name(), "ocean");
+        assert_eq!(source.as_benchmark(), None);
+        // Whatever geometry a sweep requests, the trace replays as recorded.
+        assert_eq!(
+            source.effective_params(WorkloadParams::quick(16, 50)),
+            recorded
+        );
+    }
+
+    #[test]
+    fn trace_replay_matches_the_synthetic_programs() {
+        let params = WorkloadParams::quick(3, 2);
+        let source = WorkloadSource::from(Trace::record(Benchmark::Moldyn, &params));
+        let mut replayed = source.programs(&params);
+        let mut direct = Benchmark::Moldyn.programs(&params);
+        for (r, d) in replayed.iter_mut().zip(direct.iter_mut()) {
+            assert_eq!(collect_ops(r.as_mut()), collect_ops(d.as_mut()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded on 3 nodes")]
+    fn trace_programs_reject_mismatched_geometry() {
+        let source =
+            WorkloadSource::from(Trace::record(Benchmark::Em3d, &WorkloadParams::quick(3, 1)));
+        source.programs(&WorkloadParams::quick(4, 1));
+    }
+}

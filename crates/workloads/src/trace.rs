@@ -1,0 +1,971 @@
+//! Trace capture and replay: the `.ltrace` on-disk workload format.
+//!
+//! The paper's evaluation is trace-driven — the predictors learn last-touch
+//! *traces* of PCs — and this module makes traces a first-class workload
+//! source: any benchmark's per-node [`Op`] streams can be captured once with
+//! a [`TraceWriter`] (or the [`Trace::record`] shorthand), serialized to a
+//! compact, versioned binary file, and replayed anywhere as a
+//! [`crate::WorkloadSource::Trace`] — mixable with synthetic benchmarks in
+//! one sweep. Because programs are deterministic and policy-independent,
+//! replaying a recorded trace under any policy produces reports
+//! bit-identical to running the original synthetic kernel.
+//!
+//! # File format (version 1)
+//!
+//! All multi-byte integers are LEB128 varints; PCs and block ids are
+//! delta-encoded against a per-stream running previous value (wrapping
+//! subtraction, ZigZag-mapped, then varint) so the hot repeated-stride
+//! streams of the stencil kernels compress to one or two bytes per operand.
+//! Byte-level layout (see `docs/manual.md` §6 for the normative spec):
+//!
+//! ```text
+//! file    := magic version body checksum
+//! magic   := "LTRACE\0"              ; 7 bytes
+//! version := u8                      ; currently 1
+//! body    := header stream*
+//! header  := name_len:varint name:utf8
+//!            nodes:varint seed:varint
+//!            iters_flag:u8 [iters:varint if flag = 1]
+//! stream  := op_count:varint op*     ; one stream per node, node 0 first
+//! op      := opcode:u8 payload       ; see the opcode table in the manual
+//! checksum:= u64le                   ; FNV-1a 64 over body
+//! ```
+//!
+//! # Examples
+//!
+//! Record a benchmark, round-trip it through bytes, and replay:
+//!
+//! ```
+//! use ltp_workloads::{collect_ops, Benchmark, Trace, WorkloadParams};
+//!
+//! let params = WorkloadParams::quick(4, 2);
+//! let trace = Trace::record(Benchmark::Em3d, &params);
+//! assert_eq!(trace.name(), "em3d");
+//! assert_eq!(trace.nodes(), 4);
+//!
+//! let mut bytes = Vec::new();
+//! trace.write_to(&mut bytes).unwrap();
+//! let back = Trace::read_from(&bytes[..]).unwrap();
+//! assert_eq!(back, trace);
+//!
+//! // Replay programs emit exactly the recorded streams.
+//! let mut programs = back.into_programs();
+//! let ops = collect_ops(programs[0].as_mut());
+//! assert_eq!(&ops[..], &trace.streams()[0][..]);
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use ltp_core::{BlockId, Pc};
+
+use crate::program::{Lock, Op, Program};
+use crate::suite::{Benchmark, WorkloadParams};
+
+/// The 7-byte file magic opening every `.ltrace` file.
+pub const TRACE_MAGIC: [u8; 7] = *b"LTRACE\0";
+
+/// The current (and only) trace format version.
+pub const TRACE_VERSION: u8 = 1;
+
+/// Error produced while reading or writing a trace file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// The file does not begin with [`TRACE_MAGIC`].
+    BadMagic,
+    /// The file's version byte is not one this build understands.
+    UnsupportedVersion(u8),
+    /// The file is structurally invalid (truncated, bad checksum, unknown
+    /// opcode, …); the message names the first violation found.
+    Corrupt(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic => write!(f, "not a trace file (bad magic; expected LTRACE)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported trace version {v} (this build reads {TRACE_VERSION})"
+                )
+            }
+            TraceError::Corrupt(what) => write!(f, "corrupt trace file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// A captured workload: a name, the geometry it was recorded at, and one
+/// [`Op`] stream per node.
+///
+/// A trace pins its machine geometry — the stream count *is* the node
+/// count — so replay always runs at the recorded size; seed and iteration
+/// metadata ride along so a replayed run reports the same
+/// [`WorkloadParams`] as the run it was recorded from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    workload: WorkloadParams,
+    streams: Vec<Vec<Op>>,
+}
+
+impl Trace {
+    /// Captures the per-node op streams of `benchmark` at `params`.
+    ///
+    /// Programs are deterministic and independent of the coherence policy,
+    /// so this drains the instruction streams directly — no simulation is
+    /// required, and a replay under any policy is bit-identical to the
+    /// synthetic run.
+    pub fn record(benchmark: Benchmark, params: &WorkloadParams) -> Trace {
+        let mut writer = TraceWriter::new(benchmark.name(), *params);
+        for (node, program) in benchmark.programs(params).iter_mut().enumerate() {
+            writer.record_program(node as u16, program.as_mut());
+        }
+        writer.finish()
+    }
+
+    /// The workload name recorded in the header (a benchmark name for
+    /// in-tree recordings; external producers may use any label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The geometry the trace was recorded at.
+    pub fn workload(&self) -> WorkloadParams {
+        self.workload
+    }
+
+    /// Number of nodes (one op stream each).
+    pub fn nodes(&self) -> u16 {
+        self.workload.nodes
+    }
+
+    /// The per-node op streams, node 0 first.
+    pub fn streams(&self) -> &[Vec<Op>] {
+        &self.streams
+    }
+
+    /// Total operations across every node.
+    pub fn total_ops(&self) -> u64 {
+        self.streams.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Builds one replay [`Program`] per node from a shared trace.
+    ///
+    /// The streams are shared (not cloned) between the returned programs,
+    /// so replaying a large trace costs one cursor per node.
+    pub fn programs(trace: &Arc<Trace>) -> Vec<Box<dyn Program>> {
+        (0..trace.nodes())
+            .map(|node| Box::new(TraceProgram::new(Arc::clone(trace), node)) as Box<dyn Program>)
+            .collect()
+    }
+
+    /// Consumes the trace into per-node replay programs (convenience over
+    /// [`Trace::programs`] for single-use traces).
+    pub fn into_programs(self) -> Vec<Box<dyn Program>> {
+        Trace::programs(&Arc::new(self))
+    }
+
+    /// Serializes the trace in the versioned binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error of the underlying writer.
+    pub fn write_to<W: Write>(&self, mut out: W) -> io::Result<()> {
+        let mut body = Vec::with_capacity(64 + self.total_ops() as usize * 3);
+        write_varint(&mut body, self.name.len() as u64);
+        body.extend_from_slice(self.name.as_bytes());
+        write_varint(&mut body, u64::from(self.workload.nodes));
+        write_varint(&mut body, self.workload.seed);
+        match self.workload.iterations {
+            None => body.push(0),
+            Some(iters) => {
+                body.push(1);
+                write_varint(&mut body, u64::from(iters));
+            }
+        }
+        for stream in &self.streams {
+            write_varint(&mut body, stream.len() as u64);
+            let mut enc = DeltaState::new();
+            for &op in stream {
+                encode_op(&mut body, &mut enc, op);
+            }
+        }
+        out.write_all(&TRACE_MAGIC)?;
+        out.write_all(&[TRACE_VERSION])?;
+        out.write_all(&body)?;
+        out.write_all(&fnv1a(&body).to_le_bytes())?;
+        out.flush()
+    }
+
+    /// Deserializes a trace from any reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] naming the first problem found: wrong
+    /// magic, unsupported version, I/O failure, or corruption (truncation,
+    /// checksum mismatch, unknown opcode, malformed varint, …).
+    pub fn read_from<R: Read>(mut input: R) -> Result<Trace, TraceError> {
+        let mut bytes = Vec::new();
+        input.read_to_end(&mut bytes)?;
+        if bytes.len() < TRACE_MAGIC.len() + 1 || bytes[..TRACE_MAGIC.len()] != TRACE_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = bytes[TRACE_MAGIC.len()];
+        if version != TRACE_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let payload = &bytes[TRACE_MAGIC.len() + 1..];
+        if payload.len() < 8 {
+            return Err(TraceError::Corrupt("missing checksum trailer".to_string()));
+        }
+        let (body, trailer) = payload.split_at(payload.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte split"));
+        let computed = fnv1a(body);
+        if stored != computed {
+            return Err(TraceError::Corrupt(format!(
+                "checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            )));
+        }
+
+        let mut d = Decoder { buf: body, pos: 0 };
+        let name_len = d.varint("name length")? as usize;
+        let name_bytes = d.take(name_len, "name")?;
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| TraceError::Corrupt("name is not UTF-8".to_string()))?
+            .to_string();
+        let nodes = d.varint("node count")?;
+        let nodes = u16::try_from(nodes)
+            .map_err(|_| TraceError::Corrupt(format!("node count {nodes} exceeds u16")))?;
+        if nodes < 2 {
+            return Err(TraceError::Corrupt(format!(
+                "node count must be at least 2, got {nodes}"
+            )));
+        }
+        let seed = d.varint("seed")?;
+        let iterations = match d.byte("iteration flag")? {
+            0 => None,
+            1 => {
+                let iters = d.varint("iteration count")?;
+                Some(u32::try_from(iters).map_err(|_| {
+                    TraceError::Corrupt(format!("iteration count {iters} exceeds u32"))
+                })?)
+            }
+            flag => {
+                return Err(TraceError::Corrupt(format!(
+                    "iteration flag must be 0 or 1, got {flag}"
+                )))
+            }
+        };
+
+        let mut streams = Vec::with_capacity(usize::from(nodes));
+        for node in 0..nodes {
+            let count = d.varint("op count")? as usize;
+            let mut stream = Vec::with_capacity(count.min(1 << 24));
+            let mut dec = DeltaState::new();
+            for _ in 0..count {
+                stream.push(decode_op(&mut d, &mut dec, node)?);
+            }
+            streams.push(stream);
+        }
+        if d.pos != d.buf.len() {
+            return Err(TraceError::Corrupt(format!(
+                "{} trailing bytes after the last stream",
+                d.buf.len() - d.pos
+            )));
+        }
+        Ok(Trace {
+            name,
+            workload: WorkloadParams {
+                nodes,
+                seed,
+                iterations,
+            },
+            streams,
+        })
+    }
+
+    /// Writes the trace to `path` (conventionally `*.ltrace`).
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from creating or writing the file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.write_to(io::BufWriter::new(file))
+    }
+
+    /// Reads a trace from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] for I/O failures or malformed content.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Trace, TraceError> {
+        Trace::read_from(std::fs::File::open(path)?)
+    }
+
+    /// Counts operations by kind across every node, in the fixed order
+    /// `think, read, write, lock, unlock, barrier, flag-set, flag-wait`
+    /// (the `trace-info` inspector's histogram).
+    pub fn op_histogram(&self) -> [(&'static str, u64); 8] {
+        let mut counts = [0u64; 8];
+        for stream in &self.streams {
+            for op in stream {
+                let slot = match op {
+                    Op::Think(_) => 0,
+                    Op::Read { .. } => 1,
+                    Op::Write { .. } => 2,
+                    Op::Lock(_) => 3,
+                    Op::Unlock(_) => 4,
+                    Op::Barrier(_) => 5,
+                    Op::FlagSet { .. } => 6,
+                    Op::FlagWait { .. } => 7,
+                };
+                counts[slot] += 1;
+            }
+        }
+        let names = [
+            "think",
+            "read",
+            "write",
+            "lock",
+            "unlock",
+            "barrier",
+            "flag-set",
+            "flag-wait",
+        ];
+        std::array::from_fn(|i| (names[i], counts[i]))
+    }
+}
+
+/// Records per-node [`Op`] streams into a [`Trace`].
+///
+/// Use this to capture op streams from any producer — an in-tree benchmark
+/// (see [`Trace::record`]), a hand-built scenario, or an external
+/// trace-conversion tool.
+///
+/// # Examples
+///
+/// ```
+/// use ltp_core::{BlockId, Pc};
+/// use ltp_workloads::{Op, Trace, TraceWriter, WorkloadParams};
+///
+/// let mut writer = TraceWriter::new("handoff", WorkloadParams::quick(2, 1));
+/// writer.push(0, Op::Write { pc: Pc::new(0x40), block: BlockId::new(7) });
+/// writer.push(1, Op::Read { pc: Pc::new(0x80), block: BlockId::new(7) });
+/// let trace = writer.finish();
+/// assert_eq!(trace.total_ops(), 2);
+///
+/// let mut bytes = Vec::new();
+/// trace.write_to(&mut bytes).unwrap();
+/// assert_eq!(Trace::read_from(&bytes[..]).unwrap(), trace);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceWriter {
+    name: String,
+    workload: WorkloadParams,
+    streams: Vec<Vec<Op>>,
+}
+
+impl TraceWriter {
+    /// Starts a recording named `name` at the given geometry (one empty
+    /// stream per `workload.nodes`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workload.nodes < 2` — the same floor every workload
+    /// enforces, checked here so a writer can never produce a file that
+    /// [`Trace::read_from`] would reject.
+    pub fn new(name: &str, workload: WorkloadParams) -> TraceWriter {
+        assert!(workload.nodes >= 2, "traces need at least 2 nodes");
+        TraceWriter {
+            name: name.to_string(),
+            workload,
+            streams: vec![Vec::new(); usize::from(workload.nodes)],
+        }
+    }
+
+    /// Appends one operation to `node`'s stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the recorded geometry.
+    pub fn push(&mut self, node: u16, op: Op) {
+        self.streams[usize::from(node)].push(op);
+    }
+
+    /// Drains `program` to completion into `node`'s stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the recorded geometry.
+    pub fn record_program(&mut self, node: u16, program: &mut dyn Program) {
+        while let Some(op) = program.next_op() {
+            self.push(node, op);
+        }
+    }
+
+    /// Finishes the recording.
+    pub fn finish(self) -> Trace {
+        Trace {
+            name: self.name,
+            workload: self.workload,
+            streams: self.streams,
+        }
+    }
+}
+
+/// Replays one node's stream of a shared [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TraceProgram {
+    trace: Arc<Trace>,
+    node: usize,
+    cursor: usize,
+}
+
+impl TraceProgram {
+    /// A replay cursor over `node`'s stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the trace's geometry.
+    pub fn new(trace: Arc<Trace>, node: u16) -> TraceProgram {
+        assert!(
+            node < trace.nodes(),
+            "trace `{}` has {} nodes, no node {node}",
+            trace.name(),
+            trace.nodes()
+        );
+        TraceProgram {
+            trace,
+            node: usize::from(node),
+            cursor: 0,
+        }
+    }
+}
+
+impl Program for TraceProgram {
+    fn next_op(&mut self) -> Option<Op> {
+        let op = self.trace.streams[self.node].get(self.cursor).copied();
+        if op.is_some() {
+            self.cursor += 1;
+        }
+        op
+    }
+}
+
+// ---- binary encoding ------------------------------------------------------
+
+/// Per-stream running-previous values for delta encoding. PCs share one
+/// chain across every PC-carrying operand (including the three PCs of a
+/// lock), block ids another.
+struct DeltaState {
+    prev_pc: u64,
+    prev_block: u64,
+}
+
+impl DeltaState {
+    fn new() -> Self {
+        DeltaState {
+            prev_pc: 0,
+            prev_block: 0,
+        }
+    }
+}
+
+const OP_THINK: u8 = 0x00;
+const OP_READ: u8 = 0x01;
+const OP_WRITE: u8 = 0x02;
+const OP_LOCK_EXPOSED: u8 = 0x03;
+const OP_LOCK_ADHOC: u8 = 0x04;
+const OP_UNLOCK_EXPOSED: u8 = 0x05;
+const OP_UNLOCK_ADHOC: u8 = 0x06;
+const OP_BARRIER: u8 = 0x07;
+const OP_FLAG_SET: u8 = 0x08;
+const OP_FLAG_WAIT: u8 = 0x09;
+
+fn encode_op(out: &mut Vec<u8>, state: &mut DeltaState, op: Op) {
+    match op {
+        Op::Think(cycles) => {
+            out.push(OP_THINK);
+            write_varint(out, cycles);
+        }
+        Op::Read { pc, block } => {
+            out.push(OP_READ);
+            write_pc(out, state, pc);
+            write_block(out, state, block);
+        }
+        Op::Write { pc, block } => {
+            out.push(OP_WRITE);
+            write_pc(out, state, pc);
+            write_block(out, state, block);
+        }
+        Op::Lock(lock) => {
+            out.push(if lock.exposed {
+                OP_LOCK_EXPOSED
+            } else {
+                OP_LOCK_ADHOC
+            });
+            write_lock(out, state, lock);
+        }
+        Op::Unlock(lock) => {
+            out.push(if lock.exposed {
+                OP_UNLOCK_EXPOSED
+            } else {
+                OP_UNLOCK_ADHOC
+            });
+            write_lock(out, state, lock);
+        }
+        Op::Barrier(id) => {
+            out.push(OP_BARRIER);
+            write_varint(out, u64::from(id));
+        }
+        Op::FlagSet { pc, block } => {
+            out.push(OP_FLAG_SET);
+            write_pc(out, state, pc);
+            write_block(out, state, block);
+        }
+        Op::FlagWait { pc, block } => {
+            out.push(OP_FLAG_WAIT);
+            write_pc(out, state, pc);
+            write_block(out, state, block);
+        }
+    }
+}
+
+fn decode_op(d: &mut Decoder<'_>, state: &mut DeltaState, node: u16) -> Result<Op, TraceError> {
+    let opcode = d.byte("opcode")?;
+    Ok(match opcode {
+        OP_THINK => Op::Think(d.varint("think cycles")?),
+        OP_READ => Op::Read {
+            pc: read_pc(d, state)?,
+            block: read_block(d, state)?,
+        },
+        OP_WRITE => Op::Write {
+            pc: read_pc(d, state)?,
+            block: read_block(d, state)?,
+        },
+        OP_LOCK_EXPOSED => Op::Lock(read_lock(d, state, true)?),
+        OP_LOCK_ADHOC => Op::Lock(read_lock(d, state, false)?),
+        OP_UNLOCK_EXPOSED => Op::Unlock(read_lock(d, state, true)?),
+        OP_UNLOCK_ADHOC => Op::Unlock(read_lock(d, state, false)?),
+        OP_BARRIER => {
+            let id = d.varint("barrier id")?;
+            Op::Barrier(
+                u32::try_from(id)
+                    .map_err(|_| TraceError::Corrupt(format!("barrier id {id} exceeds u32")))?,
+            )
+        }
+        OP_FLAG_SET => Op::FlagSet {
+            pc: read_pc(d, state)?,
+            block: read_block(d, state)?,
+        },
+        OP_FLAG_WAIT => Op::FlagWait {
+            pc: read_pc(d, state)?,
+            block: read_block(d, state)?,
+        },
+        other => {
+            return Err(TraceError::Corrupt(format!(
+                "unknown opcode {other:#04x} in node {node}'s stream"
+            )))
+        }
+    })
+}
+
+fn write_lock(out: &mut Vec<u8>, state: &mut DeltaState, lock: Lock) {
+    write_block(out, state, lock.block);
+    write_pc(out, state, lock.spin_pc);
+    write_pc(out, state, lock.tas_pc);
+    write_pc(out, state, lock.release_pc);
+}
+
+fn read_lock(
+    d: &mut Decoder<'_>,
+    state: &mut DeltaState,
+    exposed: bool,
+) -> Result<Lock, TraceError> {
+    Ok(Lock {
+        block: read_block(d, state)?,
+        spin_pc: read_pc(d, state)?,
+        tas_pc: read_pc(d, state)?,
+        release_pc: read_pc(d, state)?,
+        exposed,
+    })
+}
+
+fn write_pc(out: &mut Vec<u8>, state: &mut DeltaState, pc: Pc) {
+    let value = u64::from(pc.value());
+    write_varint(out, zigzag(value.wrapping_sub(state.prev_pc) as i64));
+    state.prev_pc = value;
+}
+
+fn read_pc(d: &mut Decoder<'_>, state: &mut DeltaState) -> Result<Pc, TraceError> {
+    let delta = unzigzag(d.varint("pc delta")?);
+    let value = state.prev_pc.wrapping_add(delta as u64);
+    state.prev_pc = value;
+    let pc = u32::try_from(value)
+        .map_err(|_| TraceError::Corrupt(format!("pc {value:#x} exceeds u32")))?;
+    Ok(Pc::new(pc))
+}
+
+fn write_block(out: &mut Vec<u8>, state: &mut DeltaState, block: BlockId) {
+    let value = block.index();
+    write_varint(out, zigzag(value.wrapping_sub(state.prev_block) as i64));
+    state.prev_block = value;
+}
+
+fn read_block(d: &mut Decoder<'_>, state: &mut DeltaState) -> Result<BlockId, TraceError> {
+    let delta = unzigzag(d.varint("block delta")?);
+    let value = state.prev_block.wrapping_add(delta as u64);
+    state.prev_block = value;
+    Ok(BlockId::new(value))
+}
+
+/// LEB128 unsigned varint.
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// ZigZag-maps a signed delta so small magnitudes stay small unsigned.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// FNV-1a 64-bit over the body (cheap whole-file corruption detection).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Decoder<'_> {
+    fn byte(&mut self, what: &str) -> Result<u8, TraceError> {
+        let Some(&b) = self.buf.get(self.pos) else {
+            return Err(TraceError::Corrupt(format!(
+                "truncated while reading {what}"
+            )));
+        };
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, len: usize, what: &str) -> Result<&[u8], TraceError> {
+        let Some(bytes) = self
+            .pos
+            .checked_add(len)
+            .and_then(|end| self.buf.get(self.pos..end))
+        else {
+            return Err(TraceError::Corrupt(format!(
+                "truncated while reading {what}"
+            )));
+        };
+        self.pos += len;
+        Ok(bytes)
+    }
+
+    fn varint(&mut self, what: &str) -> Result<u64, TraceError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte(what)?;
+            if shift == 63 && byte > 1 {
+                return Err(TraceError::Corrupt(format!("varint overflow in {what}")));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(TraceError::Corrupt(format!("varint too long in {what}")));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::collect_ops;
+
+    fn sample_ops() -> Vec<Op> {
+        vec![
+            Op::Think(5),
+            Op::Read {
+                pc: Pc::new(0x1000),
+                block: BlockId::new(40),
+            },
+            Op::Write {
+                pc: Pc::new(0x1004),
+                block: BlockId::new(41),
+            },
+            Op::Lock(Lock::library(BlockId::new(7), 0x2000)),
+            Op::Unlock(Lock::library(BlockId::new(7), 0x2000)),
+            Op::Barrier(3),
+            Op::FlagSet {
+                pc: Pc::new(0x3000),
+                block: BlockId::new(99),
+            },
+            Op::FlagWait {
+                pc: Pc::new(0x3004),
+                block: BlockId::new(99),
+            },
+            Op::Lock(Lock::ad_hoc(BlockId::new(8), 0x4000)),
+            Op::Unlock(Lock::ad_hoc(BlockId::new(8), 0x4000)),
+            Op::Think(0),
+            Op::Read {
+                pc: Pc::new(0),
+                block: BlockId::new(u64::MAX),
+            },
+        ]
+    }
+
+    fn sample_trace() -> Trace {
+        let mut writer = TraceWriter::new("sample", WorkloadParams::quick(2, 1));
+        for op in sample_ops() {
+            writer.push(0, op);
+        }
+        writer.push(
+            1,
+            Op::Read {
+                pc: Pc::new(4),
+                block: BlockId::new(1),
+            },
+        );
+        writer.finish()
+    }
+
+    fn to_bytes(trace: &Trace) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn varint_and_zigzag_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut d = Decoder { buf: &buf, pos: 0 };
+            assert_eq!(d.varint("v").unwrap(), v);
+            assert_eq!(d.pos, buf.len());
+        }
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn every_op_kind_round_trips() {
+        let trace = sample_trace();
+        let back = Trace::read_from(&to_bytes(&trace)[..]).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.streams()[0], sample_ops());
+    }
+
+    #[test]
+    fn header_metadata_round_trips() {
+        for iterations in [None, Some(0), Some(7), Some(u32::MAX)] {
+            let workload = WorkloadParams {
+                nodes: 3,
+                seed: u64::MAX,
+                iterations,
+            };
+            let trace = TraceWriter::new("meta", workload).finish();
+            let back = Trace::read_from(&to_bytes(&trace)[..]).unwrap();
+            assert_eq!(back.workload(), workload);
+            assert_eq!(back.name(), "meta");
+            assert_eq!(back.streams().len(), 3);
+        }
+    }
+
+    #[test]
+    fn golden_prefix_is_stable() {
+        // The first bytes of the format are load-bearing for external
+        // producers: magic, version, then the varint-length-prefixed name.
+        let bytes = to_bytes(&sample_trace());
+        assert_eq!(&bytes[..7], b"LTRACE\0");
+        assert_eq!(bytes[7], 1, "format version");
+        assert_eq!(bytes[8], 6, "name length varint");
+        assert_eq!(&bytes[9..15], b"sample");
+    }
+
+    #[test]
+    fn replay_programs_emit_recorded_streams() {
+        let trace = Arc::new(sample_trace());
+        let mut programs = Trace::programs(&trace);
+        assert_eq!(programs.len(), 2);
+        for (node, program) in programs.iter_mut().enumerate() {
+            assert_eq!(collect_ops(program.as_mut()), trace.streams()[node]);
+        }
+        // A second replay from the same trace is identical.
+        let mut again = Trace::programs(&trace);
+        assert_eq!(
+            collect_ops(again[0].as_mut()),
+            trace.streams()[0],
+            "replay is repeatable"
+        );
+    }
+
+    #[test]
+    fn recording_a_benchmark_matches_its_programs() {
+        let params = WorkloadParams::quick(3, 2);
+        let trace = Trace::record(Benchmark::Tomcatv, &params);
+        assert_eq!(trace.name(), "tomcatv");
+        let mut direct = Benchmark::Tomcatv.programs(&params);
+        for (node, program) in direct.iter_mut().enumerate() {
+            assert_eq!(collect_ops(program.as_mut()), trace.streams()[node]);
+        }
+    }
+
+    #[test]
+    fn op_histogram_counts_by_kind() {
+        let hist = sample_trace().op_histogram();
+        let get = |name: &str| hist.iter().find(|(n, _)| *n == name).unwrap().1;
+        assert_eq!(get("think"), 2);
+        assert_eq!(get("read"), 3); // two on node 0, one on node 1
+        assert_eq!(get("lock"), 2);
+        assert_eq!(get("barrier"), 1);
+        assert_eq!(hist.iter().map(|(_, c)| c).sum::<u64>(), 13);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(matches!(
+            Trace::read_from(&b"NOTRACE\x01rest"[..]),
+            Err(TraceError::BadMagic)
+        ));
+        assert!(matches!(
+            Trace::read_from(&b"LT"[..]),
+            Err(TraceError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut bytes = to_bytes(&sample_trace());
+        bytes[7] = 9;
+        assert!(matches!(
+            Trace::read_from(&bytes[..]),
+            Err(TraceError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn corruption_fails_the_checksum() {
+        let mut bytes = to_bytes(&sample_trace());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = Trace::read_from(&bytes[..]).unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = to_bytes(&sample_trace());
+        let err = Trace::read_from(&bytes[..bytes.len() - 9]).unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        // Append bytes *inside* the checksummed region by re-checksumming.
+        let trace = sample_trace();
+        let mut body = Vec::new();
+        trace.write_to(&mut body).unwrap();
+        let payload_end = body.len() - 8;
+        let mut tampered = body[..payload_end].to_vec();
+        tampered.push(0xee);
+        let digest = fnv1a(&tampered[8..]);
+        tampered.extend_from_slice(&digest.to_le_bytes());
+        let err = Trace::read_from(&tampered[..]).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    /// Builds a syntactically framed file (magic + version + body +
+    /// correct checksum) around an arbitrary body — for crafting invalid
+    /// bodies that still pass the outer integrity checks.
+    fn frame(body: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&TRACE_MAGIC);
+        bytes.push(TRACE_VERSION);
+        bytes.extend_from_slice(body);
+        bytes.extend_from_slice(&fnv1a(body).to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn absurd_name_length_is_corrupt_not_a_panic() {
+        // name_len = u64::MAX must not overflow the decoder's cursor.
+        let mut body = Vec::new();
+        write_varint(&mut body, u64::MAX);
+        let err = Trace::read_from(&frame(&body)[..]).unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("name"), "{err}");
+    }
+
+    #[test]
+    fn undersized_node_counts_are_corrupt() {
+        for nodes in [0u64, 1] {
+            let mut body = Vec::new();
+            write_varint(&mut body, 1); // name_len
+            body.push(b'x');
+            write_varint(&mut body, nodes);
+            write_varint(&mut body, 0); // seed
+            body.push(0); // iters_flag
+            let err = Trace::read_from(&frame(&body)[..]).unwrap_err();
+            assert!(
+                err.to_string().contains("at least 2"),
+                "nodes={nodes}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_node_panics() {
+        let trace = Arc::new(sample_trace());
+        let result = std::panic::catch_unwind(|| TraceProgram::new(Arc::clone(&trace), 9));
+        assert!(result.is_err());
+    }
+}

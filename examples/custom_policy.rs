@@ -120,13 +120,13 @@ fn main() {
     for benchmark in [Benchmark::Em3d, Benchmark::Tomcatv, Benchmark::Moldyn] {
         let base = reports
             .iter()
-            .find(|r| r.benchmark == benchmark && r.policy == "base")
+            .find(|r| r.benchmark == benchmark.name() && r.policy == "base")
             .expect("base ran");
-        for r in reports.iter().filter(|r| r.benchmark == benchmark) {
+        for r in reports.iter().filter(|r| r.benchmark == benchmark.name()) {
             let m = &r.metrics;
             println!(
                 "{:<14} {:<16} {:>12} {:>8.1} {:>8.1} {:>9.3}",
-                r.benchmark.name(),
+                r.benchmark,
                 r.policy_spec,
                 m.exec_cycles,
                 m.predicted_pct(),

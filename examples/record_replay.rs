@@ -1,0 +1,87 @@
+//! Record & replay walkthrough: capture a benchmark's op streams into a
+//! `.ltrace` file, inspect it, replay it under several policies, and prove
+//! the replay bit-identical to the synthetic run.
+//!
+//! ```sh
+//! cargo run --example record_replay
+//! ```
+
+use std::sync::Arc;
+
+use ltp::core::PolicyRegistry;
+use ltp::system::{ExperimentSpec, SweepSpec};
+use ltp::workloads::{Benchmark, Trace, WorkloadParams};
+
+fn main() {
+    let params = WorkloadParams::quick(8, 10);
+
+    // 1. Capture. Programs are deterministic and policy-independent, so
+    //    recording drains the instruction streams directly — no simulation.
+    let trace = Trace::record(Benchmark::Unstructured, &params);
+    let path = std::env::temp_dir().join("ltp-example-unstructured.ltrace");
+    trace.save(&path).expect("trace saves");
+    let on_disk = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "recorded {}: {} nodes, {} ops -> {} ({} bytes, {:.2} B/op)",
+        trace.name(),
+        trace.nodes(),
+        trace.total_ops(),
+        path.display(),
+        on_disk,
+        on_disk as f64 / trace.total_ops().max(1) as f64
+    );
+
+    // 2. Inspect: the header carries the recorded geometry; the histogram
+    //    summarizes the op mix (what `ltp trace-info` prints).
+    let loaded = Arc::new(Trace::load(&path).expect("trace loads"));
+    for (kind, count) in loaded.op_histogram() {
+        if count > 0 {
+            println!("  {kind:<10} {count}");
+        }
+    }
+
+    // 3. Replay under one policy and verify fidelity against the
+    //    synthetic original.
+    let direct = ExperimentSpec::builder(Benchmark::Unstructured)
+        .policy_spec("ltp")
+        .expect("builtin spec")
+        .workload(params)
+        .build()
+        .run();
+    let replayed = ExperimentSpec::replay(Arc::clone(&loaded))
+        .policy_spec("ltp")
+        .expect("builtin spec")
+        .build()
+        .run();
+    assert_eq!(replayed, direct, "replay must be bit-identical");
+    println!(
+        "replay == synthetic: {} cycles, {:.1}% predicted",
+        replayed.metrics.exec_cycles,
+        replayed.metrics.predicted_pct()
+    );
+
+    // 4. Sweep the trace like any benchmark: one recorded scenario under
+    //    every policy of the paper's evaluation, in parallel.
+    let registry = PolicyRegistry::with_builtins();
+    let reports = SweepSpec::new()
+        .trace(Arc::clone(&loaded))
+        .policy_specs(&registry, &["base", "dsi", "last-pc", "ltp"])
+        .expect("builtin specs")
+        .collect();
+    println!();
+    println!(
+        "{:<14} {:<28} {:>12} {:>8}",
+        "workload", "policy", "exec(cyc)", "pred%"
+    );
+    for r in &reports {
+        println!(
+            "{:<14} {:<28} {:>12} {:>8.1}",
+            r.benchmark,
+            r.policy_spec,
+            r.metrics.exec_cycles,
+            r.metrics.predicted_pct()
+        );
+    }
+
+    std::fs::remove_file(&path).ok();
+}

@@ -73,7 +73,7 @@
 //! [`ltp::system::ReportSink`]: crate::system::ReportSink
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use ltp_core as core;
 pub use ltp_dsm as dsm;
