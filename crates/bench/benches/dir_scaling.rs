@@ -1,0 +1,125 @@
+//! Directory-organization scaling baseline: every Table 2 benchmark at
+//! 64/128/256 nodes under the three sharer representations (`full`,
+//! `coarse:4`, `ptr:4`), written to `BENCH_directory.json` as JSON lines
+//! (one record per run, then a `meta` record with the wall-clock).
+//!
+//! This is the ROADMAP "larger geometries" measurement: where does the
+//! exact full map stop being free, and what do coarse vectors / limited
+//! pointers pay in over-invalidation at each machine size?
+//!
+//! ```sh
+//! cargo bench -p ltp-bench --bench dir_scaling
+//! ```
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::time::Instant;
+
+use ltp_bench::print_header;
+use ltp_core::PolicyRegistry;
+use ltp_dsm::DirectoryKind;
+use ltp_system::{JsonLinesSink, SweepSpec};
+use ltp_workloads::WorkloadParams;
+
+/// The baseline lives at the repository root regardless of the bench
+/// process's working directory (cargo runs benches from the package dir).
+fn out_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_directory.json")
+}
+
+/// Iterations are pinned (rather than per-benchmark defaults) so the
+/// baseline stays comparable across machine sizes and finishes in tens of
+/// seconds; the sharing *patterns* per iteration are what scale with nodes.
+const ITERS: u32 = 6;
+
+fn main() {
+    print_header(
+        "Directory sharer-representation scaling — 64/128/256 nodes",
+        "infrastructure benchmark (ROADMAP larger-geometries item; no paper analogue)",
+    );
+
+    let registry = PolicyRegistry::with_builtins();
+    let dirs = [
+        DirectoryKind::Full,
+        DirectoryKind::Coarse { cluster: 4 },
+        DirectoryKind::LimitedPtr { pointers: 4 },
+    ];
+    let sweep = SweepSpec::new()
+        .all_benchmarks()
+        .policy_specs(&registry, &["ltp:bits=13"])
+        .expect("builtin spec")
+        .geometry(WorkloadParams::quick(64, ITERS))
+        .geometry(WorkloadParams::quick(128, ITERS))
+        .geometry(WorkloadParams::quick(256, ITERS))
+        .directories(dirs);
+    let runs = sweep.len();
+
+    let started = Instant::now();
+    let path = out_path();
+    let file = File::create(&path).expect("create BENCH_directory.json");
+    let mut sink = JsonLinesSink::new(BufWriter::new(file));
+    let reports = sweep.execute(&mut sink);
+    let elapsed = started.elapsed().as_secs_f64();
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("{runs} runs in {elapsed:.3}s ({workers} workers)\n");
+
+    // Aggregate per (nodes, directory): execution time and over-invalidation
+    // across the whole suite, full-map-relative.
+    let mut agg: BTreeMap<(u16, String), (u64, u64, u64, u64)> = BTreeMap::new();
+    for r in &reports {
+        let key = (r.workload.nodes, r.directory.to_string());
+        let e = agg.entry(key).or_default();
+        e.0 += r.metrics.exec_cycles;
+        e.1 += r.metrics.invalidations_sent;
+        e.2 += r.metrics.extra_invalidations;
+        e.3 += r.metrics.broadcast_overflows;
+    }
+    println!(
+        "{:>6} {:<10} {:>14} {:>10} {:>11} {:>11} {:>10}",
+        "nodes", "dir", "sum exec(cyc)", "vs full", "inv sent", "extra inv", "overflows"
+    );
+    for nodes in [64u16, 128, 256] {
+        let full_exec = agg
+            .get(&(nodes, "full".to_string()))
+            .map_or(0, |e| e.0)
+            .max(1);
+        for d in &dirs {
+            let (exec, inv, extra, bcast) = agg[&(nodes, d.to_string())];
+            println!(
+                "{:>6} {:<10} {:>14} {:>9.3}x {:>11} {:>11} {:>10}",
+                nodes,
+                d.to_string(),
+                exec,
+                exec as f64 / full_exec as f64,
+                inv,
+                extra,
+                bcast
+            );
+        }
+    }
+
+    // Full map must never over-invalidate under these (policy-driven) runs'
+    // invariants at suite level: extra invalidations come only from
+    // self-invalidation crossings, a tiny fraction of invalidations sent.
+    let (_, full_inv, full_extra, full_bcast) = agg[&(64, "full".to_string())];
+    assert_eq!(full_bcast, 0, "full map never overflows");
+    assert!(
+        full_extra * 100 <= full_inv.max(1),
+        "full-map extra invalidations are rare crossings only"
+    );
+
+    // Append the meta record (wall-clock) after the per-run lines.
+    let mut out = sink.into_inner();
+    writeln!(
+        out,
+        "{{\"meta\":\"dir_scaling\",\"runs\":{runs},\"iters\":{ITERS},\
+         \"seconds\":{elapsed:.3},\"workers\":{workers}}}"
+    )
+    .expect("append meta record");
+    out.flush().expect("flush BENCH_directory.json");
+    println!(
+        "\nwrote {} ({runs} per-run records + 1 meta record)",
+        path.display()
+    );
+}

@@ -72,6 +72,7 @@ mod last_pc;
 mod ltp;
 mod policy;
 pub mod registry;
+mod sharer;
 mod table;
 mod types;
 
@@ -86,5 +87,6 @@ pub use policy::{
     FillInfo, FillKind, NullPolicy, SelfInvalidationPolicy, SyncKind, Touch, VerifyOutcome,
 };
 pub use registry::{PolicyFactory, PolicyRegistry, PolicySpecError, SpecParams};
+pub use sharer::{SharerIter, SharerSet};
 pub use table::{GlobalTable, LastTouchTable, PerBlockTable, Probe, StorageStats};
 pub use types::{BlockId, NodeId, Pc};

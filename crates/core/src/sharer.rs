@@ -1,0 +1,282 @@
+//! [`SharerSet`]: a compact, allocation-free set of node identifiers.
+//!
+//! Directory protocols track "which nodes hold a copy of this block" on
+//! every block of the machine, on the hot path of every read, write, and
+//! invalidation. A heap-backed set (the seed's `BTreeSet<NodeId>`) costs an
+//! allocation per sharing episode and O(n·log n) clone-and-collect on every
+//! exclusive request; at the 64–256-node geometries the roadmap targets that
+//! bookkeeping starts to dominate directory service.
+//!
+//! [`SharerSet`] is four inline `u64` bit-words — 32 bytes, `Copy`, no heap,
+//! constant-time insert/remove/contains, popcount-based length, and
+//! bit-scan iteration in ascending node order (the same order a `BTreeSet`
+//! iterates, so full-map directories built on it are bit-identical to the
+//! seed behavior).
+
+use std::fmt;
+
+use crate::types::NodeId;
+
+/// Number of bit-words in the inline representation.
+const WORDS: usize = 4;
+
+/// A set of [`NodeId`]s with indices below [`SharerSet::CAPACITY`], stored
+/// inline as bit-words.
+///
+/// # Examples
+///
+/// ```
+/// use ltp_core::{NodeId, SharerSet};
+///
+/// let mut set = SharerSet::new();
+/// assert!(set.insert(NodeId::new(3)));
+/// assert!(set.insert(NodeId::new(200)));
+/// assert!(!set.insert(NodeId::new(3)), "already present");
+/// assert_eq!(set.len(), 2);
+/// assert!(set.contains(NodeId::new(200)));
+/// // Iteration is in ascending node order.
+/// let nodes: Vec<u16> = set.iter().map(|n| n.index() as u16).collect();
+/// assert_eq!(nodes, vec![3, 200]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SharerSet {
+    words: [u64; WORDS],
+}
+
+impl SharerSet {
+    /// The largest machine a `SharerSet` can index: node ids `0..256`.
+    pub const CAPACITY: u16 = (WORDS * 64) as u16;
+
+    /// The empty set.
+    #[inline]
+    pub const fn new() -> Self {
+        SharerSet { words: [0; WORDS] }
+    }
+
+    /// A set holding exactly `node`.
+    #[inline]
+    pub fn from_node(node: NodeId) -> Self {
+        let mut set = SharerSet::new();
+        set.insert(node);
+        set
+    }
+
+    #[inline]
+    fn slot(node: NodeId) -> (usize, u64) {
+        let index = node.index();
+        assert!(
+            index < Self::CAPACITY as usize,
+            "{node} exceeds SharerSet capacity {}",
+            Self::CAPACITY
+        );
+        (index / 64, 1u64 << (index % 64))
+    }
+
+    /// Inserts `node`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node.index() >= SharerSet::CAPACITY`.
+    #[inline]
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let (word, bit) = Self::slot(node);
+        let fresh = self.words[word] & bit == 0;
+        self.words[word] |= bit;
+        fresh
+    }
+
+    /// Removes `node`; returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let (word, bit) = Self::slot(node);
+        let present = self.words[word] & bit != 0;
+        self.words[word] &= !bit;
+        present
+    }
+
+    /// Whether `node` is in the set.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        let (word, bit) = Self::slot(node);
+        self.words[word] & bit != 0
+    }
+
+    /// Number of nodes in the set (popcount).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Empties the set.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words = [0; WORDS];
+    }
+
+    /// Iterates the members in ascending node order (bit-scan).
+    #[inline]
+    pub fn iter(&self) -> SharerIter {
+        SharerIter {
+            words: self.words,
+            word: 0,
+        }
+    }
+}
+
+impl FromIterator<NodeId> for SharerSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut set = SharerSet::new();
+        for node in iter {
+            set.insert(node);
+        }
+        set
+    }
+}
+
+impl Extend<NodeId> for SharerSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for node in iter {
+            self.insert(node);
+        }
+    }
+}
+
+impl IntoIterator for SharerSet {
+    type Item = NodeId;
+    type IntoIter = SharerIter;
+
+    fn into_iter(self) -> SharerIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for &SharerSet {
+    type Item = NodeId;
+    type IntoIter = SharerIter;
+
+    fn into_iter(self) -> SharerIter {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for SharerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, node) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{node}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// Bit-scan iterator over a [`SharerSet`] (ascending node order).
+#[derive(Debug, Clone)]
+pub struct SharerIter {
+    words: [u64; WORDS],
+    word: usize,
+}
+
+impl Iterator for SharerIter {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        while self.word < WORDS {
+            let w = self.words[self.word];
+            if w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                self.words[self.word] = w & (w - 1);
+                return Some(NodeId::new((self.word * 64 + bit) as u16));
+            }
+            self.word += 1;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining: usize = self.words[self.word.min(WORDS - 1)..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SharerIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn insert_remove_contains_roundtrip() {
+        let mut s = SharerSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(n(0)));
+        assert!(s.insert(n(63)));
+        assert!(s.insert(n(64)));
+        assert!(s.insert(n(255)));
+        assert!(!s.insert(n(64)));
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(n(63)));
+        assert!(!s.contains(n(1)));
+        assert!(s.remove(n(63)));
+        assert!(!s.remove(n(63)));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn iteration_is_ascending_like_a_btreeset() {
+        use std::collections::BTreeSet;
+        let ids = [200u16, 3, 64, 0, 127, 128, 255, 65];
+        let set: SharerSet = ids.iter().map(|&i| n(i)).collect();
+        let reference: BTreeSet<NodeId> = ids.iter().map(|&i| n(i)).collect();
+        let scanned: Vec<NodeId> = set.iter().collect();
+        let sorted: Vec<NodeId> = reference.into_iter().collect();
+        assert_eq!(scanned, sorted);
+        assert_eq!(set.iter().len(), 8);
+    }
+
+    #[test]
+    fn from_node_and_clear() {
+        let mut s = SharerSet::from_node(n(17));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(n(17)));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn copy_semantics_make_snapshots_cheap() {
+        let mut a = SharerSet::from_node(n(1));
+        let snapshot = a;
+        a.insert(n(2));
+        assert_eq!(snapshot.len(), 1, "snapshot is an independent copy");
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn debug_formats_as_a_set() {
+        let s: SharerSet = [n(1), n(5)].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{P1, P5}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds SharerSet capacity")]
+    fn out_of_range_nodes_panic() {
+        SharerSet::new().insert(n(256));
+    }
+}

@@ -22,8 +22,9 @@
 //! [C-VALIDATE]: https://rust-lang.github.io/api-guidelines/dependability.html
 
 use std::fmt;
+use std::str::FromStr;
 
-use ltp_core::{BlockId, NodeId};
+use ltp_core::{BlockId, NodeId, SharerSet};
 use ltp_sim::Cycle;
 
 /// Error produced by [`SystemConfigBuilder::build`] on invalid parameters.
@@ -31,8 +32,13 @@ use ltp_sim::Cycle;
 pub enum ConfigError {
     /// The machine needs at least two nodes to share anything.
     TooFewNodes(u16),
+    /// The sharer representation indexes at most [`SharerSet::CAPACITY`]
+    /// nodes.
+    TooManyNodes(u16),
     /// A timing parameter that must be nonzero was zero.
     ZeroTiming(&'static str),
+    /// The directory organization parameter is out of range.
+    BadDirectory(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -41,14 +47,181 @@ impl fmt::Display for ConfigError {
             ConfigError::TooFewNodes(n) => {
                 write!(f, "a DSM needs at least 2 nodes, got {n}")
             }
+            ConfigError::TooManyNodes(n) => {
+                write!(
+                    f,
+                    "directory sharer sets index at most {} nodes, got {n}",
+                    SharerSet::CAPACITY
+                )
+            }
             ConfigError::ZeroTiming(what) => {
                 write!(f, "timing parameter `{what}` must be nonzero")
+            }
+            ConfigError::BadDirectory(what) => {
+                write!(f, "directory organization: {what}")
             }
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// The directory's sharer-representation organization.
+///
+/// The paper evaluates a 32-node full-map directory; at the 64–256-node
+/// geometries the roadmap targets, an exact bit per node per block is the
+/// classic directory-storage scaling problem, and the two classic answers
+/// are selectable here:
+///
+/// * [`DirectoryKind::Full`] — one bit per node, exact (the paper's
+///   organization and the default);
+/// * [`DirectoryKind::Coarse`] — one bit per `cluster`-node group
+///   (Gupta et al.'s *coarse vector*): invalidations broadcast to every
+///   node of each marked cluster, and individual departures (self
+///   invalidations) cannot clear a shared cluster bit, so stale clusters
+///   accumulate *extra* invalidations;
+/// * [`DirectoryKind::LimitedPtr`] — `Dir_i_B` limited pointers: up to
+///   `pointers` exact sharers, falling back to broadcast-on-write once the
+///   pointer array overflows.
+///
+/// Over-invalidation is observable in the run report:
+/// `extra_invalidations` counts invalidations acknowledged without a copy,
+/// `broadcast_overflows` counts limited-pointer overflow events.
+///
+/// The spec-string grammar is `full`, `coarse:<K>`, `ptr:<I>`:
+///
+/// ```
+/// use ltp_dsm::DirectoryKind;
+///
+/// assert_eq!("full".parse(), Ok(DirectoryKind::Full));
+/// assert_eq!("coarse:4".parse(), Ok(DirectoryKind::Coarse { cluster: 4 }));
+/// assert_eq!("ptr:8".parse(), Ok(DirectoryKind::LimitedPtr { pointers: 8 }));
+/// assert_eq!(DirectoryKind::Coarse { cluster: 4 }.to_string(), "coarse:4");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DirectoryKind {
+    /// Exact full-map bit vector (the paper's Table 1 machine).
+    #[default]
+    Full,
+    /// Coarse vector: one presence bit per `cluster` consecutive nodes.
+    Coarse {
+        /// Nodes per presence bit (`coarse:1` is exactly [`DirectoryKind::Full`]).
+        cluster: u16,
+    },
+    /// `Dir_i_B` limited pointers with broadcast on overflow.
+    LimitedPtr {
+        /// Exact sharers tracked before falling back to broadcast.
+        pointers: u16,
+    },
+}
+
+impl DirectoryKind {
+    /// Whether this organization always knows the exact sharer set.
+    ///
+    /// `full` and `coarse:1` are always exact; `ptr:I` is exact until its
+    /// pointer array overflows; wider coarse clusters are never exact.
+    pub fn always_exact(self) -> bool {
+        match self {
+            DirectoryKind::Full => true,
+            DirectoryKind::Coarse { cluster } => cluster <= 1,
+            DirectoryKind::LimitedPtr { .. } => false,
+        }
+    }
+
+    /// Validates the organization parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadDirectory`] when a cluster width or pointer
+    /// count is zero or exceeds [`SharerSet::CAPACITY`].
+    pub fn validate(self) -> Result<(), ConfigError> {
+        match self {
+            DirectoryKind::Full => Ok(()),
+            DirectoryKind::Coarse { cluster: 0 } => Err(ConfigError::BadDirectory(
+                "coarse cluster width must be at least 1",
+            )),
+            DirectoryKind::Coarse { cluster } if cluster > SharerSet::CAPACITY => Err(
+                ConfigError::BadDirectory("coarse cluster width exceeds the node capacity"),
+            ),
+            DirectoryKind::Coarse { .. } => Ok(()),
+            DirectoryKind::LimitedPtr { pointers: 0 } => Err(ConfigError::BadDirectory(
+                "limited-pointer directories need at least 1 pointer",
+            )),
+            DirectoryKind::LimitedPtr { pointers } if pointers > SharerSet::CAPACITY => Err(
+                ConfigError::BadDirectory("limited-pointer count exceeds the node capacity"),
+            ),
+            DirectoryKind::LimitedPtr { .. } => Ok(()),
+        }
+    }
+}
+
+impl fmt::Display for DirectoryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `pad` honors width/alignment flags so table columns line up.
+        match self {
+            DirectoryKind::Full => f.pad("full"),
+            DirectoryKind::Coarse { cluster } => f.pad(&format!("coarse:{cluster}")),
+            DirectoryKind::LimitedPtr { pointers } => f.pad(&format!("ptr:{pointers}")),
+        }
+    }
+}
+
+/// Error from parsing a [`DirectoryKind`] spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDirectoryKindError {
+    spec: String,
+    reason: &'static str,
+}
+
+impl fmt::Display for ParseDirectoryKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid directory spec `{}`: {} (expected full | coarse:<K> | ptr:<I>)",
+            self.spec, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseDirectoryKindError {}
+
+impl FromStr for DirectoryKind {
+    type Err = ParseDirectoryKindError;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        let err = |reason| ParseDirectoryKindError {
+            spec: spec.to_string(),
+            reason,
+        };
+        let (name, param) = match spec.split_once(':') {
+            Some((name, param)) => (name.trim(), Some(param.trim())),
+            None => (spec.trim(), None),
+        };
+        let parse_param = |what| -> Result<u16, ParseDirectoryKindError> {
+            let raw = param.ok_or_else(|| err(what))?;
+            let value: u16 = raw.parse().map_err(|_| err(what))?;
+            if value == 0 || value > SharerSet::CAPACITY {
+                return Err(err(what));
+            }
+            Ok(value)
+        };
+        match name {
+            "full" => {
+                if param.is_some() {
+                    return Err(err("`full` takes no parameter"));
+                }
+                Ok(DirectoryKind::Full)
+            }
+            "coarse" => Ok(DirectoryKind::Coarse {
+                cluster: parse_param("needs a cluster width 1..=256")?,
+            }),
+            "ptr" => Ok(DirectoryKind::LimitedPtr {
+                pointers: parse_param("needs a pointer count 1..=256")?,
+            }),
+            _ => Err(err("unknown organization")),
+        }
+    }
+}
 
 /// Full machine configuration. Construct via [`SystemConfig::builder`] or
 /// [`SystemConfig::isca00`].
@@ -62,6 +235,7 @@ pub struct SystemConfig {
     net_latency: Cycle,
     ni_occupancy: Cycle,
     pipeline_stages: u32,
+    directory: DirectoryKind,
 }
 
 impl SystemConfig {
@@ -138,6 +312,11 @@ impl SystemConfig {
         self.pipeline_stages
     }
 
+    /// The directory sharer-representation organization.
+    pub fn directory(&self) -> DirectoryKind {
+        self.directory
+    }
+
     /// The home node of `block`: blocks are interleaved round-robin across
     /// nodes, the common fine-grain DSM layout.
     pub fn home_of(&self, block: BlockId) -> NodeId {
@@ -175,6 +354,7 @@ pub struct SystemConfigBuilder {
     net_latency: u64,
     ni_occupancy: u64,
     pipeline_stages: u32,
+    directory: DirectoryKind,
 }
 
 impl Default for SystemConfigBuilder {
@@ -188,6 +368,7 @@ impl Default for SystemConfigBuilder {
             net_latency: 80,
             ni_occupancy: 8,
             pipeline_stages: 2,
+            directory: DirectoryKind::Full,
         }
     }
 }
@@ -241,16 +422,27 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Sets the directory sharer-representation organization.
+    pub fn directory(&mut self, directory: DirectoryKind) -> &mut Self {
+        self.directory = directory;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] if fewer than 2 nodes are configured or any
-    /// required timing parameter is zero.
+    /// Returns [`ConfigError`] if fewer than 2 (or more than
+    /// [`SharerSet::CAPACITY`]) nodes are configured, any required timing
+    /// parameter is zero, or the directory organization is malformed.
     pub fn build(&self) -> Result<SystemConfig, ConfigError> {
         if self.nodes < 2 {
             return Err(ConfigError::TooFewNodes(self.nodes));
         }
+        if self.nodes > SharerSet::CAPACITY {
+            return Err(ConfigError::TooManyNodes(self.nodes));
+        }
+        self.directory.validate()?;
         for (name, v) in [
             ("mem_access", self.mem_access),
             ("dir_control", self.dir_control),
@@ -273,6 +465,7 @@ impl SystemConfigBuilder {
             net_latency: Cycle::new(self.net_latency),
             ni_occupancy: Cycle::new(self.ni_occupancy),
             pipeline_stages: self.pipeline_stages,
+            directory: self.directory,
         })
     }
 }
@@ -348,5 +541,69 @@ mod tests {
     #[test]
     fn default_is_isca00() {
         assert_eq!(SystemConfig::default(), SystemConfig::isca00());
+    }
+
+    #[test]
+    fn default_directory_is_full_map() {
+        assert_eq!(SystemConfig::isca00().directory(), DirectoryKind::Full);
+    }
+
+    #[test]
+    fn builder_accepts_directory_kinds_up_to_capacity() {
+        let cfg = SystemConfig::builder()
+            .nodes(256)
+            .directory(DirectoryKind::Coarse { cluster: 8 })
+            .build()
+            .unwrap();
+        assert_eq!(cfg.nodes(), 256);
+        assert_eq!(cfg.directory(), DirectoryKind::Coarse { cluster: 8 });
+        let err = SystemConfig::builder().nodes(257).build().unwrap_err();
+        assert_eq!(err, ConfigError::TooManyNodes(257));
+        assert!(err.to_string().contains("at most 256"));
+    }
+
+    #[test]
+    fn builder_rejects_malformed_directories() {
+        for kind in [
+            DirectoryKind::Coarse { cluster: 0 },
+            DirectoryKind::LimitedPtr { pointers: 0 },
+            DirectoryKind::Coarse { cluster: 300 },
+            DirectoryKind::LimitedPtr { pointers: 300 },
+        ] {
+            let err = SystemConfig::builder().directory(kind).build().unwrap_err();
+            assert!(matches!(err, ConfigError::BadDirectory(_)), "{kind}");
+        }
+    }
+
+    #[test]
+    fn directory_kind_parses_and_round_trips() {
+        for spec in ["full", "coarse:4", "ptr:8", "coarse:256"] {
+            let kind: DirectoryKind = spec.parse().unwrap();
+            assert_eq!(kind.to_string(), spec);
+            kind.validate().unwrap();
+        }
+        for bad in ["", "coarse", "ptr", "ptr:0", "coarse:257", "full:3", "dir"] {
+            assert!(bad.parse::<DirectoryKind>().is_err(), "`{bad}` must fail");
+        }
+        let msg = "ptr:x".parse::<DirectoryKind>().unwrap_err().to_string();
+        assert!(msg.contains("ptr:x"), "{msg}");
+        assert!(msg.contains("full | coarse:<K> | ptr:<I>"), "{msg}");
+    }
+
+    #[test]
+    fn directory_kind_display_honors_padding() {
+        assert_eq!(
+            format!("{:<10}|", DirectoryKind::Coarse { cluster: 4 }),
+            "coarse:4  |"
+        );
+        assert_eq!(format!("{:>6}|", DirectoryKind::Full), "  full|");
+    }
+
+    #[test]
+    fn exactness_classification() {
+        assert!(DirectoryKind::Full.always_exact());
+        assert!(DirectoryKind::Coarse { cluster: 1 }.always_exact());
+        assert!(!DirectoryKind::Coarse { cluster: 4 }.always_exact());
+        assert!(!DirectoryKind::LimitedPtr { pointers: 4 }.always_exact());
     }
 }

@@ -1,11 +1,32 @@
-//! The full-map write-invalidate directory (paper §2, §4).
+//! The write-invalidate directory (paper §2, §4) with selectable sharer
+//! representations.
 //!
 //! Each home node runs a [`Directory`] holding, per block: the sharing state
 //! (Idle / Shared / Exclusive, plus a transient Busy state while
-//! invalidations are being collected), a full-map sharer set, the DSI
+//! invalidations are being collected), the sharer representation, the DSI
 //! write-version number, the home copy of the data token, the §4
 //! *verification mask* of self-invalidators, and a queue of requests shelved
 //! while the block is Busy.
+//!
+//! Sharer tracking is built on [`ltp_core::SharerSet`] — four inline `u64`
+//! bit-words, no per-block heap allocation up to 256 nodes — interpreted
+//! according to the configured [`DirectoryKind`]:
+//!
+//! * **`full`** — one bit per node, exact; the paper's organization and
+//!   bit-identical to the original `BTreeSet` full map (both iterate
+//!   ascending);
+//! * **`coarse:K`** — one bit per `K`-node cluster. Invalidations go to
+//!   every node of each marked cluster; a self-invalidating sharer cannot
+//!   clear a cluster bit (its neighbours may still hold copies), so stale
+//!   bits accrue *extra* invalidations, which nodes acknowledge without a
+//!   copy;
+//! * **`ptr:I`** — `Dir_I_B` limited pointers: up to `I` exact sharers,
+//!   then a broadcast bit. Writes to overflowed blocks invalidate every
+//!   node.
+//!
+//! Over-invalidation is measurable: [`DirCounters::extra_invalidations`]
+//! counts invalidations acknowledged without a copy and
+//! [`DirCounters::broadcast_overflows`] counts pointer-array overflows.
 //!
 //! The directory is a pure state machine: [`Directory::process`] consumes one
 //! message and returns the messages to emit, the requests to re-inject, and
@@ -14,11 +35,12 @@
 //! upgrades racing writers, stale acknowledgements — are resolved here and
 //! covered by unit tests.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
-use ltp_core::{BlockId, NodeId, VerifyOutcome};
+use ltp_core::{BlockId, NodeId, SharerSet, VerifyOutcome};
 use ltp_sim::stats::Counter;
 
+use crate::config::DirectoryKind;
 use crate::msg::{Message, MsgKind};
 
 /// Engine-time classification of one directory service.
@@ -55,13 +77,24 @@ impl DirStep {
     }
 }
 
+/// The per-block sharer representation: bit semantics depend on the
+/// directory's [`DirectoryKind`] (node bits for `full`/`ptr`, cluster bits
+/// for `coarse`), plus the limited-pointer broadcast flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Sharers {
+    set: SharerSet,
+    /// `ptr:I` only: the pointer array overflowed; `set` is no longer
+    /// tracked and writes broadcast.
+    broadcast: bool,
+}
+
 /// Stable + transient directory states for one block.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum DirState {
     /// Only the home copy exists.
     Idle,
-    /// Read-only copies at the listed nodes.
-    Shared(BTreeSet<NodeId>),
+    /// Read-only copies tracked by the sharer representation.
+    Shared(Sharers),
     /// A writable copy at one node.
     Exclusive(NodeId),
     /// Collecting invalidation acks / writeback for an in-flight request.
@@ -69,15 +102,16 @@ enum DirState {
 }
 
 /// The in-flight transaction while Busy.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Busy {
     requester: NodeId,
     /// Grant exclusive (GetX/Upgrade) vs read-only (GetS).
     want_exclusive: bool,
     /// Reply with `UpgradeAck` (requester kept its data) instead of `DataX`.
     upgrade_reply: bool,
-    /// Nodes whose acknowledgement or writeback is still awaited.
-    waiting: BTreeSet<NodeId>,
+    /// Nodes whose acknowledgement or writeback is still awaited (always an
+    /// exact node set: these are the invalidations actually sent).
+    waiting: SharerSet,
     /// Verification verdict to piggyback on the eventual reply.
     verify: Option<VerifyOutcome>,
 }
@@ -126,6 +160,13 @@ impl Default for DirBlock {
 pub struct DirCounters {
     /// Invalidation messages sent to sharers/owners on behalf of requests.
     pub invalidations_sent: Counter,
+    /// Invalidations acknowledged without a copy: the over-invalidation
+    /// cost of an imprecise sharer representation (coarse clusters, limited
+    /// -pointer broadcast) plus, rarely, self-invalidations crossing an
+    /// invalidation in flight.
+    pub extra_invalidations: Counter,
+    /// Limited-pointer arrays that overflowed into broadcast mode.
+    pub broadcast_overflows: Counter,
     /// Self-invalidations applied in a stable state (timely).
     pub self_inv_timely: Counter,
     /// Self-invalidations that arrived while the conflicting request was
@@ -133,6 +174,107 @@ pub struct DirCounters {
     pub self_inv_late: Counter,
     /// Stale messages ignored (acks for completed transactions etc.).
     pub stale_ignored: Counter,
+}
+
+// ---- representation helpers (free functions so callers can hold a mutable
+// borrow of one block while reading the Copy kind/geometry) ----------------
+
+/// The bit a node occupies in the stored set.
+fn rep_bit(kind: DirectoryKind, node: NodeId) -> NodeId {
+    match kind {
+        DirectoryKind::Full | DirectoryKind::LimitedPtr { .. } => node,
+        DirectoryKind::Coarse { cluster } => {
+            NodeId::new((node.index() / cluster.max(1) as usize) as u16)
+        }
+    }
+}
+
+/// Whether the representation currently knows the exact sharer set.
+fn rep_exact_now(kind: DirectoryKind, s: &Sharers) -> bool {
+    match kind {
+        DirectoryKind::Full => true,
+        DirectoryKind::Coarse { cluster } => cluster <= 1,
+        DirectoryKind::LimitedPtr { .. } => !s.broadcast,
+    }
+}
+
+/// Records `node` as a sharer; returns whether this insert overflowed a
+/// limited-pointer array into broadcast mode.
+fn rep_insert(kind: DirectoryKind, s: &mut Sharers, node: NodeId) -> bool {
+    match kind {
+        DirectoryKind::Full | DirectoryKind::Coarse { .. } => {
+            s.set.insert(rep_bit(kind, node));
+            false
+        }
+        DirectoryKind::LimitedPtr { pointers } => {
+            if s.broadcast {
+                return false;
+            }
+            s.set.insert(node);
+            if s.set.len() > pointers as usize {
+                s.set.clear();
+                s.broadcast = true;
+                true
+            } else {
+                false
+            }
+        }
+    }
+}
+
+/// Whether the representation admits `node` as a (possible) sharer.
+fn rep_contains(kind: DirectoryKind, s: &Sharers, node: NodeId) -> bool {
+    s.broadcast || s.set.contains(rep_bit(kind, node))
+}
+
+/// Forgets a departing sharer where the representation is exact; imprecise
+/// representations (wide clusters, overflowed pointers) must keep the bit —
+/// other nodes it covers may still hold copies.
+fn rep_remove(kind: DirectoryKind, s: &mut Sharers, node: NodeId) {
+    if rep_exact_now(kind, s) {
+        s.set.remove(node);
+    }
+}
+
+/// Whether the representation provably tracks no sharer at all.
+fn rep_is_empty(s: &Sharers) -> bool {
+    !s.broadcast && s.set.is_empty()
+}
+
+/// The sharer representation for a single fresh sharer.
+fn rep_of(kind: DirectoryKind, node: NodeId) -> Sharers {
+    let mut s = Sharers::default();
+    rep_insert(kind, &mut s, node);
+    s
+}
+
+/// The exact nodes an invalidation round must target: the representation
+/// expanded to node granularity, minus the requester.
+fn inv_targets(kind: DirectoryKind, total_nodes: u16, s: &Sharers, exclude: NodeId) -> SharerSet {
+    let mut targets = SharerSet::new();
+    match kind {
+        DirectoryKind::Full => targets = s.set,
+        DirectoryKind::Coarse { cluster } => {
+            let k = cluster.max(1);
+            for c in s.set.iter() {
+                let base = c.index() as u16 * k;
+                for node in base..(base + k).min(total_nodes) {
+                    targets.insert(NodeId::new(node));
+                }
+            }
+        }
+        DirectoryKind::LimitedPtr { .. } => {
+            if s.broadcast {
+                for node in 0..total_nodes {
+                    targets.insert(NodeId::new(node));
+                }
+            } else {
+                targets = s.set;
+            }
+        }
+    }
+    targets.remove(exclude);
+    targets
 }
 
 /// A home node's directory.
@@ -154,15 +296,38 @@ pub struct DirCounters {
 #[derive(Debug, Clone)]
 pub struct Directory {
     home: NodeId,
+    kind: DirectoryKind,
+    /// Machine size, needed to expand imprecise representations into
+    /// invalidation targets.
+    nodes: u16,
     blocks: HashMap<BlockId, DirBlock>,
     counters: DirCounters,
 }
 
 impl Directory {
-    /// Creates the directory for home node `home`.
+    /// Creates a full-map directory for home node `home`.
     pub fn new(home: NodeId) -> Self {
+        Directory::with_kind(home, DirectoryKind::Full, SharerSet::CAPACITY)
+    }
+
+    /// Creates a directory with an explicit sharer organization for a
+    /// `nodes`-node machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` exceeds [`SharerSet::CAPACITY`] or the kind fails
+    /// [`DirectoryKind::validate`].
+    pub fn with_kind(home: NodeId, kind: DirectoryKind, nodes: u16) -> Self {
+        assert!(
+            nodes <= SharerSet::CAPACITY,
+            "directory indexes at most {} nodes",
+            SharerSet::CAPACITY
+        );
+        kind.validate().expect("valid directory organization");
         Directory {
             home,
+            kind,
+            nodes,
             blocks: HashMap::new(),
             counters: DirCounters::default(),
         }
@@ -171,6 +336,11 @@ impl Directory {
     /// The home node this directory serves.
     pub fn home(&self) -> NodeId {
         self.home
+    }
+
+    /// The sharer organization this directory runs.
+    pub fn kind(&self) -> DirectoryKind {
+        self.kind
     }
 
     /// Statistics counters.
@@ -203,9 +373,9 @@ impl Directory {
             MsgKind::SelfInvClean => self.process_self_inv(msg, None),
             MsgKind::SelfInvDirty { token } => self.process_self_inv(msg, Some(token)),
             MsgKind::InvAck {
-                had_copy: _,
+                had_copy,
                 dirty_token,
-            } => self.process_inv_ack(msg, dirty_token),
+            } => self.process_inv_ack(msg, had_copy, dirty_token),
             other => panic!("directory received non-protocol message {other:?}"),
         }
     }
@@ -262,12 +432,14 @@ impl Directory {
         let write_request = matches!(msg.kind, MsgKind::GetX | MsgKind::Upgrade);
         let (verify, mut notifications) = self.resolve_mask(block, msg.src, write_request);
         let home = self.home;
+        let kind = self.kind;
+        let total = self.nodes;
         let entry = self.blocks.get_mut(&block).expect("resolved above");
 
         let mut step = match (&mut entry.state, msg.kind) {
             // ---- reads ----------------------------------------------------
             (DirState::Idle, MsgKind::GetS) => {
-                entry.state = DirState::Shared(BTreeSet::from([msg.src]));
+                entry.state = DirState::Shared(rep_of(kind, msg.src));
                 let mut s = DirStep::data();
                 s.sends.push(Message::new(
                     home,
@@ -282,7 +454,9 @@ impl Directory {
                 s
             }
             (DirState::Shared(sharers), MsgKind::GetS) => {
-                sharers.insert(msg.src);
+                if rep_insert(kind, sharers, msg.src) {
+                    self.counters.broadcast_overflows.incr();
+                }
                 let mut s = DirStep::data();
                 s.sends.push(Message::new(
                     home,
@@ -305,7 +479,7 @@ impl Directory {
                     requester: msg.src,
                     want_exclusive: false,
                     upgrade_reply: false,
-                    waiting: BTreeSet::from([owner]),
+                    waiting: SharerSet::from_node(owner),
                     verify,
                 });
                 self.counters.invalidations_sent.incr();
@@ -333,8 +507,12 @@ impl Directory {
                 ));
                 s
             }
-            (DirState::Shared(sharers), MsgKind::Upgrade) if sharers.contains(&msg.src) => {
-                if sharers.len() == 1 {
+            (DirState::Shared(sharers), MsgKind::Upgrade)
+                if rep_exact_now(kind, sharers) && sharers.set.contains(msg.src) =>
+            {
+                // Only an exact representation can prove the requester still
+                // holds its copy (and thus safely skip resending the data).
+                if sharers.set.len() == 1 {
                     // Sole sharer upgrading: the migratory pattern.
                     entry.version += 1;
                     entry.state = DirState::Exclusive(msg.src);
@@ -351,10 +529,9 @@ impl Directory {
                     ));
                     s
                 } else {
-                    let waiting: BTreeSet<NodeId> =
-                        sharers.iter().copied().filter(|&n| n != msg.src).collect();
+                    let waiting = inv_targets(kind, total, sharers, msg.src);
                     let mut s = DirStep::control();
-                    for &n in &waiting {
+                    for n in waiting.iter() {
                         self.counters.invalidations_sent.incr();
                         s.sends.push(Message::new(home, n, block, MsgKind::Inv));
                     }
@@ -369,9 +546,12 @@ impl Directory {
                 }
             }
             (DirState::Shared(sharers), MsgKind::GetX | MsgKind::Upgrade) => {
-                // GetX, or an Upgrade from a node that lost its copy.
-                let waiting: BTreeSet<NodeId> =
-                    sharers.iter().copied().filter(|&n| n != msg.src).collect();
+                // GetX; or an Upgrade from a node that lost its copy; or an
+                // Upgrade under an imprecise representation (wide cluster,
+                // overflowed pointers), which is served conservatively as a
+                // full write miss — shared copies are clean, so the DataX
+                // grant carries the same token an UpgradeAck would confirm.
+                let waiting = inv_targets(kind, total, sharers, msg.src);
                 if waiting.is_empty() {
                     entry.version += 1;
                     entry.state = DirState::Exclusive(msg.src);
@@ -389,7 +569,7 @@ impl Directory {
                     s
                 } else {
                     let mut s = DirStep::control();
-                    for &n in &waiting {
+                    for n in waiting.iter() {
                         self.counters.invalidations_sent.incr();
                         s.sends.push(Message::new(home, n, block, MsgKind::Inv));
                     }
@@ -410,7 +590,7 @@ impl Directory {
                     requester: msg.src,
                     want_exclusive: true,
                     upgrade_reply: false,
-                    waiting: BTreeSet::from([owner]),
+                    waiting: SharerSet::from_node(owner),
                     verify,
                 });
                 self.counters.invalidations_sent.incr();
@@ -428,11 +608,14 @@ impl Directory {
     fn process_self_inv(&mut self, msg: Message, writeback: Option<u64>) -> DirStep {
         let block = msg.block;
         let home = self.home;
+        let kind = self.kind;
         let entry = self.blocks.entry(block).or_default();
         match &mut entry.state {
-            DirState::Shared(sharers) if writeback.is_none() && sharers.contains(&msg.src) => {
-                sharers.remove(&msg.src);
-                if sharers.is_empty() {
+            DirState::Shared(sharers)
+                if writeback.is_none() && rep_contains(kind, sharers, msg.src) =>
+            {
+                rep_remove(kind, sharers, msg.src);
+                if rep_is_empty(sharers) {
                     entry.state = DirState::Idle;
                 }
                 entry.mask.push(MaskEntry {
@@ -456,11 +639,11 @@ impl Directory {
                 self.counters.self_inv_timely.incr();
                 DirStep::data()
             }
-            DirState::Busy(busy) if busy.waiting.contains(&msg.src) => {
+            DirState::Busy(busy) if busy.waiting.contains(msg.src) => {
                 // The self-invalidation crossed the Inv we sent: it serves as
                 // the awaited acknowledgement, but it is *late* — the
                 // conflicting request was already being serviced.
-                busy.waiting.remove(&msg.src);
+                busy.waiting.remove(msg.src);
                 let requester = busy.requester;
                 let relinq_ex = writeback.is_some();
                 if let Some(token) = writeback {
@@ -494,12 +677,23 @@ impl Directory {
         }
     }
 
-    fn process_inv_ack(&mut self, msg: Message, dirty_token: Option<u64>) -> DirStep {
+    fn process_inv_ack(
+        &mut self,
+        msg: Message,
+        had_copy: bool,
+        dirty_token: Option<u64>,
+    ) -> DirStep {
         let block = msg.block;
         let entry = self.blocks.entry(block).or_default();
         match &mut entry.state {
-            DirState::Busy(busy) if busy.waiting.contains(&msg.src) => {
-                busy.waiting.remove(&msg.src);
+            DirState::Busy(busy) if busy.waiting.contains(msg.src) => {
+                busy.waiting.remove(msg.src);
+                if !had_copy {
+                    // The invalidated node held nothing: an over-invalidation
+                    // (imprecise sharer representation) or a crossing
+                    // self-invalidation.
+                    self.counters.extra_invalidations.incr();
+                }
                 if let Some(token) = dirty_token {
                     debug_assert!(token >= entry.token, "token regressed on writeback");
                     entry.token = token;
@@ -525,6 +719,7 @@ impl Directory {
     /// sends the grant and re-injects shelved requests.
     fn finish_busy_if_ready(&mut self, block: BlockId, step: &mut DirStep) {
         let home = self.home;
+        let kind = self.kind;
         let entry = self.blocks.get_mut(&block).expect("busy block exists");
         let DirState::Busy(busy) = &entry.state else {
             return;
@@ -532,11 +727,11 @@ impl Directory {
         if !busy.waiting.is_empty() {
             return;
         }
-        let busy = busy.clone();
+        let busy = *busy;
         if busy.want_exclusive {
             entry.version += 1;
             entry.state = DirState::Exclusive(busy.requester);
-            let kind = if busy.upgrade_reply {
+            let reply = if busy.upgrade_reply {
                 MsgKind::UpgradeAck {
                     version: entry.version,
                     migratory: false,
@@ -550,9 +745,9 @@ impl Directory {
                 }
             };
             step.sends
-                .push(Message::new(home, busy.requester, block, kind));
+                .push(Message::new(home, busy.requester, block, reply));
         } else {
-            entry.state = DirState::Shared(BTreeSet::from([busy.requester]));
+            entry.state = DirState::Shared(rep_of(kind, busy.requester));
             step.sends.push(Message::new(
                 home,
                 busy.requester,
@@ -588,6 +783,13 @@ mod tests {
 
     fn dir() -> Directory {
         Directory::new(n(0))
+    }
+
+    fn ack(had_copy: bool) -> MsgKind {
+        MsgKind::InvAck {
+            had_copy,
+            dirty_token: None,
+        }
     }
 
     #[test]
@@ -654,14 +856,7 @@ mod tests {
         assert_eq!(inv_dsts, vec![n(1), n(2), n(3)]);
         // Acks trickle in; the grant goes out with the last one.
         for src in [1, 2, 3] {
-            let step = d.process(msg(
-                src,
-                0,
-                MsgKind::InvAck {
-                    had_copy: true,
-                    dirty_token: None,
-                },
-            ));
+            let step = d.process(msg(src, 0, ack(true)));
             if src == 3 {
                 assert!(matches!(
                     step.sends.last().unwrap().kind,
@@ -696,14 +891,7 @@ mod tests {
         let step = d.process(msg(1, 0, MsgKind::Upgrade));
         assert!(matches!(step.sends[0].kind, MsgKind::Inv));
         assert_eq!(step.sends[0].dst, n(2));
-        let step = d.process(msg(
-            2,
-            0,
-            MsgKind::InvAck {
-                had_copy: true,
-                dirty_token: None,
-            },
-        ));
+        let step = d.process(msg(2, 0, ack(true)));
         assert!(matches!(
             step.sends.last().unwrap().kind,
             MsgKind::UpgradeAck {
@@ -838,14 +1026,7 @@ mod tests {
             .any(|m| matches!(m.kind, MsgKind::VerifyCorrect { timely: false }) && m.dst == n(1)));
         assert_eq!(d.counters().self_inv_late.count(), 1);
         // P1's InvAck for the crossed Inv arrives afterwards: ignored.
-        let step = d.process(msg(
-            1,
-            0,
-            MsgKind::InvAck {
-                had_copy: false,
-                dirty_token: None,
-            },
-        ));
+        let step = d.process(msg(1, 0, ack(false)));
         assert!(step.sends.is_empty());
         assert_eq!(d.counters().stale_ignored.count(), 1);
     }
@@ -866,14 +1047,7 @@ mod tests {
         let mut d = dir();
         d.process(msg(1, 0, MsgKind::GetS));
         d.process(msg(2, 0, MsgKind::GetX));
-        d.process(msg(
-            1,
-            0,
-            MsgKind::InvAck {
-                had_copy: true,
-                dirty_token: None,
-            },
-        ));
+        d.process(msg(1, 0, ack(true)));
         // P1 lost its copy to P2; P1's Upgrade (sent before the Inv arrived)
         // shows up now that the block is Exclusive(P2): treat as GetX.
         let step = d.process(msg(1, 0, MsgKind::Upgrade));
@@ -919,5 +1093,180 @@ mod tests {
     fn misrouted_message_panics() {
         let mut d = dir();
         d.process(Message::new(n(1), n(5), b(0), MsgKind::GetS));
+    }
+
+    // ---- coarse-vector organization --------------------------------------
+
+    fn coarse(cluster: u16, nodes: u16) -> Directory {
+        Directory::with_kind(n(0), DirectoryKind::Coarse { cluster }, nodes)
+    }
+
+    fn ptr(pointers: u16, nodes: u16) -> Directory {
+        Directory::with_kind(n(0), DirectoryKind::LimitedPtr { pointers }, nodes)
+    }
+
+    #[test]
+    fn coarse_write_broadcasts_to_whole_clusters() {
+        let mut d = coarse(2, 6);
+        d.process(msg(1, 0, MsgKind::GetS)); // cluster {0,1}
+        d.process(msg(3, 0, MsgKind::GetS)); // cluster {2,3}
+        let step = d.process(msg(5, 0, MsgKind::GetX));
+        let inv_dsts: Vec<NodeId> = step.sends.iter().map(|m| m.dst).collect();
+        assert_eq!(inv_dsts, vec![n(0), n(1), n(2), n(3)], "whole clusters");
+        // Non-holders ack without a copy: counted as extra invalidations.
+        for (src, had) in [(0, false), (1, true), (2, false), (3, true)] {
+            let step = d.process(msg(src, 0, ack(had)));
+            if src == 3 {
+                assert!(matches!(
+                    step.sends.last().unwrap().kind,
+                    MsgKind::DataX { .. }
+                ));
+            }
+        }
+        assert_eq!(d.counters().extra_invalidations.count(), 2);
+        assert_eq!(d.counters().invalidations_sent.count(), 4);
+    }
+
+    #[test]
+    fn coarse_self_inv_cannot_clear_a_cluster_bit() {
+        let mut d = coarse(2, 4);
+        d.process(msg(1, 0, MsgKind::GetS));
+        let step = d.process(msg(1, 0, MsgKind::SelfInvClean));
+        assert!(step.sends.is_empty());
+        assert!(!d.is_idle(b(0)), "cluster bit must stay set");
+        // The next writer invalidates the stale cluster {0,1}; the
+        // self-invalidator is verified correct along the way.
+        let step = d.process(msg(2, 0, MsgKind::GetX));
+        let invs: Vec<NodeId> = step
+            .sends
+            .iter()
+            .filter(|m| matches!(m.kind, MsgKind::Inv))
+            .map(|m| m.dst)
+            .collect();
+        assert_eq!(invs, vec![n(0), n(1)]);
+        assert!(step
+            .sends
+            .iter()
+            .any(|m| matches!(m.kind, MsgKind::VerifyCorrect { timely: true }) && m.dst == n(1)));
+        d.process(msg(0, 0, ack(false)));
+        let step = d.process(msg(1, 0, ack(false)));
+        assert!(matches!(
+            step.sends.last().unwrap().kind,
+            MsgKind::DataX { .. }
+        ));
+        assert_eq!(d.counters().extra_invalidations.count(), 2);
+    }
+
+    #[test]
+    fn coarse_upgrade_is_served_as_a_write_miss() {
+        // Cluster width 2: the representation cannot prove P1 is the sole
+        // sharer, so even a genuine sole-sharer upgrade must invalidate the
+        // cluster and reply with data.
+        let mut d = coarse(2, 4);
+        d.process(msg(1, 0, MsgKind::GetS));
+        let step = d.process(msg(1, 0, MsgKind::Upgrade));
+        let invs: Vec<NodeId> = step
+            .sends
+            .iter()
+            .filter(|m| matches!(m.kind, MsgKind::Inv))
+            .map(|m| m.dst)
+            .collect();
+        assert_eq!(invs, vec![n(0)], "cluster partner invalidated, not P1");
+        let step = d.process(msg(0, 0, ack(false)));
+        assert!(
+            matches!(step.sends.last().unwrap().kind, MsgKind::DataX { .. }),
+            "imprecise representations grant data, never UpgradeAck"
+        );
+    }
+
+    #[test]
+    fn coarse_cluster_1_behaves_like_full_map() {
+        let mut full = dir();
+        let mut c1 = coarse(1, 8);
+        for d in [&mut full, &mut c1] {
+            d.process(msg(1, 0, MsgKind::GetS));
+            d.process(msg(2, 0, MsgKind::GetS));
+            let step = d.process(msg(1, 0, MsgKind::Upgrade));
+            assert_eq!(step.sends.len(), 1);
+            assert_eq!(step.sends[0].dst, n(2));
+            let step = d.process(msg(2, 0, ack(true)));
+            assert!(matches!(
+                step.sends.last().unwrap().kind,
+                MsgKind::UpgradeAck {
+                    migratory: false,
+                    ..
+                }
+            ));
+            assert_eq!(d.counters().extra_invalidations.count(), 0);
+        }
+    }
+
+    // ---- limited-pointer organization ------------------------------------
+
+    #[test]
+    fn ptr_exact_fit_matches_full_map() {
+        let mut d = ptr(2, 8);
+        d.process(msg(1, 0, MsgKind::GetS));
+        d.process(msg(2, 0, MsgKind::GetS));
+        let step = d.process(msg(3, 0, MsgKind::GetX));
+        let inv_dsts: Vec<NodeId> = step.sends.iter().map(|m| m.dst).collect();
+        assert_eq!(inv_dsts, vec![n(1), n(2)], "exact pointers, no broadcast");
+        assert_eq!(d.counters().broadcast_overflows.count(), 0);
+        d.process(msg(1, 0, ack(true)));
+        d.process(msg(2, 0, ack(true)));
+        assert_eq!(d.counters().extra_invalidations.count(), 0);
+    }
+
+    #[test]
+    fn ptr_overflow_broadcasts_on_write() {
+        let mut d = ptr(2, 5);
+        d.process(msg(1, 0, MsgKind::GetS));
+        d.process(msg(2, 0, MsgKind::GetS));
+        d.process(msg(3, 0, MsgKind::GetS)); // third sharer: overflow
+        assert_eq!(d.counters().broadcast_overflows.count(), 1);
+        let step = d.process(msg(4, 0, MsgKind::GetX));
+        let inv_dsts: Vec<NodeId> = step.sends.iter().map(|m| m.dst).collect();
+        assert_eq!(
+            inv_dsts,
+            vec![n(0), n(1), n(2), n(3)],
+            "broadcast to everyone but the requester"
+        );
+        for (src, had) in [(0, false), (1, true), (2, true), (3, true)] {
+            d.process(msg(src, 0, ack(had)));
+        }
+        assert_eq!(d.counters().extra_invalidations.count(), 1, "only P0");
+    }
+
+    #[test]
+    fn ptr_exact_self_inv_frees_a_pointer() {
+        let mut d = ptr(1, 4);
+        d.process(msg(1, 0, MsgKind::GetS));
+        d.process(msg(1, 0, MsgKind::SelfInvClean));
+        assert!(d.is_idle(b(0)), "the only pointer was removed");
+        // A new sharer reuses the freed pointer without overflow.
+        d.process(msg(2, 0, MsgKind::GetS));
+        assert_eq!(d.counters().broadcast_overflows.count(), 0);
+    }
+
+    #[test]
+    fn ptr_overflowed_upgrade_is_served_as_a_write_miss() {
+        let mut d = ptr(1, 3);
+        d.process(msg(1, 0, MsgKind::GetS));
+        d.process(msg(2, 0, MsgKind::GetS)); // overflow at the second sharer
+        assert_eq!(d.counters().broadcast_overflows.count(), 1);
+        let step = d.process(msg(1, 0, MsgKind::Upgrade));
+        let invs: Vec<NodeId> = step
+            .sends
+            .iter()
+            .filter(|m| matches!(m.kind, MsgKind::Inv))
+            .map(|m| m.dst)
+            .collect();
+        assert_eq!(invs, vec![n(0), n(2)], "broadcast minus the requester");
+        d.process(msg(0, 0, ack(false)));
+        let step = d.process(msg(2, 0, ack(true)));
+        assert!(matches!(
+            step.sends.last().unwrap().kind,
+            MsgKind::DataX { .. }
+        ));
     }
 }

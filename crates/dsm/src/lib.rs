@@ -8,9 +8,11 @@
 //!   blocks, 104-cycle memory, 80-cycle network, ≈416-cycle round trip);
 //! * [`NodeCache`] — the per-node network cache (infinite capacity: every
 //!   miss is a coherence miss, as the paper assumes);
-//! * [`Directory`] — the full-map write-invalidate directory with transient
-//!   states, self-invalidation race resolution, DSI write-versioning, and
-//!   the §4 verification mask;
+//! * [`Directory`] — the write-invalidate directory with transient states,
+//!   self-invalidation race resolution, DSI write-versioning, the §4
+//!   verification mask, and a selectable sharer representation
+//!   ([`DirectoryKind`]: exact full map, coarse vector, or limited
+//!   pointers) built on the allocation-free [`ltp_core::SharerSet`];
 //! * [`ProtocolEngine`] — the two-stage pipelined engine whose queueing and
 //!   service statistics regenerate Table 4;
 //! * [`NetIface`] — network-interface contention (the paper's only modeled
@@ -44,7 +46,9 @@ mod msg;
 mod network;
 
 pub use cache::{AccessOutcome, FillComplete, InvResponse, Line, NodeCache};
-pub use config::{ConfigError, SystemConfig, SystemConfigBuilder};
+pub use config::{
+    ConfigError, DirectoryKind, ParseDirectoryKindError, SystemConfig, SystemConfigBuilder,
+};
 pub use directory::{DirCounters, DirStep, Directory, ServiceClass};
 pub use engine::{EngineStats, ProtocolEngine};
 pub use msg::{Message, MsgKind};

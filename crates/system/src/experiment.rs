@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use ltp_core::{PolicyFactory, PolicyRegistry, PolicySpecError, PredictorConfig};
-use ltp_dsm::SystemConfig;
+use ltp_dsm::{DirectoryKind, SystemConfig};
 use ltp_sim::{Cycle, Simulation, StopReason};
 use ltp_workloads::{Trace, WorkloadParams, WorkloadSource};
 
@@ -48,6 +48,9 @@ pub struct ExperimentSpec {
     pub workload: WorkloadParams,
     /// Predictor tuning knobs.
     pub predictor: PredictorConfig,
+    /// The directory sharer organization (full map, coarse vector, or
+    /// limited pointers).
+    pub directory: DirectoryKind,
 }
 
 impl ExperimentSpec {
@@ -63,6 +66,7 @@ impl ExperimentSpec {
                 policy: Arc::new(ltp_core::registry::BaseFactory),
                 workload,
                 predictor: PredictorConfig::default(),
+                directory: DirectoryKind::Full,
             },
         }
     }
@@ -121,11 +125,15 @@ impl ExperimentSpec {
         let workload = self.source.effective_params(self.workload);
         let config = SystemConfig::builder()
             .nodes(workload.nodes)
+            .directory(self.directory)
             .build()
-            .expect("valid node count");
+            .expect("valid node count and directory organization");
         let n = workload.nodes;
         let policies = (0..n).map(|_| self.policy.build(self.predictor)).collect();
-        let programs = self.source.programs(&workload);
+        let programs = self
+            .source
+            .programs(&workload)
+            .unwrap_or_else(|e| panic!("{e}"));
         let machine = Machine::new(config, policies, programs);
 
         let mut sim = Simulation::new(machine).with_horizon(Cycle::new(HORIZON_CYCLES));
@@ -148,6 +156,7 @@ impl ExperimentSpec {
             benchmark: self.source.name().to_string(),
             policy: self.policy.name().to_string(),
             policy_spec: self.policy.spec(),
+            directory: self.directory,
             workload,
             metrics: machine.into_metrics(),
             events_handled: summary.events_handled,
@@ -221,6 +230,13 @@ impl ExperimentBuilder {
     /// Sets the predictor tuning knobs.
     pub fn predictor(mut self, predictor: PredictorConfig) -> Self {
         self.spec.predictor = predictor;
+        self
+    }
+
+    /// Sets the directory sharer organization (default:
+    /// [`DirectoryKind::Full`], the paper's exact full map).
+    pub fn directory(mut self, directory: DirectoryKind) -> Self {
+        self.spec.directory = directory;
         self
     }
 
@@ -327,6 +343,45 @@ mod tests {
         let report = quick(Benchmark::Em3d, "ltp:bits=11", 2, 1);
         assert_eq!(report.policy, "ltp");
         assert_eq!(report.policy_spec, "ltp:bits=11,capacity=16");
+    }
+
+    #[test]
+    fn report_records_the_directory_kind() {
+        let report = quick(Benchmark::Em3d, "base", 4, 1);
+        assert_eq!(report.directory, DirectoryKind::Full, "default is full");
+        let report = ExperimentSpec::builder(Benchmark::Em3d)
+            .policy_spec("base")
+            .unwrap()
+            .nodes(4)
+            .iterations(1)
+            .directory(DirectoryKind::LimitedPtr { pointers: 2 })
+            .build()
+            .run();
+        assert_eq!(report.directory, DirectoryKind::LimitedPtr { pointers: 2 });
+    }
+
+    #[test]
+    fn coarse_directory_over_invalidates_but_completes() {
+        let full = ExperimentSpec::builder(Benchmark::Em3d)
+            .policy_spec("base")
+            .unwrap()
+            .nodes(8)
+            .iterations(4)
+            .build()
+            .run();
+        let coarse = ExperimentSpec::builder(Benchmark::Em3d)
+            .policy_spec("base")
+            .unwrap()
+            .nodes(8)
+            .iterations(4)
+            .directory(DirectoryKind::Coarse { cluster: 4 })
+            .build()
+            .run();
+        assert_eq!(full.metrics.extra_invalidations, 0, "full map is exact");
+        assert!(
+            coarse.metrics.invalidations_sent >= full.metrics.invalidations_sent,
+            "coarse clusters can only widen invalidation rounds"
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! the `raytrace` effect), test-and-set upgrades are migratory, and releases
 //! ping-pong ownership.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use ltp_core::{BlockId, NodeId, Pc, SelfInvalidationPolicy, SyncKind, Touch, VerifyOutcome};
 use ltp_dsm::{
@@ -164,8 +164,12 @@ pub struct Machine {
     /// (its write count), so spins observe real coherence state — a stale
     /// cached copy really does show the old generation.
     flag_waited: HashMap<(u16, BlockId), u64>,
-    barrier_waiting: BTreeSet<u16>,
-    barrier_id: Option<u32>,
+    /// Barrier wait-sets, keyed per barrier id. All live (unfinished) nodes
+    /// must arrive at the *same* id before it releases; a second id showing
+    /// up while one is collecting is a malformed workload and is rejected
+    /// with a hard error (not a `debug_assert`), because silently merging
+    /// distinct barriers would corrupt the release bookkeeping.
+    barrier_waiting: BTreeMap<u32, BTreeSet<u16>>,
     finished: usize,
     last_finish: Cycle,
     messages: u64,
@@ -214,7 +218,7 @@ impl Machine {
             })
             .collect();
         let dirs = (0..n)
-            .map(|i| Directory::new(NodeId::new(i as u16)))
+            .map(|i| Directory::with_kind(NodeId::new(i as u16), cfg.directory(), cfg.nodes()))
             .collect();
         let engines = (0..n)
             .map(|_| ProtocolEngine::new(cfg.pipeline_stages()))
@@ -228,8 +232,7 @@ impl Machine {
             nis,
             locks: HashMap::new(),
             flag_waited: HashMap::new(),
-            barrier_waiting: BTreeSet::new(),
-            barrier_id: None,
+            barrier_waiting: BTreeMap::new(),
             finished: 0,
             last_finish: Cycle::ZERO,
             messages: 0,
@@ -300,6 +303,8 @@ impl Machine {
         }
         for d in &self.dirs {
             m.invalidations_sent += d.counters().invalidations_sent.count();
+            m.extra_invalidations += d.counters().extra_invalidations.count();
+            m.broadcast_overflows += d.counters().broadcast_overflows.count();
             m.stale_ignored += d.counters().stale_ignored.count();
         }
         m
@@ -586,41 +591,50 @@ impl Machine {
     }
 
     fn barrier_arrive(&mut self, now: Cycle, p: NodeId, id: u32, q: &mut EventQueue<Event>) {
-        debug_assert!(
-            self.barrier_id.is_none_or(|b| b == id),
-            "concurrent barriers {:?} vs {id}",
-            self.barrier_id
-        );
-        self.barrier_id = Some(id);
+        // A hard error even in release builds: merging distinct barrier ids
+        // into one wait-set would let a malformed workload (a node skipping
+        // a barrier) silently release barriers early and desynchronize the
+        // run. The panic carries the conflicting ids for diagnosis.
+        if let Some((&other, waiters)) = self.barrier_waiting.iter().find(|&(&b, _)| b != id) {
+            panic!(
+                "{p} arrived at barrier {id} while {} node(s) wait at distinct \
+                 barrier {other}: the workload skips or reorders barriers",
+                waiters.len()
+            );
+        }
         self.nodes[p.index()].exec = ExecState::InBarrier(id);
-        self.barrier_waiting.insert(p.index() as u16);
+        self.barrier_waiting
+            .entry(id)
+            .or_default()
+            .insert(p.index() as u16);
         self.maybe_release_barrier(now, q);
     }
 
     /// Releases the pending barrier once every still-running node has
-    /// arrived. Checked on each arrival and whenever a node finishes.
+    /// arrived at it. Checked on each arrival and whenever a node finishes.
     fn maybe_release_barrier(&mut self, now: Cycle, q: &mut EventQueue<Event>) {
-        if self.barrier_waiting.is_empty() {
+        let Some((&released_id, waiting)) = self.barrier_waiting.iter().next() else {
             return;
-        }
+        };
         let participants = self
             .nodes
             .iter()
             .filter(|n| !matches!(n.exec, ExecState::Finished))
             .count();
-        if self.barrier_waiting.len() == participants {
+        if waiting.len() == participants {
             // Everyone arrived: release all, emitting the synchronization
             // boundary DSI hooks (this is where DSI's flush burst happens).
-            let waiting: Vec<u16> = std::mem::take(&mut self.barrier_waiting)
+            let waiting: Vec<u16> = self
+                .barrier_waiting
+                .remove(&released_id)
+                .expect("wait-set present")
                 .into_iter()
                 .collect();
-            let released_id = self.barrier_id;
-            self.barrier_id = None;
             for idx in waiting {
                 let node = NodeId::new(idx);
                 debug_assert!(
                     matches!(self.nodes[node.index()].exec,
-                        ExecState::InBarrier(id) if Some(id) == released_id),
+                        ExecState::InBarrier(id) if id == released_id),
                     "node released from a barrier it was not waiting at"
                 );
                 self.nodes[node.index()].exec = ExecState::Ready;
@@ -1155,6 +1169,52 @@ mod tests {
             .max()
             .expect("someone holds the counter");
         assert_eq!(newest, u64::from(cs) * 6, "every critical section counted");
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct barrier")]
+    fn skipped_barrier_is_a_hard_error() {
+        // Node 0 skips barrier 0 entirely and arrives at barrier 1 while
+        // node 1 still waits at barrier 0. The seed silently merged the two
+        // wait-sets (debug_assert only); now it is a hard error in release
+        // builds too.
+        let cfg = small_cfg(2);
+        let programs: Vec<Box<dyn Program>> = vec![
+            Box::new(LoopedScript::new(vec![Op::Barrier(1)], vec![], 0)),
+            Box::new(LoopedScript::new(
+                vec![Op::Think(100), Op::Barrier(0), Op::Barrier(1)],
+                vec![],
+                0,
+            )),
+        ];
+        let machine = Machine::new(cfg, null_policies(2), programs);
+        let _ = run(machine);
+    }
+
+    #[test]
+    fn sequential_barrier_ids_release_in_order() {
+        // The same nodes passing barriers 0, 1, 2 in lockstep must release
+        // each one (per-id wait-sets never mix consecutive phases).
+        let cfg = small_cfg(3);
+        let programs: Vec<Box<dyn Program>> = (0..3u64)
+            .map(|i| {
+                Box::new(LoopedScript::new(
+                    vec![
+                        Op::Think(i * 50),
+                        Op::Barrier(0),
+                        write(0x10, i),
+                        Op::Barrier(1),
+                        read(0x14, (i + 1) % 3),
+                        Op::Barrier(2),
+                    ],
+                    vec![],
+                    0,
+                )) as Box<dyn Program>
+            })
+            .collect();
+        let machine = Machine::new(cfg, null_policies(3), programs);
+        let (_, stop) = run(machine);
+        assert_eq!(stop, StopReason::Drained);
     }
 
     #[test]

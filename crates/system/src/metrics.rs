@@ -38,6 +38,13 @@ pub struct Metrics {
     pub self_invalidations_sent: u64,
     /// Invalidation messages the directories sent on behalf of requests.
     pub invalidations_sent: u64,
+    /// Invalidations acknowledged without a copy — the over-invalidation
+    /// cost of an imprecise directory sharer representation (coarse
+    /// clusters, limited-pointer broadcast). Always 0 for a full map except
+    /// under self-invalidation crossing races.
+    pub extra_invalidations: u64,
+    /// Limited-pointer sharer arrays that overflowed into broadcast mode.
+    pub broadcast_overflows: u64,
     /// Total protocol messages delivered.
     pub messages: u64,
     /// Directory-engine queueing delay per message (cycles).

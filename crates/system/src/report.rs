@@ -17,6 +17,7 @@
 use std::fmt::Write as _;
 use std::io;
 
+use ltp_dsm::DirectoryKind;
 use ltp_workloads::WorkloadParams;
 
 use crate::metrics::Metrics;
@@ -31,6 +32,8 @@ pub struct RunReport {
     pub policy: String,
     /// The canonical policy spec string (parameters included).
     pub policy_spec: String,
+    /// The directory sharer organization the run used.
+    pub directory: DirectoryKind,
     /// The machine geometry the run used.
     pub workload: WorkloadParams,
     /// Aggregated metrics.
@@ -55,10 +58,11 @@ impl RunReport {
         }
         let _ = write!(
             s,
-            "\"benchmark\":\"{}\",\"policy\":\"{}\",\"policy_spec\":\"{}\",",
+            "\"benchmark\":\"{}\",\"policy\":\"{}\",\"policy_spec\":\"{}\",\"directory\":\"{}\",",
             json_escape(&self.benchmark),
             json_escape(&self.policy),
             json_escape(&self.policy_spec),
+            self.directory,
         );
         let _ = write!(
             s,
@@ -88,12 +92,15 @@ fn metrics_json(m: &Metrics) -> String {
     let _ = write!(
         s,
         "\"exec_cycles\":{},\"misses\":{},\"hits\":{},\"self_invalidations_sent\":{},\
-         \"invalidations_sent\":{},\"messages\":{},\"stale_ignored\":{},",
+         \"invalidations_sent\":{},\"extra_invalidations\":{},\"broadcast_overflows\":{},\
+         \"messages\":{},\"stale_ignored\":{},",
         m.exec_cycles,
         m.misses,
         m.hits,
         m.self_invalidations_sent,
         m.invalidations_sent,
+        m.extra_invalidations,
+        m.broadcast_overflows,
         m.messages,
         m.stale_ignored
     );
@@ -239,6 +246,7 @@ mod tests {
             benchmark: "em3d".to_string(),
             policy: policy.to_string(),
             policy_spec: format!("{policy}:bits=13"),
+            directory: DirectoryKind::Coarse { cluster: 4 },
             workload: WorkloadParams::quick(4, 2),
             metrics: Metrics {
                 predicted: 10,
@@ -257,9 +265,12 @@ mod tests {
             "\"benchmark\":\"em3d\"",
             "\"policy\":\"ltp\"",
             "\"policy_spec\":\"ltp:bits=13\"",
+            "\"directory\":\"coarse:4\"",
             "\"predicted\":10",
             "\"exec_cycles\":1234",
             "\"events_handled\":77",
+            "\"extra_invalidations\":0",
+            "\"broadcast_overflows\":0",
             "\"dir_queueing\":{\"mean\":0,\"samples\":0}",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");

@@ -35,24 +35,26 @@ use std::sync::Arc;
 use std::thread;
 
 use ltp_core::{PolicyFactory, PolicyRegistry, PolicySpecError, PredictorConfig};
+use ltp_dsm::DirectoryKind;
 use ltp_workloads::{Benchmark, Trace, WorkloadParams, WorkloadSource};
 
 use crate::experiment::ExperimentSpec;
 use crate::report::{MemorySink, ReportSink, RunReport};
 
-/// A cross product of workload sources × policies × machine geometries,
-/// plus the execution strategy for running it.
+/// A cross product of workload sources × policies × machine geometries ×
+/// directory organizations, plus the execution strategy for running it.
 ///
 /// Sources may be synthetic benchmarks, recorded traces, or both in one
 /// sweep (trace sources pin their recorded geometry; see
 /// [`SweepSpec::trace`]). Run order (the `seq` passed to sinks) is
-/// row-major over `source × policy × geometry`: the geometry varies
-/// fastest, then the policy, then the source.
+/// row-major over `source × policy × geometry × directory`: the directory
+/// varies fastest, then the geometry, then the policy, then the source.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     sources: Vec<WorkloadSource>,
     policies: Vec<Arc<dyn PolicyFactory>>,
     geometries: Vec<WorkloadParams>,
+    directories: Vec<DirectoryKind>,
     predictor: PredictorConfig,
     threads: Option<usize>,
 }
@@ -71,6 +73,7 @@ impl SweepSpec {
             sources: Vec::new(),
             policies: Vec::new(),
             geometries: Vec::new(),
+            directories: Vec::new(),
             predictor: PredictorConfig::default(),
             threads: None,
         }
@@ -157,6 +160,19 @@ impl SweepSpec {
         self.geometry(WorkloadParams::quick(nodes, iterations))
     }
 
+    /// Adds one directory sharer organization to the cross product (the
+    /// default, when none is added, is the paper's full map).
+    pub fn directory(mut self, directory: DirectoryKind) -> Self {
+        self.directories.push(directory);
+        self
+    }
+
+    /// Adds several directory organizations.
+    pub fn directories(mut self, kinds: impl IntoIterator<Item = DirectoryKind>) -> Self {
+        self.directories.extend(kinds);
+        self
+    }
+
     /// Sets the predictor tuning knobs shared by every run.
     pub fn predictor(mut self, predictor: PredictorConfig) -> Self {
         self.predictor = predictor;
@@ -177,7 +193,10 @@ impl SweepSpec {
 
     /// Number of runs in the cross product.
     pub fn len(&self) -> usize {
-        self.sources.len() * self.policies.len() * self.geometries.len().max(1)
+        self.sources.len()
+            * self.policies.len()
+            * self.geometries.len().max(1)
+            * self.directories.len().max(1)
     }
 
     /// Whether the cross product is empty.
@@ -194,16 +213,25 @@ impl SweepSpec {
         } else {
             &self.geometries
         };
+        let default_directory = [DirectoryKind::Full];
+        let directories: &[DirectoryKind] = if self.directories.is_empty() {
+            &default_directory
+        } else {
+            &self.directories
+        };
         let mut runs = Vec::with_capacity(self.len());
         for source in &self.sources {
             for policy in &self.policies {
                 for &workload in geometries {
-                    runs.push(ExperimentSpec {
-                        source: source.clone(),
-                        policy: Arc::clone(policy),
-                        workload: source.effective_params(workload),
-                        predictor: self.predictor,
-                    });
+                    for &directory in directories {
+                        runs.push(ExperimentSpec {
+                            source: source.clone(),
+                            policy: Arc::clone(policy),
+                            workload: source.effective_params(workload),
+                            predictor: self.predictor,
+                            directory,
+                        });
+                    }
                 }
             }
         }
@@ -415,6 +443,34 @@ mod tests {
             .collect();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].workload, recorded);
+    }
+
+    #[test]
+    fn directory_axis_crosses_and_varies_fastest() {
+        let registry = PolicyRegistry::with_builtins();
+        let sweep = SweepSpec::new()
+            .benchmark(Benchmark::Em3d)
+            .policy_spec(&registry, "base")
+            .unwrap()
+            .quick_geometry(4, 2)
+            .directory(DirectoryKind::Full)
+            .directory(DirectoryKind::Coarse { cluster: 2 })
+            .directory(DirectoryKind::LimitedPtr { pointers: 2 });
+        assert_eq!(sweep.len(), 3);
+        let runs = sweep.runs();
+        assert_eq!(runs[0].directory, DirectoryKind::Full);
+        assert_eq!(runs[1].directory, DirectoryKind::Coarse { cluster: 2 });
+        assert_eq!(runs[2].directory, DirectoryKind::LimitedPtr { pointers: 2 });
+        let reports = sweep.collect();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[1].directory, DirectoryKind::Coarse { cluster: 2 });
+        // No-directory sweeps default to the full map.
+        let default_runs = SweepSpec::new()
+            .benchmark(Benchmark::Em3d)
+            .policy_spec(&registry, "base")
+            .unwrap()
+            .runs();
+        assert_eq!(default_runs[0].directory, DirectoryKind::Full);
     }
 
     #[test]

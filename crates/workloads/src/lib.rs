@@ -30,6 +30,6 @@ pub mod kernels;
 pub mod trace;
 
 pub use program::{collect_ops, Lock, LoopedScript, Op, Program};
-pub use source::WorkloadSource;
+pub use source::{SourceError, WorkloadSource};
 pub use suite::{Benchmark, WorkloadParams};
 pub use trace::{Trace, TraceError, TraceProgram, TraceWriter};

@@ -13,6 +13,45 @@ use crate::program::Program;
 use crate::suite::{Benchmark, WorkloadParams};
 use crate::trace::Trace;
 
+/// Error from building programs out of a [`WorkloadSource`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// Workloads need at least two nodes to share anything.
+    TooFewNodes(u16),
+    /// A trace was asked to replay at a geometry other than the one it was
+    /// recorded on (the per-node streams *are* the workload; use
+    /// [`WorkloadSource::effective_params`] to pin the recorded geometry).
+    GeometryMismatch {
+        /// The workload name recorded in the trace header.
+        name: String,
+        /// The geometry the trace was recorded on.
+        recorded: u16,
+        /// The geometry the caller requested.
+        requested: u16,
+    },
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::TooFewNodes(n) => {
+                write!(f, "workloads need at least 2 nodes, got {n}")
+            }
+            SourceError::GeometryMismatch {
+                name,
+                recorded,
+                requested,
+            } => write!(
+                f,
+                "trace `{name}` was recorded on {recorded} nodes and cannot replay on \
+                 {requested} (traces replay at their recorded geometry)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
 /// A workload the experiment driver can run: a synthetic benchmark or a
 /// recorded trace.
 ///
@@ -51,26 +90,30 @@ impl WorkloadSource {
 
     /// Builds one program per node.
     ///
-    /// `params` must already be the [`WorkloadSource::effective_params`]
-    /// for this source (the experiment driver guarantees that).
+    /// `params` should already be the [`WorkloadSource::effective_params`]
+    /// for this source (the experiment driver guarantees that, which is why
+    /// driver-level runs pin rather than reject a trace's geometry).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `params.nodes < 2`, or — for trace sources — if
-    /// `params.nodes` disagrees with the recorded geometry.
-    pub fn programs(&self, params: &WorkloadParams) -> Vec<Box<dyn Program>> {
+    /// Returns [`SourceError::TooFewNodes`] if `params.nodes < 2`, and
+    /// [`SourceError::GeometryMismatch`] if a trace is asked to replay at a
+    /// geometry other than the one it was recorded on.
+    pub fn programs(&self, params: &WorkloadParams) -> Result<Vec<Box<dyn Program>>, SourceError> {
+        if params.nodes < 2 {
+            return Err(SourceError::TooFewNodes(params.nodes));
+        }
         match self {
-            WorkloadSource::Synthetic(benchmark) => benchmark.programs(params),
+            WorkloadSource::Synthetic(benchmark) => Ok(benchmark.programs(params)),
             WorkloadSource::Trace(trace) => {
-                assert!(params.nodes >= 2, "workloads need at least 2 nodes");
-                assert_eq!(
-                    params.nodes,
-                    trace.nodes(),
-                    "trace `{}` was recorded on {} nodes",
-                    trace.name(),
-                    trace.nodes()
-                );
-                Trace::programs(trace)
+                if params.nodes != trace.nodes() {
+                    return Err(SourceError::GeometryMismatch {
+                        name: trace.name().to_string(),
+                        recorded: trace.nodes(),
+                        requested: params.nodes,
+                    });
+                }
+                Ok(Trace::programs(trace))
             }
         }
     }
@@ -120,7 +163,7 @@ mod tests {
         assert_eq!(source.as_benchmark(), Some(Benchmark::Em3d));
         let params = WorkloadParams::quick(4, 2);
         assert_eq!(source.effective_params(params), params);
-        assert_eq!(source.programs(&params).len(), 4);
+        assert_eq!(source.programs(&params).unwrap().len(), 4);
     }
 
     #[test]
@@ -140,7 +183,7 @@ mod tests {
     fn trace_replay_matches_the_synthetic_programs() {
         let params = WorkloadParams::quick(3, 2);
         let source = WorkloadSource::from(Trace::record(Benchmark::Moldyn, &params));
-        let mut replayed = source.programs(&params);
+        let mut replayed = source.programs(&params).unwrap();
         let mut direct = Benchmark::Moldyn.programs(&params);
         for (r, d) in replayed.iter_mut().zip(direct.iter_mut()) {
             assert_eq!(collect_ops(r.as_mut()), collect_ops(d.as_mut()));
@@ -148,10 +191,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "recorded on 3 nodes")]
-    fn trace_programs_reject_mismatched_geometry() {
+    fn trace_programs_reject_mismatched_geometry_cleanly() {
         let source =
             WorkloadSource::from(Trace::record(Benchmark::Em3d, &WorkloadParams::quick(3, 1)));
-        source.programs(&WorkloadParams::quick(4, 1));
+        let err = source.programs(&WorkloadParams::quick(4, 1)).unwrap_err();
+        assert_eq!(
+            err,
+            SourceError::GeometryMismatch {
+                name: "em3d".to_string(),
+                recorded: 3,
+                requested: 4,
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("recorded on 3 nodes"), "{msg}");
+        assert!(msg.contains("cannot replay on 4"), "{msg}");
+        // Too-small geometries are also a clean error, for every source.
+        let err = WorkloadSource::from(Benchmark::Em3d)
+            .programs(&WorkloadParams::quick(1, 1))
+            .unwrap_err();
+        assert_eq!(err, SourceError::TooFewNodes(1));
     }
 }
