@@ -1,0 +1,166 @@
+//! Trace format v2 baseline: encoded density (v1 vs v2) and replay
+//! throughput (buffered vs streaming) for all nine benchmarks at the
+//! paper's 32-node geometry, written to `BENCH_trace_v2.json` as JSON
+//! lines (one record per benchmark, then a `meta` record).
+//!
+//! This is the ROADMAP "trace compression" + "streaming replay"
+//! measurement, and it enforces the acceptance target: v2 loop compression
+//! must reach ≤ 0.5 B/op on at least 5 of the 9 benchmarks.
+//!
+//! ```sh
+//! cargo bench -p ltp-bench --bench trace_v2
+//! ```
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ltp_bench::print_header;
+use ltp_workloads::trace::TRACE_VERSION_V1;
+use ltp_workloads::{collect_ops, Benchmark, StreamingTrace, Trace, WorkloadParams};
+
+/// The baseline lives at the repository root regardless of the bench
+/// process's working directory (cargo runs benches from the package dir).
+fn out_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_trace_v2.json")
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ltp-bench-v2-{}-{tag}.ltrace", std::process::id()))
+}
+
+/// Milliseconds to drain every node's program once.
+fn drain_ms(mut programs: Vec<Box<dyn ltp_workloads::Program>>) -> (f64, u64) {
+    let started = Instant::now();
+    let mut ops = 0u64;
+    for program in &mut programs {
+        while program.next_op().is_some() {
+            ops += 1;
+        }
+    }
+    (started.elapsed().as_secs_f64() * 1e3, ops)
+}
+
+fn main() {
+    print_header(
+        "Trace format v2 — density and replay throughput, 32 nodes",
+        "infrastructure benchmark (ROADMAP trace-compression/streaming items)",
+    );
+
+    let params = WorkloadParams::default(); // 32 nodes, scaled default iterations
+    let started = Instant::now();
+    let path = out_path();
+    let file = File::create(&path).expect("create BENCH_trace_v2.json");
+    let mut out = BufWriter::new(file);
+
+    println!(
+        "{:<13} {:>10} {:>9} {:>9} {:>7} {:>7} {:>7} {:>9} {:>10} {:>10} {:>10}",
+        "benchmark",
+        "ops",
+        "v1 bytes",
+        "v2 bytes",
+        "v1 B/op",
+        "v2 B/op",
+        "ratio",
+        "repeats",
+        "synth(ms)",
+        "buf(ms)",
+        "stream(ms)"
+    );
+
+    let mut dense = 0usize;
+    for benchmark in Benchmark::ALL {
+        let trace = Arc::new(Trace::record(benchmark, &params));
+        let ops = trace.total_ops();
+
+        let mut v1 = Vec::new();
+        trace
+            .write_to_version(&mut v1, TRACE_VERSION_V1)
+            .expect("v1 encodes");
+        let mut v2 = Vec::new();
+        trace.write_to(&mut v2).expect("v2 encodes");
+
+        let file_path = scratch(benchmark.name());
+        trace.save(&file_path).expect("saves");
+        let streaming = Arc::new(StreamingTrace::open(&file_path).expect("opens"));
+
+        // Fidelity gate before timing: streamed ops == recorded ops.
+        {
+            let mut programs = StreamingTrace::programs(&streaming).expect("programs");
+            for (node, program) in programs.iter_mut().enumerate() {
+                assert_eq!(
+                    collect_ops(program.as_mut()),
+                    trace.streams()[node],
+                    "{benchmark} node {node}: streamed ops differ"
+                );
+            }
+        }
+
+        // Throughput: drain the op streams through each path (synthesis,
+        // buffered decode cursors, incremental file decode). Warm once.
+        let synth = |p: &WorkloadParams| benchmark.programs(p);
+        drain_ms(synth(&params));
+        let (synth_ms, n0) = drain_ms(synth(&params));
+        let (buffered_ms, n1) = drain_ms(Trace::programs(&trace));
+        let (stream_ms, n2) = drain_ms(StreamingTrace::programs(&streaming).expect("programs"));
+        assert!(n0 == ops && n1 == ops && n2 == ops, "op counts diverge");
+        std::fs::remove_file(&file_path).ok();
+
+        let v1_bpo = v1.len() as f64 / ops as f64;
+        let v2_bpo = v2.len() as f64 / ops as f64;
+        if v2_bpo <= 0.5 {
+            dense += 1;
+        }
+        println!(
+            "{:<13} {:>10} {:>9} {:>9} {:>7.2} {:>7.2} {:>6.1}x {:>9} {:>10.2} {:>10.2} {:>10.2}",
+            benchmark.name(),
+            ops,
+            v1.len(),
+            v2.len(),
+            v1_bpo,
+            v2_bpo,
+            v1.len() as f64 / v2.len() as f64,
+            streaming.repeat_blocks(),
+            synth_ms,
+            buffered_ms,
+            stream_ms
+        );
+        writeln!(
+            out,
+            "{{\"benchmark\":\"{}\",\"nodes\":{},\"ops\":{ops},\
+             \"v1_bytes\":{},\"v2_bytes\":{},\
+             \"v1_bytes_per_op\":{v1_bpo:.4},\"v2_bytes_per_op\":{v2_bpo:.4},\
+             \"repeat_blocks\":{},\"max_window_ops\":{},\
+             \"drain_synth_ms\":{synth_ms:.3},\"drain_buffered_ms\":{buffered_ms:.3},\
+             \"drain_streaming_ms\":{stream_ms:.3}}}",
+            benchmark.name(),
+            params.nodes,
+            v1.len(),
+            v2.len(),
+            streaming.repeat_blocks(),
+            streaming.max_window(),
+        )
+        .expect("write record");
+    }
+
+    // Acceptance: ≤ 0.5 B/op on at least 5 of the 9 benchmarks.
+    assert!(
+        dense >= 5,
+        "only {dense} of 9 benchmarks reached <= 0.5 B/op"
+    );
+
+    let elapsed = started.elapsed().as_secs_f64();
+    writeln!(
+        out,
+        "{{\"meta\":\"trace_v2\",\"nodes\":{},\"dense_benchmarks\":{dense},\
+         \"target_bytes_per_op\":0.5,\"seconds\":{elapsed:.3}}}",
+        params.nodes
+    )
+    .expect("append meta record");
+    out.flush().expect("flush BENCH_trace_v2.json");
+    println!(
+        "\n{dense}/9 benchmarks at <= 0.5 B/op; wrote {} in {elapsed:.2}s",
+        path.display()
+    );
+}

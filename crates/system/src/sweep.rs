@@ -36,7 +36,7 @@ use std::thread;
 
 use ltp_core::{PolicyFactory, PolicyRegistry, PolicySpecError, PredictorConfig};
 use ltp_dsm::DirectoryKind;
-use ltp_workloads::{Benchmark, Trace, WorkloadParams, WorkloadSource};
+use ltp_workloads::{Benchmark, StreamingTrace, Trace, WorkloadParams, WorkloadSource};
 
 use crate::experiment::ExperimentSpec;
 use crate::report::{MemorySink, ReportSink, RunReport};
@@ -109,6 +109,19 @@ impl SweepSpec {
     /// [`SweepSpec::geometry`] list — with several geometries, the trace's
     /// design points repeat identically (sinks still see every run).
     pub fn trace(self, trace: Arc<Trace>) -> Self {
+        self.source(trace)
+    }
+
+    /// Adds one trace replayed incrementally from its file (bounded
+    /// per-node decode window — for traces too large to materialize).
+    ///
+    /// Streamed runs report bit-identically to buffered replays of the
+    /// same file; geometry pins exactly like [`SweepSpec::trace`]. Each
+    /// run's per-node programs reopen the file, so it must remain readable
+    /// for the duration of the sweep — a file that vanishes mid-sweep
+    /// panics the affected run with a message naming the trace (the
+    /// drivers treat workloads as infallible once validated).
+    pub fn streaming_trace(self, trace: Arc<StreamingTrace>) -> Self {
         self.source(trace)
     }
 
@@ -428,6 +441,28 @@ mod tests {
         // The trace rows are bit-identical to the synthetic rows.
         assert_eq!(reports[0], reports[2], "base: replay == synthetic");
         assert_eq!(reports[1], reports[3], "ltp: replay == synthetic");
+    }
+
+    #[test]
+    fn streaming_traces_sweep_identically_to_buffered_ones() {
+        let params = WorkloadParams::quick(4, 2);
+        let trace = Arc::new(Trace::record(Benchmark::Moldyn, &params));
+        let path =
+            std::env::temp_dir().join(format!("ltp-sweep-stream-{}.ltrace", std::process::id()));
+        trace.save(&path).unwrap();
+        let streaming = Arc::new(StreamingTrace::open(&path).unwrap());
+        let registry = PolicyRegistry::with_builtins();
+        let reports = SweepSpec::new()
+            .trace(Arc::clone(&trace))
+            .streaming_trace(streaming)
+            .policy_specs(&registry, &["base", "ltp"])
+            .unwrap()
+            .geometry(params)
+            .collect();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports[0], reports[2], "base: streamed == buffered");
+        assert_eq!(reports[1], reports[3], "ltp: streamed == buffered");
     }
 
     #[test]

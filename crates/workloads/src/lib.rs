@@ -14,9 +14,14 @@
 //!
 //! Beyond the synthetic kernels, the [`trace`] module captures any
 //! benchmark's per-node op streams into a compact versioned `.ltrace` file
-//! ([`TraceWriter`], [`Trace`]) and replays them ([`TraceProgram`]); a
-//! [`WorkloadSource`] names either kind of workload — synthetic or
-//! recorded — so traces are first-class inputs to experiments and sweeps.
+//! ([`TraceWriter`], [`Trace`]) — loop-compressed in format v2 via a
+//! per-stream repeat detector — and replays them either fully decoded
+//! ([`TraceProgram`]) or incrementally from the file with a bounded
+//! per-node window ([`StreamingTrace`], [`StreamingTraceProgram`]); a
+//! [`WorkloadSource`] names any kind of workload — synthetic, recorded, or
+//! streamed — so traces are first-class inputs to experiments and sweeps.
+//! [`random_trace`] generates valid random workloads for fuzzing and
+//! import testing.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -32,4 +37,7 @@ pub mod trace;
 pub use program::{collect_ops, Lock, LoopedScript, Op, Program};
 pub use source::{SourceError, WorkloadSource};
 pub use suite::{Benchmark, WorkloadParams};
-pub use trace::{Trace, TraceError, TraceProgram, TraceWriter};
+pub use trace::{
+    random_trace, StreamingTrace, StreamingTraceProgram, Trace, TraceError, TraceProgram,
+    TraceScanStats, TraceWriter,
+};

@@ -22,7 +22,7 @@ use std::fmt;
 use ltp_core::{BlockId, Pc};
 
 /// A lock variable living in one shared block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Lock {
     /// The block holding the lock word.
     pub block: BlockId,
@@ -58,7 +58,7 @@ impl Lock {
 }
 
 /// One operation of a program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// Local computation for the given number of cycles (everything that is
     /// not shared-memory traffic is abstracted into think time).

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use crate::program::Program;
 use crate::suite::{Benchmark, WorkloadParams};
-use crate::trace::Trace;
+use crate::trace::{StreamingTrace, Trace};
 
 /// Error from building programs out of a [`WorkloadSource`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +28,14 @@ pub enum SourceError {
         recorded: u16,
         /// The geometry the caller requested.
         requested: u16,
+    },
+    /// A streaming trace's file could not be reopened (or re-read) when
+    /// programs were built — streaming sources hold a path, not ops.
+    Trace {
+        /// The workload name recorded in the trace header.
+        name: String,
+        /// The underlying [`crate::TraceError`], rendered.
+        message: String,
     },
 }
 
@@ -46,19 +54,22 @@ impl fmt::Display for SourceError {
                 "trace `{name}` was recorded on {recorded} nodes and cannot replay on \
                  {requested} (traces replay at their recorded geometry)"
             ),
+            SourceError::Trace { name, message } => {
+                write!(f, "streaming trace `{name}`: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for SourceError {}
 
-/// A workload the experiment driver can run: a synthetic benchmark or a
-/// recorded trace.
+/// A workload the experiment driver can run: a synthetic benchmark, a
+/// fully-decoded trace, or a streaming trace.
 ///
 /// Synthetic sources honour the full [`WorkloadParams`] (nodes, seed,
-/// iteration override). A trace pins its geometry at record time — the
-/// per-node streams *are* the workload — so replay always uses the
-/// recorded parameters; see [`WorkloadSource::effective_params`].
+/// iteration override). Both trace kinds pin their geometry at record
+/// time — the per-node streams *are* the workload — so replay always uses
+/// the recorded parameters; see [`WorkloadSource::effective_params`].
 #[derive(Debug, Clone)]
 pub enum WorkloadSource {
     /// One of the nine Table 2 kernels, generated at run time.
@@ -67,6 +78,11 @@ pub enum WorkloadSource {
     /// time). Shared via [`Arc`] so sweeping one trace under many policies
     /// never copies the streams.
     Trace(Arc<Trace>),
+    /// A recorded trace replayed *incrementally from its file* with a
+    /// bounded per-node decode window — the only way to run traces too
+    /// large to materialize. Bit-identical to [`WorkloadSource::Trace`]
+    /// replay of the same file.
+    StreamingTrace(Arc<StreamingTrace>),
 }
 
 impl WorkloadSource {
@@ -76,6 +92,7 @@ impl WorkloadSource {
         match self {
             WorkloadSource::Synthetic(benchmark) => benchmark.name(),
             WorkloadSource::Trace(trace) => trace.name(),
+            WorkloadSource::StreamingTrace(trace) => trace.name(),
         }
     }
 
@@ -85,6 +102,7 @@ impl WorkloadSource {
         match self {
             WorkloadSource::Synthetic(_) => requested,
             WorkloadSource::Trace(trace) => trace.workload(),
+            WorkloadSource::StreamingTrace(trace) => trace.workload(),
         }
     }
 
@@ -96,24 +114,36 @@ impl WorkloadSource {
     ///
     /// # Errors
     ///
-    /// Returns [`SourceError::TooFewNodes`] if `params.nodes < 2`, and
+    /// Returns [`SourceError::TooFewNodes`] if `params.nodes < 2`,
     /// [`SourceError::GeometryMismatch`] if a trace is asked to replay at a
-    /// geometry other than the one it was recorded on.
+    /// geometry other than the one it was recorded on, and
+    /// [`SourceError::Trace`] if a streaming trace's file cannot be
+    /// reopened.
     pub fn programs(&self, params: &WorkloadParams) -> Result<Vec<Box<dyn Program>>, SourceError> {
         if params.nodes < 2 {
             return Err(SourceError::TooFewNodes(params.nodes));
         }
+        let mismatch = |name: &str, recorded: u16| SourceError::GeometryMismatch {
+            name: name.to_string(),
+            recorded,
+            requested: params.nodes,
+        };
         match self {
             WorkloadSource::Synthetic(benchmark) => Ok(benchmark.programs(params)),
             WorkloadSource::Trace(trace) => {
                 if params.nodes != trace.nodes() {
-                    return Err(SourceError::GeometryMismatch {
-                        name: trace.name().to_string(),
-                        recorded: trace.nodes(),
-                        requested: params.nodes,
-                    });
+                    return Err(mismatch(trace.name(), trace.nodes()));
                 }
                 Ok(Trace::programs(trace))
+            }
+            WorkloadSource::StreamingTrace(trace) => {
+                if params.nodes != trace.nodes() {
+                    return Err(mismatch(trace.name(), trace.nodes()));
+                }
+                StreamingTrace::programs(trace).map_err(|e| SourceError::Trace {
+                    name: trace.name().to_string(),
+                    message: e.to_string(),
+                })
             }
         }
     }
@@ -122,7 +152,7 @@ impl WorkloadSource {
     pub fn as_benchmark(&self) -> Option<Benchmark> {
         match self {
             WorkloadSource::Synthetic(benchmark) => Some(*benchmark),
-            WorkloadSource::Trace(_) => None,
+            WorkloadSource::Trace(_) | WorkloadSource::StreamingTrace(_) => None,
         }
     }
 }
@@ -142,6 +172,18 @@ impl From<Arc<Trace>> for WorkloadSource {
 impl From<Trace> for WorkloadSource {
     fn from(trace: Trace) -> Self {
         WorkloadSource::Trace(Arc::new(trace))
+    }
+}
+
+impl From<Arc<StreamingTrace>> for WorkloadSource {
+    fn from(trace: Arc<StreamingTrace>) -> Self {
+        WorkloadSource::StreamingTrace(trace)
+    }
+}
+
+impl From<StreamingTrace> for WorkloadSource {
+    fn from(trace: StreamingTrace) -> Self {
+        WorkloadSource::StreamingTrace(Arc::new(trace))
     }
 }
 
@@ -188,6 +230,35 @@ mod tests {
         for (r, d) in replayed.iter_mut().zip(direct.iter_mut()) {
             assert_eq!(collect_ops(r.as_mut()), collect_ops(d.as_mut()));
         }
+    }
+
+    #[test]
+    fn streaming_sources_pin_geometry_and_replay_identically() {
+        let params = WorkloadParams::quick(3, 2);
+        let trace = Trace::record(Benchmark::Tomcatv, &params);
+        let path =
+            std::env::temp_dir().join(format!("ltp-source-stream-{}.ltrace", std::process::id()));
+        trace.save(&path).unwrap();
+        let source = WorkloadSource::from(StreamingTrace::open(&path).unwrap());
+        assert_eq!(source.name(), "tomcatv");
+        assert_eq!(source.as_benchmark(), None);
+        assert_eq!(
+            source.effective_params(WorkloadParams::quick(16, 9)),
+            params,
+            "streaming traces pin their recorded geometry"
+        );
+        let mut streamed = source.programs(&params).unwrap();
+        for (node, program) in streamed.iter_mut().enumerate() {
+            assert_eq!(collect_ops(program.as_mut()), trace.streams()[node]);
+        }
+        // Mismatched geometry is the same clean error as buffered traces.
+        let err = source.programs(&WorkloadParams::quick(4, 2)).unwrap_err();
+        assert!(matches!(err, SourceError::GeometryMismatch { .. }), "{err}");
+        // A vanished file is a clean SourceError, not a panic.
+        std::fs::remove_file(&path).unwrap();
+        let err = source.programs(&params).unwrap_err();
+        assert!(matches!(err, SourceError::Trace { .. }), "{err}");
+        assert!(err.to_string().contains("tomcatv"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! The per-stream loop detector behind format v2's repeat blocks.
+//!
+//! Every `LoopedScript`-shaped benchmark emits a prologue followed by
+//! `body^N` — the same operation sequence repeated identically each
+//! iteration. [`detect_repeats`] finds those repetitions (and any other
+//! periodic run, down to period 1) in a recorded stream and describes the
+//! stream as [`Segment`]s: literal stretches encoded op-by-op, and repeat
+//! stretches that reference the operations immediately before them. The v2
+//! encoder turns each [`Segment::Repeat`] into a single repeat block, so a
+//! body looped `N` times costs one encoded body plus a few bytes — on-disk
+//! size approaches O(one iteration).
+//!
+//! The detector is a period-constrained LZ match: at each position it
+//! considers the recent prior occurrences of the current op as candidate
+//! periods and extends the longest `ops[t] == ops[t - p]` run. Work is
+//! amortized O(n): occurrence chains are bounded, failed candidates die at
+//! their first mismatch, and successful matches consume everything they
+//! cover.
+
+use std::collections::HashMap;
+
+use crate::program::Op;
+
+/// Longest repeat body (in ops) the in-tree encoder will emit.
+///
+/// This is a *writer-side* policy bound, not a format limit: it caps the
+/// window a streaming reader of in-tree files needs to buffer. The format
+/// itself admits windows up to
+/// [`super::MAX_STREAM_WINDOW`](crate::trace::MAX_STREAM_WINDOW).
+pub const MAX_REPEAT_BODY: usize = 4096;
+
+/// Fewest ops a repeat must cover to be worth a repeat block (the block
+/// costs 3–5 bytes; literal ops average 2–4 bytes each).
+const MIN_COVERED_OPS: usize = 4;
+
+/// How many recent occurrences of each op value the detector remembers.
+const CHAIN_DEPTH: usize = 8;
+
+/// One stretch of a stream, as seen by the v2 encoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    /// The next `len` ops are encoded literally.
+    Literal {
+        /// Number of ops in the stretch (always ≥ 1).
+        len: usize,
+    },
+    /// The next `body * reps` ops duplicate the `body` ops immediately
+    /// before this segment, `reps` times over — encoded as one repeat
+    /// block.
+    Repeat {
+        /// Period of the repetition, in ops (≥ 1).
+        body: usize,
+        /// How many extra copies of the body follow (≥ 1).
+        reps: u64,
+    },
+}
+
+impl Segment {
+    /// Number of stream ops this segment covers.
+    pub fn covered(&self) -> u64 {
+        match *self {
+            Segment::Literal { len } => len as u64,
+            Segment::Repeat { body, reps } => body as u64 * reps,
+        }
+    }
+}
+
+/// Splits `ops` into literal and repeat segments with repeat bodies of at
+/// most `max_body` ops.
+///
+/// The returned segments cover the stream exactly, in order, and every
+/// [`Segment::Repeat`] is preceded by at least `body` already-covered ops
+/// (its reference window). Greedy and deterministic: the same stream always
+/// yields the same segmentation.
+///
+/// # Examples
+///
+/// A loop body repeated five times collapses to one literal body plus one
+/// repeat segment:
+///
+/// ```
+/// use ltp_core::{BlockId, Pc};
+/// use ltp_workloads::trace::{detect_repeats, Segment, MAX_REPEAT_BODY};
+/// use ltp_workloads::Op;
+///
+/// let body = [
+///     Op::Read { pc: Pc::new(0x10), block: BlockId::new(3) },
+///     Op::Write { pc: Pc::new(0x14), block: BlockId::new(3) },
+///     Op::Think(20),
+/// ];
+/// let stream: Vec<Op> = body.iter().copied().cycle().take(15).collect();
+///
+/// let segments = detect_repeats(&stream, MAX_REPEAT_BODY);
+/// assert_eq!(segments[0], Segment::Literal { len: 3 });
+/// assert_eq!(segments[1], Segment::Repeat { body: 3, reps: 4 });
+/// assert_eq!(segments.iter().map(|s| s.covered()).sum::<u64>(), 15);
+/// ```
+pub fn detect_repeats(ops: &[Op], max_body: usize) -> Vec<Segment> {
+    let mut segments = Vec::new();
+    let mut chains: HashMap<Op, Vec<usize>> = HashMap::new();
+    let push_chain = |chains: &mut HashMap<Op, Vec<usize>>, op: Op, at: usize| {
+        let chain = chains.entry(op).or_default();
+        if chain.len() == CHAIN_DEPTH {
+            chain.remove(0);
+        }
+        chain.push(at);
+    };
+
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+    while i < ops.len() {
+        // Candidate periods: distances to recent occurrences of ops[i],
+        // most recent (smallest period) first. Keep the candidate covering
+        // the most ops; ties go to the smaller period (smaller window).
+        let mut best: Option<(usize, u64)> = None;
+        if let Some(chain) = chains.get(&ops[i]) {
+            for &j in chain.iter().rev() {
+                let p = i - j;
+                if p == 0 || p > max_body {
+                    continue;
+                }
+                let mut t = i;
+                while t < ops.len() && ops[t] == ops[t - p] {
+                    t += 1;
+                }
+                let reps = ((t - i) / p) as u64;
+                let covered = p as u64 * reps;
+                if reps >= 1
+                    && covered >= MIN_COVERED_OPS as u64
+                    && best.is_none_or(|(bp, br)| covered > bp as u64 * br)
+                {
+                    best = Some((p, reps));
+                    if t == ops.len() {
+                        break; // nothing can cover more
+                    }
+                }
+            }
+        }
+        match best {
+            Some((body, reps)) => {
+                if i > literal_start {
+                    segments.push(Segment::Literal {
+                        len: i - literal_start,
+                    });
+                }
+                segments.push(Segment::Repeat { body, reps });
+                let end = i + body * reps as usize;
+                // Only the last `max_body` covered positions can seed a
+                // future match (older ones exceed the period bound).
+                let register_from = i.max(end.saturating_sub(max_body));
+                for (t, &op) in ops.iter().enumerate().take(end).skip(register_from) {
+                    push_chain(&mut chains, op, t);
+                }
+                i = end;
+                literal_start = i;
+            }
+            None => {
+                push_chain(&mut chains, ops[i], i);
+                i += 1;
+            }
+        }
+    }
+    if i > literal_start {
+        segments.push(Segment::Literal {
+            len: i - literal_start,
+        });
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltp_core::{BlockId, Pc};
+
+    fn read(pc: u32, block: u64) -> Op {
+        Op::Read {
+            pc: Pc::new(pc),
+            block: BlockId::new(block),
+        }
+    }
+
+    fn expand(segments: &[Segment], ops: &[Op]) -> Vec<Op> {
+        // Re-materialize the stream from its segmentation: the correctness
+        // contract the encoder relies on.
+        let mut out: Vec<Op> = Vec::new();
+        for seg in segments {
+            match *seg {
+                Segment::Literal { len } => {
+                    out.extend_from_slice(&ops[out.len()..out.len() + len]);
+                }
+                Segment::Repeat { body, reps } => {
+                    for _ in 0..body as u64 * reps {
+                        out.push(out[out.len() - body]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_and_tiny_streams_stay_literal() {
+        assert!(detect_repeats(&[], MAX_REPEAT_BODY).is_empty());
+        let ops = vec![read(1, 1), read(2, 2)];
+        assert_eq!(
+            detect_repeats(&ops, MAX_REPEAT_BODY),
+            vec![Segment::Literal { len: 2 }]
+        );
+    }
+
+    #[test]
+    fn pure_loop_compresses_to_one_body() {
+        let body = [read(1, 10), read(2, 11), Op::Think(7), Op::Barrier(0)];
+        let ops: Vec<Op> = body.iter().copied().cycle().take(4 * 50).collect();
+        let segs = detect_repeats(&ops, MAX_REPEAT_BODY);
+        assert_eq!(
+            segs,
+            vec![
+                Segment::Literal { len: 4 },
+                Segment::Repeat { body: 4, reps: 49 }
+            ]
+        );
+        assert_eq!(expand(&segs, &ops), ops);
+    }
+
+    #[test]
+    fn prologue_plus_loop_matches_looped_script_shape() {
+        let mut ops = vec![Op::Think(1), read(100, 5), read(101, 6)];
+        let body = [read(1, 10), Op::Think(3), read(2, 11)];
+        for _ in 0..20 {
+            ops.extend_from_slice(&body);
+        }
+        let segs = detect_repeats(&ops, MAX_REPEAT_BODY);
+        assert_eq!(expand(&segs, &ops), ops);
+        let repeated: u64 = segs
+            .iter()
+            .filter(|s| matches!(s, Segment::Repeat { .. }))
+            .map(Segment::covered)
+            .sum();
+        assert!(
+            repeated >= 3 * 19,
+            "19 of the 20 body copies must be covered by repeats, got {repeated}"
+        );
+    }
+
+    #[test]
+    fn unit_period_runs_collapse() {
+        let ops = vec![Op::Think(5); 1000];
+        let segs = detect_repeats(&ops, MAX_REPEAT_BODY);
+        assert_eq!(
+            segs,
+            vec![
+                Segment::Literal { len: 1 },
+                Segment::Repeat { body: 1, reps: 999 }
+            ]
+        );
+    }
+
+    #[test]
+    fn internal_duplicates_do_not_derail_the_real_period() {
+        // Body starts with a duplicated op: the period-1 candidate fails
+        // fast and the full body period still wins.
+        let body = [Op::Think(1), Op::Think(1), read(1, 9), read(2, 9)];
+        let ops: Vec<Op> = body.iter().copied().cycle().take(4 * 12).collect();
+        let segs = detect_repeats(&ops, MAX_REPEAT_BODY);
+        assert_eq!(expand(&segs, &ops), ops);
+        let covered: u64 = segs
+            .iter()
+            .filter(|s| matches!(s, Segment::Repeat { .. }))
+            .map(Segment::covered)
+            .sum();
+        assert!(covered >= 4 * 10, "most copies repeat-covered: {covered}");
+    }
+
+    #[test]
+    fn random_streams_round_trip_through_segmentation() {
+        // No structure to find — but whatever is found must re-expand
+        // exactly.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let ops: Vec<Op> = (0..2000)
+            .map(|_| read(next() as u32, next() % 64))
+            .collect();
+        let segs = detect_repeats(&ops, MAX_REPEAT_BODY);
+        assert_eq!(expand(&segs, &ops), ops);
+    }
+
+    #[test]
+    fn max_body_bounds_the_window() {
+        let body: Vec<Op> = (0..100).map(|k| read(k, u64::from(k))).collect();
+        let ops: Vec<Op> = body.iter().copied().cycle().take(100 * 10).collect();
+        // A cap below the true period forbids the match entirely...
+        for seg in detect_repeats(&ops, 50) {
+            if let Segment::Repeat { body, .. } = seg {
+                assert!(body <= 50);
+            }
+        }
+        // ...while a cap at the period finds it.
+        let segs = detect_repeats(&ops, 100);
+        assert!(segs
+            .iter()
+            .any(|s| matches!(s, Segment::Repeat { body: 100, .. })));
+    }
+}

@@ -1,0 +1,779 @@
+//! Streaming trace replay: run `.ltrace` workloads without materializing
+//! them.
+//!
+//! [`super::Trace`] decodes a whole file into memory — fine for the
+//! synthetic suite, a hard cap for the 10⁸+-op traces long evaluations
+//! want. [`StreamingTrace`] takes the other path: [`StreamingTrace::open`]
+//! makes **one sequential pass** over the file that verifies the checksum,
+//! validates every stream's structure, and builds a per-node index (byte
+//! offset, op count, repeat window); [`StreamingTraceProgram`] then decodes
+//! each node's self-delimiting stream **incrementally** from its own file
+//! handle. Peak memory per node is bounded by the stream's declared repeat
+//! window (plus a small read buffer) no matter how many ops the trace
+//! holds — replay memory is O(nodes × window), not O(ops).
+//!
+//! Both format versions stream: v2 windows come from the header, v1
+//! streams have no repeat blocks and need no window at all.
+//!
+//! Streamed replay emits exactly the ops a buffered replay emits, so run
+//! reports are bit-identical between the two paths (asserted in the
+//! `trace_v2` integration tests).
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufReader, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::program::{Op, Program};
+use crate::suite::WorkloadParams;
+
+use super::codec::{
+    decode_op, fnv1a_step, note_op, read_varint, DeltaState, IoInput, TraceInput, FNV_OFFSET,
+    OP_REPEAT,
+};
+use super::{
+    check_stream_end, validate_repeat, Header, StreamMeta, TraceError, TRACE_MAGIC, TRACE_VERSION,
+    TRACE_VERSION_V1,
+};
+
+/// Pushes into a bounded ring (the repeat window); a zero capacity keeps
+/// nothing.
+fn push_ring(window: &mut VecDeque<Op>, cap: usize, op: Op) {
+    if cap == 0 {
+        return;
+    }
+    if window.len() == cap {
+        window.pop_front();
+    }
+    window.push_back(op);
+}
+
+/// Value-level validation scan of one v2 stream: decodes every literal op
+/// (running the delta chains and their range checks, so replay can never
+/// fail on a file `open` accepted), maintains the repeat window, and
+/// expands repeat blocks *virtually* — a `body × reps` repetition costs
+/// O(window + body) scan work however large `reps` is, because the
+/// expansion is periodic: only its final `window` ops (and the delta-chain
+/// values after them) can influence what follows, and walking a stretch of
+/// length `k ≡ covered (mod body)`, `k ≥ window`, reproduces both exactly.
+/// Returns the number of repeat blocks seen.
+fn scan_stream_v2<I: TraceInput>(
+    input: &mut I,
+    node: u16,
+    meta: &StreamMeta,
+) -> Result<u64, TraceError> {
+    let cap = meta.window as usize;
+    let mut window: VecDeque<Op> = VecDeque::with_capacity(cap);
+    let mut state = DeltaState::new();
+    let mut produced = 0u64;
+    let mut repeats_seen = 0u64;
+    while produced < meta.ops {
+        let opcode = input.byte("opcode")?;
+        if opcode == OP_REPEAT {
+            let (body, covered) = validate_repeat(input, node, produced, meta, &mut repeats_seen)?;
+            let snapshot: Vec<Op> = window
+                .iter()
+                .skip(window.len() - body as usize)
+                .copied()
+                .collect();
+            let full = cap as u64 + body;
+            let walk = if covered <= full + body {
+                covered
+            } else {
+                full + (covered - full) % body
+            };
+            for i in 0..walk {
+                let op = snapshot[(i % body) as usize];
+                note_op(&mut state, op);
+                push_ring(&mut window, cap, op);
+            }
+            produced += covered;
+        } else {
+            let op = decode_op(input, &mut state, opcode, node)?;
+            push_ring(&mut window, cap, op);
+            produced += 1;
+        }
+    }
+    Ok(repeats_seen)
+}
+
+/// Size of each per-node read buffer, in bytes. At 1–4 encoded bytes/op a
+/// 8 KiB buffer amortizes the read syscall over thousands of ops, and even
+/// 256 nodes streaming concurrently cost only 2 MiB of buffers.
+const READ_BUF_BYTES: usize = 8192;
+
+/// One node's entry in the file index built by [`StreamingTrace::open`].
+#[derive(Debug, Clone, Copy)]
+struct StreamIndex {
+    /// Declared stream metadata (ops, bytes, window, repeats). For v1
+    /// files, reconstructed by the validation scan (window and repeats are
+    /// always 0).
+    meta: StreamMeta,
+    /// Absolute file offset of the stream's first item.
+    offset: u64,
+}
+
+/// A validated, indexed `.ltrace` file, replayable without materialization.
+///
+/// Opening performs a full single-pass validation (magic, version,
+/// checksum, header, and the structure of every stream), so replay can
+/// trust the bytes it decodes later; see [`StreamingTrace::open`].
+///
+/// # Examples
+///
+/// Record, save, and replay a benchmark through the streaming path; the
+/// streamed ops are exactly the recorded ops:
+///
+/// ```
+/// use std::sync::Arc;
+///
+/// use ltp_workloads::{collect_ops, Benchmark, StreamingTrace, Trace, WorkloadParams};
+///
+/// let params = WorkloadParams::quick(2, 3);
+/// let trace = Trace::record(Benchmark::Tomcatv, &params);
+/// let path = std::env::temp_dir().join(format!("ltp-doc-{}.ltrace", std::process::id()));
+/// trace.save(&path).unwrap();
+///
+/// let streaming = Arc::new(StreamingTrace::open(&path).unwrap());
+/// assert_eq!(streaming.name(), "tomcatv");
+/// assert_eq!(streaming.total_ops(), trace.total_ops());
+///
+/// let mut programs = StreamingTrace::programs(&streaming).unwrap();
+/// for (node, program) in programs.iter_mut().enumerate() {
+///     assert_eq!(collect_ops(program.as_mut()), trace.streams()[node]);
+/// }
+/// # std::fs::remove_file(&path).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingTrace {
+    path: PathBuf,
+    version: u8,
+    name: String,
+    workload: WorkloadParams,
+    streams: Vec<StreamIndex>,
+    file_bytes: u64,
+}
+
+impl StreamingTrace {
+    /// Opens and validates a trace file for streaming replay.
+    ///
+    /// This makes one buffered sequential pass over the whole file —
+    /// verifying the magic, version, FNV-1a checksum, header, and the full
+    /// validity of every stream: framing, opcodes, repeat-block bounds,
+    /// declared byte/op/repeat counts, **and** operand values (the delta
+    /// chains run during the scan, so out-of-range PCs and barrier ids are
+    /// rejected here, exactly as [`super::Trace::read_from`] rejects
+    /// them). A file `open` accepts cannot fail replay unless it changes
+    /// on disk afterwards.
+    ///
+    /// Memory stays O(nodes + window) and no ops are materialized; repeat
+    /// blocks are expanded *virtually* (O(window + body) scan work each,
+    /// however many ops they cover), so opening cost is bounded by file
+    /// size even for files whose declared op count is astronomical.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] exactly as [`super::Trace::read_from`]
+    /// would: bad magic, unsupported version, I/O failure, or a precise
+    /// corruption diagnosis.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<StreamingTrace, TraceError> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        let file_bytes = file.metadata()?.len();
+        let mut reader = BufReader::new(file);
+
+        let mut head = [0u8; 8];
+        if let Err(e) = reader.read_exact(&mut head) {
+            return if e.kind() == io::ErrorKind::UnexpectedEof {
+                Err(TraceError::BadMagic)
+            } else {
+                Err(TraceError::Io(e))
+            };
+        }
+        if head[..7] != TRACE_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = head[7];
+        if !(TRACE_VERSION_V1..=TRACE_VERSION).contains(&version) {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let Some(body_len) = file_bytes.checked_sub(8 + 8) else {
+            return Err(TraceError::Corrupt("missing checksum trailer".to_string()));
+        };
+
+        // Everything between the version byte and the trailer is hashed as
+        // it is consumed; `IoInput::consumed` gives offsets within the body.
+        let mut input = IoInput::new(HashingReader::new(reader.by_ref().take(body_len)));
+        let header = Header::parse(&mut input)?;
+        let nodes = header.workload.nodes;
+
+        let mut streams = Vec::with_capacity(usize::from(nodes));
+        match version {
+            TRACE_VERSION_V1 => {
+                for node in 0..nodes {
+                    let ops = read_varint(&mut input, "op count")?;
+                    let offset = 8 + input.consumed();
+                    let start = input.consumed();
+                    let mut state = DeltaState::new();
+                    for _ in 0..ops {
+                        let opcode = input.byte("opcode")?;
+                        // Full value-level decode (discarded): the delta
+                        // chains and range checks run here so replay can
+                        // never fail on a file `open` accepted.
+                        decode_op(&mut input, &mut state, opcode, node)?;
+                    }
+                    streams.push(StreamIndex {
+                        meta: StreamMeta {
+                            ops,
+                            bytes: input.consumed() - start,
+                            window: 0,
+                            repeats: 0,
+                        },
+                        offset,
+                    });
+                }
+            }
+            _ => {
+                let mut metas = Vec::with_capacity(usize::from(nodes));
+                for node in 0..nodes {
+                    metas.push(StreamMeta::parse(&mut input, node)?);
+                }
+                for (node, meta) in metas.into_iter().enumerate() {
+                    let node = node as u16;
+                    let offset = 8 + input.consumed();
+                    let start = input.consumed();
+                    let repeats_seen = scan_stream_v2(&mut input, node, &meta)?;
+                    check_stream_end(node, &meta, input.consumed() - start, repeats_seen)?;
+                    streams.push(StreamIndex { meta, offset });
+                }
+            }
+        }
+        if input.consumed() != body_len {
+            return Err(TraceError::Corrupt(format!(
+                "{} trailing bytes after the last stream",
+                body_len - input.consumed()
+            )));
+        }
+        let computed = input.into_inner().finish();
+
+        let mut trailer = [0u8; 8];
+        reader.read_exact(&mut trailer).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                TraceError::Corrupt("missing checksum trailer".to_string())
+            } else {
+                TraceError::Io(e)
+            }
+        })?;
+        let stored = u64::from_le_bytes(trailer);
+        if stored != computed {
+            return Err(TraceError::Corrupt(format!(
+                "checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            )));
+        }
+
+        Ok(StreamingTrace {
+            path,
+            version,
+            name: header.name,
+            workload: header.workload,
+            streams,
+            file_bytes,
+        })
+    }
+
+    /// The path the trace streams from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The file's format version (1 or 2).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// The workload name recorded in the header.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The geometry the trace was recorded at.
+    pub fn workload(&self) -> WorkloadParams {
+        self.workload
+    }
+
+    /// Number of nodes (one op stream each).
+    pub fn nodes(&self) -> u16 {
+        self.workload.nodes
+    }
+
+    /// Total operations across every node (after repeat expansion).
+    pub fn total_ops(&self) -> u64 {
+        self.streams.iter().map(|s| s.meta.ops).sum()
+    }
+
+    /// Operations in `node`'s stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the trace's geometry.
+    pub fn stream_ops(&self, node: u16) -> u64 {
+        self.streams[usize::from(node)].meta.ops
+    }
+
+    /// Total repeat blocks across every stream (0 for v1 files).
+    pub fn repeat_blocks(&self) -> u64 {
+        self.streams.iter().map(|s| s.meta.repeats).sum()
+    }
+
+    /// The largest per-stream repeat window in the file — the most any
+    /// node's streaming decoder will ever buffer, in ops.
+    pub fn max_window(&self) -> u64 {
+        self.streams
+            .iter()
+            .map(|s| s.meta.window)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Encoded file size in bytes (magic, header, streams, and trailer).
+    pub fn file_bytes(&self) -> u64 {
+        self.file_bytes
+    }
+
+    /// Builds one incremental replay [`Program`] per node. Each program
+    /// holds its own file handle and a window-bounded decode state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if the file can no longer be opened.
+    pub fn programs(trace: &Arc<StreamingTrace>) -> Result<Vec<Box<dyn Program>>, TraceError> {
+        (0..trace.nodes())
+            .map(|node| {
+                StreamingTraceProgram::new(Arc::clone(trace), node)
+                    .map(|p| Box::new(p) as Box<dyn Program>)
+            })
+            .collect()
+    }
+
+    /// Streams every node's ops once (node by node, O(window) memory) to
+    /// produce the op-kind histogram and the exact byte size the same ops
+    /// would occupy in format v1 — the heavy half of `trace-info`, without
+    /// ever materializing the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if the file can no longer be opened.
+    ///
+    /// # Panics
+    ///
+    /// Panics (like replay itself) if the file changes on disk mid-scan.
+    pub fn scan_stats(trace: &Arc<StreamingTrace>) -> Result<TraceScanStats, TraceError> {
+        let mut counts = [0u64; 8];
+        // v1 frame: magic + version + header + per-stream (count + ops) +
+        // checksum trailer.
+        let mut scratch = Vec::new();
+        Header {
+            name: trace.name.clone(),
+            workload: trace.workload,
+        }
+        .encode(&mut scratch);
+        let mut v1_bytes = (TRACE_MAGIC.len() + 1 + scratch.len() + 8) as u64;
+        for node in 0..trace.nodes() {
+            scratch.clear();
+            super::codec::write_varint(&mut scratch, trace.stream_ops(node));
+            v1_bytes += scratch.len() as u64;
+            let mut state = DeltaState::new();
+            let mut program = StreamingTraceProgram::new(Arc::clone(trace), node)?;
+            while let Some(op) = program.next_op() {
+                counts[super::op_kind_slot(&op)] += 1;
+                scratch.clear();
+                super::codec::encode_op(&mut scratch, &mut state, op);
+                v1_bytes += scratch.len() as u64;
+            }
+        }
+        Ok(TraceScanStats {
+            histogram: std::array::from_fn(|i| (super::OP_KIND_NAMES[i], counts[i])),
+            v1_bytes,
+        })
+    }
+}
+
+/// What [`StreamingTrace::scan_stats`] computes in one bounded-memory pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceScanStats {
+    /// Op counts by kind, in [`super::Trace::op_histogram`]'s fixed order.
+    pub histogram: [(&'static str, u64); 8],
+    /// Exact encoded size of the same trace in format v1, in bytes — the
+    /// denominator of the "how much did v2 save" comparison.
+    pub v1_bytes: u64,
+}
+
+/// Replays one node's stream of a [`StreamingTrace`], decoding
+/// incrementally from the file.
+///
+/// The program keeps a sliding window of the last `window` decoded ops
+/// (the stream's declared repeat window) so repeat blocks can re-emit
+/// them; nothing else of the stream is retained.
+/// [`StreamingTraceProgram::peak_buffered_ops`] reports the high-water
+/// mark, which tests assert against [`StreamingTraceProgram::window_ops`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+///
+/// use ltp_workloads::{collect_ops, Benchmark, StreamingTrace, StreamingTraceProgram, Trace,
+///                     WorkloadParams};
+///
+/// let params = WorkloadParams::quick(2, 4);
+/// let trace = Trace::record(Benchmark::Em3d, &params);
+/// let path = std::env::temp_dir().join(format!("ltp-doc-node-{}.ltrace", std::process::id()));
+/// trace.save(&path).unwrap();
+///
+/// let streaming = Arc::new(StreamingTrace::open(&path).unwrap());
+/// let mut program = StreamingTraceProgram::new(Arc::clone(&streaming), 1).unwrap();
+/// assert_eq!(collect_ops(&mut program), trace.streams()[1]);
+/// // Decode memory stayed within the declared repeat window.
+/// assert!(program.peak_buffered_ops() <= 2 * program.window_ops().max(1));
+/// # std::fs::remove_file(&path).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct StreamingTraceProgram {
+    trace: Arc<StreamingTrace>,
+    node: u16,
+    input: IoInput<BufReader<File>>,
+    state: DeltaState,
+    /// Logical ops not yet emitted.
+    remaining: u64,
+    /// Repeat blocks decoded so far (validated against the header count).
+    repeats_seen: u64,
+    /// Sliding window of the last `window_ops` emitted ops.
+    window: VecDeque<Op>,
+    /// The body currently being re-emitted by a repeat block, if any.
+    replay: Vec<Op>,
+    replay_pos: usize,
+    replay_left: u64,
+    peak_buffered: usize,
+}
+
+impl StreamingTraceProgram {
+    /// Opens an incremental replay cursor over `node`'s stream, seeking a
+    /// fresh file handle to the stream's indexed offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the trace's geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if the file cannot be reopened.
+    pub fn new(trace: Arc<StreamingTrace>, node: u16) -> Result<StreamingTraceProgram, TraceError> {
+        assert!(
+            node < trace.nodes(),
+            "trace `{}` has {} nodes, no node {node}",
+            trace.name(),
+            trace.nodes()
+        );
+        let index = trace.streams[usize::from(node)];
+        let mut file = File::open(&trace.path)?;
+        file.seek(SeekFrom::Start(index.offset))?;
+        let input = IoInput::new(BufReader::with_capacity(READ_BUF_BYTES, file));
+        Ok(StreamingTraceProgram {
+            trace,
+            node,
+            input,
+            state: DeltaState::new(),
+            remaining: index.meta.ops,
+            repeats_seen: 0,
+            window: VecDeque::with_capacity(index.meta.window as usize),
+            replay: Vec::new(),
+            replay_pos: 0,
+            replay_left: 0,
+            peak_buffered: 0,
+        })
+    }
+
+    /// The stream's declared repeat window in ops (0 for v1 streams): the
+    /// bound on what this program buffers.
+    pub fn window_ops(&self) -> usize {
+        self.meta().window as usize
+    }
+
+    /// High-water mark of ops buffered so far (window plus any in-flight
+    /// repeat body) — what the memory-bound tests assert on.
+    pub fn peak_buffered_ops(&self) -> usize {
+        self.peak_buffered
+    }
+
+    fn meta(&self) -> &StreamMeta {
+        &self.trace.streams[usize::from(self.node)].meta
+    }
+
+    fn push_window(&mut self, op: Op) {
+        let cap = self.meta().window as usize;
+        push_ring(&mut self.window, cap, op);
+        self.peak_buffered = self
+            .peak_buffered
+            .max(self.window.len() + self.replay.len());
+    }
+
+    fn decode_next(&mut self) -> Result<Op, TraceError> {
+        if self.replay_left > 0 {
+            let op = self.replay[self.replay_pos];
+            self.replay_pos = (self.replay_pos + 1) % self.replay.len();
+            self.replay_left -= 1;
+            if self.replay_left == 0 {
+                self.replay.clear();
+                self.replay_pos = 0;
+            }
+            note_op(&mut self.state, op);
+            return Ok(op);
+        }
+        let meta = *self.meta();
+        let produced = meta.ops - self.remaining;
+        let opcode = self.input.byte("opcode")?;
+        if opcode == OP_REPEAT {
+            let (body, covered) = validate_repeat(
+                &mut self.input,
+                self.node,
+                produced,
+                &meta,
+                &mut self.repeats_seen,
+            )?;
+            debug_assert!(body as usize <= self.window.len());
+            self.replay.clear();
+            self.replay
+                .extend(self.window.iter().skip(self.window.len() - body as usize));
+            self.replay_pos = 0;
+            self.replay_left = covered;
+            self.peak_buffered = self
+                .peak_buffered
+                .max(self.window.len() + self.replay.len());
+            return self.decode_next();
+        }
+        decode_op(&mut self.input, &mut self.state, opcode, self.node)
+    }
+}
+
+impl Program for StreamingTraceProgram {
+    /// Emits the next recorded op, decoding from the file as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file fails mid-replay — [`StreamingTrace::open`]
+    /// validated the whole file, so this means the file was truncated,
+    /// rewritten, or made unreadable after it was opened.
+    fn next_op(&mut self) -> Option<Op> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let op = self.decode_next().unwrap_or_else(|e| {
+            panic!(
+                "trace `{}` failed mid-stream on node {} (file changed since open?): {e}",
+                self.trace.name(),
+                self.node
+            )
+        });
+        self.push_window(op);
+        self.remaining -= 1;
+        Some(op)
+    }
+}
+
+/// Hashes every byte it passes through with FNV-1a 64 — how the single
+/// validation pass of [`StreamingTrace::open`] computes the body checksum
+/// without a second read.
+#[derive(Debug)]
+struct HashingReader<R> {
+    inner: R,
+    hash: u64,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> Self {
+        HashingReader {
+            inner,
+            hash: FNV_OFFSET,
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.hash
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        for &b in &buf[..n] {
+            self.hash = fnv1a_step(self.hash, b);
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::collect_ops;
+    use crate::suite::Benchmark;
+    use crate::trace::Trace;
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ltp-stream-{}-{tag}.ltrace", std::process::id()))
+    }
+
+    #[test]
+    fn streaming_matches_buffered_for_both_versions() {
+        let params = WorkloadParams::quick(3, 4);
+        let trace = Trace::record(Benchmark::Ocean, &params);
+        for version in [TRACE_VERSION_V1, TRACE_VERSION] {
+            let path = scratch(&format!("both-v{version}"));
+            trace.save_version(&path, version).unwrap();
+            let streaming = Arc::new(StreamingTrace::open(&path).unwrap());
+            assert_eq!(streaming.version(), version);
+            assert_eq!(streaming.name(), "ocean");
+            assert_eq!(streaming.workload(), params);
+            assert_eq!(streaming.total_ops(), trace.total_ops());
+            let mut programs = StreamingTrace::programs(&streaming).unwrap();
+            for (node, program) in programs.iter_mut().enumerate() {
+                assert_eq!(
+                    collect_ops(program.as_mut()),
+                    trace.streams()[node],
+                    "v{version} node {node}"
+                );
+            }
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn peak_memory_is_bounded_by_the_window() {
+        // A long loop must replay within ~2 windows (ring + in-flight
+        // body), not O(ops).
+        let mut writer = super::super::TraceWriter::new("loop", WorkloadParams::quick(2, 1));
+        for _ in 0..10_000 {
+            writer.push(0, Op::Think(3));
+            writer.push(
+                0,
+                Op::Read {
+                    pc: ltp_core::Pc::new(0x10),
+                    block: ltp_core::BlockId::new(5),
+                },
+            );
+        }
+        writer.push(1, Op::Think(1));
+        writer.push(1, Op::Think(1));
+        let trace = writer.finish();
+        let path = scratch("window");
+        trace.save(&path).unwrap();
+        let streaming = Arc::new(StreamingTrace::open(&path).unwrap());
+        assert!(streaming.repeat_blocks() > 0, "loop detected");
+        let mut program = StreamingTraceProgram::new(Arc::clone(&streaming), 0).unwrap();
+        let ops = collect_ops(&mut program);
+        assert_eq!(ops, trace.streams()[0]);
+        let window = program.window_ops();
+        assert!((1..=4096).contains(&window), "window {window}");
+        assert!(
+            program.peak_buffered_ops() <= 2 * window,
+            "peak {} vs window {window}",
+            program.peak_buffered_ops()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_what_read_from_rejects() {
+        let params = WorkloadParams::quick(2, 1);
+        let trace = Trace::record(Benchmark::Em3d, &params);
+        let path = scratch("reject");
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+
+        // Bit flip in the body: checksum mismatch.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x20;
+        std::fs::write(&path, &flipped).unwrap();
+        let err = StreamingTrace::open(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("checksum") || err.to_string().contains("corrupt"),
+            "{err}"
+        );
+
+        // Truncation.
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        assert!(matches!(
+            StreamingTrace::open(&path).unwrap_err(),
+            TraceError::Corrupt(_)
+        ));
+
+        // Wrong magic.
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        std::fs::write(&path, &wrong).unwrap();
+        assert!(matches!(
+            StreamingTrace::open(&path).unwrap_err(),
+            TraceError::BadMagic
+        ));
+
+        // Future version.
+        let mut future = bytes;
+        future[7] = 9;
+        std::fs::write(&path, &future).unwrap();
+        assert!(matches!(
+            StreamingTrace::open(&path).unwrap_err(),
+            TraceError::UnsupportedVersion(9)
+        ));
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_operand_values_are_rejected_at_open() {
+        // A structurally valid, correctly-checksummed v1 file whose delta
+        // chains reconstruct a PC beyond u32 must fail at open — exactly
+        // where Trace::read_from fails — never mid-replay.
+        use super::super::codec::{fnv1a, write_varint, zigzag, OP_READ};
+        let mut body = Vec::new();
+        write_varint(&mut body, 1);
+        body.push(b'x');
+        write_varint(&mut body, 2); // nodes
+        write_varint(&mut body, 0); // seed
+        body.push(0); // iters_flag
+        write_varint(&mut body, 1); // node 0: one op
+        body.push(OP_READ);
+        write_varint(&mut body, zigzag(1 << 33)); // pc delta beyond u32
+        write_varint(&mut body, zigzag(0));
+        write_varint(&mut body, 0); // node 1: empty
+        let mut file = Vec::new();
+        file.extend_from_slice(&TRACE_MAGIC);
+        file.push(TRACE_VERSION_V1);
+        file.extend_from_slice(&body);
+        file.extend_from_slice(&fnv1a(&body).to_le_bytes());
+
+        let buffered = Trace::read_from(&file[..]).unwrap_err();
+        assert!(buffered.to_string().contains("exceeds u32"), "{buffered}");
+
+        let path = scratch("pc-range");
+        std::fs::write(&path, &file).unwrap();
+        let streamed = StreamingTrace::open(&path).unwrap_err();
+        assert!(streamed.to_string().contains("exceeds u32"), "{streamed}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_node_panics() {
+        let params = WorkloadParams::quick(2, 1);
+        let trace = Trace::record(Benchmark::Em3d, &params);
+        let path = scratch("node-range");
+        trace.save(&path).unwrap();
+        let streaming = Arc::new(StreamingTrace::open(&path).unwrap());
+        let result = std::panic::catch_unwind(|| {
+            StreamingTraceProgram::new(Arc::clone(&streaming), 7).unwrap()
+        });
+        assert!(result.is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

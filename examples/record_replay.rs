@@ -1,6 +1,7 @@
 //! Record & replay walkthrough: capture a benchmark's op streams into a
-//! `.ltrace` file, inspect it, replay it under several policies, and prove
-//! the replay bit-identical to the synthetic run.
+//! `.ltrace` file, inspect it, replay it under several policies — buffered
+//! and streamed from disk — and prove every replay bit-identical to the
+//! synthetic run.
 //!
 //! ```sh
 //! cargo run --example record_replay
@@ -10,7 +11,7 @@ use std::sync::Arc;
 
 use ltp::core::PolicyRegistry;
 use ltp::system::{ExperimentSpec, SweepSpec};
-use ltp::workloads::{Benchmark, Trace, WorkloadParams};
+use ltp::workloads::{Benchmark, StreamingTrace, Trace, WorkloadParams};
 
 fn main() {
     let params = WorkloadParams::quick(8, 10);
@@ -60,7 +61,24 @@ fn main() {
         replayed.metrics.predicted_pct()
     );
 
-    // 4. Sweep the trace like any benchmark: one recorded scenario under
+    // 4. Stream the same file: decode incrementally with a bounded
+    //    per-node window (no full-trace materialization) — the path for
+    //    traces too large to hold in memory. Same report, bit for bit.
+    let streaming = Arc::new(StreamingTrace::open(&path).expect("trace validates"));
+    let streamed = ExperimentSpec::replay_streaming(Arc::clone(&streaming))
+        .policy_spec("ltp")
+        .expect("builtin spec")
+        .build()
+        .run();
+    assert_eq!(streamed, direct, "streamed replay must be bit-identical");
+    println!(
+        "streamed == buffered (format v{}, {} repeat blocks, window {} ops)",
+        streaming.version(),
+        streaming.repeat_blocks(),
+        streaming.max_window()
+    );
+
+    // 5. Sweep the trace like any benchmark: one recorded scenario under
     //    every policy of the paper's evaluation, in parallel.
     let registry = PolicyRegistry::with_builtins();
     let reports = SweepSpec::new()
