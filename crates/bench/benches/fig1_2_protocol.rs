@@ -114,8 +114,14 @@ fn main() {
         engine.enqueue(Cycle::ZERO, msg);
     }
     let mut now = Cycle::ZERO;
-    while let Some((_, start)) = engine.dequeue(engine.next_ready(now)) {
-        now = engine.begin_service(start, cfg.dir_control());
+    loop {
+        // `dequeue` returns the message's queueing delay, not the service
+        // start — the start is the time the drain fires at.
+        let at = engine.next_ready(now);
+        if engine.dequeue(at).is_none() {
+            break;
+        }
+        now = engine.begin_service(at, cfg.dir_control());
         if !engine.arm_next_drain() {
             break;
         }

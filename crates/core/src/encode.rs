@@ -1,4 +1,5 @@
-//! Trace-signature encodings (paper §3.2, §5.2).
+//! Trace-signature encodings (paper §3.2, §5.2) and the repository's shared
+//! JSON encoder.
 //!
 //! A *trace* is the sequence of instructions (PCs) touching a block from the
 //! coherence miss that fetched it until the invalidation that takes it away.
@@ -9,8 +10,15 @@
 //!
 //! The [`SignatureEncoder`] trait admits alternative encodings; the ablation
 //! bench compares truncated addition with an XOR-rotate mix.
+//!
+//! The second half of this module is [`JsonValue`]/[`JsonObject`]: the one
+//! dependency-free JSON encoder every report, probe section, and benchmark
+//! baseline in the workspace serializes through (this repository carries no
+//! external dependencies, so the encoder is hand-rolled — but hand-rolled
+//! *once*, here, instead of per consumer).
 
 use std::fmt;
+use std::fmt::Write as _;
 
 use crate::types::Pc;
 
@@ -242,6 +250,226 @@ impl SignatureEncoder for XorRotate {
     }
 }
 
+// ---- JSON ----------------------------------------------------------------
+
+/// An owned JSON document: the interchange tree behind every `RunReport`,
+/// probe metrics section, and benchmark baseline in the workspace.
+///
+/// Objects preserve insertion order (they are field *lists*, not maps), so a
+/// document renders byte-identically run after run. Rendering is compact —
+/// no whitespace — matching the workspace's JSON-lines conventions.
+///
+/// # Examples
+///
+/// ```
+/// use ltp_core::{JsonObject, JsonValue};
+///
+/// let doc = JsonObject::new()
+///     .field("name", "em3d")
+///     .field("ops", 12288u64)
+///     .field("ratio", 0.25)
+///     .field("tags", JsonValue::Array(vec!["a".into(), "b".into()]))
+///     .build();
+/// assert_eq!(
+///     doc.render(),
+///     r#"{"name":"em3d","ops":12288,"ratio":0.25,"tags":["a","b"]}"#
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number; non-finite values render as `null` (JSON
+    /// has no NaN/Inf).
+    F64(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object as an ordered field list. Keys are rendered in insertion
+    /// order and are not deduplicated — callers keep them unique.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(128);
+        self.write(&mut out);
+        out
+    }
+
+    /// Appends the value's compact JSON rendering to `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                json_escape_into(out, s);
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    json_escape_into(out, key);
+                    out.push_str("\":");
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::U64(v)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::U64(u64::from(v))
+    }
+}
+
+impl From<u16> for JsonValue {
+    fn from(v: u16) -> Self {
+        JsonValue::U64(u64::from(v))
+    }
+}
+
+impl From<u8> for JsonValue {
+    fn from(v: u8) -> Self {
+        JsonValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::I64(v)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::F64(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> Self {
+        JsonValue::Array(v)
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Builder for [`JsonValue::Object`] field lists (see [`JsonValue`]'s
+/// example).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JsonObject {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Appends one field (builder style).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.push(key, value);
+        self
+    }
+
+    /// Appends one field (in-place style).
+    pub fn push(&mut self, key: &str, value: impl Into<JsonValue>) {
+        self.fields.push((key.to_string(), value.into()));
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> JsonValue {
+        JsonValue::Object(self.fields)
+    }
+}
+
+/// Appends `s` to `out` with JSON string escaping applied (quotes,
+/// backslashes, and control characters).
+pub fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,5 +568,44 @@ mod tests {
         let s = Signature::from_bits(0xab, SignatureBits::BASE);
         assert_eq!(s.to_string(), "sig:0xab");
         assert_eq!(format!("{s:x}"), "ab");
+    }
+
+    #[test]
+    fn json_scalars_render_compactly() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::U64(u64::MAX).render(), "18446744073709551615");
+        assert_eq!(JsonValue::I64(-3).render(), "-3");
+        assert_eq!(JsonValue::F64(2.5).render(), "2.5");
+        assert_eq!(JsonValue::F64(0.0).render(), "0");
+        assert_eq!(JsonValue::F64(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::F64(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn json_strings_escape() {
+        assert_eq!(
+            JsonValue::Str("a\"b\\c\n\t\u{1}".to_string()).render(),
+            "\"a\\\"b\\\\c\\n\\t\\u0001\""
+        );
+    }
+
+    #[test]
+    fn json_objects_preserve_field_order() {
+        let doc = JsonObject::new()
+            .field("z", 1u64)
+            .field("a", 2u64)
+            .field("nested", JsonObject::new().field("k", "v").build())
+            .build();
+        assert_eq!(doc.render(), r#"{"z":1,"a":2,"nested":{"k":"v"}}"#);
+        assert_eq!(doc.to_string(), doc.render());
+    }
+
+    #[test]
+    fn json_arrays_render_in_order() {
+        let arr = JsonValue::Array(vec![1u64.into(), JsonValue::Null, "x".into()]);
+        assert_eq!(arr.render(), r#"[1,null,"x"]"#);
+        assert_eq!(JsonValue::Array(Vec::new()).render(), "[]");
+        assert_eq!(JsonObject::new().build().render(), "{}");
     }
 }

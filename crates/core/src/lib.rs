@@ -79,7 +79,8 @@ mod types;
 pub use confidence::TwoBitCounter;
 pub use dsi::DsiPolicy;
 pub use encode::{
-    InvalidSignatureBits, Signature, SignatureBits, SignatureEncoder, TruncatedAdd, XorRotate,
+    json_escape_into, InvalidSignatureBits, JsonObject, JsonValue, Signature, SignatureBits,
+    SignatureEncoder, TruncatedAdd, XorRotate,
 };
 pub use last_pc::{LastPc, LastPcEncoder};
 pub use ltp::{GlobalLtp, PerBlockLtp, PredictorConfig, PrematurePenalty, TracePredictor};

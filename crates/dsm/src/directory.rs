@@ -52,6 +52,44 @@ pub enum ServiceClass {
     Data,
 }
 
+/// A directory-side observation produced while processing one message.
+///
+/// These are the emission points of the probe API: every increment of the
+/// report-level [`DirCounters`] (invalidations sent, over-invalidation
+/// acks, broadcast overflows, stale ignores) has a matching event here, so
+/// external observers (the `ltp-system` probe layer) see the same stream
+/// those counters summarize. The directory-internal
+/// `self_inv_timely`/`self_inv_late` bookkeeping has no event of its own —
+/// node-side probes already see each self-invalidation and its verdict
+/// (with the timeliness flag) directly. The block concerned is the
+/// processed message's block; the home is the directory that emitted the
+/// step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirEvent {
+    /// An invalidation was sent to `to` on behalf of the in-service request.
+    InvalidationSent {
+        /// The invalidated node.
+        to: NodeId,
+    },
+    /// An invalidation acknowledgement was consumed by an in-flight
+    /// transaction. `had_copy = false` marks an over-invalidation (imprecise
+    /// sharer representation, or a self-invalidation crossing the `Inv`).
+    InvalidationAcked {
+        /// The acknowledging node.
+        from: NodeId,
+        /// Whether the node actually relinquished a cached copy.
+        had_copy: bool,
+    },
+    /// A limited-pointer sharer array overflowed into broadcast mode.
+    BroadcastOverflow,
+    /// A stale message (ack or self-invalidation for an already-completed
+    /// transaction) was ignored.
+    StaleIgnored {
+        /// The sender of the stale message.
+        from: NodeId,
+    },
+}
+
 /// Result of processing one message at the directory.
 #[derive(Debug, Clone, Default)]
 pub struct DirStep {
@@ -62,6 +100,9 @@ pub struct DirStep {
     pub reinject: Vec<Message>,
     /// Timing class of this service.
     pub data_service: bool,
+    /// Observations made during this service, in occurrence order (see
+    /// [`DirEvent`]).
+    pub events: Vec<DirEvent>,
 }
 
 impl DirStep {
@@ -454,10 +495,12 @@ impl Directory {
                 s
             }
             (DirState::Shared(sharers), MsgKind::GetS) => {
-                if rep_insert(kind, sharers, msg.src) {
-                    self.counters.broadcast_overflows.incr();
-                }
+                let overflowed = rep_insert(kind, sharers, msg.src);
                 let mut s = DirStep::data();
+                if overflowed {
+                    self.counters.broadcast_overflows.incr();
+                    s.events.push(DirEvent::BroadcastOverflow);
+                }
                 s.sends.push(Message::new(
                     home,
                     msg.src,
@@ -484,6 +527,7 @@ impl Directory {
                 });
                 self.counters.invalidations_sent.incr();
                 let mut s = DirStep::control();
+                s.events.push(DirEvent::InvalidationSent { to: owner });
                 s.sends.push(Message::new(home, owner, block, MsgKind::Inv));
                 s
             }
@@ -533,6 +577,7 @@ impl Directory {
                     let mut s = DirStep::control();
                     for n in waiting.iter() {
                         self.counters.invalidations_sent.incr();
+                        s.events.push(DirEvent::InvalidationSent { to: n });
                         s.sends.push(Message::new(home, n, block, MsgKind::Inv));
                     }
                     entry.state = DirState::Busy(Busy {
@@ -571,6 +616,7 @@ impl Directory {
                     let mut s = DirStep::control();
                     for n in waiting.iter() {
                         self.counters.invalidations_sent.incr();
+                        s.events.push(DirEvent::InvalidationSent { to: n });
                         s.sends.push(Message::new(home, n, block, MsgKind::Inv));
                     }
                     entry.state = DirState::Busy(Busy {
@@ -595,6 +641,7 @@ impl Directory {
                 });
                 self.counters.invalidations_sent.incr();
                 let mut s = DirStep::control();
+                s.events.push(DirEvent::InvalidationSent { to: owner });
                 s.sends.push(Message::new(home, owner, block, MsgKind::Inv));
                 s
             }
@@ -672,7 +719,9 @@ impl Directory {
             _ => {
                 // Stale: the copy was already invalidated by a crossing Inv.
                 self.counters.stale_ignored.incr();
-                DirStep::control()
+                let mut step = DirStep::control();
+                step.events.push(DirEvent::StaleIgnored { from: msg.src });
+                step
             }
         }
     }
@@ -703,6 +752,10 @@ impl Directory {
                 } else {
                     DirStep::control()
                 };
+                step.events.push(DirEvent::InvalidationAcked {
+                    from: msg.src,
+                    had_copy,
+                });
                 self.finish_busy_if_ready(block, &mut step);
                 step
             }
@@ -710,7 +763,9 @@ impl Directory {
                 // An ack for a transaction a self-invalidation already
                 // completed.
                 self.counters.stale_ignored.incr();
-                DirStep::control()
+                let mut step = DirStep::control();
+                step.events.push(DirEvent::StaleIgnored { from: msg.src });
+                step
             }
         }
     }

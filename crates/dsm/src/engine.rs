@@ -42,8 +42,8 @@ pub struct EngineStats {
 /// let mut eng = ProtocolEngine::new(2);
 /// let m = Message::new(NodeId::new(1), NodeId::new(0), BlockId::new(0), MsgKind::GetS);
 /// assert!(eng.enqueue(Cycle::new(100), m), "engine was idle: caller schedules a drain");
-/// let (msg, start) = eng.dequeue(Cycle::new(100)).unwrap();
-/// assert_eq!(start, Cycle::new(100));
+/// let (msg, queued) = eng.dequeue(Cycle::new(100)).unwrap();
+/// assert_eq!(queued, Cycle::ZERO, "serviced the cycle it arrived");
 /// let done = eng.begin_service(Cycle::new(100), Cycle::new(128));
 /// assert_eq!(done, Cycle::new(228));
 /// assert_eq!(msg.kind, MsgKind::GetS);
@@ -93,15 +93,18 @@ impl ProtocolEngine {
     }
 
     /// Pops the next message for service at `now`, recording its queueing
-    /// delay. Returns `None` when the queue is empty (the drain event was
-    /// stale); the caller must re-arm via [`ProtocolEngine::enqueue`]'s
+    /// delay — which is also returned, so callers (the probe event stream)
+    /// can observe per-message queueing without reaching into the engine's
+    /// statistics. Returns `None` when the queue is empty (the drain event
+    /// was stale); the caller must re-arm via [`ProtocolEngine::enqueue`]'s
     /// return value.
     pub fn dequeue(&mut self, now: Cycle) -> Option<(Message, Cycle)> {
         match self.queue.pop_front() {
             Some((arrival, msg)) => {
                 debug_assert!(now >= arrival, "service before arrival");
-                self.stats.queueing.record_cycles(now - arrival);
-                Some((msg, now))
+                let queued = now - arrival;
+                self.stats.queueing.record_cycles(queued);
+                Some((msg, queued))
             }
             None => {
                 self.drain_scheduled = false;
@@ -172,8 +175,8 @@ mod tests {
     fn queueing_delay_is_wait_time() {
         let mut e = ProtocolEngine::new(2);
         e.enqueue(Cycle::new(10), m(1));
-        let (_, start) = e.dequeue(Cycle::new(50)).unwrap();
-        assert_eq!(start, Cycle::new(50));
+        let (_, queued) = e.dequeue(Cycle::new(50)).unwrap();
+        assert_eq!(queued, Cycle::new(40));
         assert_eq!(e.stats().queueing.mean(), Some(40.0));
     }
 

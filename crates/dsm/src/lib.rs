@@ -49,7 +49,7 @@ pub use cache::{AccessOutcome, FillComplete, InvResponse, Line, NodeCache};
 pub use config::{
     ConfigError, DirectoryKind, ParseDirectoryKindError, SystemConfig, SystemConfigBuilder,
 };
-pub use directory::{DirCounters, DirStep, Directory, ServiceClass};
+pub use directory::{DirCounters, DirEvent, DirStep, Directory, ServiceClass};
 pub use engine::{EngineStats, ProtocolEngine};
 pub use msg::{Message, MsgKind};
 pub use network::NetIface;

@@ -88,6 +88,7 @@ impl MeanAccumulator {
     }
 
     /// Records one sample.
+    #[inline]
     pub fn record(&mut self, sample: f64) {
         self.sum += sample;
         self.samples += 1;
@@ -97,6 +98,7 @@ impl MeanAccumulator {
     }
 
     /// Records a [`Cycle`] duration as a sample.
+    #[inline]
     pub fn record_cycles(&mut self, cycles: Cycle) {
         self.record(cycles.as_u64() as f64);
     }
@@ -253,6 +255,13 @@ impl Histogram {
         if sample > self.max {
             self.max = sample;
         }
+    }
+
+    /// The ascending bucket upper bounds this histogram was built with
+    /// (bucket `i` covers `[bounds[i-1], bounds[i])`; one open-ended bucket
+    /// follows the last bound).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
     }
 
     /// Per-bucket counts; the last bucket is open-ended.

@@ -16,9 +16,10 @@ use std::sync::Arc;
 use ltp_core::{PolicyFactory, PolicyRegistry, PolicySpecError, PredictorConfig};
 use ltp_dsm::{DirectoryKind, SystemConfig};
 use ltp_sim::{Cycle, Simulation, StopReason};
-use ltp_workloads::{StreamingTrace, Trace, WorkloadParams, WorkloadSource};
+use ltp_workloads::{RunEstimate, StreamingTrace, Trace, WorkloadParams, WorkloadSource};
 
 use crate::machine::Machine;
+use crate::probe::{FnProbeFactory, Probe, ProbeFactory, ProbeRegistry, ProbeSpecError, RunInfo};
 use crate::report::RunReport;
 
 /// A complete experiment description.
@@ -53,6 +54,9 @@ pub struct ExperimentSpec {
     /// The directory sharer organization (full map, coarse vector, or
     /// limited pointers).
     pub directory: DirectoryKind,
+    /// Extra observers: one probe is built per factory for the run, on top
+    /// of the always-attached core-metrics probe.
+    pub probes: Vec<Arc<dyn ProbeFactory>>,
 }
 
 impl ExperimentSpec {
@@ -69,6 +73,7 @@ impl ExperimentSpec {
                 workload,
                 predictor: PredictorConfig::default(),
                 directory: DirectoryKind::Full,
+                probes: Vec::new(),
             },
         }
     }
@@ -169,7 +174,16 @@ impl ExperimentSpec {
             .source
             .programs(&workload)
             .unwrap_or_else(|e| panic!("{e}"));
-        let machine = Machine::new(config, policies, programs);
+        let mut machine = Machine::new(config, policies, programs);
+        machine.attach_core_metrics();
+        let info = RunInfo {
+            workload_name: self.source.name().to_string(),
+            workload,
+            directory: self.directory,
+        };
+        for factory in &self.probes {
+            machine.attach_probe(factory.build(&info));
+        }
 
         let mut sim = Simulation::new(machine).with_horizon(Cycle::new(HORIZON_CYCLES));
         {
@@ -187,15 +201,25 @@ impl ExperimentSpec {
         );
         let machine = sim.into_world();
         assert!(machine.all_finished(), "drained but processors unfinished");
+        let (metrics, sections) = machine.finish();
         RunReport {
             benchmark: self.source.name().to_string(),
             policy: self.policy.name().to_string(),
             policy_spec: self.policy.spec(),
             directory: self.directory,
             workload,
-            metrics: machine.into_metrics(),
+            metrics: metrics.expect("core metrics probe attached"),
+            sections,
             events_handled: summary.events_handled,
         }
+    }
+
+    /// Up-front run-length estimate at the effective geometry, when the
+    /// workload's total op count is knowable cheaply (see
+    /// [`WorkloadSource::estimated_ops`]). Drives the sweep scheduler.
+    pub fn estimated_ops(&self) -> Option<RunEstimate> {
+        self.source
+            .estimated_ops(&self.source.effective_params(self.workload))
     }
 }
 
@@ -273,6 +297,54 @@ impl ExperimentBuilder {
     pub fn directory(mut self, directory: DirectoryKind) -> Self {
         self.spec.directory = directory;
         self
+    }
+
+    /// Attaches one probe factory: the run builds a fresh probe from it and
+    /// its [`crate::MetricsSection`] (if any) lands in
+    /// [`RunReport::sections`]. The core-metrics probe is always attached;
+    /// this adds observers on top.
+    pub fn probe(mut self, probe: Arc<dyn ProbeFactory>) -> Self {
+        self.spec.probes.push(probe);
+        self
+    }
+
+    /// Attaches a probe resolved from a spec string through the built-in
+    /// [`ProbeRegistry`] (`"per-node"`, `"hist:self-inv-lead"`,
+    /// `"record:out.ltrace"`).
+    ///
+    /// For custom probes, resolve through your own registry and pass the
+    /// factory to [`Self::probe`], or use [`Self::probe_spec_in`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ProbeSpecError`] from the registry.
+    pub fn probe_spec(self, spec: &str) -> Result<Self, ProbeSpecError> {
+        self.probe_spec_in(&ProbeRegistry::with_builtins(), spec)
+    }
+
+    /// Attaches a probe resolved from `spec` through the given registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ProbeSpecError`] from the registry.
+    pub fn probe_spec_in(
+        self,
+        registry: &ProbeRegistry,
+        spec: &str,
+    ) -> Result<Self, ProbeSpecError> {
+        let factory = registry.parse(spec)?;
+        Ok(self.probe(factory))
+    }
+
+    /// Attaches an ad-hoc probe built by a closure — the one-experiment
+    /// shortcut past defining a [`ProbeFactory`] type (see the
+    /// [`crate::probe`] module example).
+    pub fn probe_fn(
+        self,
+        name: &str,
+        make: impl Fn() -> Box<dyn Probe> + Send + Sync + 'static,
+    ) -> Self {
+        self.probe(Arc::new(FnProbeFactory::new(name, make)))
     }
 
     /// Finishes the builder.

@@ -11,9 +11,17 @@
 //!   workload is any [`ltp_workloads::WorkloadSource`] — a synthetic
 //!   benchmark or a recorded [`ltp_workloads::Trace`] (see
 //!   [`ExperimentSpec::replay`]);
-//! * [`SweepSpec`] — cross products of design points executed in parallel,
-//!   streaming per-run [`RunReport`]s through a [`ReportSink`];
-//! * [`Metrics`] — the quantities behind Figures 6–9 and Tables 3–4.
+//! * [`SweepSpec`] — cross products of design points executed in parallel
+//!   (longest runs dispatched first), streaming per-run [`RunReport`]s
+//!   through a [`ReportSink`];
+//! * [`Metrics`] — the quantities behind Figures 6–9 and Tables 3–4,
+//!   reconstructed from the event stream by the built-in
+//!   [`probes::CoreMetricsProbe`];
+//! * [`probe`] — the observability API: the machine emits typed
+//!   [`SimEvent`]s and any number of [`Probe`]s fold them into
+//!   self-describing [`MetricsSection`]s (`--probe` on the CLI, `.probe()`
+//!   on the builders, [`ProbeRegistry`] spec strings like
+//!   `"hist:self-inv-lead"`).
 //!
 //! # Example
 //!
@@ -40,6 +48,8 @@ mod compat;
 mod experiment;
 mod machine;
 mod metrics;
+pub mod probe;
+pub mod probes;
 mod report;
 mod sweep;
 
@@ -48,5 +58,9 @@ pub use compat::PolicyKind;
 pub use experiment::{ExperimentBuilder, ExperimentSpec};
 pub use machine::{Event, Machine};
 pub use metrics::Metrics;
+pub use probe::{
+    FnProbeFactory, MetricsSection, Probe, ProbeCtx, ProbeFactory, ProbeRegistry, ProbeSpecError,
+    RunInfo, SimEvent,
+};
 pub use report::{JsonLinesSink, MemorySink, NullSink, ReportSink, RunReport};
 pub use sweep::SweepSpec;

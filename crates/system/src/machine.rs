@@ -18,17 +18,28 @@
 //! touch the block (training the predictors on variable-length traces —
 //! the `raytrace` effect), test-and-set upgrades are migratory, and releases
 //! ping-pong ownership.
+//!
+//! The machine keeps **no metrics of its own**: at every point where it used
+//! to bump a counter it now emits a [`SimEvent`] to the attached probes
+//! (see [`crate::probe`]). Attach the built-in
+//! [`crate::probes::CoreMetricsProbe`] via [`Machine::attach_core_metrics`]
+//! to reconstruct the classic flat [`Metrics`]; attach any number of
+//! [`Probe`]s for everything else. A machine with nothing attached runs the
+//! protocol at full speed and reports nothing.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use ltp_core::{BlockId, NodeId, Pc, SelfInvalidationPolicy, SyncKind, Touch, VerifyOutcome};
 use ltp_dsm::{
-    AccessOutcome, Directory, Message, MsgKind, NetIface, NodeCache, ProtocolEngine, SystemConfig,
+    AccessOutcome, DirEvent, Directory, Message, MsgKind, NetIface, NodeCache, ProtocolEngine,
+    SystemConfig,
 };
 use ltp_sim::{Cycle, EventQueue, World};
 use ltp_workloads::{Lock, Op, Program};
 
 use crate::metrics::Metrics;
+use crate::probe::{MetricsSection, Probe, ProbeCtx, SimEvent};
+use crate::probes::CoreMetricsProbe;
 
 /// Cycles between successive spin-test reads while a lock is observed held.
 /// Coarse enough to keep event counts bounded, fine enough that waiting
@@ -104,19 +115,6 @@ enum LockStage {
     Tas,
 }
 
-/// Accuracy/traffic counters accumulated per node.
-#[derive(Debug, Default, Clone, Copy)]
-struct NodeCounters {
-    predicted: u64,
-    predicted_timely: u64,
-    not_predicted: u64,
-    mispredicted: u64,
-    misses: u64,
-    hits: u64,
-    self_inv_sent: u64,
-    lock_failures: u64,
-}
-
 /// One node: processor (program interpreter), cache, and policy.
 struct NodeState {
     id: NodeId,
@@ -124,7 +122,9 @@ struct NodeState {
     policy: Box<dyn SelfInvalidationPolicy>,
     program: Box<dyn Program>,
     exec: ExecState,
-    counters: NodeCounters,
+    /// Cumulative failed lock attempts — execution state (it seeds the
+    /// deterministic backoff), not a metric.
+    lock_failures: u64,
 }
 
 impl std::fmt::Debug for NodeState {
@@ -146,9 +146,11 @@ struct LockWord {
 
 /// The composed CC-NUMA machine.
 ///
-/// Build one with [`Machine::new`], seed initial [`Event::CpuStep`] events
-/// via [`Machine::prime`], run it under [`ltp_sim::Simulation`], then call
-/// [`Machine::into_metrics`].
+/// Build one with [`Machine::new`], attach observers
+/// ([`Machine::attach_core_metrics`] for the classic flat [`Metrics`],
+/// [`Machine::attach_probe`] for anything else), seed initial
+/// [`Event::CpuStep`] events via [`Machine::prime`], run it under
+/// [`ltp_sim::Simulation`], then call [`Machine::finish`].
 ///
 /// Most users should go through `ltp_system::ExperimentSpec` instead.
 #[derive(Debug)]
@@ -172,7 +174,11 @@ pub struct Machine {
     barrier_waiting: BTreeMap<u32, BTreeSet<u16>>,
     finished: usize,
     last_finish: Cycle,
-    messages: u64,
+    /// The built-in core-metrics observer, kept out of the generic probe
+    /// list so its (very hot) event handling is statically dispatched.
+    core: Option<CoreMetricsProbe>,
+    /// Attached observers, called in attach order on every event.
+    probes: Vec<Box<dyn Probe>>,
     /// Per-home, per-block timestamp of the last departed directory send.
     ///
     /// The pipelined engine completes short (control) services faster than
@@ -214,7 +220,7 @@ impl Machine {
                 policy,
                 program,
                 exec: ExecState::Ready,
-                counters: NodeCounters::default(),
+                lock_failures: 0,
             })
             .collect();
         let dirs = (0..n)
@@ -235,7 +241,8 @@ impl Machine {
             barrier_waiting: BTreeMap::new(),
             finished: 0,
             last_finish: Cycle::ZERO,
-            messages: 0,
+            core: None,
+            probes: Vec::new(),
             dir_send_order: (0..n).map(|_| HashMap::new()).collect(),
             trace_block: std::env::var("LTP_TRACE_BLOCK")
                 .ok()
@@ -269,45 +276,79 @@ impl Machine {
         out
     }
 
-    /// Extracts the aggregated run metrics, consuming the machine.
-    pub fn into_metrics(self) -> Metrics {
-        let mut m = Metrics {
-            exec_cycles: self.last_finish.as_u64(),
-            messages: self.messages,
-            ..Metrics::default()
+    // ---- observation -----------------------------------------------------
+
+    /// Attaches the built-in core-metrics observer. Without it,
+    /// [`Machine::finish`] yields no [`Metrics`].
+    pub fn attach_core_metrics(&mut self) {
+        self.core = Some(CoreMetricsProbe::new(self.cfg.nodes()));
+    }
+
+    /// Attaches one observer; probes see every subsequent event in attach
+    /// order.
+    pub fn attach_probe(&mut self, probe: Box<dyn Probe>) {
+        self.probes.push(probe);
+    }
+
+    /// Delivers one event to every attached observer.
+    ///
+    /// `#[inline(always)]`, with the core probe statically dispatched, lets
+    /// the optimizer specialize each emission site: core-consumed events
+    /// reduce to the same counter increments the pre-probe machine
+    /// performed (bounded by the `probe_overhead` bench).
+    #[inline(always)]
+    fn emit(&mut self, now: Cycle, event: SimEvent) {
+        if self.core.is_none() && self.probes.is_empty() {
+            return;
+        }
+        let ctx = ProbeCtx {
+            now,
+            nodes: self.cfg.nodes(),
         };
-        let mut storage_blocks = 0u64;
-        let mut storage_entries = 0u64;
-        let mut storage_bits = 0u8;
-        for n in &self.nodes {
-            m.predicted += n.counters.predicted;
-            m.predicted_timely += n.counters.predicted_timely;
-            m.not_predicted += n.counters.not_predicted;
-            m.mispredicted += n.counters.mispredicted;
-            m.misses += n.counters.misses;
-            m.hits += n.counters.hits;
-            m.self_invalidations_sent += n.counters.self_inv_sent;
-            let s = n.policy.storage();
-            storage_blocks += s.blocks_tracked;
-            storage_entries += s.live_entries;
-            storage_bits = storage_bits.max(s.signature_bits);
+        if let Some(core) = &mut self.core {
+            core.observe(&ctx, &event);
         }
-        m.storage = ltp_core::StorageStats {
-            blocks_tracked: storage_blocks,
-            live_entries: storage_entries,
-            signature_bits: storage_bits,
+        for probe in &mut self.probes {
+            probe.on_event(&ctx, &event);
+        }
+    }
+
+    /// Delivers one event that the core-metrics tallies provably ignore
+    /// (ops retired, messages sent, lock/barrier activity) to the generic
+    /// probes only. The event is built lazily, so with no generic probe
+    /// attached — the default stack — these very hot emission points cost
+    /// one branch, which is what keeps the core stack's overhead under the
+    /// `probe_overhead` acceptance bar.
+    #[inline(always)]
+    fn emit_aux(&mut self, now: Cycle, event: impl FnOnce() -> SimEvent) {
+        if self.probes.is_empty() {
+            return;
+        }
+        let ctx = ProbeCtx {
+            now,
+            nodes: self.cfg.nodes(),
         };
-        for e in &self.engines {
-            m.dir_queueing.merge(&e.stats().queueing);
-            m.dir_service.merge(&e.stats().service);
+        let event = event();
+        for probe in &mut self.probes {
+            probe.on_event(&ctx, &event);
         }
-        for d in &self.dirs {
-            m.invalidations_sent += d.counters().invalidations_sent.count();
-            m.extra_invalidations += d.counters().extra_invalidations.count();
-            m.broadcast_overflows += d.counters().broadcast_overflows.count();
-            m.stale_ignored += d.counters().stale_ignored.count();
+    }
+
+    /// Finishes the run: emits the end-of-run [`SimEvent::PolicyStorage`]
+    /// accounting (one event per node, in node order), then consumes the
+    /// machine and every observer. Returns the core [`Metrics`] (if
+    /// [`Machine::attach_core_metrics`] was called) and one
+    /// [`MetricsSection`] per attached probe that produced one.
+    pub fn finish(mut self) -> (Option<Metrics>, Vec<MetricsSection>) {
+        let now = self.last_finish;
+        for i in 0..self.nodes.len() {
+            let stats = self.nodes[i].policy.storage();
+            let node = self.nodes[i].id;
+            self.emit(now, SimEvent::PolicyStorage { node, stats });
         }
-        m
+        let metrics = self.core.take().map(CoreMetricsProbe::into_metrics);
+        let sections = self.probes.drain(..).filter_map(|p| p.finish()).collect();
+        (metrics, sections)
     }
 
     // ---- routing ---------------------------------------------------------
@@ -316,6 +357,7 @@ impl Machine {
     /// deliver instantly, home-local messages skip the network, and remote
     /// messages serialize through the source NI then cross the network.
     fn route(&mut self, msg: Message, at: Cycle, q: &mut EventQueue<Event>) {
+        self.emit_aux(at, || SimEvent::MessageSent { msg });
         if matches!(msg.kind, MsgKind::VerifyCorrect { .. }) {
             q.schedule(at, Event::Arrive(msg));
             return;
@@ -383,25 +425,28 @@ impl Machine {
 
     fn fetch_and_issue(&mut self, now: Cycle, p: NodeId, q: &mut EventQueue<Event>) {
         let i = p.index();
-        match self.nodes[i].program.next_op() {
-            None => {
-                self.nodes[i].exec = ExecState::Finished;
-                self.finished += 1;
-                self.last_finish = self.last_finish.max(now);
-                // A node finishing shrinks the barrier population; a barrier
-                // that was waiting only on this node must now release.
-                self.maybe_release_barrier(now, q);
-            }
-            Some(Op::Think(c)) => {
+        let Some(op) = self.nodes[i].program.next_op() else {
+            self.nodes[i].exec = ExecState::Finished;
+            self.finished += 1;
+            self.last_finish = self.last_finish.max(now);
+            self.emit(now, SimEvent::NodeFinished { node: p });
+            // A node finishing shrinks the barrier population; a barrier
+            // that was waiting only on this node must now release.
+            self.maybe_release_barrier(now, q);
+            return;
+        };
+        self.emit_aux(now, || SimEvent::OpRetired { node: p, op });
+        match op {
+            Op::Think(c) => {
                 q.schedule(now + Cycle::new(c), Event::CpuStep(p));
             }
-            Some(Op::Read { pc, block }) => {
+            Op::Read { pc, block } => {
                 self.issue_access(now, p, pc, block, false, Continuation::Plain, q);
             }
-            Some(Op::Write { pc, block }) => {
+            Op::Write { pc, block } => {
                 self.issue_access(now, p, pc, block, true, Continuation::Plain, q);
             }
-            Some(Op::Lock(lock)) => {
+            Op::Lock(lock) => {
                 self.nodes[i].exec = ExecState::Locking(lock, LockStage::Test);
                 self.issue_access(
                     now,
@@ -413,7 +458,7 @@ impl Machine {
                     q,
                 );
             }
-            Some(Op::Unlock(lock)) => {
+            Op::Unlock(lock) => {
                 self.issue_access(
                     now,
                     p,
@@ -424,13 +469,13 @@ impl Machine {
                     q,
                 );
             }
-            Some(Op::Barrier(id)) => self.barrier_arrive(now, p, id, q),
-            Some(Op::FlagSet { pc, block }) => {
+            Op::Barrier(id) => self.barrier_arrive(now, p, id, q),
+            Op::FlagSet { pc, block } => {
                 // The signalling store is an ordinary write; the flag's
                 // generation is the block token the write bumps.
                 self.issue_access(now, p, pc, block, true, Continuation::Plain, q);
             }
-            Some(Op::FlagWait { pc, block }) => {
+            Op::FlagWait { pc, block } => {
                 self.issue_access(now, p, pc, block, false, Continuation::FlagWait(pc), q);
             }
         }
@@ -450,7 +495,16 @@ impl Machine {
         let i = p.index();
         match self.nodes[i].cache.access(block, is_write) {
             AccessOutcome::Hit { exclusive } => {
-                self.nodes[i].counters.hits += 1;
+                self.emit(
+                    now,
+                    SimEvent::CacheHit {
+                        node: p,
+                        block,
+                        pc,
+                        is_write,
+                        exclusive,
+                    },
+                );
                 let fire = self.nodes[i].policy.on_touch(Touch {
                     block,
                     pc,
@@ -464,7 +518,15 @@ impl Machine {
                 self.complete_access(now + self.cfg.cpu_hit(), p, block, cont, q);
             }
             AccessOutcome::Miss(kind) => {
-                self.nodes[i].counters.misses += 1;
+                self.emit(
+                    now,
+                    SimEvent::CacheMiss {
+                        node: p,
+                        block,
+                        pc,
+                        is_write,
+                    },
+                );
                 self.nodes[i].exec = ExecState::BlockedMem(MemCtx {
                     block,
                     pc,
@@ -505,8 +567,8 @@ impl Machine {
                 } else {
                     // Looks free: back off a randomized interval, then
                     // confirm before attempting the RMW.
-                    self.nodes[i].counters.lock_failures += 1;
-                    let slots = Self::backoff_slots(p, self.nodes[i].counters.lock_failures);
+                    self.nodes[i].lock_failures += 1;
+                    let slots = Self::backoff_slots(p, self.nodes[i].lock_failures);
                     self.nodes[i].exec = ExecState::Locking(lock, LockStage::Confirm);
                     q.schedule(
                         resume_at + Cycle::new(SPIN_INTERVAL * slots),
@@ -535,8 +597,8 @@ impl Machine {
                     // test-and-set herd so lock-block traces vary per visit
                     // (the raytrace §5.4 effect: "locks spin a variable
                     // number of times per visit").
-                    self.nodes[i].counters.lock_failures += 1;
-                    let backoff = Self::backoff_slots(p, self.nodes[i].counters.lock_failures);
+                    self.nodes[i].lock_failures += 1;
+                    let backoff = Self::backoff_slots(p, self.nodes[i].lock_failures);
                     self.nodes[i].exec = ExecState::Locking(lock, LockStage::Test);
                     q.schedule(
                         resume_at + Cycle::new(SPIN_INTERVAL * backoff),
@@ -545,6 +607,10 @@ impl Machine {
                 } else {
                     word.held = true;
                     word.owner = Some(p);
+                    self.emit_aux(resume_at, || SimEvent::LockAcquired {
+                        node: p,
+                        block: lock.block,
+                    });
                     self.nodes[i].exec = ExecState::Ready;
                     if lock.exposed {
                         self.sync_boundary(resume_at, p, SyncKind::LockAcquire, q);
@@ -557,6 +623,10 @@ impl Machine {
                 debug_assert_eq!(word.owner, Some(p), "release by non-owner");
                 word.held = false;
                 word.owner = None;
+                self.emit_aux(resume_at, || SimEvent::LockReleased {
+                    node: p,
+                    block: lock.block,
+                });
                 self.nodes[i].exec = ExecState::Ready;
                 if lock.exposed {
                     self.sync_boundary(resume_at, p, SyncKind::LockRelease, q);
@@ -602,6 +672,7 @@ impl Machine {
                 waiters.len()
             );
         }
+        self.emit_aux(now, || SimEvent::BarrierEnter { node: p, id });
         self.nodes[p.index()].exec = ExecState::InBarrier(id);
         self.barrier_waiting
             .entry(id)
@@ -630,6 +701,11 @@ impl Machine {
                 .expect("wait-set present")
                 .into_iter()
                 .collect();
+            let waiters = waiting.len() as u16;
+            self.emit_aux(now, || SimEvent::BarrierRelease {
+                id: released_id,
+                waiters,
+            });
             for idx in waiting {
                 let node = NodeId::new(idx);
                 debug_assert!(
@@ -677,7 +753,14 @@ impl Machine {
         let Some(kind) = self.nodes[p.index()].cache.self_invalidate(block) else {
             return; // absent or mid-transaction: skip (bulk flushes may race)
         };
-        self.nodes[p.index()].counters.self_inv_sent += 1;
+        self.emit(
+            now,
+            SimEvent::SelfInvalidation {
+                node: p,
+                block,
+                dirty: matches!(kind, MsgKind::SelfInvDirty { .. }),
+            },
+        );
         let home = self.cfg.home_of(block);
         self.route(Message::new(p, home, block, kind), now, q);
     }
@@ -685,7 +768,7 @@ impl Machine {
     // ---- message handling ------------------------------------------------
 
     fn arrive(&mut self, now: Cycle, msg: Message, q: &mut EventQueue<Event>) {
-        self.messages += 1;
+        self.emit(now, SimEvent::MessageDelivered { msg });
         if self.trace_block == Some(msg.block) {
             eprintln!("[{now}] arrive {} -> {}: {:?}", msg.src, msg.dst, msg.kind);
         }
@@ -702,7 +785,7 @@ impl Machine {
 
     fn engine_drain(&mut self, now: Cycle, h: NodeId, q: &mut EventQueue<Event>) {
         let hi = h.index();
-        let Some((msg, _)) = self.engines[hi].dequeue(now) else {
+        let Some((msg, queued)) = self.engines[hi].dequeue(now) else {
             return;
         };
         let step = self.dirs[hi].process(msg);
@@ -712,6 +795,39 @@ impl Machine {
             self.cfg.dir_control()
         };
         let done = self.engines[hi].begin_service(now, service);
+        self.emit(
+            now,
+            SimEvent::MessageServiced {
+                home: h,
+                queueing: queued,
+                service,
+                data: step.data_service,
+            },
+        );
+        for &event in &step.events {
+            let block = msg.block;
+            self.emit(
+                now,
+                match event {
+                    DirEvent::InvalidationSent { to } => {
+                        SimEvent::InvalidationSent { home: h, to, block }
+                    }
+                    DirEvent::InvalidationAcked { from, had_copy } => SimEvent::InvalidationAcked {
+                        home: h,
+                        from,
+                        block,
+                        had_copy,
+                    },
+                    DirEvent::BroadcastOverflow => SimEvent::BroadcastOverflow { home: h, block },
+                    DirEvent::StaleIgnored { from } => SimEvent::StaleIgnored {
+                        home: h,
+                        from,
+                        block,
+                        kind: msg.kind,
+                    },
+                },
+            );
+        }
         // Clamp departures so sends for one block leave in service order
         // (see `dir_send_order`).
         let depart = {
@@ -741,8 +857,15 @@ impl Machine {
         match msg.kind {
             MsgKind::Inv => {
                 let resp = self.nodes[i].cache.handle_inv(msg.block);
+                self.emit(
+                    now,
+                    SimEvent::Invalidated {
+                        node: p,
+                        block: msg.block,
+                        had_copy: resp.had_copy,
+                    },
+                );
                 if resp.had_copy {
-                    self.nodes[i].counters.not_predicted += 1;
                     self.nodes[i].policy.on_invalidation(msg.block);
                 }
                 let home = self.cfg.home_of(msg.block);
@@ -761,10 +884,15 @@ impl Machine {
                 );
             }
             MsgKind::VerifyCorrect { timely } => {
-                self.nodes[i].counters.predicted += 1;
-                if timely {
-                    self.nodes[i].counters.predicted_timely += 1;
-                }
+                self.emit(
+                    now,
+                    SimEvent::PredictionVerified {
+                        node: p,
+                        block: msg.block,
+                        outcome: VerifyOutcome::Correct,
+                        timely,
+                    },
+                );
                 self.nodes[i]
                     .policy
                     .on_verification(msg.block, VerifyOutcome::Correct);
@@ -783,20 +911,18 @@ impl Machine {
         // Resolve an earlier prediction first (FIFO per block), then start
         // the new trace with this access's touch.
         if let Some(v) = fill.verify {
-            match v {
-                VerifyOutcome::Premature => {
-                    self.nodes[i].counters.mispredicted += 1;
-                    self.nodes[i]
-                        .policy
-                        .on_verification(msg.block, VerifyOutcome::Premature);
-                }
-                VerifyOutcome::Correct => {
-                    self.nodes[i].counters.predicted += 1;
-                    self.nodes[i]
-                        .policy
-                        .on_verification(msg.block, VerifyOutcome::Correct);
-                }
-            }
+            // Verdicts piggybacked on fills resolved when this very request
+            // reached the directory — never timely.
+            self.emit(
+                now,
+                SimEvent::PredictionVerified {
+                    node: p,
+                    block: msg.block,
+                    outcome: v,
+                    timely: false,
+                },
+            );
+            self.nodes[i].policy.on_verification(msg.block, v);
         }
         let ExecState::BlockedMem(ctx) = self.nodes[i].exec else {
             unreachable!("fill for {p} which is not blocked");
@@ -847,7 +973,8 @@ mod tests {
             .collect()
     }
 
-    fn run(machine: Machine) -> (Metrics, StopReason) {
+    fn run(mut machine: Machine) -> (Metrics, StopReason) {
+        machine.attach_core_metrics();
         let mut sim = Simulation::new(machine).with_horizon(Cycle::new(50_000_000));
         {
             let (world, queue) = sim.world_and_queue_mut();
@@ -860,8 +987,9 @@ mod tests {
             "machine stuck:\n{}",
             sim.world().stuck_report()
         );
-        let m = sim.into_world().into_metrics();
-        (m, summary.stop)
+        let (m, sections) = sim.into_world().finish();
+        assert!(sections.is_empty(), "no extra probes attached");
+        (m.expect("core metrics attached"), summary.stop)
     }
 
     fn read(pc: u32, b: u64) -> Op {

@@ -1,0 +1,799 @@
+//! The probe/observer API: a typed simulation event stream plus the
+//! [`Probe`] trait consumers implement to collect anything from it.
+//!
+//! Historically every metric lived in one hard-coded flat
+//! [`crate::Metrics`] struct whose every field had to be hand-threaded
+//! through `Machine`, `RunReport`, a hand-rolled JSON writer, and the CLI
+//! tables. The probe API inverts that: the machine emits a [`SimEvent`] at
+//! every point where it used to bump a counter, and *observers* — probes —
+//! fold the stream into whatever they want. The flat metrics themselves are
+//! now just the built-in [`crate::probes::CoreMetricsProbe`]; new metrics
+//! are new probes, not new struct fields.
+//!
+//! # The pieces
+//!
+//! * [`SimEvent`] — the event catalog (op retired, cache hit/miss, message
+//!   sent/delivered/serviced, invalidations with `had_copy`,
+//!   self-invalidations, prediction verdicts, barrier and lock activity,
+//!   end-of-run storage accounting);
+//! * [`Probe`] — `on_event` per event plus a consuming `finish` that yields
+//!   an optional self-describing [`MetricsSection`];
+//! * [`ProbeFactory`] — builds one fresh probe per run (sweeps share
+//!   factories across worker threads, so factories are `Send + Sync`);
+//! * [`ProbeRegistry`] — resolves probe *spec strings* (`"per-node"`,
+//!   `"hist:self-inv-lead"`, `"record:out.ltrace"`) to factories, exactly
+//!   as [`ltp_core::PolicyRegistry`] does for policies, and is open to
+//!   external registrations.
+//!
+//! # Spec-string grammar
+//!
+//! ```text
+//! spec := name [ ":" argument ]
+//! ```
+//!
+//! The name selects a registered constructor; everything after the first
+//! `:` is passed to it verbatim (trimmed) as a free-form argument —
+//! histogram selectors, file paths, whatever the probe family needs.
+//!
+//! # Writing a probe
+//!
+//! ```
+//! use ltp_core::JsonObject;
+//! use ltp_system::{ExperimentSpec, MetricsSection, Probe, ProbeCtx, SimEvent};
+//! use ltp_workloads::Benchmark;
+//!
+//! /// Counts barrier releases.
+//! #[derive(Debug, Default)]
+//! struct BarrierCounter {
+//!     releases: u64,
+//! }
+//!
+//! impl Probe for BarrierCounter {
+//!     fn on_event(&mut self, _ctx: &ProbeCtx, event: &SimEvent) {
+//!         if let SimEvent::BarrierRelease { .. } = event {
+//!             self.releases += 1;
+//!         }
+//!     }
+//!     fn finish(self: Box<Self>) -> Option<MetricsSection> {
+//!         Some(MetricsSection::new(
+//!             "barriers",
+//!             JsonObject::new().field("releases", self.releases).build(),
+//!         ))
+//!     }
+//! }
+//!
+//! let report = ExperimentSpec::builder(Benchmark::Ocean)
+//!     .policy_spec("base").unwrap()
+//!     .nodes(4).iterations(2)
+//!     .probe_fn("barriers", || Box::new(BarrierCounter::default()))
+//!     .build()
+//!     .run();
+//! let section = &report.sections[0];
+//! assert_eq!(section.name, "barriers");
+//! assert!(section.data.render().starts_with("{\"releases\":"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use ltp_core::{BlockId, JsonValue, NodeId, Pc, StorageStats, VerifyOutcome};
+use ltp_dsm::{DirectoryKind, Message};
+use ltp_sim::Cycle;
+use ltp_workloads::{Op, WorkloadParams};
+
+use crate::probes::{PerNodeProbe, SelfInvLeadProbe, TraceRecorderProbe};
+
+/// One observation from the running machine.
+///
+/// Events are emitted at exactly the points where the pre-probe simulator
+/// updated its hard-coded counters, plus the synchronization and per-op
+/// hooks new consumers need. Every variant is `Copy`; probes receive them
+/// by reference in simulation order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SimEvent {
+    /// A processor fetched its next program operation (emitted at issue,
+    /// once per [`Op`] — spin retries and protocol traffic are *not* ops).
+    /// The per-node subsequence of these events is exactly the node's
+    /// program stream, which is what makes live trace recording a probe.
+    OpRetired {
+        /// The fetching processor.
+        node: NodeId,
+        /// The operation.
+        op: Op,
+    },
+    /// A shared-memory access hit in the node's network cache.
+    CacheHit {
+        /// The accessing processor.
+        node: NodeId,
+        /// Block touched.
+        block: BlockId,
+        /// Static instruction site.
+        pc: Pc,
+        /// Store (vs load).
+        is_write: bool,
+        /// The cached copy was exclusive.
+        exclusive: bool,
+    },
+    /// A shared-memory access missed (a coherence request was issued).
+    CacheMiss {
+        /// The accessing processor.
+        node: NodeId,
+        /// Block touched.
+        block: BlockId,
+        /// Static instruction site.
+        pc: Pc,
+        /// Store (vs load).
+        is_write: bool,
+    },
+    /// A protocol message left its source (before NI serialization).
+    MessageSent {
+        /// The message.
+        msg: Message,
+    },
+    /// A protocol message reached its destination node.
+    MessageDelivered {
+        /// The message.
+        msg: Message,
+    },
+    /// A home's protocol engine completed one directory service.
+    MessageServiced {
+        /// The home node whose engine serviced the message.
+        home: NodeId,
+        /// Cycles the message waited in the engine queue.
+        queueing: Cycle,
+        /// Service occupancy (control vs data timing class).
+        service: Cycle,
+        /// Whether the service moved a data block.
+        data: bool,
+    },
+    /// The directory sent an invalidation on behalf of a request.
+    InvalidationSent {
+        /// The home that sent it.
+        home: NodeId,
+        /// The invalidated node.
+        to: NodeId,
+        /// The block.
+        block: BlockId,
+    },
+    /// The directory consumed an invalidation acknowledgement;
+    /// `had_copy = false` is an over-invalidation.
+    InvalidationAcked {
+        /// The home that consumed it.
+        home: NodeId,
+        /// The acknowledging node.
+        from: NodeId,
+        /// The block.
+        block: BlockId,
+        /// Whether a cached copy was actually relinquished.
+        had_copy: bool,
+    },
+    /// A limited-pointer sharer array overflowed into broadcast mode.
+    BroadcastOverflow {
+        /// The home whose array overflowed.
+        home: NodeId,
+        /// The block.
+        block: BlockId,
+    },
+    /// The directory ignored a stale message (race bookkeeping). A stale
+    /// *self-invalidation* (`kind` is `SelfInvClean`/`SelfInvDirty`) means
+    /// that prediction will never receive a verdict — lead-time trackers
+    /// must retire it here.
+    StaleIgnored {
+        /// The home that ignored it.
+        home: NodeId,
+        /// The stale sender.
+        from: NodeId,
+        /// The block.
+        block: BlockId,
+        /// The stale message's kind.
+        kind: ltp_dsm::MsgKind,
+    },
+    /// An invalidation arrived at a node's cache. `had_copy = true` is the
+    /// paper's "not predicted" class: a real invalidation removed a copy no
+    /// prediction saved.
+    Invalidated {
+        /// The invalidated node.
+        node: NodeId,
+        /// The block.
+        block: BlockId,
+        /// Whether a copy was dropped.
+        had_copy: bool,
+    },
+    /// A node self-invalidated a block — a last-touch prediction *fired*.
+    SelfInvalidation {
+        /// The predicting node.
+        node: NodeId,
+        /// The block.
+        block: BlockId,
+        /// The relinquished copy was dirty (writeback) vs clean.
+        dirty: bool,
+    },
+    /// The directory's verification verdict for an earlier
+    /// self-invalidation reached the predicting node.
+    /// [`VerifyOutcome::Correct`] with `timely` is the paper's best case;
+    /// `Correct` without `timely` arrived after the conflicting request was
+    /// already in service (late); [`VerifyOutcome::Premature`] means the
+    /// predictor fired early and the node itself came back first.
+    PredictionVerified {
+        /// The node that predicted.
+        node: NodeId,
+        /// The block.
+        block: BlockId,
+        /// Correct or premature.
+        outcome: VerifyOutcome,
+        /// For correct verdicts: the self-invalidation reached the
+        /// directory before the conflicting request (Table 4 timeliness).
+        timely: bool,
+    },
+    /// A processor arrived at a barrier.
+    BarrierEnter {
+        /// The arriving processor.
+        node: NodeId,
+        /// Barrier identifier.
+        id: u32,
+    },
+    /// A barrier released every waiting processor.
+    BarrierRelease {
+        /// Barrier identifier.
+        id: u32,
+        /// How many processors were released.
+        waiters: u16,
+    },
+    /// A processor won a lock's test-and-set.
+    LockAcquired {
+        /// The new owner.
+        node: NodeId,
+        /// The lock block.
+        block: BlockId,
+    },
+    /// A processor released a lock.
+    LockReleased {
+        /// The former owner.
+        node: NodeId,
+        /// The lock block.
+        block: BlockId,
+    },
+    /// A processor finished its program (at the context's `now`).
+    NodeFinished {
+        /// The finished processor.
+        node: NodeId,
+    },
+    /// End-of-run predictor storage accounting for one node (emitted once
+    /// per node, in node order, after the simulation drains).
+    PolicyStorage {
+        /// The node.
+        node: NodeId,
+        /// Its policy's storage statistics.
+        stats: StorageStats,
+    },
+}
+
+/// Context shared by every event delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeCtx {
+    /// The simulation time of the event.
+    pub now: Cycle,
+    /// The machine size.
+    pub nodes: u16,
+}
+
+/// What a probe factory is told about the run it is instrumenting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunInfo {
+    /// The workload's display name (benchmark name or trace-header name).
+    pub workload_name: String,
+    /// The effective workload parameters (trace geometry already pinned).
+    pub workload: WorkloadParams,
+    /// The directory sharer organization of the run.
+    pub directory: DirectoryKind,
+}
+
+/// One named, self-describing block of collected metrics.
+///
+/// `RunReport` serializes sections under a `"sections"` JSON object keyed
+/// by name, so a section is anything [`JsonValue`] can express — no report
+/// or CLI code changes when a new probe ships.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSection {
+    /// The section's name (conventionally the probe's spec string).
+    pub name: String,
+    /// The collected data.
+    pub data: JsonValue,
+}
+
+impl MetricsSection {
+    /// Creates a section.
+    pub fn new(name: &str, data: JsonValue) -> Self {
+        MetricsSection {
+            name: name.to_string(),
+            data,
+        }
+    }
+}
+
+/// A simulation observer.
+///
+/// Probes receive every [`SimEvent`] of one run in simulation order and
+/// fold them into whatever state they like; [`Probe::finish`] consumes the
+/// probe after the run drains and yields an optional [`MetricsSection`] for
+/// the report (side-effecting probes — the trace recorder writes a file —
+/// may return `None`).
+///
+/// Probes must be deterministic: reports are compared bit-for-bit across
+/// serial/parallel and record/replay runs. They run on sweep worker
+/// threads, hence `Send`.
+pub trait Probe: fmt::Debug + Send {
+    /// Observes one event.
+    fn on_event(&mut self, ctx: &ProbeCtx, event: &SimEvent);
+
+    /// Consumes the probe after the run completes.
+    fn finish(self: Box<Self>) -> Option<MetricsSection>;
+}
+
+/// Builds one fresh [`Probe`] per run.
+///
+/// Factories are the unit of registration and sweeping: one factory
+/// attached to a sweep instruments every run of the cross product with its
+/// own probe instance.
+pub trait ProbeFactory: fmt::Debug + Send + Sync {
+    /// The probe family name (`"per-node"`, `"hist"`, …).
+    fn name(&self) -> &str;
+
+    /// The canonical spec string reconstructing this factory. Defaults to
+    /// [`Self::name`] for argument-less probes.
+    fn spec(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Instantiates one probe for one run.
+    fn build(&self, run: &RunInfo) -> Box<dyn Probe>;
+}
+
+/// A [`ProbeFactory`] wrapping a closure — the quickest way to attach an
+/// ad-hoc probe type to a single experiment (see
+/// [`crate::ExperimentBuilder::probe_fn`]).
+pub struct FnProbeFactory {
+    name: String,
+    make: Box<dyn Fn() -> Box<dyn Probe> + Send + Sync>,
+}
+
+impl FnProbeFactory {
+    /// Wraps `make` under `name`.
+    pub fn new(name: &str, make: impl Fn() -> Box<dyn Probe> + Send + Sync + 'static) -> Self {
+        FnProbeFactory {
+            name: name.to_string(),
+            make: Box::new(make),
+        }
+    }
+}
+
+impl fmt::Debug for FnProbeFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnProbeFactory")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl ProbeFactory for FnProbeFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&self, _run: &RunInfo) -> Box<dyn Probe> {
+        (self.make)()
+    }
+}
+
+/// Error produced while resolving a probe spec string or registering a
+/// probe name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeSpecError {
+    /// The spec string was empty.
+    EmptySpec,
+    /// No probe of this name is registered.
+    UnknownProbe {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every registered name, for the error message.
+        known: Vec<String>,
+    },
+    /// The probe requires an argument and none was given.
+    MissingArg {
+        /// The probe being configured.
+        probe: String,
+        /// What the probe wanted (e.g. `"an output path"`).
+        expected: String,
+    },
+    /// The probe takes no argument but one was given.
+    UnexpectedArg {
+        /// The probe being configured.
+        probe: String,
+        /// The rejected argument.
+        arg: String,
+    },
+    /// The argument was not one the probe understands.
+    InvalidArg {
+        /// The probe being configured.
+        probe: String,
+        /// The rejected argument.
+        arg: String,
+        /// What the probe wanted.
+        expected: String,
+    },
+    /// `register` was called with a name that is already taken.
+    DuplicateName {
+        /// The contested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ProbeSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeSpecError::EmptySpec => write!(f, "empty probe spec"),
+            ProbeSpecError::UnknownProbe { name, known } => {
+                write!(f, "unknown probe `{name}` (known: {})", known.join(", "))
+            }
+            ProbeSpecError::MissingArg { probe, expected } => {
+                write!(f, "probe `{probe}` needs an argument: {expected}")
+            }
+            ProbeSpecError::UnexpectedArg { probe, arg } => {
+                write!(f, "probe `{probe}` takes no argument, got `{arg}`")
+            }
+            ProbeSpecError::InvalidArg {
+                probe,
+                arg,
+                expected,
+            } => write!(
+                f,
+                "probe `{probe}`: argument `{arg}` invalid, expected {expected}"
+            ),
+            ProbeSpecError::DuplicateName { name } => {
+                write!(f, "a probe named `{name}` is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProbeSpecError {}
+
+type ProbeConstructor =
+    Box<dyn Fn(Option<&str>) -> Result<Arc<dyn ProbeFactory>, ProbeSpecError> + Send + Sync>;
+
+struct ProbeEntry {
+    summary: String,
+    make: ProbeConstructor,
+}
+
+/// Maps probe names to factory constructors — the probe-side mirror of
+/// [`ltp_core::PolicyRegistry`].
+///
+/// [`ProbeRegistry::with_builtins`] pre-registers the in-tree probes;
+/// [`ProbeRegistry::register`] opens the table to external crates (see
+/// `examples/custom_probe.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use ltp_system::ProbeRegistry;
+///
+/// let registry = ProbeRegistry::with_builtins();
+/// assert!(registry.parse("per-node").is_ok());
+/// assert!(registry.parse("hist:self-inv-lead").is_ok());
+/// assert!(registry.parse("hist:nope").is_err(), "unknown histogram");
+/// assert!(registry.parse("no-such-probe").is_err());
+/// ```
+pub struct ProbeRegistry {
+    entries: BTreeMap<String, ProbeEntry>,
+}
+
+impl fmt::Debug for ProbeRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProbeRegistry")
+            .field("names", &self.names().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Default for ProbeRegistry {
+    /// Equivalent to [`ProbeRegistry::with_builtins`].
+    fn default() -> Self {
+        ProbeRegistry::with_builtins()
+    }
+}
+
+impl ProbeRegistry {
+    /// An empty registry (no built-ins).
+    pub fn empty() -> Self {
+        ProbeRegistry {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// A registry pre-loaded with the built-in probes:
+    ///
+    /// | spec | probe |
+    /// |---|---|
+    /// | `per-node` | per-node accuracy/traffic breakdown |
+    /// | `hist:self-inv-lead` | lead-time histogram of self-invalidations |
+    /// | `record:<file>` | tee the as-simulated op stream to a trace file |
+    pub fn with_builtins() -> Self {
+        let mut r = ProbeRegistry::empty();
+        r.register(
+            "per-node",
+            "per-node accuracy and traffic breakdown (one record per node)",
+            |arg| match arg {
+                None => Ok(Arc::new(PerNodeFactory)),
+                Some(arg) => Err(ProbeSpecError::UnexpectedArg {
+                    probe: "per-node".to_string(),
+                    arg: arg.to_string(),
+                }),
+            },
+        )
+        .expect("fresh registry");
+        r.register(
+            "hist",
+            "distribution probes; hist:self-inv-lead = lead time between a \
+             self-invalidation and its verification verdict",
+            |arg| match arg {
+                Some("self-inv-lead") => Ok(Arc::new(SelfInvLeadFactory)),
+                Some(other) => Err(ProbeSpecError::InvalidArg {
+                    probe: "hist".to_string(),
+                    arg: other.to_string(),
+                    expected: "one of: self-inv-lead".to_string(),
+                }),
+                None => Err(ProbeSpecError::MissingArg {
+                    probe: "hist".to_string(),
+                    expected: "a histogram name (hist:self-inv-lead)".to_string(),
+                }),
+            },
+        )
+        .expect("fresh registry");
+        r.register(
+            "record",
+            "tee the as-simulated op stream into a trace file (record:<FILE.ltrace>)",
+            |arg| match arg {
+                Some(path) => Ok(Arc::new(RecordFactory {
+                    path: path.to_string(),
+                })),
+                None => Err(ProbeSpecError::MissingArg {
+                    probe: "record".to_string(),
+                    expected: "an output path (record:<FILE.ltrace>)".to_string(),
+                }),
+            },
+        )
+        .expect("fresh registry");
+        r
+    }
+
+    /// Registers a probe constructor under `name`. The constructor receives
+    /// the spec's argument (the trimmed text after the first `:`, if any).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbeSpecError::DuplicateName`] if `name` is taken.
+    pub fn register(
+        &mut self,
+        name: &str,
+        summary: &str,
+        make: impl Fn(Option<&str>) -> Result<Arc<dyn ProbeFactory>, ProbeSpecError>
+            + Send
+            + Sync
+            + 'static,
+    ) -> Result<(), ProbeSpecError> {
+        if self.entries.contains_key(name) {
+            return Err(ProbeSpecError::DuplicateName {
+                name: name.to_string(),
+            });
+        }
+        self.entries.insert(
+            name.to_string(),
+            ProbeEntry {
+                summary: summary.to_string(),
+                make: Box::new(make),
+            },
+        );
+        Ok(())
+    }
+
+    /// Registers one argument-less factory under its own
+    /// [`ProbeFactory::name`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbeSpecError::DuplicateName`] if the name is taken.
+    pub fn register_factory(
+        &mut self,
+        factory: Arc<dyn ProbeFactory>,
+    ) -> Result<(), ProbeSpecError> {
+        let name = factory.name().to_string();
+        let summary = format!("custom probe `{}`", factory.spec());
+        self.register(&name, &summary, move |arg| match arg {
+            None => Ok(Arc::clone(&factory)),
+            Some(arg) => Err(ProbeSpecError::UnexpectedArg {
+                probe: factory.name().to_string(),
+                arg: arg.to_string(),
+            }),
+        })
+    }
+
+    /// Resolves a spec string (`name[:argument]`) to a factory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProbeSpecError`] describing exactly what was wrong.
+    pub fn parse(&self, spec: &str) -> Result<Arc<dyn ProbeFactory>, ProbeSpecError> {
+        let (name, arg) = match spec.split_once(':') {
+            Some((name, arg)) => (name.trim(), Some(arg.trim())),
+            None => (spec.trim(), None),
+        };
+        if name.is_empty() {
+            return Err(ProbeSpecError::EmptySpec);
+        }
+        let arg = arg.filter(|a| !a.is_empty());
+        let Some(entry) = self.entries.get(name) else {
+            return Err(ProbeSpecError::UnknownProbe {
+                name: name.to_string(),
+                known: self.names().map(str::to_string).collect(),
+            });
+        };
+        (entry.make)(arg)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// All registered `(name, summary)` pairs, sorted by name.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries
+            .iter()
+            .map(|(name, e)| (name.as_str(), e.summary.as_str()))
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+}
+
+// ---- built-in factories ---------------------------------------------------
+
+/// Factory for the per-node breakdown probe (`per-node`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerNodeFactory;
+
+impl ProbeFactory for PerNodeFactory {
+    fn name(&self) -> &str {
+        "per-node"
+    }
+
+    fn build(&self, run: &RunInfo) -> Box<dyn Probe> {
+        Box::new(PerNodeProbe::new(run.workload.nodes))
+    }
+}
+
+/// Factory for the self-invalidation lead-time histogram
+/// (`hist:self-inv-lead`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SelfInvLeadFactory;
+
+impl ProbeFactory for SelfInvLeadFactory {
+    fn name(&self) -> &str {
+        "hist"
+    }
+
+    fn spec(&self) -> String {
+        "hist:self-inv-lead".to_string()
+    }
+
+    fn build(&self, _run: &RunInfo) -> Box<dyn Probe> {
+        Box::new(SelfInvLeadProbe::new())
+    }
+}
+
+/// Factory for the live trace recorder (`record:<file>`).
+#[derive(Debug, Clone)]
+pub struct RecordFactory {
+    /// Output path of the `.ltrace` file.
+    pub path: String,
+}
+
+impl ProbeFactory for RecordFactory {
+    fn name(&self) -> &str {
+        "record"
+    }
+
+    fn spec(&self) -> String {
+        format!("record:{}", self.path)
+    }
+
+    fn build(&self, run: &RunInfo) -> Box<dyn Probe> {
+        Box::new(TraceRecorderProbe::new(
+            &self.path,
+            &run.workload_name,
+            run.workload,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_specs_resolve_and_round_trip() {
+        let registry = ProbeRegistry::with_builtins();
+        for (spec, canonical) in [
+            ("per-node", "per-node"),
+            ("hist:self-inv-lead", "hist:self-inv-lead"),
+            (" hist : self-inv-lead ", "hist:self-inv-lead"),
+            ("record:/tmp/x.ltrace", "record:/tmp/x.ltrace"),
+        ] {
+            let factory = registry
+                .parse(spec)
+                .unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(factory.spec(), canonical);
+        }
+        let names: Vec<&str> = registry.names().collect();
+        assert_eq!(names, ["hist", "per-node", "record"]);
+    }
+
+    #[test]
+    fn spec_errors_are_precise() {
+        let registry = ProbeRegistry::with_builtins();
+        assert!(matches!(registry.parse(""), Err(ProbeSpecError::EmptySpec)));
+        let err = registry.parse("nope").unwrap_err();
+        assert!(matches!(err, ProbeSpecError::UnknownProbe { .. }), "{err}");
+        assert!(err.to_string().contains("per-node"), "{err}");
+        assert!(matches!(
+            registry.parse("hist"),
+            Err(ProbeSpecError::MissingArg { .. })
+        ));
+        assert!(matches!(
+            registry.parse("hist:uptime"),
+            Err(ProbeSpecError::InvalidArg { .. })
+        ));
+        assert!(matches!(
+            registry.parse("per-node:extra"),
+            Err(ProbeSpecError::UnexpectedArg { .. })
+        ));
+        assert!(matches!(
+            registry.parse("record"),
+            Err(ProbeSpecError::MissingArg { .. })
+        ));
+        assert!(matches!(
+            registry.parse("record:"),
+            Err(ProbeSpecError::MissingArg { .. })
+        ));
+    }
+
+    #[test]
+    fn registration_is_open_and_names_stay_unique() {
+        let mut registry = ProbeRegistry::with_builtins();
+        registry
+            .register_factory(Arc::new(FnProbeFactory::new("noop", || {
+                #[derive(Debug)]
+                struct Noop;
+                impl Probe for Noop {
+                    fn on_event(&mut self, _ctx: &ProbeCtx, _event: &SimEvent) {}
+                    fn finish(self: Box<Self>) -> Option<MetricsSection> {
+                        None
+                    }
+                }
+                Box::new(Noop)
+            })))
+            .unwrap();
+        assert!(registry.contains("noop"));
+        assert!(registry.parse("noop").is_ok());
+        assert!(matches!(
+            registry.register("per-node", "dup", |_| Err(ProbeSpecError::EmptySpec)),
+            Err(ProbeSpecError::DuplicateName { .. })
+        ));
+        assert_eq!(registry.entries().count(), 4);
+    }
+}

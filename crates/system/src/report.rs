@@ -10,17 +10,22 @@
 //!   [`std::io::Write`] (files, pipes, stdout), the interchange format the
 //!   CLI and the benchmark baselines use.
 //!
-//! The JSON encoder is hand-rolled (this repository carries no external
-//! dependencies); [`RunReport::to_json`] is the single source of the
-//! document shape.
+//! Serialization goes through the shared [`ltp_core`] JSON encoder
+//! ([`JsonValue`]/[`JsonObject`]): the report document is built as a value
+//! tree — the core metrics as the fixed `"metrics"` object, probe output as
+//! a self-describing `"sections"` object keyed by section name — and
+//! rendered compactly. The `"sections"` key is present only when at least
+//! one probe produced a section, so probe-less reports are byte-identical
+//! to the pre-probe format.
 
-use std::fmt::Write as _;
 use std::io;
 
+use ltp_core::{JsonObject, JsonValue};
 use ltp_dsm::DirectoryKind;
 use ltp_workloads::WorkloadParams;
 
 use crate::metrics::Metrics;
+use crate::probe::MetricsSection;
 
 /// The outcome of one experiment run.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,8 +41,11 @@ pub struct RunReport {
     pub directory: DirectoryKind,
     /// The machine geometry the run used.
     pub workload: WorkloadParams,
-    /// Aggregated metrics.
+    /// Aggregated core metrics (the built-in core-metrics probe).
     pub metrics: Metrics,
+    /// Self-describing output of every additional attached probe, in attach
+    /// order (empty when no extra probes ran).
+    pub sections: Vec<MetricsSection>,
     /// Simulator events handled (activity indicator).
     pub events_handled: u64,
 }
@@ -51,106 +59,94 @@ impl RunReport {
     /// Encodes the report with an optional leading `"run":seq` field (the
     /// sweep's run index), as written by [`JsonLinesSink`].
     pub fn to_json_tagged(&self, seq: Option<usize>) -> String {
-        let mut s = String::with_capacity(512);
-        s.push('{');
+        let mut doc = JsonObject::new();
         if let Some(seq) = seq {
-            let _ = write!(s, "\"run\":{seq},");
+            doc.push("run", seq as u64);
         }
-        let _ = write!(
-            s,
-            "\"benchmark\":\"{}\",\"policy\":\"{}\",\"policy_spec\":\"{}\",\"directory\":\"{}\",",
-            json_escape(&self.benchmark),
-            json_escape(&self.policy),
-            json_escape(&self.policy_spec),
-            self.directory,
+        doc.push("benchmark", self.benchmark.as_str());
+        doc.push("policy", self.policy.as_str());
+        doc.push("policy_spec", self.policy_spec.as_str());
+        doc.push("directory", self.directory.to_string());
+        doc.push(
+            "workload",
+            JsonObject::new()
+                .field("nodes", self.workload.nodes)
+                .field("seed", self.workload.seed)
+                .field(
+                    "iterations",
+                    self.workload
+                        .iterations
+                        .map_or(JsonValue::Null, JsonValue::from),
+                )
+                .build(),
         );
-        let _ = write!(
-            s,
-            "\"workload\":{{\"nodes\":{},\"seed\":{},\"iterations\":{}}},",
-            self.workload.nodes,
-            self.workload.seed,
-            self.workload
-                .iterations
-                .map_or_else(|| "null".to_string(), |i| i.to_string())
-        );
-        let _ = write!(s, "\"metrics\":{},", metrics_json(&self.metrics));
-        let _ = write!(s, "\"events_handled\":{}", self.events_handled);
-        s.push('}');
-        s
-    }
-}
-
-/// Encodes [`Metrics`] as a JSON object.
-fn metrics_json(m: &Metrics) -> String {
-    let mut s = String::with_capacity(384);
-    s.push('{');
-    let _ = write!(
-        s,
-        "\"predicted\":{},\"predicted_timely\":{},\"not_predicted\":{},\"mispredicted\":{},",
-        m.predicted, m.predicted_timely, m.not_predicted, m.mispredicted
-    );
-    let _ = write!(
-        s,
-        "\"exec_cycles\":{},\"misses\":{},\"hits\":{},\"self_invalidations_sent\":{},\
-         \"invalidations_sent\":{},\"extra_invalidations\":{},\"broadcast_overflows\":{},\
-         \"messages\":{},\"stale_ignored\":{},",
-        m.exec_cycles,
-        m.misses,
-        m.hits,
-        m.self_invalidations_sent,
-        m.invalidations_sent,
-        m.extra_invalidations,
-        m.broadcast_overflows,
-        m.messages,
-        m.stale_ignored
-    );
-    let _ = write!(
-        s,
-        "\"dir_queueing\":{{\"mean\":{},\"samples\":{}}},",
-        json_f64(m.dir_queueing.mean_or_zero()),
-        m.dir_queueing.samples()
-    );
-    let _ = write!(
-        s,
-        "\"dir_service\":{{\"mean\":{},\"samples\":{}}},",
-        json_f64(m.dir_service.mean_or_zero()),
-        m.dir_service.samples()
-    );
-    let _ = write!(
-        s,
-        "\"storage\":{{\"blocks_tracked\":{},\"live_entries\":{},\"signature_bits\":{}}}",
-        m.storage.blocks_tracked, m.storage.live_entries, m.storage.signature_bits
-    );
-    s.push('}');
-    s
-}
-
-/// Escapes a string for embedding in a JSON document.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+        doc.push("metrics", metrics_json(&self.metrics));
+        if !self.sections.is_empty() {
+            // Sections key a JSON object, so names must be unique there:
+            // repeated probes (or name-colliding custom ones) get a `#N`
+            // suffix instead of silently shadowing each other in parsers
+            // that keep only the last duplicate key. Deduplication is
+            // against the keys actually emitted, so a literal "name#2"
+            // section cannot collide with a suffixed one either.
+            let mut sections = JsonObject::new();
+            let mut emitted: Vec<String> = Vec::new();
+            for section in &self.sections {
+                let mut key = section.name.clone();
+                let mut copy = 1;
+                while emitted.contains(&key) {
+                    copy += 1;
+                    key = format!("{}#{copy}", section.name);
+                }
+                sections.push(&key, section.data.clone());
+                emitted.push(key);
             }
-            c => out.push(c),
+            doc.push("sections", sections.build());
         }
+        doc.push("events_handled", self.events_handled);
+        doc.build().render()
     }
-    out
 }
 
-/// Formats an `f64` as a JSON number (`null` for non-finite values).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
+/// Encodes [`Metrics`] as a JSON value (the report's `"metrics"` object and
+/// the core probe's standalone section share this shape).
+pub(crate) fn metrics_json(m: &Metrics) -> JsonValue {
+    JsonObject::new()
+        .field("predicted", m.predicted)
+        .field("predicted_timely", m.predicted_timely)
+        .field("not_predicted", m.not_predicted)
+        .field("mispredicted", m.mispredicted)
+        .field("exec_cycles", m.exec_cycles)
+        .field("misses", m.misses)
+        .field("hits", m.hits)
+        .field("self_invalidations_sent", m.self_invalidations_sent)
+        .field("invalidations_sent", m.invalidations_sent)
+        .field("extra_invalidations", m.extra_invalidations)
+        .field("broadcast_overflows", m.broadcast_overflows)
+        .field("messages", m.messages)
+        .field("stale_ignored", m.stale_ignored)
+        .field(
+            "dir_queueing",
+            JsonObject::new()
+                .field("mean", m.dir_queueing.mean_or_zero())
+                .field("samples", m.dir_queueing.samples())
+                .build(),
+        )
+        .field(
+            "dir_service",
+            JsonObject::new()
+                .field("mean", m.dir_service.mean_or_zero())
+                .field("samples", m.dir_service.samples())
+                .build(),
+        )
+        .field(
+            "storage",
+            JsonObject::new()
+                .field("blocks_tracked", m.storage.blocks_tracked)
+                .field("live_entries", m.storage.live_entries)
+                .field("signature_bits", m.storage.signature_bits)
+                .build(),
+        )
+        .build()
 }
 
 /// Receives per-run reports as a sweep executes.
@@ -254,6 +250,7 @@ mod tests {
                 exec_cycles: 1234,
                 ..Metrics::default()
             },
+            sections: Vec::new(),
             events_handled: 77,
         }
     }
@@ -276,6 +273,42 @@ mod tests {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
         assert!(!json.contains("\"run\":"), "untagged report has no seq");
+        assert!(
+            !json.contains("\"sections\""),
+            "probe-less reports carry no sections key: {json}"
+        );
+    }
+
+    #[test]
+    fn sections_serialize_keyed_by_name_before_events_handled() {
+        let mut r = report("base");
+        r.sections.push(MetricsSection::new(
+            "custom",
+            JsonObject::new().field("k", 7u64).build(),
+        ));
+        let json = r.to_json();
+        assert!(
+            json.contains("\"sections\":{\"custom\":{\"k\":7}},\"events_handled\":77"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn duplicate_section_names_get_disambiguating_suffixes() {
+        let mut r = report("base");
+        for v in [1u64, 2, 3] {
+            r.sections.push(MetricsSection::new(
+                "dup",
+                JsonObject::new().field("v", v).build(),
+            ));
+        }
+        let json = r.to_json();
+        assert!(
+            json.contains(
+                "\"sections\":{\"dup\":{\"v\":1},\"dup#2\":{\"v\":2},\"dup#3\":{\"v\":3}}"
+            ),
+            "{json}"
+        );
     }
 
     #[test]
@@ -293,12 +326,11 @@ mod tests {
     }
 
     #[test]
-    fn escaping_handles_quotes_and_controls() {
-        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
-        assert_eq!(json_escape("x\ny"), "x\\ny");
-        assert_eq!(json_escape("\u{1}"), "\\u0001");
-        assert_eq!(json_f64(f64::NAN), "null");
-        assert_eq!(json_f64(2.5), "2.5");
+    fn null_iterations_render_as_json_null() {
+        let mut r = report("base");
+        r.workload.iterations = None;
+        let json = r.to_json();
+        assert!(json.contains("\"iterations\":null"), "{json}");
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! assert_eq!(reports[0].policy, "base");
 //! ```
 
+use std::cmp::Reverse;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -36,9 +37,12 @@ use std::thread;
 
 use ltp_core::{PolicyFactory, PolicyRegistry, PolicySpecError, PredictorConfig};
 use ltp_dsm::DirectoryKind;
-use ltp_workloads::{Benchmark, StreamingTrace, Trace, WorkloadParams, WorkloadSource};
+use ltp_workloads::{
+    Benchmark, RunEstimate, StreamingTrace, Trace, WorkloadParams, WorkloadSource,
+};
 
 use crate::experiment::ExperimentSpec;
+use crate::probe::{ProbeFactory, ProbeRegistry, ProbeSpecError};
 use crate::report::{MemorySink, ReportSink, RunReport};
 
 /// A cross product of workload sources × policies × machine geometries ×
@@ -55,6 +59,7 @@ pub struct SweepSpec {
     policies: Vec<Arc<dyn PolicyFactory>>,
     geometries: Vec<WorkloadParams>,
     directories: Vec<DirectoryKind>,
+    probes: Vec<Arc<dyn ProbeFactory>>,
     predictor: PredictorConfig,
     threads: Option<usize>,
 }
@@ -74,6 +79,7 @@ impl SweepSpec {
             policies: Vec::new(),
             geometries: Vec::new(),
             directories: Vec::new(),
+            probes: Vec::new(),
             predictor: PredictorConfig::default(),
             threads: None,
         }
@@ -186,6 +192,28 @@ impl SweepSpec {
         self
     }
 
+    /// Attaches one probe factory to *every* run of the cross product: each
+    /// run builds a fresh probe from it, and the probe's section lands in
+    /// that run's [`RunReport::sections`].
+    pub fn probe(mut self, probe: Arc<dyn ProbeFactory>) -> Self {
+        self.probes.push(probe);
+        self
+    }
+
+    /// Attaches one probe resolved from a spec string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ProbeSpecError`] from the registry.
+    pub fn probe_spec(
+        mut self,
+        registry: &ProbeRegistry,
+        spec: &str,
+    ) -> Result<Self, ProbeSpecError> {
+        self.probes.push(registry.parse(spec)?);
+        Ok(self)
+    }
+
     /// Sets the predictor tuning knobs shared by every run.
     pub fn predictor(mut self, predictor: PredictorConfig) -> Self {
         self.predictor = predictor;
@@ -243,6 +271,7 @@ impl SweepSpec {
                             workload: source.effective_params(workload),
                             predictor: self.predictor,
                             directory,
+                            probes: self.probes.clone(),
                         });
                     }
                 }
@@ -251,12 +280,49 @@ impl SweepSpec {
         runs
     }
 
+    /// The parallel execution order: run indices longest-estimated-first.
+    ///
+    /// Runs vary 10×+ in length across the suite (dsmc vs raytrace), so
+    /// dispatching the long ones first cuts the tail a straggler started
+    /// last would otherwise add to a mixed sweep. Estimates come from
+    /// [`ExperimentSpec::estimated_ops`] (trace headers, script lengths);
+    /// runs of *unknown* length are scheduled first — conservatively
+    /// assumed long — in cross-product order, followed by known runs by
+    /// descending op count (ties in cross-product order).
+    ///
+    /// Scheduling changes execution order only: sinks and the returned
+    /// report vector always observe cross-product order, and every report
+    /// is bit-identical to a serial sweep's. Serial execution
+    /// ([`SweepSpec::serial`] / one worker) does not consult the schedule
+    /// at all — with a single worker there is no tail to cut, and running
+    /// in cross-product order lets reports stream without a reorder
+    /// buffer.
+    pub fn schedule(&self) -> Vec<(usize, Option<RunEstimate>)> {
+        Self::schedule_for(&self.runs())
+    }
+
+    /// [`SweepSpec::schedule`] over an already-materialized run list — the
+    /// parallel executor (and any caller that also needs the runs, like the
+    /// CLI's `--debug` dump) reuses the runs it already holds instead of
+    /// rebuilding the cross product and every estimate a second time.
+    pub fn schedule_for(runs: &[ExperimentSpec]) -> Vec<(usize, Option<RunEstimate>)> {
+        let mut entries: Vec<(usize, Option<RunEstimate>)> = runs
+            .iter()
+            .map(ExperimentSpec::estimated_ops)
+            .enumerate()
+            .collect();
+        entries.sort_by_key(|&(seq, est)| (Reverse(est.map_or(u64::MAX, |e| e.ops)), seq));
+        entries
+    }
+
     /// Executes every run, streaming reports through `sink` in run order,
     /// and returns the reports (also in run order).
     ///
-    /// With more than one worker thread, runs execute concurrently and a
-    /// reorder buffer restores run order before the sink observes anything;
-    /// the reports are bit-identical to serial execution.
+    /// With more than one worker thread, runs are dispatched in
+    /// [`SweepSpec::schedule`] order (longest first) and execute
+    /// concurrently; a reorder buffer restores run order before the sink
+    /// observes anything, and the reports are bit-identical to serial
+    /// execution.
     ///
     /// # Panics
     ///
@@ -296,6 +362,12 @@ impl SweepSpec {
         workers: usize,
         sink: &mut dyn ReportSink,
     ) -> Vec<RunReport> {
+        // Dispatch longest-first (see `schedule`); the reorder buffer below
+        // restores cross-product order for the sink regardless.
+        let order: Vec<usize> = Self::schedule_for(runs)
+            .into_iter()
+            .map(|(seq, _)| seq)
+            .collect();
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, RunReport)>();
         let mut reports: Vec<Option<RunReport>> = runs.iter().map(|_| None).collect();
@@ -303,10 +375,11 @@ impl SweepSpec {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
+                let order = &order;
                 scope.spawn(move || loop {
-                    let seq = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(run) = runs.get(seq) else { break };
-                    let report = run.run();
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&seq) = order.get(slot) else { break };
+                    let report = runs[seq].run();
                     if tx.send((seq, report)).is_err() {
                         break;
                     }

@@ -35,7 +35,7 @@ pub mod kernels;
 pub mod trace;
 
 pub use program::{collect_ops, Lock, LoopedScript, Op, Program};
-pub use source::{SourceError, WorkloadSource};
+pub use source::{EstimateSource, RunEstimate, SourceError, WorkloadSource};
 pub use suite::{Benchmark, WorkloadParams};
 pub use trace::{
     random_trace, StreamingTrace, StreamingTraceProgram, Trace, TraceError, TraceProgram,

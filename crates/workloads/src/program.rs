@@ -113,6 +113,18 @@ pub enum Op {
 pub trait Program: fmt::Debug {
     /// Returns the next operation, or `None` when the program has finished.
     fn next_op(&mut self) -> Option<Op>;
+
+    /// How many operations this program will emit in total, when known *up
+    /// front and cheaply* (scripted workloads and trace replays know; openly
+    /// generative programs return `None`, the default).
+    ///
+    /// The sweep driver uses this to schedule long runs first
+    /// (longest-job-first cuts tail latency on mixed sweeps); it never
+    /// affects results, only execution order. The hint must not change as
+    /// the program is drained.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A program that replays a fixed prologue and then loops a body a fixed
@@ -170,6 +182,10 @@ impl LoopedScript {
 }
 
 impl Program for LoopedScript {
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.len_ops() as u64)
+    }
+
     fn next_op(&mut self) -> Option<Op> {
         loop {
             if self.in_prologue {

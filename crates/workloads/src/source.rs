@@ -63,6 +63,40 @@ impl fmt::Display for SourceError {
 
 impl std::error::Error for SourceError {}
 
+/// Where a [`RunEstimate`] came from — surfaced by the sweep driver's
+/// `--debug` schedule dump so operators can see *why* a run was ordered
+/// where it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateSource {
+    /// The op totals recorded in a trace file's header.
+    TraceHeader,
+    /// Summed [`Program::len_hint`]s of the synthetic kernel's scripts.
+    Script,
+}
+
+impl fmt::Display for EstimateSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EstimateSource::TraceHeader => "trace header",
+            EstimateSource::Script => "script",
+        })
+    }
+}
+
+/// An up-front estimate of how much work one run is: its total op count
+/// across every node, and where that number came from.
+///
+/// Estimates drive longest-job-first sweep scheduling (see
+/// `SweepSpec::schedule` in `ltp-system`); they never influence simulation
+/// results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunEstimate {
+    /// Total operations across every node.
+    pub ops: u64,
+    /// Provenance of the number.
+    pub source: EstimateSource,
+}
+
 /// A workload the experiment driver can run: a synthetic benchmark, a
 /// fully-decoded trace, or a streaming trace.
 ///
@@ -145,6 +179,41 @@ impl WorkloadSource {
                     message: e.to_string(),
                 })
             }
+        }
+    }
+
+    /// Estimates the total op count of a run of this source at `params`
+    /// (pass the [`WorkloadSource::effective_params`]), when that is known
+    /// up front.
+    ///
+    /// Traces answer from their header totals without touching any op data;
+    /// synthetic benchmarks build their (cheap, one-iteration-sized) scripts
+    /// and sum [`Program::len_hint`]. `None` means the length is genuinely
+    /// unknown — an openly generative program, or parameters the source
+    /// cannot build under — and the caller should schedule conservatively.
+    pub fn estimated_ops(&self, params: &WorkloadParams) -> Option<RunEstimate> {
+        match self {
+            WorkloadSource::Synthetic(benchmark) => {
+                if params.nodes < 2 {
+                    return None;
+                }
+                let mut total = 0u64;
+                for program in benchmark.programs(params) {
+                    total += program.len_hint()?;
+                }
+                Some(RunEstimate {
+                    ops: total,
+                    source: EstimateSource::Script,
+                })
+            }
+            WorkloadSource::Trace(trace) => Some(RunEstimate {
+                ops: trace.total_ops(),
+                source: EstimateSource::TraceHeader,
+            }),
+            WorkloadSource::StreamingTrace(trace) => Some(RunEstimate {
+                ops: trace.total_ops(),
+                source: EstimateSource::TraceHeader,
+            }),
         }
     }
 

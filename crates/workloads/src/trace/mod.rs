@@ -827,6 +827,10 @@ impl TraceProgram {
 }
 
 impl Program for TraceProgram {
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.trace.streams[self.node].len() as u64)
+    }
+
     fn next_op(&mut self) -> Option<Op> {
         let op = self.trace.streams[self.node].get(self.cursor).copied();
         if op.is_some() {

@@ -557,6 +557,10 @@ impl StreamingTraceProgram {
 }
 
 impl Program for StreamingTraceProgram {
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.meta().ops)
+    }
+
     /// Emits the next recorded op, decoding from the file as needed.
     ///
     /// # Panics

@@ -67,7 +67,8 @@ fn main() {
         let policies: Vec<Box<dyn SelfInvalidationPolicy>> = (0..nodes)
             .map(|_| factory.build(PredictorConfig::default()))
             .collect();
-        let machine = Machine::new(cfg.clone(), policies, programs(nodes, 8, 20));
+        let mut machine = Machine::new(cfg.clone(), policies, programs(nodes, 8, 20));
+        machine.attach_core_metrics();
         let mut sim = Simulation::new(machine).with_horizon(Cycle::new(1_000_000_000));
         {
             let (world, queue) = sim.world_and_queue_mut();
@@ -75,7 +76,8 @@ fn main() {
         }
         let summary = sim.run();
         assert_ne!(summary.stop, StopReason::HorizonReached, "deadlock");
-        let m = sim.into_world().into_metrics();
+        let (m, _) = sim.into_world().finish();
+        let m = m.expect("core metrics attached");
         let base = *base_cycles.get_or_insert(m.exec_cycles);
         println!(
             "{:<8} {:>12} {:>10} {:>9.1}% {:>9.1}% {:>9.3}",

@@ -86,7 +86,8 @@ fn run(
     let policies: Vec<Box<dyn SelfInvalidationPolicy>> = (0..nodes)
         .map(|_| factory.build(PredictorConfig::default()))
         .collect();
-    let machine = Machine::new(cfg, policies, lower(per_node, iters));
+    let mut machine = Machine::new(cfg, policies, lower(per_node, iters));
+    machine.attach_core_metrics();
     let mut sim = Simulation::new(machine).with_horizon(Cycle::new(200_000_000));
     {
         let (world, queue) = sim.world_and_queue_mut();
@@ -100,7 +101,8 @@ fn run(
         sim.world().stuck_report()
     );
     assert!(sim.world().all_finished());
-    sim.into_world().into_metrics()
+    let (metrics, _) = sim.into_world().finish();
+    metrics.expect("core metrics attached")
 }
 
 #[test]
@@ -180,14 +182,16 @@ fn exact_fit_has_no_extra_invalidations() {
         let policies: Vec<Box<dyn SelfInvalidationPolicy>> = (0..nodes)
             .map(|_| Box::new(ltp::core::NullPolicy) as Box<dyn SelfInvalidationPolicy>)
             .collect();
-        let machine = Machine::new(cfg, policies, (0..u64::from(nodes)).map(mk).collect());
+        let mut machine = Machine::new(cfg, policies, (0..u64::from(nodes)).map(mk).collect());
+        machine.attach_core_metrics();
         let mut sim = Simulation::new(machine).with_horizon(Cycle::new(10_000_000));
         {
             let (world, queue) = sim.world_and_queue_mut();
             world.prime(queue);
         }
         assert_ne!(sim.run().stop, StopReason::HorizonReached);
-        let m = sim.into_world().into_metrics();
+        let (m, _) = sim.into_world().finish();
+        let m = m.expect("core metrics attached");
         assert_eq!(
             m.extra_invalidations, 0,
             "{directory}: all invalidation targets held copies"

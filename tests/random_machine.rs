@@ -91,7 +91,8 @@ fn run(policy_spec: &str, per_node: &[Vec<GenOp>], iters: u32) -> ltp::system::M
     let policies: Vec<Box<dyn SelfInvalidationPolicy>> = (0..nodes)
         .map(|_| factory.build(PredictorConfig::default()))
         .collect();
-    let machine = Machine::new(cfg, policies, lower(per_node, iters));
+    let mut machine = Machine::new(cfg, policies, lower(per_node, iters));
+    machine.attach_core_metrics();
     let mut sim = Simulation::new(machine).with_horizon(Cycle::new(200_000_000));
     {
         let (world, queue) = sim.world_and_queue_mut();
@@ -105,7 +106,8 @@ fn run(policy_spec: &str, per_node: &[Vec<GenOp>], iters: u32) -> ltp::system::M
         sim.world().stuck_report()
     );
     assert!(sim.world().all_finished());
-    sim.into_world().into_metrics()
+    let (metrics, _) = sim.into_world().finish();
+    metrics.expect("core metrics attached")
 }
 
 #[test]
