@@ -27,7 +27,7 @@ use std::time::Instant;
 
 use ltp_bench::print_header;
 use ltp_core::{JsonObject, PolicyRegistry, PredictorConfig};
-use ltp_sim::{Cycle, Simulation, StopReason};
+use ltp_sim::{Cycle, StopReason};
 use ltp_system::probes::{PerNodeProbe, SelfInvLeadProbe};
 use ltp_system::Machine;
 use ltp_workloads::{Benchmark, WorkloadParams, WorkloadSource};
@@ -77,17 +77,12 @@ fn one_run(benchmark: Benchmark, attach: Attach) -> f64 {
         }
     }
     let started = Instant::now();
-    let mut sim = Simulation::new(machine).with_horizon(Cycle::new(2_000_000_000));
-    {
-        let (world, queue) = sim.world_and_queue_mut();
-        world.prime(queue);
-    }
-    let summary = sim.run();
+    let summary = machine.run(Cycle::new(2_000_000_000));
     assert_ne!(summary.stop, StopReason::HorizonReached, "stuck");
     let elapsed = started.elapsed().as_secs_f64();
     // Consume the probes so their work cannot be optimized away — and
     // sanity-check the core path is live when attached.
-    let (metrics, sections) = sim.into_world().finish();
+    let (metrics, sections) = machine.finish();
     match attach {
         Attach::None => assert!(metrics.is_none() && sections.is_empty()),
         Attach::Core => assert!(metrics.expect("core attached").exec_cycles > 0),

@@ -1,0 +1,195 @@
+//! Shard-scaling baseline: what does `--shards` buy on one long run?
+//!
+//! The three longest benchmarks run at a 128-node geometry on 1, 2, 4, and
+//! 8 shards. Each configuration is executed twice — once on worker threads
+//! (the production path) and once single-threaded via
+//! [`Machine::run_single_threaded`] (every shard's window unpreempted on
+//! the calling thread) — asserting both produce metrics equal to the
+//! serial run's (the bit-identity contract). Two speedups are recorded:
+//!
+//! * **wall** — serial wall-clock / threaded-run wall-clock. The
+//!   end-to-end number, but it only measures the engine when the host has
+//!   at least one free core per shard; below that, threads time-slice and
+//!   wall speedup is bounded by 1 whatever the engine does.
+//! * **critical-path** — serial busy time / max per-shard busy time, from
+//!   [`Machine::shard_busy_ns`] of the *single-threaded* run, where
+//!   per-shard busy time is exact. This is the speedup the partition
+//!   supports once enough cores exist — Brent's bound measured, not
+//!   modeled — and the number that diagnoses imbalance (one fat shard
+//!   caps it).
+//!
+//! Results go to `BENCH_shard.json` at the repository root, one JSON line
+//! per (benchmark, shard count) plus a meta line recording the host core
+//! count and the acceptance verdict: **≥2× speedup at 4 shards on at least
+//! one benchmark**, judged on wall clock when the host has ≥4 cores and on
+//! the critical path otherwise (the committed baseline notes which).
+//!
+//! ```sh
+//! cargo bench -p ltp-bench --bench shard_scaling
+//! ```
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::time::Instant;
+
+use ltp_bench::print_header;
+use ltp_core::{JsonObject, PolicyRegistry, PredictorConfig};
+use ltp_sim::{Cycle, StopReason};
+use ltp_system::{Machine, Metrics};
+use ltp_workloads::{Benchmark, WorkloadParams, WorkloadSource};
+
+/// Baseline output at the repository root (cargo runs benches from the
+/// package directory).
+fn out_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_shard.json")
+}
+
+const NODES: u16 = 128;
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+fn build(benchmark: Benchmark, iters: u32, shards: usize) -> Machine {
+    let registry = PolicyRegistry::with_builtins();
+    let factory = registry.parse("ltp").expect("builtin spec");
+    let params = WorkloadParams::quick(NODES, iters);
+    let cfg = ltp_dsm::SystemConfig::builder()
+        .nodes(NODES)
+        .build()
+        .expect("valid");
+    let policies = (0..NODES)
+        .map(|_| factory.build(PredictorConfig::default()))
+        .collect();
+    let programs = WorkloadSource::from(benchmark)
+        .programs(&params)
+        .expect("valid geometry");
+    let mut machine = Machine::with_shards(cfg, policies, programs, shards);
+    machine.attach_core_metrics();
+    machine
+}
+
+/// One timed run: wall seconds, per-shard busy seconds, final metrics.
+fn one_run(
+    benchmark: Benchmark,
+    iters: u32,
+    shards: usize,
+    single_threaded: bool,
+) -> (f64, Vec<f64>, Metrics) {
+    let mut machine = build(benchmark, iters, shards);
+    let horizon = Cycle::new(2_000_000_000);
+    let started = Instant::now();
+    let summary = if single_threaded {
+        machine.run_single_threaded(horizon)
+    } else {
+        machine.run(horizon)
+    };
+    let wall = started.elapsed().as_secs_f64();
+    assert_ne!(summary.stop, StopReason::HorizonReached, "stuck");
+    let busy = machine
+        .shard_busy_ns()
+        .into_iter()
+        .map(|ns| ns as f64 / 1e9)
+        .collect();
+    let (metrics, _) = machine.finish();
+    (wall, busy, metrics.expect("core metrics attached"))
+}
+
+fn main() {
+    print_header(
+        "Shard scaling — one machine split across worker threads",
+        "infrastructure benchmark (sharded-engine acceptance; no paper analogue)",
+    );
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("{NODES} nodes, ltp policy, host cores: {host_cores}\n");
+    println!(
+        "{:<14} {:>6} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "benchmark", "shards", "wall(s)", "busy-max", "busy-sum", "wall-spdup", "cp-spdup"
+    );
+
+    let file = File::create(out_path()).expect("create BENCH_shard.json");
+    let mut out = BufWriter::new(file);
+    // Iteration counts chosen so each serial run is seconds, not millis —
+    // long enough that per-window barrier overhead is amortized the way a
+    // real giant run amortizes it.
+    let suite = [
+        (Benchmark::Em3d, 60u32),
+        (Benchmark::Tomcatv, 100),
+        (Benchmark::Ocean, 160),
+    ];
+    // Best speedup observed at 4 shards, by each metric.
+    let mut best_wall_at_4 = 0.0f64;
+    let mut best_cp_at_4 = 0.0f64;
+    for (benchmark, iters) in suite {
+        let mut serial: Option<(f64, f64, Metrics)> = None;
+        for shards in SHARDS {
+            // Threaded run: end-to-end wall clock (the production path).
+            let (wall, _, metrics) = one_run(benchmark, iters, shards, false);
+            // Single-threaded run: exact per-shard work for the critical
+            // path (and a second bit-identity check of the same partition).
+            let (_, busy, st_metrics) = one_run(benchmark, iters, shards, true);
+            assert_eq!(metrics, st_metrics, "threaded vs single-threaded");
+            let busy_max = busy.iter().copied().fold(0.0, f64::max);
+            let busy_sum: f64 = busy.iter().sum();
+            let (serial_wall, serial_busy, baseline) =
+                serial.get_or_insert_with(|| (wall, busy_sum, metrics.clone()));
+            assert_eq!(
+                metrics, *baseline,
+                "{benchmark} at {shards} shards diverged from serial"
+            );
+            let wall_speedup = *serial_wall / wall;
+            let cp_speedup = *serial_busy / busy_max;
+            if shards == 4 {
+                best_wall_at_4 = best_wall_at_4.max(wall_speedup);
+                best_cp_at_4 = best_cp_at_4.max(cp_speedup);
+            }
+            println!(
+                "{:<14} {:>6} {:>10.3} {:>10.3} {:>10.3} {:>11.2}x {:>9.2}x",
+                benchmark.name(),
+                shards,
+                wall,
+                busy_max,
+                busy_sum,
+                wall_speedup,
+                cp_speedup
+            );
+            let record = JsonObject::new()
+                .field("benchmark", benchmark.name())
+                .field("nodes", NODES)
+                .field("iterations", u64::from(iters))
+                .field("shards", shards as u64)
+                .field("wall_secs", wall)
+                .field("busy_secs_max", busy_max)
+                .field("busy_secs_sum", busy_sum)
+                .field("wall_speedup", wall_speedup)
+                .field("critical_path_speedup", cp_speedup)
+                .field("identical_to_serial", true)
+                .build();
+            writeln!(out, "{}", record.render()).expect("write record");
+        }
+    }
+    // The acceptance verdict: wall clock is the metric when the host can
+    // actually run 4 shards at once; on smaller hosts wall-clock measures
+    // the scheduler, not the engine, so the critical path stands in.
+    let (metric, best_at_4) = if host_cores >= 4 {
+        ("wall", best_wall_at_4)
+    } else {
+        ("critical_path", best_cp_at_4)
+    };
+    let meta = JsonObject::new()
+        .field("meta", "shard_scaling")
+        .field("host_cores", host_cores as u64)
+        .field("acceptance_speedup_at_4", 2.0)
+        .field("speedup_metric", metric)
+        .field("best_speedup_at_4", best_at_4)
+        .field("best_wall_speedup_at_4", best_wall_at_4)
+        .field("best_critical_path_speedup_at_4", best_cp_at_4)
+        .field("pass", best_at_4 >= 2.0)
+        .build();
+    writeln!(out, "{}", meta.render()).expect("write meta");
+    out.flush().expect("flush");
+
+    println!();
+    println!(
+        "best speedup at 4 shards ({metric}): {best_at_4:.2}x (acceptance: >= 2x) -> {}",
+        if best_at_4 >= 2.0 { "PASS" } else { "FAIL" }
+    );
+    println!("baseline written to {}", out_path().display());
+}

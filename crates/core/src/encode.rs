@@ -130,7 +130,7 @@ impl fmt::LowerHex for Signature {
 /// Implementations must be deterministic and must depend only on the sequence
 /// of PCs folded so far (the predictor re-creates signatures incrementally as
 /// instructions execute).
-pub trait SignatureEncoder: fmt::Debug {
+pub trait SignatureEncoder: fmt::Debug + Send {
     /// The signature of the empty trace.
     fn empty(&self) -> Signature {
         Signature::default()

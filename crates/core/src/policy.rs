@@ -104,7 +104,7 @@ pub enum VerifyOutcome {
 ///   is allowed; the controller ignores them.
 /// * `on_verification` reports the directory's verdict for an earlier
 ///   self-invalidation of `block`, in FIFO order per block.
-pub trait SelfInvalidationPolicy: fmt::Debug {
+pub trait SelfInvalidationPolicy: fmt::Debug + Send {
     /// A short stable name used in reports ("base", "dsi", "last-pc", "ltp").
     fn name(&self) -> &'static str;
 

@@ -84,7 +84,7 @@ impl StorageStats {
 /// This trait is sealed in spirit: the two organizations in this module are
 /// the ones the paper defines, and `ltp-system` treats predictors as opaque
 /// policies, so downstream implementations are not expected.
-pub trait LastTouchTable: fmt::Debug {
+pub trait LastTouchTable: fmt::Debug + Send {
     /// Probes for `sig` as a last-touch signature of `block`.
     fn probe(&mut self, block: BlockId, sig: Signature) -> Probe;
 

@@ -67,6 +67,10 @@ pub struct InvResponse {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PendingTx {
     is_write: bool,
+    /// A test-and-set fetch: the fill installs the line with write
+    /// permission but does **not** apply the blocked store — the driver
+    /// decides via [`NodeCache::try_tas`] whether the RMW succeeds.
+    is_tas: bool,
 }
 
 /// An infinite-capacity network cache with MSI line states.
@@ -147,17 +151,87 @@ impl NodeCache {
             }
             Some(_) => {
                 // Write to a Shared copy: upgrade in place.
-                self.pending.insert(block, PendingTx { is_write: true });
+                self.pending.insert(
+                    block,
+                    PendingTx {
+                        is_write: true,
+                        is_tas: false,
+                    },
+                );
                 AccessOutcome::Miss(MsgKind::Upgrade)
             }
             None => {
-                self.pending.insert(block, PendingTx { is_write });
+                self.pending.insert(
+                    block,
+                    PendingTx {
+                        is_write,
+                        is_tas: false,
+                    },
+                );
                 AccessOutcome::Miss(if is_write {
                     MsgKind::GetX
                 } else {
                     MsgKind::GetS
                 })
             }
+        }
+    }
+
+    /// Presents the fetch half of a test-and-set RMW: acquires write
+    /// permission for `block` without performing the store. A hit on an
+    /// exclusive line completes locally; otherwise the returned request must
+    /// be sent home and the fill applied via [`NodeCache::apply_reply`]. In
+    /// both cases the driver then attempts the conditional store with
+    /// [`NodeCache::try_tas`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if a miss is already outstanding for `block`.
+    pub fn access_tas(&mut self, block: BlockId) -> AccessOutcome {
+        debug_assert!(
+            !self.is_pending(block),
+            "{}: tas on {} while a miss is outstanding",
+            self.node,
+            block
+        );
+        match self.lines.get(&block) {
+            Some(line) if line.exclusive => AccessOutcome::Hit { exclusive: true },
+            Some(_) => {
+                self.pending.insert(
+                    block,
+                    PendingTx {
+                        is_write: true,
+                        is_tas: true,
+                    },
+                );
+                AccessOutcome::Miss(MsgKind::Upgrade)
+            }
+            None => {
+                self.pending.insert(
+                    block,
+                    PendingTx {
+                        is_write: true,
+                        is_tas: true,
+                    },
+                );
+                AccessOutcome::Miss(MsgKind::GetX)
+            }
+        }
+    }
+
+    /// Attempts the conditional store of a test-and-set: succeeds iff the
+    /// line is held exclusive with an even token (the lock-free parity),
+    /// bumping the token to odd. The lock "value" is thus the block's write
+    /// count — protocol-serialized state, so exactly one contender can
+    /// observe even-and-exclusive between two releases.
+    pub fn try_tas(&mut self, block: BlockId) -> bool {
+        match self.lines.get_mut(&block) {
+            Some(line) if line.exclusive && line.token % 2 == 0 => {
+                line.token += 1;
+                line.dirty = true;
+                true
+            }
+            _ => false,
         }
     }
 
@@ -204,13 +278,19 @@ impl NodeCache {
                 token,
                 verify,
             } => {
-                // A write fill performs the blocked store immediately.
-                let token = if tx.is_write { token + 1 } else { token };
+                // A write fill performs the blocked store immediately — but a
+                // test-and-set fill installs the granted value untouched: the
+                // conditional store is the driver's `try_tas` decision.
+                let token = if tx.is_write && !tx.is_tas {
+                    token + 1
+                } else {
+                    token
+                };
                 self.lines.insert(
                     block,
                     Line {
                         exclusive: true,
-                        dirty: tx.is_write,
+                        dirty: tx.is_write && !tx.is_tas,
                         token,
                     },
                 );
@@ -235,8 +315,10 @@ impl NodeCache {
                     .get_mut(&block)
                     .expect("upgrade ack without a cached line");
                 line.exclusive = true;
-                line.dirty = true;
-                line.token += 1;
+                if !tx.is_tas {
+                    line.dirty = true;
+                    line.token += 1;
+                }
                 let token = line.token;
                 FillComplete {
                     info: FillInfo {
@@ -276,12 +358,17 @@ impl NodeCache {
     ///
     /// Returns `None` (and does nothing) when the block is absent or mid
     /// transaction — bulk flush requests from DSI may name such blocks.
+    ///
+    /// An *exclusive* line always relinquishes with its token, even when
+    /// clean: the directory records the owner's token on relinquish, and a
+    /// losing test-and-set fill leaves the line exclusive-but-clean (the
+    /// granted value installed, the conditional store skipped).
     pub fn self_invalidate(&mut self, block: BlockId) -> Option<MsgKind> {
         if self.is_pending(block) {
             return None;
         }
         let line = self.lines.remove(&block)?;
-        Some(if line.dirty {
+        Some(if line.exclusive {
             MsgKind::SelfInvDirty { token: line.token }
         } else {
             MsgKind::SelfInvClean
@@ -442,6 +529,66 @@ mod tests {
         c.access(b, false);
         assert!(c.is_pending(b));
         assert_eq!(c.self_invalidate(b), None);
+    }
+
+    #[test]
+    fn tas_fetch_installs_granted_value_without_store() {
+        let mut c = cache();
+        let b = BlockId::new(14);
+        assert_eq!(c.access_tas(b), AccessOutcome::Miss(MsgKind::GetX));
+        let fill = c.apply_reply(b, data_x(4));
+        assert!(fill.exclusive);
+        assert_eq!(fill.token, 4, "tas fill does not apply the store");
+        assert!(!c.line(b).unwrap().dirty);
+        // Even token: the conditional store succeeds and claims the lock.
+        assert!(c.try_tas(b));
+        let line = c.line(b).unwrap();
+        assert_eq!(line.token, 5);
+        assert!(line.dirty);
+        // Odd token: a second tas on the same copy fails (lock held).
+        assert!(!c.try_tas(b));
+    }
+
+    #[test]
+    fn tas_upgrade_keeps_shared_token() {
+        let mut c = cache();
+        let b = BlockId::new(15);
+        c.access(b, false);
+        c.apply_reply(b, data_s(7));
+        assert_eq!(c.access_tas(b), AccessOutcome::Miss(MsgKind::Upgrade));
+        let fill = c.apply_reply(
+            b,
+            MsgKind::UpgradeAck {
+                version: 9,
+                migratory: false,
+                verify: None,
+            },
+        );
+        assert_eq!(fill.token, 7, "upgrade-for-tas does not bump");
+        assert!(!c.line(b).unwrap().dirty);
+        assert!(!c.try_tas(b), "odd token observed: lock is held");
+        assert_eq!(c.line(b).unwrap().token, 7);
+    }
+
+    #[test]
+    fn tas_hit_on_exclusive_line_skips_the_network() {
+        let mut c = cache();
+        let b = BlockId::new(16);
+        c.access(b, true);
+        c.apply_reply(b, data_x(1)); // token 2 after the blocked store
+        assert_eq!(c.access_tas(b), AccessOutcome::Hit { exclusive: true });
+        assert!(c.try_tas(b));
+        assert_eq!(c.line(b).unwrap().token, 3);
+    }
+
+    #[test]
+    fn try_tas_fails_on_absent_or_shared_lines() {
+        let mut c = cache();
+        assert!(!c.try_tas(BlockId::new(17)));
+        let b = BlockId::new(18);
+        c.access(b, false);
+        c.apply_reply(b, data_s(2));
+        assert!(!c.try_tas(b), "shared copy holds no write permission");
     }
 
     #[test]

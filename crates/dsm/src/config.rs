@@ -323,6 +323,15 @@ impl SystemConfig {
         NodeId::new((block.index() % u64::from(self.nodes)) as u16)
     }
 
+    /// The smallest possible latency of any message between two *distinct*
+    /// nodes: one NI serialization plus one network hop. Home-local
+    /// (`src == dst`) traffic is faster, but it never crosses a shard
+    /// boundary, so this bound is the safe lookahead for conservative
+    /// time-stepped parallel simulation (`ltp-system`'s shard engine).
+    pub fn min_cross_node_latency(&self) -> Cycle {
+        self.ni_occupancy + self.net_latency
+    }
+
     /// Back-of-envelope remote read round trip for an Idle block, used to
     /// sanity-check against Table 1's 416 cycles.
     pub fn remote_round_trip_estimate(&self) -> Cycle {

@@ -62,13 +62,16 @@ pub enum MsgKind {
         /// Piggybacked verification verdict.
         verify: Option<VerifyOutcome>,
     },
-    /// Zero-latency meta notification: an earlier self-invalidation by the
-    /// destination was verified correct. `timely` records whether it reached
-    /// the directory before the conflicting request (Table 4's timeliness).
+    /// Meta notification: an earlier self-invalidation by the destination
+    /// was verified correct. `timely` records whether it reached the
+    /// directory before the conflicting request (Table 4's timeliness).
     ///
-    /// Hardware would piggyback this bit on a later message; delivering it
-    /// out of band only affects confidence-counter update timing, which is
-    /// off the critical path (documented deviation, DESIGN.md §7).
+    /// Hardware would piggyback this bit on a later message; here it rides
+    /// the ordinary network path (NI serialization + constant latency) like
+    /// every other message, which only affects confidence-counter update
+    /// timing — off the critical path (documented deviation, DESIGN.md §7).
+    /// Routing it through the network keeps every cross-node interaction
+    /// under the shard engine's lookahead bound.
     VerifyCorrect {
         /// Whether the self-invalidation arrived before the consumer's
         /// request.

@@ -65,6 +65,6 @@ pub mod stats;
 mod time;
 
 pub use engine::{RunSummary, Simulation, StopReason, World};
-pub use event::EventQueue;
+pub use event::{EventQueue, KeyedEventQueue};
 pub use rng::SimRng;
 pub use time::Cycle;

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use ltp_core::{PolicyFactory, PolicyRegistry, PolicySpecError, PredictorConfig};
 use ltp_dsm::{DirectoryKind, SystemConfig};
-use ltp_sim::{Cycle, Simulation, StopReason};
+use ltp_sim::{Cycle, StopReason};
 use ltp_workloads::{RunEstimate, StreamingTrace, Trace, WorkloadParams, WorkloadSource};
 
 use crate::machine::Machine;
@@ -57,6 +57,10 @@ pub struct ExperimentSpec {
     /// Extra observers: one probe is built per factory for the run, on top
     /// of the always-attached core-metrics probe.
     pub probes: Vec<Arc<dyn ProbeFactory>>,
+    /// How many worker shards execute the machine (default 1 = serial;
+    /// clamped to the node count). Purely a wall-clock knob: the report is
+    /// bit-identical for every value.
+    pub shards: usize,
 }
 
 impl ExperimentSpec {
@@ -74,6 +78,7 @@ impl ExperimentSpec {
                 predictor: PredictorConfig::default(),
                 directory: DirectoryKind::Full,
                 probes: Vec::new(),
+                shards: 1,
             },
         }
     }
@@ -174,7 +179,7 @@ impl ExperimentSpec {
             .source
             .programs(&workload)
             .unwrap_or_else(|e| panic!("{e}"));
-        let mut machine = Machine::new(config, policies, programs);
+        let mut machine = Machine::with_shards(config, policies, programs, self.shards);
         machine.attach_core_metrics();
         let info = RunInfo {
             workload_name: self.source.name().to_string(),
@@ -185,21 +190,15 @@ impl ExperimentSpec {
             machine.attach_probe(factory.build(&info));
         }
 
-        let mut sim = Simulation::new(machine).with_horizon(Cycle::new(HORIZON_CYCLES));
-        {
-            let (world, queue) = sim.world_and_queue_mut();
-            world.prime(queue);
-        }
-        let summary = sim.run();
+        let summary = machine.run(Cycle::new(HORIZON_CYCLES));
         assert_ne!(
             summary.stop,
             StopReason::HorizonReached,
             "{} under {} deadlocked; stuck nodes:\n{}",
             self.source,
             self.policy.spec(),
-            sim.world().stuck_report()
+            machine.stuck_report()
         );
-        let machine = sim.into_world();
         assert!(machine.all_finished(), "drained but processors unfinished");
         let (metrics, sections) = machine.finish();
         RunReport {
@@ -296,6 +295,14 @@ impl ExperimentBuilder {
     /// [`DirectoryKind::Full`], the paper's exact full map).
     pub fn directory(mut self, directory: DirectoryKind) -> Self {
         self.spec.directory = directory;
+        self
+    }
+
+    /// Sets the worker shard count (default 1 = serial). Sharding only
+    /// changes wall-clock time — the report is bit-identical for every
+    /// value, so it is not part of the design point.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.spec.shards = shards;
         self
     }
 
@@ -489,6 +496,27 @@ mod tests {
             coarse.metrics.invalidations_sent >= full.metrics.invalidations_sent,
             "coarse clusters can only widen invalidation rounds"
         );
+    }
+
+    #[test]
+    fn sharded_experiment_report_is_bit_identical() {
+        let base = ExperimentSpec::builder(Benchmark::Raytrace)
+            .policy_spec("ltp")
+            .unwrap()
+            .nodes(8)
+            .iterations(3)
+            .build();
+        let serial = base.run();
+        for shards in [2usize, 4, 8] {
+            let mut spec = base.clone();
+            spec.shards = shards;
+            let sharded = spec.run();
+            assert_eq!(
+                sharded.to_json(),
+                serial.to_json(),
+                "{shards}-shard report bytes diverged from serial"
+            );
+        }
     }
 
     #[test]

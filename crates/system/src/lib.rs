@@ -51,6 +51,7 @@ mod metrics;
 pub mod probe;
 pub mod probes;
 mod report;
+mod shard;
 mod sweep;
 
 #[allow(deprecated)]

@@ -1,202 +1,143 @@
-//! The full-machine world: CPUs, caches, policies, directories, engines, and
-//! network interfaces composed into one deterministic discrete-event
-//! simulation.
+//! The machine coordinator: shards, windows, and global synchronization.
 //!
-//! [`Machine`] implements [`ltp_sim::World`]. Three event kinds drive it:
+//! [`Machine`] assembles the full CC-NUMA system — CPUs, caches, policies,
+//! directories, protocol engines, and network interfaces — as a set of
+//! [`crate::shard`] slices and drives them through conservatively
+//! synchronized clock windows:
 //!
-//! * [`Event::CpuStep`] — a processor is ready to issue its next operation
-//!   (program ops, lock spin iterations, barrier arrivals);
-//! * [`Event::Arrive`] — a protocol message reaches its destination node
-//!   (directory-bound kinds enter the home's protocol engine; cache-bound
-//!   kinds complete fills, invalidate copies, or deliver verification
-//!   verdicts);
-//! * [`Event::EngineDrain`] — a home's protocol engine is ready to service
-//!   its next queued message.
+//! 1. pick the next window `[kL, (k+1)L)` containing the globally earliest
+//!    pending event (`L` = minimum cross-node latency, the lookahead);
+//! 2. run every shard's slice of that window — independently, on worker
+//!    threads when more than one shard is configured;
+//! 3. at the boundary, exchange cross-shard messages, merge and replay the
+//!    shards' probe logs, and fold barrier arrivals into the global barrier
+//!    state (releases are scheduled at the boundary cycle).
 //!
-//! Locks are executed here as test-and-test-and-set loops over their shared
-//! block, so lock blocks generate genuine coherence traffic: spin reads
-//! touch the block (training the predictors on variable-length traces —
-//! the `raytrace` effect), test-and-set upgrades are migratory, and releases
-//! ping-pong ownership.
+//! Because window boundaries lie on a fixed grid, cross-shard messages are
+//! stamped with content-derived FIFO keys, and same-cycle events pop in
+//! deterministic [`Event`] key order, the run is **bit-identical for every
+//! shard count** — `--shards 8` produces the same `RunReport` bytes as a
+//! serial run. The serial path *is* the 1-shard instance of the same
+//! engine, inlined without threads.
 //!
-//! The machine keeps **no metrics of its own**: at every point where it used
-//! to bump a counter it now emits a [`SimEvent`] to the attached probes
-//! (see [`crate::probe`]). Attach the built-in
+//! Locks are executed as test-and-test-and-set loops over their shared
+//! block, with the lock value carried by the block's write-token parity
+//! (odd = held), so lock state lives entirely in coherence state and needs
+//! no global word — essential for sharding, and faithful to how the paper's
+//! benchmarks actually synchronize.
+//!
+//! The machine keeps **no metrics of its own**: every observable action is
+//! emitted as a [`SimEvent`]. Attach the built-in
 //! [`crate::probes::CoreMetricsProbe`] via [`Machine::attach_core_metrics`]
-//! to reconstruct the classic flat [`Metrics`]; attach any number of
-//! [`Probe`]s for everything else. A machine with nothing attached runs the
-//! protocol at full speed and reports nothing.
+//! to reconstruct the classic flat [`Metrics`] (collected per shard,
+//! statically dispatched, merged at the end); attach any number of
+//! [`Probe`]s for everything else — generic probes observe the merged
+//! cross-shard event stream in exact serial order.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
-use ltp_core::{BlockId, NodeId, Pc, SelfInvalidationPolicy, SyncKind, Touch, VerifyOutcome};
-use ltp_dsm::{
-    AccessOutcome, DirEvent, Directory, Message, MsgKind, NetIface, NodeCache, ProtocolEngine,
-    SystemConfig,
-};
-use ltp_sim::{Cycle, EventQueue, World};
-use ltp_workloads::{Lock, Op, Program};
+use ltp_core::{BlockId, NodeId, SelfInvalidationPolicy};
+use ltp_dsm::SystemConfig;
+use ltp_sim::{Cycle, RunSummary, StopReason};
+use ltp_workloads::Program;
 
 use crate::metrics::Metrics;
 use crate::probe::{MetricsSection, Probe, ProbeCtx, SimEvent};
 use crate::probes::CoreMetricsProbe;
+use crate::shard::channel::{ProbeEntry, SpinBarrier, SyncEvent, SyncRecord};
+use crate::shard::clock::WindowClock;
+use crate::shard::{Partition, Shard};
 
-/// Cycles between successive spin-test reads while a lock is observed held.
-/// Coarse enough to keep event counts bounded, fine enough that waiting
-/// times translate into visibly variable spin-trace lengths.
-const SPIN_INTERVAL: u64 = 40;
+pub use crate::shard::Event;
 
-/// The event alphabet of the machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Event {
-    /// The processor on this node is ready for its next operation.
-    CpuStep(NodeId),
-    /// A protocol message arrives at `msg.dst`.
-    Arrive(Message),
-    /// The protocol engine at this home may start its next service.
-    EngineDrain(NodeId),
-}
-
-/// What the blocked CPU was doing when its access missed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Continuation {
-    /// An ordinary program load/store.
-    Plain,
-    /// The spin-test read of a lock acquisition.
-    LockTest(Lock),
-    /// The post-backoff confirmation read before a test-and-set.
-    LockConfirm(Lock),
-    /// The test-and-set write of a lock acquisition.
-    LockTas(Lock),
-    /// The releasing store of a lock.
-    LockRelease(Lock),
-    /// The spin load of an ad-hoc flag wait.
-    FlagWait(Pc),
-}
-
-/// Context of an outstanding miss.
-#[derive(Debug, Clone, Copy)]
-struct MemCtx {
-    block: BlockId,
-    pc: Pc,
-    is_write: bool,
-    cont: Continuation,
-}
-
-/// Per-node execution state.
+/// Global barrier bookkeeping, folded from the shards' per-window logs.
+///
+/// All live (unfinished) nodes must arrive at the *same* barrier id before
+/// it releases; a second id showing up while one is collecting is a
+/// malformed workload and is rejected with a hard error (not a
+/// `debug_assert`), because silently merging distinct barriers would corrupt
+/// the release bookkeeping.
 #[derive(Debug)]
-enum ExecState {
-    /// The next `CpuStep` fetches a fresh op.
-    Ready,
-    /// Mid lock-acquisition; the next `CpuStep` continues the given stage.
-    Locking(Lock, LockStage),
-    /// Spinning on an ad-hoc flag; the next `CpuStep` re-reads it.
-    FlagSpin(Pc, BlockId),
-    /// Waiting for a fill.
-    BlockedMem(MemCtx),
-    /// Waiting at a barrier.
-    InBarrier(u32),
-    /// Program complete.
-    Finished,
+struct GlobalSync {
+    total: usize,
+    finished: usize,
+    /// The barrier currently collecting arrivals, with its waiters so far.
+    waiting: Option<(u32, Vec<u16>)>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LockStage {
-    /// Spin-reading until the lock looks free.
-    Test,
-    /// Observed free; after a randomized backoff, re-read to confirm it is
-    /// still free before attempting the test-and-set. Most contenders see
-    /// the winner's store at this point and go back to spinning without
-    /// ever issuing the RMW — classic test-and-test-and-set with backoff,
-    /// which keeps the thundering herd off the directory and makes
-    /// lock-block traces vary from visit to visit.
-    Confirm,
-    /// Confirmed free: issue the test-and-set RMW.
-    Tas,
-}
-
-/// One node: processor (program interpreter), cache, and policy.
-struct NodeState {
-    id: NodeId,
-    cache: NodeCache,
-    policy: Box<dyn SelfInvalidationPolicy>,
-    program: Box<dyn Program>,
-    exec: ExecState,
-    /// Cumulative failed lock attempts — execution state (it seeds the
-    /// deterministic backoff), not a metric.
-    lock_failures: u64,
-}
-
-impl std::fmt::Debug for NodeState {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NodeState")
-            .field("id", &self.id)
-            .field("exec", &self.exec)
-            .field("policy", &self.policy.name())
-            .finish()
+impl GlobalSync {
+    fn new(total: usize) -> Self {
+        GlobalSync {
+            total,
+            finished: 0,
+            waiting: None,
+        }
     }
-}
 
-/// Logical lock word state (the simulated "value" of a lock block).
-#[derive(Debug, Default, Clone, Copy)]
-struct LockWord {
-    held: bool,
-    owner: Option<NodeId>,
+    /// Folds one window's synchronization records (pre-sorted by
+    /// `(cycle, node)` — the deterministic global arrival order) into the
+    /// barrier state, returning every barrier that released, in release
+    /// order, with its waiters sorted by node index.
+    fn fold(&mut self, records: &[SyncRecord]) -> Vec<(u32, Vec<u16>)> {
+        let mut released = Vec::new();
+        for r in records {
+            match r.ev {
+                SyncEvent::Finish => self.finished += 1,
+                SyncEvent::Arrive(id) => match &mut self.waiting {
+                    Some((other, waiters)) if *other != id => panic!(
+                        "{} arrived at barrier {id} while {} node(s) wait at distinct \
+                         barrier {other}: the workload skips or reorders barriers",
+                        NodeId::new(r.node),
+                        waiters.len()
+                    ),
+                    Some((_, waiters)) => waiters.push(r.node),
+                    None => self.waiting = Some((id, vec![r.node])),
+                },
+            }
+            // Check after every record: an arrival can complete the set, and
+            // so can a finish shrinking the live population.
+            if let Some((_, waiters)) = &self.waiting {
+                if waiters.len() == self.total - self.finished {
+                    let (id, mut waiters) = self.waiting.take().expect("checked above");
+                    waiters.sort_unstable();
+                    released.push((id, waiters));
+                }
+            }
+        }
+        released
+    }
 }
 
 /// The composed CC-NUMA machine.
 ///
-/// Build one with [`Machine::new`], attach observers
-/// ([`Machine::attach_core_metrics`] for the classic flat [`Metrics`],
-/// [`Machine::attach_probe`] for anything else), seed initial
-/// [`Event::CpuStep`] events via [`Machine::prime`], run it under
-/// [`ltp_sim::Simulation`], then call [`Machine::finish`].
+/// Build one with [`Machine::new`] (serial) or [`Machine::with_shards`]
+/// (parallel), attach observers ([`Machine::attach_core_metrics`] for the
+/// classic flat [`Metrics`], [`Machine::attach_probe`] for anything else),
+/// drive it with [`Machine::run`], then call [`Machine::finish`].
 ///
 /// Most users should go through `ltp_system::ExperimentSpec` instead.
 #[derive(Debug)]
 pub struct Machine {
     cfg: SystemConfig,
-    nodes: Vec<NodeState>,
-    dirs: Vec<Directory>,
-    engines: Vec<ProtocolEngine>,
-    nis: Vec<NetIface>,
-    locks: HashMap<BlockId, LockWord>,
-    /// Flag-wait progress: how many generations of each flag block this node
-    /// has consumed. The flag's current generation is the block's data token
-    /// (its write count), so spins observe real coherence state — a stale
-    /// cached copy really does show the old generation.
-    flag_waited: HashMap<(u16, BlockId), u64>,
-    /// Barrier wait-sets, keyed per barrier id. All live (unfinished) nodes
-    /// must arrive at the *same* id before it releases; a second id showing
-    /// up while one is collecting is a malformed workload and is rejected
-    /// with a hard error (not a `debug_assert`), because silently merging
-    /// distinct barriers would corrupt the release bookkeeping.
-    barrier_waiting: BTreeMap<u32, BTreeSet<u16>>,
-    finished: usize,
-    last_finish: Cycle,
-    /// The built-in core-metrics observer, kept out of the generic probe
-    /// list so its (very hot) event handling is statically dispatched.
-    core: Option<CoreMetricsProbe>,
-    /// Attached observers, called in attach order on every event.
+    part: Partition,
+    clock: WindowClock,
+    /// The machine slices. Workers lock their own shard for the duration of
+    /// a window; the coordinator locks all of them (uncontended — workers
+    /// are parked at the rendezvous barrier) for boundary work. In the
+    /// serial path the mutexes are used via `get_mut` and never contended.
+    shards: Vec<Mutex<Shard>>,
+    sync: GlobalSync,
+    /// Attached observers, called in attach order on every event of the
+    /// merged stream.
     probes: Vec<Box<dyn Probe>>,
-    /// Per-home, per-block timestamp of the last departed directory send.
-    ///
-    /// The pipelined engine completes short (control) services faster than
-    /// long (data) ones, so a later-serviced `Inv` could otherwise depart
-    /// before an earlier grant for the same block and overtake it on the
-    /// (per source→destination FIFO) network — delivering an invalidation
-    /// for a copy that has not arrived yet. Directory sends for one block
-    /// therefore depart in service order.
-    dir_send_order: Vec<HashMap<BlockId, Cycle>>,
-    /// Block whose protocol messages are traced to stderr
-    /// (`LTP_TRACE_BLOCK=<id>`, read once at construction).
-    trace_block: Option<BlockId>,
-    /// Whether flag-wait progress is traced (`LTP_TRACE_FLAGS=1`).
-    trace_flags: bool,
 }
 
 impl Machine {
-    /// Assembles a machine from per-node policies and programs.
+    /// Assembles a serial (single-shard) machine from per-node policies and
+    /// programs.
     ///
     /// # Panics
     ///
@@ -207,751 +148,427 @@ impl Machine {
         policies: Vec<Box<dyn SelfInvalidationPolicy>>,
         programs: Vec<Box<dyn Program>>,
     ) -> Self {
+        Machine::with_shards(cfg, policies, programs, 1)
+    }
+
+    /// Assembles a machine partitioned into `shards` worker slices (clamped
+    /// to the node count). Results are bit-identical for every value of
+    /// `shards`; only wall-clock time changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `policies` and `programs` both have exactly
+    /// `cfg.nodes()` elements, or if `shards` is zero.
+    pub fn with_shards(
+        cfg: SystemConfig,
+        policies: Vec<Box<dyn SelfInvalidationPolicy>>,
+        programs: Vec<Box<dyn Program>>,
+        shards: usize,
+    ) -> Self {
         let n = cfg.nodes() as usize;
         assert_eq!(policies.len(), n, "one policy per node");
         assert_eq!(programs.len(), n, "one program per node");
-        let nodes: Vec<NodeState> = policies
-            .into_iter()
-            .zip(programs)
-            .enumerate()
-            .map(|(i, (policy, program))| NodeState {
-                id: NodeId::new(i as u16),
-                cache: NodeCache::new(NodeId::new(i as u16)),
-                policy,
-                program,
-                exec: ExecState::Ready,
-                lock_failures: 0,
+        let part = Partition::new(cfg.nodes(), shards);
+        let clock = WindowClock::new(cfg.min_cross_node_latency());
+        let trace_block = std::env::var("LTP_TRACE_BLOCK")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .map(BlockId::new);
+        let trace_flags = std::env::var_os("LTP_TRACE_FLAGS").is_some();
+        let mut policies = policies.into_iter();
+        let mut programs = programs.into_iter();
+        let shards = (0..part.shards())
+            .map(|s| {
+                let (lo, hi) = part.range(s);
+                let count = usize::from(hi - lo);
+                Mutex::new(Shard::new(
+                    cfg.clone(),
+                    part,
+                    s,
+                    policies.by_ref().take(count).collect(),
+                    programs.by_ref().take(count).collect(),
+                    trace_block,
+                    trace_flags,
+                ))
             })
             .collect();
-        let dirs = (0..n)
-            .map(|i| Directory::with_kind(NodeId::new(i as u16), cfg.directory(), cfg.nodes()))
-            .collect();
-        let engines = (0..n)
-            .map(|_| ProtocolEngine::new(cfg.pipeline_stages()))
-            .collect();
-        let nis = (0..n).map(|_| NetIface::new(cfg.ni_occupancy())).collect();
         Machine {
             cfg,
-            nodes,
-            dirs,
-            engines,
-            nis,
-            locks: HashMap::new(),
-            flag_waited: HashMap::new(),
-            barrier_waiting: BTreeMap::new(),
-            finished: 0,
-            last_finish: Cycle::ZERO,
-            core: None,
+            part,
+            clock,
+            shards,
+            sync: GlobalSync::new(n),
             probes: Vec::new(),
-            dir_send_order: (0..n).map(|_| HashMap::new()).collect(),
-            trace_block: std::env::var("LTP_TRACE_BLOCK")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .map(BlockId::new),
-            trace_flags: std::env::var_os("LTP_TRACE_FLAGS").is_some(),
         }
     }
 
-    /// Schedules the initial `CpuStep` for every node at time zero.
-    pub fn prime(&self, queue: &mut EventQueue<Event>) {
-        for node in &self.nodes {
-            queue.schedule(Cycle::ZERO, Event::CpuStep(node.id));
-        }
+    /// The number of shards this machine runs on (after clamping to the
+    /// node count).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// Whether every processor has finished its program.
     pub fn all_finished(&self) -> bool {
-        self.finished == self.nodes.len()
+        let done: usize = self.shards.iter().map(|s| lock(s).finished_local()).sum();
+        done == self.cfg.nodes() as usize
     }
 
     /// Human-readable stuck-state diagnosis for horizon overruns.
     pub fn stuck_report(&self) -> String {
-        use std::fmt::Write as _;
         let mut out = String::new();
-        for n in &self.nodes {
-            if !matches!(n.exec, ExecState::Finished) {
-                let _ = writeln!(out, "{}: {:?}", n.id, n.exec);
-            }
+        for s in &self.shards {
+            lock(s).stuck_report_into(&mut out);
         }
         out
+    }
+
+    /// Host nanoseconds each shard has spent executing its windows (barrier
+    /// waits and coordinator boundary work excluded), indexed by shard.
+    /// Exact per-shard work under [`Machine::run_single_threaded`] (windows
+    /// run unpreempted there); under the threaded run it is only meaningful
+    /// when the host has at least one core per shard. The work-partition
+    /// view of a run: `serial busy / max shard busy` is the speedup the
+    /// partition supports once enough cores exist — the `shard_scaling`
+    /// bench's critical-path metric, and the number to look at when a
+    /// sharded run scales worse than expected (imbalance shows up as one
+    /// outlier shard).
+    pub fn shard_busy_ns(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| lock(s).busy_ns()).collect()
+    }
+
+    /// The write-token of the copy of `block` cached at `p`, if present —
+    /// test/debug introspection (e.g. asserting lost-update freedom through
+    /// a contended lock; the token counts the block's writes).
+    pub fn cached_token(&self, p: NodeId, block: BlockId) -> Option<u64> {
+        lock(&self.shards[self.part.shard_of(p)])
+            .cached_line(p, block)
+            .map(|l| l.token)
     }
 
     // ---- observation -----------------------------------------------------
 
     /// Attaches the built-in core-metrics observer. Without it,
-    /// [`Machine::finish`] yields no [`Metrics`].
+    /// [`Machine::finish`] yields no [`Metrics`]. Internally one collector
+    /// per shard tallies its own slice (statically dispatched on the hot
+    /// path); [`Machine::finish`] merges them — bit-identically, since
+    /// nodes and homes are partitioned.
     pub fn attach_core_metrics(&mut self) {
-        self.core = Some(CoreMetricsProbe::new(self.cfg.nodes()));
+        for s in &mut self.shards {
+            lock_mut(s).attach_core(CoreMetricsProbe::new(self.cfg.nodes()));
+        }
     }
 
-    /// Attaches one observer; probes see every subsequent event in attach
-    /// order.
+    /// Attaches one observer; probes see every subsequent event of the
+    /// merged cross-shard stream, in attach order. With at least one probe
+    /// attached, shards log events during windows and the coordinator
+    /// replays the merged log at each boundary — in exact serial emission
+    /// order, regardless of the shard count.
     pub fn attach_probe(&mut self, probe: Box<dyn Probe>) {
         self.probes.push(probe);
     }
 
-    /// Delivers one event to every attached observer.
+    // ---- execution -------------------------------------------------------
+
+    /// Runs the machine until all events drain or the horizon is exceeded.
     ///
-    /// `#[inline(always)]`, with the core probe statically dispatched, lets
-    /// the optimizer specialize each emission site: core-consumed events
-    /// reduce to the same counter increments the pre-probe machine
-    /// performed (bounded by the `probe_overhead` bench).
-    #[inline(always)]
-    fn emit(&mut self, now: Cycle, event: SimEvent) {
-        if self.core.is_none() && self.probes.is_empty() {
-            return;
+    /// The horizon is enforced at window granularity: whole windows run, so
+    /// events inside the final window but past the horizon are still
+    /// handled. This keeps the check shard-count-invariant; the horizon is a
+    /// deadlock backstop, not a precision instrument.
+    pub fn run(&mut self, horizon: Cycle) -> RunSummary {
+        let threadless = self.shards.len() == 1;
+        self.run_with(horizon, threadless)
+    }
+
+    /// Runs the machine exactly like [`Machine::run`], but drives every
+    /// shard from the calling thread — no workers, whatever the shard
+    /// count. Results are bit-identical to the threaded run (the two share
+    /// all window and boundary code); what changes is the host execution:
+    /// each shard's window runs unpreempted, so [`Machine::shard_busy_ns`]
+    /// measures per-shard work exactly. This is how the `shard_scaling`
+    /// bench takes its critical-path measurement, and a useful mode
+    /// wherever worker threads are unwelcome (profilers, constrained
+    /// hosts).
+    pub fn run_single_threaded(&mut self, horizon: Cycle) -> RunSummary {
+        self.run_with(horizon, true)
+    }
+
+    fn run_with(&mut self, horizon: Cycle, threadless: bool) -> RunSummary {
+        let log_events = !self.probes.is_empty();
+        for s in &mut self.shards {
+            lock_mut(s).set_log_events(log_events);
         }
-        let ctx = ProbeCtx {
-            now,
-            nodes: self.cfg.nodes(),
+        let stop = if threadless {
+            self.run_threadless(horizon)
+        } else {
+            self.run_parallel(horizon)
         };
-        if let Some(core) = &mut self.core {
-            core.observe(&ctx, &event);
+        let mut end_time = Cycle::ZERO;
+        let mut events_handled = 0;
+        for s in &mut self.shards {
+            let s = lock_mut(s);
+            end_time = end_time.max(s.last_event_time());
+            events_handled += s.events_handled();
         }
-        for probe in &mut self.probes {
-            probe.on_event(&ctx, &event);
+        RunSummary {
+            end_time,
+            events_handled,
+            stop,
         }
     }
 
-    /// Delivers one event that the core-metrics tallies provably ignore
-    /// (ops retired, messages sent, lock/barrier activity) to the generic
-    /// probes only. The event is built lazily, so with no generic probe
-    /// attached — the default stack — these very hot emission points cost
-    /// one branch, which is what keeps the core stack's overhead under the
-    /// `probe_overhead` acceptance bar.
-    #[inline(always)]
-    fn emit_aux(&mut self, now: Cycle, event: impl FnOnce() -> SimEvent) {
-        if self.probes.is_empty() {
-            return;
-        }
-        let ctx = ProbeCtx {
-            now,
-            nodes: self.cfg.nodes(),
-        };
-        let event = event();
-        for probe in &mut self.probes {
-            probe.on_event(&ctx, &event);
+    /// The threadless engine: every shard's slice of each window runs on
+    /// the calling thread, in shard order. With one shard this is the
+    /// serial path — and the reference the worker-thread path is
+    /// bit-identical to.
+    fn run_threadless(&mut self, horizon: Cycle) -> StopReason {
+        let nodes = self.cfg.nodes();
+        let (shards, sync, probes) = (&mut self.shards, &mut self.sync, &mut self.probes);
+        loop {
+            let mut guards: Vec<&mut Shard> = shards.iter_mut().map(lock_mut).collect();
+            let Some(t) = guards.iter().filter_map(|s| s.next_event_time()).min() else {
+                return StopReason::Drained;
+            };
+            if t > horizon {
+                return StopReason::HorizonReached;
+            }
+            let (start, end) = self.clock.window_of(t);
+            for s in guards.iter_mut() {
+                s.run_window(start, end);
+            }
+            boundary(&mut guards, sync, probes, self.part, nodes, end);
         }
     }
 
-    /// Finishes the run: emits the end-of-run [`SimEvent::PolicyStorage`]
-    /// accounting (one event per node, in node order), then consumes the
-    /// machine and every observer. Returns the core [`Metrics`] (if
-    /// [`Machine::attach_core_metrics`] was called) and one
-    /// [`MetricsSection`] per attached probe that produced one.
+    /// The multi-shard engine: persistent workers rendezvous with the
+    /// coordinator twice per window on a spin barrier. Worker panics are
+    /// caught, the fleet is shut down cleanly, and the first panic is
+    /// re-raised on the coordinating thread.
+    fn run_parallel(&mut self, horizon: Cycle) -> StopReason {
+        let clock = self.clock;
+        let part = self.part;
+        let nodes = self.cfg.nodes();
+        let shards = &self.shards;
+        let sync = &mut self.sync;
+        let probes = &mut self.probes;
+        let barrier = SpinBarrier::new(shards.len() + 1);
+        let running = AtomicBool::new(true);
+        let win_start = AtomicU64::new(0);
+        let win_end = AtomicU64::new(0);
+        let panics: Mutex<Vec<Box<dyn Any + Send>>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for shard in shards {
+                let (barrier, running, win_start, win_end, panics) =
+                    (&barrier, &running, &win_start, &win_end, &panics);
+                scope.spawn(move || loop {
+                    barrier.wait();
+                    if !running.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let start = Cycle::new(win_start.load(Ordering::Acquire));
+                    let end = Cycle::new(win_end.load(Ordering::Acquire));
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                        lock(shard).run_window(start, end);
+                    }));
+                    if let Err(payload) = result {
+                        lock_raw(panics).push(payload);
+                        running.store(false, Ordering::Release);
+                    }
+                    barrier.wait();
+                });
+            }
+            loop {
+                // Boundary phase: workers are parked at the rendezvous, so
+                // every lock below is uncontended. Window selection cannot
+                // panic; the boundary fold can (malformed barrier
+                // workloads), so it runs under catch_unwind to shut the
+                // fleet down before re-raising.
+                let decision = {
+                    let t_min = shards
+                        .iter()
+                        .filter_map(|s| lock(s).next_event_time())
+                        .min();
+                    match t_min {
+                        None => Some(StopReason::Drained),
+                        Some(t) if t > horizon => Some(StopReason::HorizonReached),
+                        Some(t) => {
+                            let (start, end) = clock.window_of(t);
+                            win_start.store(start.as_u64(), Ordering::Release);
+                            win_end.store(end.as_u64(), Ordering::Release);
+                            None
+                        }
+                    }
+                };
+                if let Some(stop) = decision {
+                    running.store(false, Ordering::Release);
+                    barrier.wait(); // release workers; they observe the flag and exit
+                    return stop;
+                }
+                barrier.wait(); // workers start the window
+                barrier.wait(); // workers finished the window
+                if !running.load(Ordering::Acquire) {
+                    // A worker panicked inside its window. The others have
+                    // completed theirs; release them to exit, then re-raise.
+                    barrier.wait();
+                    let payload = lock_raw(&panics).pop().expect("panic payload recorded");
+                    panic::resume_unwind(payload);
+                }
+                let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                    let mut guards: Vec<MutexGuard<'_, Shard>> =
+                        shards.iter().map(|s| lock(s)).collect();
+                    let end = Cycle::new(win_end.load(Ordering::Acquire));
+                    boundary(&mut guards, sync, probes, part, nodes, end);
+                }));
+                if let Err(payload) = result {
+                    running.store(false, Ordering::Release);
+                    barrier.wait(); // release workers; they observe the flag and exit
+                    panic::resume_unwind(payload);
+                }
+            }
+        })
+    }
+
+    // ---- teardown --------------------------------------------------------
+
+    /// Finishes the run: merges the per-shard core collectors, emits the
+    /// end-of-run [`SimEvent::PolicyStorage`] accounting (one event per
+    /// node, in node order), then consumes the machine and every observer.
+    /// Returns the core [`Metrics`] (if [`Machine::attach_core_metrics`] was
+    /// called) and one [`MetricsSection`] per attached probe that produced
+    /// one.
     pub fn finish(mut self) -> (Option<Metrics>, Vec<MetricsSection>) {
-        let now = self.last_finish;
-        for i in 0..self.nodes.len() {
-            let stats = self.nodes[i].policy.storage();
-            let node = self.nodes[i].id;
-            self.emit(now, SimEvent::PolicyStorage { node, stats });
+        let mut shards: Vec<Shard> = self
+            .shards
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+            .collect();
+        let now = shards
+            .iter()
+            .map(|s| s.last_finish_local())
+            .max()
+            .unwrap_or(Cycle::ZERO);
+        let mut core: Option<CoreMetricsProbe> = None;
+        for s in &mut shards {
+            if let Some(c) = s.take_core() {
+                match &mut core {
+                    None => core = Some(c),
+                    Some(acc) => acc.merge(&c),
+                }
+            }
         }
-        let metrics = self.core.take().map(CoreMetricsProbe::into_metrics);
+        let ctx = ProbeCtx {
+            now,
+            nodes: self.cfg.nodes(),
+        };
+        // Shards own contiguous ascending node ranges, so iterating shards
+        // then local nodes is global node order.
+        for s in &shards {
+            for i in 0..s.node_count() {
+                let (node, stats) = s.policy_storage(i);
+                let event = SimEvent::PolicyStorage { node, stats };
+                if let Some(core) = &mut core {
+                    core.observe(&ctx, &event);
+                }
+                for probe in &mut self.probes {
+                    probe.on_event(&ctx, &event);
+                }
+            }
+        }
+        let metrics = core.map(CoreMetricsProbe::into_metrics);
         let sections = self.probes.drain(..).filter_map(|p| p.finish()).collect();
         (metrics, sections)
     }
-
-    // ---- routing ---------------------------------------------------------
-
-    /// Routes a message from its source at `at`: verification meta-messages
-    /// deliver instantly, home-local messages skip the network, and remote
-    /// messages serialize through the source NI then cross the network.
-    fn route(&mut self, msg: Message, at: Cycle, q: &mut EventQueue<Event>) {
-        self.emit_aux(at, || SimEvent::MessageSent { msg });
-        if matches!(msg.kind, MsgKind::VerifyCorrect { .. }) {
-            q.schedule(at, Event::Arrive(msg));
-            return;
-        }
-        if msg.src == msg.dst {
-            q.schedule(at, Event::Arrive(msg));
-            return;
-        }
-        let depart = self.nis[msg.src.index()].depart(at);
-        q.schedule(depart + self.cfg.net_latency(), Event::Arrive(msg));
-    }
-
-    fn is_directory_bound(kind: MsgKind) -> bool {
-        matches!(
-            kind,
-            MsgKind::GetS
-                | MsgKind::GetX
-                | MsgKind::Upgrade
-                | MsgKind::SelfInvClean
-                | MsgKind::SelfInvDirty { .. }
-                | MsgKind::InvAck { .. }
-        )
-    }
-
-    // ---- CPU execution ---------------------------------------------------
-
-    fn cpu_step(&mut self, now: Cycle, p: NodeId, q: &mut EventQueue<Event>) {
-        let i = p.index();
-        match &self.nodes[i].exec {
-            ExecState::Ready => self.fetch_and_issue(now, p, q),
-            ExecState::FlagSpin(pc, block) => {
-                let (pc, block) = (*pc, *block);
-                self.issue_access(now, p, pc, block, false, Continuation::FlagWait(pc), q);
-            }
-            ExecState::Locking(lock, stage) => {
-                let (lock, stage) = (*lock, *stage);
-                match stage {
-                    LockStage::Test | LockStage::Confirm => self.issue_access(
-                        now,
-                        p,
-                        lock.spin_pc,
-                        lock.block,
-                        false,
-                        if stage == LockStage::Test {
-                            Continuation::LockTest(lock)
-                        } else {
-                            Continuation::LockConfirm(lock)
-                        },
-                        q,
-                    ),
-                    LockStage::Tas => self.issue_access(
-                        now,
-                        p,
-                        lock.tas_pc,
-                        lock.block,
-                        true,
-                        Continuation::LockTas(lock),
-                        q,
-                    ),
-                }
-            }
-            state => unreachable!("CpuStep for {p} in state {state:?}"),
-        }
-    }
-
-    fn fetch_and_issue(&mut self, now: Cycle, p: NodeId, q: &mut EventQueue<Event>) {
-        let i = p.index();
-        let Some(op) = self.nodes[i].program.next_op() else {
-            self.nodes[i].exec = ExecState::Finished;
-            self.finished += 1;
-            self.last_finish = self.last_finish.max(now);
-            self.emit(now, SimEvent::NodeFinished { node: p });
-            // A node finishing shrinks the barrier population; a barrier
-            // that was waiting only on this node must now release.
-            self.maybe_release_barrier(now, q);
-            return;
-        };
-        self.emit_aux(now, || SimEvent::OpRetired { node: p, op });
-        match op {
-            Op::Think(c) => {
-                q.schedule(now + Cycle::new(c), Event::CpuStep(p));
-            }
-            Op::Read { pc, block } => {
-                self.issue_access(now, p, pc, block, false, Continuation::Plain, q);
-            }
-            Op::Write { pc, block } => {
-                self.issue_access(now, p, pc, block, true, Continuation::Plain, q);
-            }
-            Op::Lock(lock) => {
-                self.nodes[i].exec = ExecState::Locking(lock, LockStage::Test);
-                self.issue_access(
-                    now,
-                    p,
-                    lock.spin_pc,
-                    lock.block,
-                    false,
-                    Continuation::LockTest(lock),
-                    q,
-                );
-            }
-            Op::Unlock(lock) => {
-                self.issue_access(
-                    now,
-                    p,
-                    lock.release_pc,
-                    lock.block,
-                    true,
-                    Continuation::LockRelease(lock),
-                    q,
-                );
-            }
-            Op::Barrier(id) => self.barrier_arrive(now, p, id, q),
-            Op::FlagSet { pc, block } => {
-                // The signalling store is an ordinary write; the flag's
-                // generation is the block token the write bumps.
-                self.issue_access(now, p, pc, block, true, Continuation::Plain, q);
-            }
-            Op::FlagWait { pc, block } => {
-                self.issue_access(now, p, pc, block, false, Continuation::FlagWait(pc), q);
-            }
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)] // one parameter per access attribute
-    fn issue_access(
-        &mut self,
-        now: Cycle,
-        p: NodeId,
-        pc: Pc,
-        block: BlockId,
-        is_write: bool,
-        cont: Continuation,
-        q: &mut EventQueue<Event>,
-    ) {
-        let i = p.index();
-        match self.nodes[i].cache.access(block, is_write) {
-            AccessOutcome::Hit { exclusive } => {
-                self.emit(
-                    now,
-                    SimEvent::CacheHit {
-                        node: p,
-                        block,
-                        pc,
-                        is_write,
-                        exclusive,
-                    },
-                );
-                let fire = self.nodes[i].policy.on_touch(Touch {
-                    block,
-                    pc,
-                    is_write,
-                    exclusive,
-                    fill: None,
-                });
-                if fire {
-                    self.self_invalidate(now, p, block, q);
-                }
-                self.complete_access(now + self.cfg.cpu_hit(), p, block, cont, q);
-            }
-            AccessOutcome::Miss(kind) => {
-                self.emit(
-                    now,
-                    SimEvent::CacheMiss {
-                        node: p,
-                        block,
-                        pc,
-                        is_write,
-                    },
-                );
-                self.nodes[i].exec = ExecState::BlockedMem(MemCtx {
-                    block,
-                    pc,
-                    is_write,
-                    cont,
-                });
-                let home = self.cfg.home_of(block);
-                self.route(Message::new(p, home, block, kind), now, q);
-            }
-        }
-    }
-
-    /// Finishes an access (hit or fill), advancing lock state machines and
-    /// scheduling the processor's next step.
-    fn complete_access(
-        &mut self,
-        resume_at: Cycle,
-        p: NodeId,
-        block: BlockId,
-        cont: Continuation,
-        q: &mut EventQueue<Event>,
-    ) {
-        let i = p.index();
-        match cont {
-            Continuation::Plain => {
-                self.nodes[i].exec = ExecState::Ready;
-                q.schedule(resume_at, Event::CpuStep(p));
-            }
-            Continuation::LockTest(lock) => {
-                debug_assert_eq!(block, lock.block);
-                let held = self.locks.entry(lock.block).or_default().held;
-                if held {
-                    // Keep spinning: each retest is a real touch of the lock
-                    // block (usually a cache hit, until a release
-                    // invalidates the copy).
-                    self.nodes[i].exec = ExecState::Locking(lock, LockStage::Test);
-                    q.schedule(resume_at + Cycle::new(SPIN_INTERVAL), Event::CpuStep(p));
-                } else {
-                    // Looks free: back off a randomized interval, then
-                    // confirm before attempting the RMW.
-                    self.nodes[i].lock_failures += 1;
-                    let slots = Self::backoff_slots(p, self.nodes[i].lock_failures);
-                    self.nodes[i].exec = ExecState::Locking(lock, LockStage::Confirm);
-                    q.schedule(
-                        resume_at + Cycle::new(SPIN_INTERVAL * slots),
-                        Event::CpuStep(p),
-                    );
-                }
-            }
-            Continuation::LockConfirm(lock) => {
-                debug_assert_eq!(block, lock.block);
-                let held = self.locks.entry(lock.block).or_default().held;
-                if held {
-                    // Someone won during the backoff: resume spinning
-                    // without ever issuing the test-and-set.
-                    self.nodes[i].exec = ExecState::Locking(lock, LockStage::Test);
-                    q.schedule(resume_at + Cycle::new(SPIN_INTERVAL), Event::CpuStep(p));
-                } else {
-                    self.nodes[i].exec = ExecState::Locking(lock, LockStage::Tas);
-                    q.schedule(resume_at, Event::CpuStep(p));
-                }
-            }
-            Continuation::LockTas(lock) => {
-                let word = self.locks.entry(lock.block).or_default();
-                if word.held {
-                    // Lost the race: back off before spinning again. The
-                    // deterministic pseudo-random backoff breaks up the
-                    // test-and-set herd so lock-block traces vary per visit
-                    // (the raytrace §5.4 effect: "locks spin a variable
-                    // number of times per visit").
-                    self.nodes[i].lock_failures += 1;
-                    let backoff = Self::backoff_slots(p, self.nodes[i].lock_failures);
-                    self.nodes[i].exec = ExecState::Locking(lock, LockStage::Test);
-                    q.schedule(
-                        resume_at + Cycle::new(SPIN_INTERVAL * backoff),
-                        Event::CpuStep(p),
-                    );
-                } else {
-                    word.held = true;
-                    word.owner = Some(p);
-                    self.emit_aux(resume_at, || SimEvent::LockAcquired {
-                        node: p,
-                        block: lock.block,
-                    });
-                    self.nodes[i].exec = ExecState::Ready;
-                    if lock.exposed {
-                        self.sync_boundary(resume_at, p, SyncKind::LockAcquire, q);
-                    }
-                    q.schedule(resume_at, Event::CpuStep(p));
-                }
-            }
-            Continuation::LockRelease(lock) => {
-                let word = self.locks.entry(lock.block).or_default();
-                debug_assert_eq!(word.owner, Some(p), "release by non-owner");
-                word.held = false;
-                word.owner = None;
-                self.emit_aux(resume_at, || SimEvent::LockReleased {
-                    node: p,
-                    block: lock.block,
-                });
-                self.nodes[i].exec = ExecState::Ready;
-                if lock.exposed {
-                    self.sync_boundary(resume_at, p, SyncKind::LockRelease, q);
-                }
-                q.schedule(resume_at, Event::CpuStep(p));
-            }
-            Continuation::FlagWait(pc) => {
-                // Observe the generation from the (possibly stale) cached
-                // copy — exactly what real spin code would see.
-                let observed = self.nodes[i].cache.line(block).map_or(0, |l| l.token);
-                if self.trace_flags {
-                    eprintln!(
-                        "[{resume_at}] {p} flagwait {block}: observed={observed} waited={:?} line={:?}",
-                        self.flag_waited.get(&(p.index() as u16, block)),
-                        self.nodes[i].cache.line(block)
-                    );
-                }
-                let waited = self
-                    .flag_waited
-                    .entry((p.index() as u16, block))
-                    .or_insert(0);
-                if observed > *waited {
-                    *waited += 1;
-                    self.nodes[i].exec = ExecState::Ready;
-                    q.schedule(resume_at, Event::CpuStep(p));
-                } else {
-                    self.nodes[i].exec = ExecState::FlagSpin(pc, block);
-                    q.schedule(resume_at + Cycle::new(SPIN_INTERVAL), Event::CpuStep(p));
-                }
-            }
-        }
-    }
-
-    fn barrier_arrive(&mut self, now: Cycle, p: NodeId, id: u32, q: &mut EventQueue<Event>) {
-        // A hard error even in release builds: merging distinct barrier ids
-        // into one wait-set would let a malformed workload (a node skipping
-        // a barrier) silently release barriers early and desynchronize the
-        // run. The panic carries the conflicting ids for diagnosis.
-        if let Some((&other, waiters)) = self.barrier_waiting.iter().find(|&(&b, _)| b != id) {
-            panic!(
-                "{p} arrived at barrier {id} while {} node(s) wait at distinct \
-                 barrier {other}: the workload skips or reorders barriers",
-                waiters.len()
-            );
-        }
-        self.emit_aux(now, || SimEvent::BarrierEnter { node: p, id });
-        self.nodes[p.index()].exec = ExecState::InBarrier(id);
-        self.barrier_waiting
-            .entry(id)
-            .or_default()
-            .insert(p.index() as u16);
-        self.maybe_release_barrier(now, q);
-    }
-
-    /// Releases the pending barrier once every still-running node has
-    /// arrived at it. Checked on each arrival and whenever a node finishes.
-    fn maybe_release_barrier(&mut self, now: Cycle, q: &mut EventQueue<Event>) {
-        let Some((&released_id, waiting)) = self.barrier_waiting.iter().next() else {
-            return;
-        };
-        let participants = self
-            .nodes
-            .iter()
-            .filter(|n| !matches!(n.exec, ExecState::Finished))
-            .count();
-        if waiting.len() == participants {
-            // Everyone arrived: release all, emitting the synchronization
-            // boundary DSI hooks (this is where DSI's flush burst happens).
-            let waiting: Vec<u16> = self
-                .barrier_waiting
-                .remove(&released_id)
-                .expect("wait-set present")
-                .into_iter()
-                .collect();
-            let waiters = waiting.len() as u16;
-            self.emit_aux(now, || SimEvent::BarrierRelease {
-                id: released_id,
-                waiters,
-            });
-            for idx in waiting {
-                let node = NodeId::new(idx);
-                debug_assert!(
-                    matches!(self.nodes[node.index()].exec,
-                        ExecState::InBarrier(id) if id == released_id),
-                    "node released from a barrier it was not waiting at"
-                );
-                self.nodes[node.index()].exec = ExecState::Ready;
-                self.sync_boundary(now, node, SyncKind::Barrier, q);
-                q.schedule(now + self.cfg.cpu_hit(), Event::CpuStep(node));
-            }
-        }
-    }
-
-    /// Reports a synchronization boundary to the node's policy and performs
-    /// any bulk self-invalidation it requests (DSI's flush).
-    fn sync_boundary(&mut self, now: Cycle, p: NodeId, kind: SyncKind, q: &mut EventQueue<Event>) {
-        let flushes = self.nodes[p.index()].policy.on_sync(kind);
-        for block in flushes {
-            self.self_invalidate(now, p, block, q);
-        }
-    }
-
-    /// Deterministic pseudo-random backoff (in spin-interval slots) after a
-    /// failed test-and-set, derived from the node id and its cumulative
-    /// failure count so reruns reproduce exactly.
-    fn backoff_slots(p: NodeId, failures: u64) -> u64 {
-        let mut z = (p.index() as u64 + 1)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(failures.wrapping_mul(0xBF58_476D_1CE4_E5B9));
-        z ^= z >> 29;
-        z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
-        1 + ((z >> 33) % 6)
-    }
-
-    /// Executes one self-invalidation: drops the local copy and notifies the
-    /// home (clean notification or dirty writeback).
-    fn self_invalidate(
-        &mut self,
-        now: Cycle,
-        p: NodeId,
-        block: BlockId,
-        q: &mut EventQueue<Event>,
-    ) {
-        let Some(kind) = self.nodes[p.index()].cache.self_invalidate(block) else {
-            return; // absent or mid-transaction: skip (bulk flushes may race)
-        };
-        self.emit(
-            now,
-            SimEvent::SelfInvalidation {
-                node: p,
-                block,
-                dirty: matches!(kind, MsgKind::SelfInvDirty { .. }),
-            },
-        );
-        let home = self.cfg.home_of(block);
-        self.route(Message::new(p, home, block, kind), now, q);
-    }
-
-    // ---- message handling ------------------------------------------------
-
-    fn arrive(&mut self, now: Cycle, msg: Message, q: &mut EventQueue<Event>) {
-        self.emit(now, SimEvent::MessageDelivered { msg });
-        if self.trace_block == Some(msg.block) {
-            eprintln!("[{now}] arrive {} -> {}: {:?}", msg.src, msg.dst, msg.kind);
-        }
-        if Self::is_directory_bound(msg.kind) {
-            let h = msg.dst.index();
-            if self.engines[h].enqueue(now, msg) {
-                let at = self.engines[h].next_ready(now);
-                q.schedule(at, Event::EngineDrain(msg.dst));
-            }
-        } else {
-            self.cache_side(now, msg, q);
-        }
-    }
-
-    fn engine_drain(&mut self, now: Cycle, h: NodeId, q: &mut EventQueue<Event>) {
-        let hi = h.index();
-        let Some((msg, queued)) = self.engines[hi].dequeue(now) else {
-            return;
-        };
-        let step = self.dirs[hi].process(msg);
-        let service = if step.data_service {
-            self.cfg.dir_data_service()
-        } else {
-            self.cfg.dir_control()
-        };
-        let done = self.engines[hi].begin_service(now, service);
-        self.emit(
-            now,
-            SimEvent::MessageServiced {
-                home: h,
-                queueing: queued,
-                service,
-                data: step.data_service,
-            },
-        );
-        for &event in &step.events {
-            let block = msg.block;
-            self.emit(
-                now,
-                match event {
-                    DirEvent::InvalidationSent { to } => {
-                        SimEvent::InvalidationSent { home: h, to, block }
-                    }
-                    DirEvent::InvalidationAcked { from, had_copy } => SimEvent::InvalidationAcked {
-                        home: h,
-                        from,
-                        block,
-                        had_copy,
-                    },
-                    DirEvent::BroadcastOverflow => SimEvent::BroadcastOverflow { home: h, block },
-                    DirEvent::StaleIgnored { from } => SimEvent::StaleIgnored {
-                        home: h,
-                        from,
-                        block,
-                        kind: msg.kind,
-                    },
-                },
-            );
-        }
-        // Clamp departures so sends for one block leave in service order
-        // (see `dir_send_order`).
-        let depart = {
-            let last = self.dir_send_order[hi]
-                .entry(msg.block)
-                .or_insert(Cycle::ZERO);
-            let depart = done.max(*last);
-            *last = depart;
-            depart
-        };
-        for m in step.sends {
-            debug_assert_eq!(m.block, msg.block, "directory sends stay on-block");
-            self.route(m, depart, q);
-        }
-        for r in step.reinject {
-            q.schedule(depart, Event::Arrive(r));
-        }
-        if self.engines[hi].arm_next_drain() {
-            let at = self.engines[hi].next_ready(now);
-            q.schedule(at, Event::EngineDrain(h));
-        }
-    }
-
-    fn cache_side(&mut self, now: Cycle, msg: Message, q: &mut EventQueue<Event>) {
-        let p = msg.dst;
-        let i = p.index();
-        match msg.kind {
-            MsgKind::Inv => {
-                let resp = self.nodes[i].cache.handle_inv(msg.block);
-                self.emit(
-                    now,
-                    SimEvent::Invalidated {
-                        node: p,
-                        block: msg.block,
-                        had_copy: resp.had_copy,
-                    },
-                );
-                if resp.had_copy {
-                    self.nodes[i].policy.on_invalidation(msg.block);
-                }
-                let home = self.cfg.home_of(msg.block);
-                self.route(
-                    Message::new(
-                        p,
-                        home,
-                        msg.block,
-                        MsgKind::InvAck {
-                            had_copy: resp.had_copy,
-                            dirty_token: resp.dirty_token,
-                        },
-                    ),
-                    now,
-                    q,
-                );
-            }
-            MsgKind::VerifyCorrect { timely } => {
-                self.emit(
-                    now,
-                    SimEvent::PredictionVerified {
-                        node: p,
-                        block: msg.block,
-                        outcome: VerifyOutcome::Correct,
-                        timely,
-                    },
-                );
-                self.nodes[i]
-                    .policy
-                    .on_verification(msg.block, VerifyOutcome::Correct);
-            }
-            MsgKind::DataS { .. } | MsgKind::DataX { .. } | MsgKind::UpgradeAck { .. } => {
-                self.complete_fill(now, msg, q);
-            }
-            other => unreachable!("cache received {other:?}"),
-        }
-    }
-
-    fn complete_fill(&mut self, now: Cycle, msg: Message, q: &mut EventQueue<Event>) {
-        let p = msg.dst;
-        let i = p.index();
-        let fill = self.nodes[i].cache.apply_reply(msg.block, msg.kind);
-        // Resolve an earlier prediction first (FIFO per block), then start
-        // the new trace with this access's touch.
-        if let Some(v) = fill.verify {
-            // Verdicts piggybacked on fills resolved when this very request
-            // reached the directory — never timely.
-            self.emit(
-                now,
-                SimEvent::PredictionVerified {
-                    node: p,
-                    block: msg.block,
-                    outcome: v,
-                    timely: false,
-                },
-            );
-            self.nodes[i].policy.on_verification(msg.block, v);
-        }
-        let ExecState::BlockedMem(ctx) = self.nodes[i].exec else {
-            unreachable!("fill for {p} which is not blocked");
-        };
-        debug_assert_eq!(ctx.block, msg.block, "fill for the wrong block");
-        let fire = self.nodes[i].policy.on_touch(Touch {
-            block: ctx.block,
-            pc: ctx.pc,
-            is_write: ctx.is_write,
-            exclusive: fill.exclusive,
-            fill: Some(fill.info),
-        });
-        if fire {
-            self.self_invalidate(now, p, ctx.block, q);
-        }
-        // The requester-side network-cache install costs one memory access
-        // (this is what stretches the round trip to Table 1's ≈416 cycles).
-        self.complete_access(now + self.cfg.mem_access(), p, ctx.block, ctx.cont, q);
-    }
 }
 
-impl World for Machine {
-    type Event = Event;
+/// Locks a shard, shrugging off poison: a worker panic poisons its mutex,
+/// but the coordinator still needs the state for diagnosis/teardown, and
+/// the panic itself is re-raised separately.
+fn lock<'a>(m: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
 
-    fn handle(&mut self, now: Cycle, event: Event, q: &mut EventQueue<Event>) {
-        match event {
-            Event::CpuStep(p) => self.cpu_step(now, p, q),
-            Event::Arrive(msg) => self.arrive(now, msg, q),
-            Event::EngineDrain(h) => self.engine_drain(now, h, q),
+/// `get_mut` with the same poison handling (serial path and `&mut`
+/// accessors — no locking at all).
+fn lock_mut(m: &mut Mutex<Shard>) -> &mut Shard {
+    m.get_mut().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Poison-tolerant lock for the panic-payload slot itself.
+fn lock_raw<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// One window boundary: cross-shard message exchange, probe-log merge and
+/// replay, and the global barrier fold. Shared verbatim by the serial and
+/// parallel paths — `S` is `&mut Shard` or a mutex guard.
+fn boundary<S: std::ops::DerefMut<Target = Shard>>(
+    shards: &mut [S],
+    sync: &mut GlobalSync,
+    probes: &mut [Box<dyn Probe>],
+    part: Partition,
+    nodes: u16,
+    end: Cycle,
+) {
+    // 1. Redistribute cross-shard messages into their destination queues.
+    //    Delivery cycles are ≥ `end` by the conservative lookahead, so every
+    //    message lands in a window that has not run yet.
+    let outboxes: Vec<_> = shards.iter_mut().map(|s| s.take_outboxes()).collect();
+    for (src, per_dst) in outboxes.into_iter().enumerate() {
+        for (dst, stamped) in per_dst.into_iter().enumerate() {
+            debug_assert!(
+                dst != src || stamped.is_empty(),
+                "same-shard messages are scheduled directly, never boxed"
+            );
+            for st in stamped {
+                debug_assert!(
+                    st.deliver >= end,
+                    "cross-shard delivery at {} inside the window ending {end}",
+                    st.deliver
+                );
+                shards[dst].schedule_inbound(st);
+            }
+        }
+    }
+    // 2. Merge the shards' event logs into serial emission order and replay
+    //    them through the generic probes. `(at, key)` — the handled event's
+    //    tag — is globally unique per cycle, and the sort is stable, so one
+    //    handler's emissions stay contiguous and in order.
+    if !probes.is_empty() {
+        let mut entries: Vec<ProbeEntry> = Vec::new();
+        for s in shards.iter_mut() {
+            entries.append(s.probe_log_mut());
+        }
+        entries.sort_by_key(|e| (e.at, e.key));
+        for e in &entries {
+            let ctx = ProbeCtx { now: e.now, nodes };
+            for p in probes.iter_mut() {
+                p.on_event(&ctx, &e.event);
+            }
+        }
+    }
+    // 3. Fold barrier arrivals and completions (in global `(cycle, node)`
+    //    order) and schedule releases at the boundary cycle — a grid point,
+    //    hence identical for every shard count.
+    let mut records: Vec<SyncRecord> = Vec::new();
+    for s in shards.iter_mut() {
+        records.append(&mut s.take_sync_log());
+    }
+    if !records.is_empty() {
+        records.sort_by_key(|r| (r.at, r.node));
+        for (id, waiters) in sync.fold(&records) {
+            let ctx = ProbeCtx { now: end, nodes };
+            let event = SimEvent::BarrierRelease {
+                id,
+                waiters: waiters.len() as u16,
+            };
+            for p in probes.iter_mut() {
+                p.on_event(&ctx, &event);
+            }
+            for w in waiters {
+                let node = NodeId::new(w);
+                shards[part.shard_of(node)].schedule_resume(end, node, id);
+            }
         }
     }
 }
@@ -959,9 +576,9 @@ impl World for Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ltp_core::NullPolicy;
-    use ltp_sim::{Simulation, StopReason};
-    use ltp_workloads::LoopedScript;
+    use ltp_core::{NullPolicy, Pc, Touch, VerifyOutcome};
+    use ltp_sim::StopReason;
+    use ltp_workloads::{Lock, LoopedScript, Op};
 
     fn small_cfg(nodes: u16) -> SystemConfig {
         SystemConfig::builder().nodes(nodes).build().unwrap()
@@ -975,19 +592,14 @@ mod tests {
 
     fn run(mut machine: Machine) -> (Metrics, StopReason) {
         machine.attach_core_metrics();
-        let mut sim = Simulation::new(machine).with_horizon(Cycle::new(50_000_000));
-        {
-            let (world, queue) = sim.world_and_queue_mut();
-            world.prime(queue);
-        }
-        let summary = sim.run();
+        let summary = machine.run(Cycle::new(50_000_000));
         assert_ne!(
             summary.stop,
             StopReason::HorizonReached,
             "machine stuck:\n{}",
-            sim.world().stuck_report()
+            machine.stuck_report()
         );
-        let (m, sections) = sim.into_world().finish();
+        let (m, sections) = machine.finish();
         assert!(sections.is_empty(), "no extra probes attached");
         (m.expect("core metrics attached"), summary.stop)
     }
@@ -1246,19 +858,6 @@ mod tests {
     }
 
     #[test]
-    fn lock_backoff_is_deterministic() {
-        let a = Machine::backoff_slots(NodeId::new(3), 7);
-        let b = Machine::backoff_slots(NodeId::new(3), 7);
-        assert_eq!(a, b);
-        assert!((1..=6).contains(&a));
-        // Different nodes and different failure counts spread.
-        let spread: std::collections::HashSet<u64> = (0..16u16)
-            .map(|n| Machine::backoff_slots(NodeId::new(n), 1))
-            .collect();
-        assert!(spread.len() > 2, "backoff must not be uniform: {spread:?}");
-    }
-
-    #[test]
     fn contended_lock_serializes_critical_sections() {
         // Under a contended lock with a shared counter block, each holder
         // writes the counter once; the token (write count) at the end must
@@ -1280,20 +879,13 @@ mod tests {
                 )) as Box<dyn Program>
             })
             .collect();
-        let machine = Machine::new(cfg, null_policies(6), programs);
-        let mut sim = Simulation::new(machine).with_horizon(Cycle::new(50_000_000));
-        {
-            let (world, queue) = sim.world_and_queue_mut();
-            world.prime(queue);
-        }
-        let summary = sim.run();
+        let mut machine = Machine::new(cfg, null_policies(6), programs);
+        let summary = machine.run(Cycle::new(50_000_000));
         assert_ne!(summary.stop, StopReason::HorizonReached);
-        // Recover the final token by reading the machine's cache state: the
-        // last writer holds the newest token (6 nodes × 4 sections).
-        let world = sim.world();
+        // Recover the final token from cache state: the last writer holds
+        // the newest token (6 nodes × 4 sections).
         let newest = (0..6)
-            .filter_map(|i| world.nodes[i].cache.line(BlockId::new(7)))
-            .map(|l| l.token)
+            .filter_map(|i| machine.cached_token(NodeId::new(i), BlockId::new(7)))
             .max()
             .expect("someone holds the counter");
         assert_eq!(newest, u64::from(cs) * 6, "every critical section counted");
@@ -1361,5 +953,82 @@ mod tests {
         let machine = Machine::new(cfg, null_policies(2), programs);
         let (_, stop) = run(machine);
         assert_eq!(stop, StopReason::Drained);
+    }
+
+    /// Builds the contended-lock + barrier workload used for shard
+    /// equivalence checks: every machine-level mechanism (locks, barriers,
+    /// flags, invalidations, reinjections) in one pot.
+    fn mixed_workload(nodes: u16) -> (SystemConfig, Vec<Box<dyn Program>>) {
+        let cfg = small_cfg(nodes);
+        let lock = Lock::library(BlockId::new(0), 0x100);
+        let programs: Vec<Box<dyn Program>> = (0..u64::from(nodes))
+            .map(|i| {
+                Box::new(LoopedScript::new(
+                    vec![Op::Think(i * 17), Op::Barrier(0)],
+                    vec![
+                        Op::Lock(lock),
+                        write(0x200, 7),
+                        Op::Unlock(lock),
+                        read(0x210, 3 + i % 4),
+                        write(0x214, 11 + i % 3),
+                        Op::Think(60 + i * 7),
+                        Op::Barrier(1),
+                    ],
+                    3,
+                )) as Box<dyn Program>
+            })
+            .collect();
+        (cfg, programs)
+    }
+
+    #[test]
+    fn sharded_runs_match_serial_exactly() {
+        let serial = {
+            let (cfg, programs) = mixed_workload(6);
+            run(Machine::new(cfg, null_policies(6), programs))
+        };
+        for shards in [2usize, 3, 4, 6] {
+            let (cfg, programs) = mixed_workload(6);
+            let sharded = run(Machine::with_shards(
+                cfg,
+                null_policies(6),
+                programs,
+                shards,
+            ));
+            assert_eq!(serial, sharded, "{shards}-shard run diverged from serial");
+        }
+    }
+
+    #[test]
+    fn one_shard_machine_is_the_serial_path() {
+        let (cfg, programs) = mixed_workload(4);
+        let machine = Machine::with_shards(cfg, null_policies(4), programs, 1);
+        assert_eq!(machine.shards(), 1);
+        let (m, stop) = run(machine);
+        assert_eq!(stop, StopReason::Drained);
+        assert!(m.misses > 0);
+    }
+
+    #[test]
+    fn worker_panic_is_reraised_not_deadlocked() {
+        // A 2-shard machine whose shard-1 node skips a barrier: the fold
+        // panics on the coordinator at a boundary. The fleet must shut down
+        // and the panic must surface (not hang the scope).
+        let cfg = small_cfg(2);
+        let programs: Vec<Box<dyn Program>> = vec![
+            Box::new(LoopedScript::new(vec![Op::Barrier(1)], vec![], 0)),
+            Box::new(LoopedScript::new(
+                vec![Op::Think(100), Op::Barrier(0)],
+                vec![],
+                0,
+            )),
+        ];
+        let mut machine = Machine::with_shards(cfg, null_policies(2), programs, 2);
+        let err = panic::catch_unwind(AssertUnwindSafe(|| {
+            machine.run(Cycle::new(50_000_000));
+        }))
+        .expect_err("malformed barrier workload must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("distinct barrier"), "unexpected panic: {msg}");
     }
 }

@@ -82,7 +82,7 @@ use ltp_dsm::{DirectoryKind, Message};
 use ltp_sim::Cycle;
 use ltp_workloads::{Op, WorkloadParams};
 
-use crate::probes::{PerNodeProbe, SelfInvLeadProbe, TraceRecorderProbe};
+use crate::probes::{MsgLatencyProbe, PerNodeProbe, SelfInvLeadProbe, TraceRecorderProbe};
 
 /// One observation from the running machine.
 ///
@@ -141,6 +141,8 @@ pub enum SimEvent {
     MessageServiced {
         /// The home node whose engine serviced the message.
         home: NodeId,
+        /// The serviced message's wire kind.
+        kind: ltp_dsm::MsgKind,
         /// Cycles the message waited in the engine queue.
         queueing: Cycle,
         /// Service occupancy (control vs data timing class).
@@ -519,6 +521,7 @@ impl ProbeRegistry {
     /// |---|---|
     /// | `per-node` | per-node accuracy/traffic breakdown |
     /// | `hist:self-inv-lead` | lead-time histogram of self-invalidations |
+    /// | `hist:msg-latency` | directory queueing/service latency per message class |
     /// | `record:<file>` | tee the as-simulated op stream to a trace file |
     pub fn with_builtins() -> Self {
         let mut r = ProbeRegistry::empty();
@@ -537,17 +540,20 @@ impl ProbeRegistry {
         r.register(
             "hist",
             "distribution probes; hist:self-inv-lead = lead time between a \
-             self-invalidation and its verification verdict",
+             self-invalidation and its verification verdict, \
+             hist:msg-latency = directory queueing/service latency per \
+             message class",
             |arg| match arg {
                 Some("self-inv-lead") => Ok(Arc::new(SelfInvLeadFactory)),
+                Some("msg-latency") => Ok(Arc::new(MsgLatencyFactory)),
                 Some(other) => Err(ProbeSpecError::InvalidArg {
                     probe: "hist".to_string(),
                     arg: other.to_string(),
-                    expected: "one of: self-inv-lead".to_string(),
+                    expected: "one of: self-inv-lead, msg-latency".to_string(),
                 }),
                 None => Err(ProbeSpecError::MissingArg {
                     probe: "hist".to_string(),
-                    expected: "a histogram name (hist:self-inv-lead)".to_string(),
+                    expected: "a histogram name (hist:self-inv-lead, hist:msg-latency)".to_string(),
                 }),
             },
         )
@@ -696,6 +702,24 @@ impl ProbeFactory for SelfInvLeadFactory {
     }
 }
 
+/// Factory for the message latency histogram (`hist:msg-latency`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MsgLatencyFactory;
+
+impl ProbeFactory for MsgLatencyFactory {
+    fn name(&self) -> &str {
+        "hist"
+    }
+
+    fn spec(&self) -> String {
+        "hist:msg-latency".to_string()
+    }
+
+    fn build(&self, _run: &RunInfo) -> Box<dyn Probe> {
+        Box::new(MsgLatencyProbe::new())
+    }
+}
+
 /// Factory for the live trace recorder (`record:<file>`).
 #[derive(Debug, Clone)]
 pub struct RecordFactory {
@@ -732,6 +756,7 @@ mod tests {
             ("per-node", "per-node"),
             ("hist:self-inv-lead", "hist:self-inv-lead"),
             (" hist : self-inv-lead ", "hist:self-inv-lead"),
+            ("hist:msg-latency", "hist:msg-latency"),
             ("record:/tmp/x.ltrace", "record:/tmp/x.ltrace"),
         ] {
             let factory = registry

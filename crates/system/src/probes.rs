@@ -142,6 +142,47 @@ impl CoreMetricsProbe {
         }
     }
 
+    /// Absorbs another collector's tallies (the sharded engine keeps one
+    /// collector per shard, statically dispatched on each shard's hot path,
+    /// and merges them at the end of the run).
+    ///
+    /// Bit-exactness: per-node and per-home slots are populated on exactly
+    /// one shard (nodes and homes are partitioned), so slot-wise merging
+    /// adds each non-zero contribution to zero — every counter, and every
+    /// floating-point mean-accumulator sum, lands bit-identical to a
+    /// single-collector run. Whole-machine counters (`messages`,
+    /// `invalidations_sent`, …) are plain integer sums.
+    pub(crate) fn merge(&mut self, other: &CoreMetricsProbe) {
+        assert_eq!(self.nodes.len(), other.nodes.len(), "same machine size");
+        self.exec_cycles = self.exec_cycles.max(other.exec_cycles);
+        self.messages += other.messages;
+        for (a, b) in self.nodes.iter_mut().zip(&other.nodes) {
+            a.predicted += b.predicted;
+            a.predicted_timely += b.predicted_timely;
+            a.not_predicted += b.not_predicted;
+            a.mispredicted += b.mispredicted;
+            a.misses += b.misses;
+            a.hits += b.hits;
+            a.self_inv_sent += b.self_inv_sent;
+        }
+        for (a, b) in self.queueing.iter_mut().zip(&other.queueing) {
+            a.merge(b);
+        }
+        for (a, b) in self.service.iter_mut().zip(&other.service) {
+            a.merge(b);
+        }
+        self.invalidations_sent += other.invalidations_sent;
+        self.extra_invalidations += other.extra_invalidations;
+        self.broadcast_overflows += other.broadcast_overflows;
+        self.stale_ignored += other.stale_ignored;
+        self.storage.blocks_tracked += other.storage.blocks_tracked;
+        self.storage.live_entries += other.storage.live_entries;
+        self.storage.signature_bits = self
+            .storage
+            .signature_bits
+            .max(other.storage.signature_bits);
+    }
+
     /// Merges the tallies into the flat [`Metrics`] struct, in the same
     /// order the pre-probe simulator did.
     pub fn into_metrics(self) -> Metrics {
@@ -391,6 +432,132 @@ impl Probe for SelfInvLeadProbe {
     }
 }
 
+/// The wire kinds in fixed report order — the row order of
+/// [`MsgLatencyProbe`]'s section, chosen once so serial and sharded runs
+/// render byte-identical JSON.
+const MSG_CLASS_NAMES: [&str; 11] = [
+    "GetS",
+    "GetX",
+    "Upgrade",
+    "SelfInvClean",
+    "SelfInvDirty",
+    "Inv",
+    "InvAck",
+    "DataS",
+    "DataX",
+    "UpgradeAck",
+    "VerifyCorrect",
+];
+
+/// Slot of a wire kind in [`MSG_CLASS_NAMES`].
+fn msg_class(kind: ltp_dsm::MsgKind) -> usize {
+    use ltp_dsm::MsgKind;
+    match kind {
+        MsgKind::GetS => 0,
+        MsgKind::GetX => 1,
+        MsgKind::Upgrade => 2,
+        MsgKind::SelfInvClean => 3,
+        MsgKind::SelfInvDirty { .. } => 4,
+        MsgKind::Inv => 5,
+        MsgKind::InvAck { .. } => 6,
+        MsgKind::DataS { .. } => 7,
+        MsgKind::DataX { .. } => 8,
+        MsgKind::UpgradeAck { .. } => 9,
+        MsgKind::VerifyCorrect { .. } => 10,
+    }
+}
+
+/// Latency bucket bounds (cycles). Directory service occupancies are tens
+/// of cycles; queueing under contention reaches thousands, so the buckets
+/// span 2²…2¹³.
+const MSG_LAT_BOUNDS: [u64; 12] = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// Message latency histogram (`hist:msg-latency`).
+///
+/// Per wire kind: how many messages were delivered
+/// ([`SimEvent::MessageDelivered`]), and — for the directory-bound kinds a
+/// home's protocol engine services ([`SimEvent::MessageServiced`]) — the
+/// distributions of queueing delay, service occupancy, and their sum (the
+/// message's total latency at the home). Classes that never appeared are
+/// omitted from the section; rows render in the fixed [`MSG_CLASS_NAMES`]
+/// order, so the section is byte-identical however the run was sharded
+/// (events reach dynamic probes in canonical order either way).
+#[derive(Debug)]
+pub struct MsgLatencyProbe {
+    delivered: [u64; MSG_CLASS_NAMES.len()],
+    queueing: Vec<Histogram>,
+    service: Vec<Histogram>,
+    total: Vec<Histogram>,
+}
+
+impl MsgLatencyProbe {
+    /// An empty histogram probe.
+    pub fn new() -> Self {
+        let hists = || {
+            (0..MSG_CLASS_NAMES.len())
+                .map(|_| Histogram::with_bounds(&MSG_LAT_BOUNDS))
+                .collect()
+        };
+        MsgLatencyProbe {
+            delivered: [0; MSG_CLASS_NAMES.len()],
+            queueing: hists(),
+            service: hists(),
+            total: hists(),
+        }
+    }
+}
+
+impl Default for MsgLatencyProbe {
+    fn default() -> Self {
+        MsgLatencyProbe::new()
+    }
+}
+
+impl Probe for MsgLatencyProbe {
+    fn on_event(&mut self, _ctx: &ProbeCtx, event: &SimEvent) {
+        match *event {
+            SimEvent::MessageDelivered { msg } => {
+                self.delivered[msg_class(msg.kind)] += 1;
+            }
+            SimEvent::MessageServiced {
+                kind,
+                queueing,
+                service,
+                ..
+            } => {
+                let c = msg_class(kind);
+                self.queueing[c].record(queueing.as_u64());
+                self.service[c].record(service.as_u64());
+                self.total[c].record(queueing.as_u64() + service.as_u64());
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(self: Box<Self>) -> Option<MetricsSection> {
+        let rows: Vec<JsonValue> = MSG_CLASS_NAMES
+            .iter()
+            .enumerate()
+            .filter(|&(c, _)| self.delivered[c] > 0 || self.total[c].samples() > 0)
+            .map(|(c, name)| {
+                JsonObject::new()
+                    .field("class", *name)
+                    .field("delivered", self.delivered[c])
+                    .field("serviced", self.total[c].samples())
+                    .field("queueing", histogram_json(&self.queueing[c]))
+                    .field("service", histogram_json(&self.service[c]))
+                    .field("total", histogram_json(&self.total[c]))
+                    .build()
+            })
+            .collect();
+        let data = JsonObject::new()
+            .field("unit", "cycles")
+            .field("classes", JsonValue::Array(rows))
+            .build();
+        Some(MetricsSection::new("hist:msg-latency", data))
+    }
+}
+
 /// Tees the as-simulated op stream into a `.ltrace` file
 /// (`record:<file>`) — ROADMAP's "record from live simulation".
 ///
@@ -546,6 +713,38 @@ mod tests {
             json.contains("\"correct_timely\":{\"bounds\":[64,") && json.contains("\"counts\":[1,"),
             "{json}"
         );
+    }
+
+    #[test]
+    fn msg_latency_probe_classifies_and_buckets() {
+        let mut p = Box::new(MsgLatencyProbe::new());
+        let msg = ltp_dsm::Message::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            BlockId::new(3),
+            ltp_dsm::MsgKind::GetS,
+        );
+        p.on_event(&ctx(10), &SimEvent::MessageDelivered { msg });
+        p.on_event(
+            &ctx(40),
+            &SimEvent::MessageServiced {
+                home: NodeId::new(1),
+                kind: ltp_dsm::MsgKind::GetS,
+                queueing: Cycle::new(30),
+                service: Cycle::new(14),
+                data: true,
+            },
+        );
+        let section = p.finish().expect("section");
+        assert_eq!(section.name, "hist:msg-latency");
+        let json = section.data.render();
+        // Only the one class that appeared renders, with its delivered
+        // count, service count, and the 30 + 14 total latency recorded.
+        assert!(json.contains("\"class\":\"GetS\""), "{json}");
+        assert!(!json.contains("\"class\":\"GetX\""), "{json}");
+        assert!(json.contains("\"delivered\":1"), "{json}");
+        assert!(json.contains("\"serviced\":1"), "{json}");
+        assert!(json.contains("\"unit\":\"cycles\""), "{json}");
     }
 
     #[test]

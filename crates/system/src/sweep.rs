@@ -62,6 +62,7 @@ pub struct SweepSpec {
     probes: Vec<Arc<dyn ProbeFactory>>,
     predictor: PredictorConfig,
     threads: Option<usize>,
+    shards: usize,
 }
 
 impl Default for SweepSpec {
@@ -82,6 +83,7 @@ impl SweepSpec {
             probes: Vec::new(),
             predictor: PredictorConfig::default(),
             threads: None,
+            shards: 1,
         }
     }
 
@@ -220,6 +222,17 @@ impl SweepSpec {
         self
     }
 
+    /// Sets the number of simulation shards for *every* run of the cross
+    /// product (see [`ExperimentSpec::shards`]). Sharding splits one
+    /// machine across worker threads; it changes wall-clock time only —
+    /// every report stays bit-identical to a one-shard run. `0` is treated
+    /// as 1. Orthogonal to [`SweepSpec::threads`], which parallelizes
+    /// *across* runs.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Forces serial execution (equivalent to `threads(1)`).
     pub fn serial(self) -> Self {
         self.threads(1)
@@ -266,6 +279,7 @@ impl SweepSpec {
                 for &workload in geometries {
                     for &directory in directories {
                         runs.push(ExperimentSpec {
+                            shards: self.shards,
                             source: source.clone(),
                             policy: Arc::clone(policy),
                             workload: source.effective_params(workload),

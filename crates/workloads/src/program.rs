@@ -110,7 +110,7 @@ pub enum Op {
 /// Programs are deterministic: any randomness must be fixed at construction
 /// (from the experiment seed), so a given `(workload, seed, node)` always
 /// yields the same stream.
-pub trait Program: fmt::Debug {
+pub trait Program: fmt::Debug + Send {
     /// Returns the next operation, or `None` when the program has finished.
     fn next_op(&mut self) -> Option<Op>;
 

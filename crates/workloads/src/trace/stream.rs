@@ -8,9 +8,10 @@
 //! validates every stream's structure, and builds a per-node index (byte
 //! offset, op count, repeat window); [`StreamingTraceProgram`] then decodes
 //! each node's self-delimiting stream **incrementally** from its own file
-//! handle. Peak memory per node is bounded by the stream's declared repeat
-//! window (plus a small read buffer) no matter how many ops the trace
-//! holds — replay memory is O(nodes × window), not O(ops).
+//! handle, through a byte-level read-ahead layer that pulls the stream in
+//! 64 KiB chunks. Peak memory per node is bounded by the stream's declared
+//! repeat window (plus the fixed read-ahead chunk) no matter how many ops
+//! the trace holds — replay memory is O(nodes × window), not O(ops).
 //!
 //! Both format versions stream: v2 windows come from the header, v1
 //! streams have no repeat blocks and need no window at all.
@@ -98,10 +99,81 @@ fn scan_stream_v2<I: TraceInput>(
     Ok(repeats_seen)
 }
 
-/// Size of each per-node read buffer, in bytes. At 1–4 encoded bytes/op a
-/// 8 KiB buffer amortizes the read syscall over thousands of ops, and even
-/// 256 nodes streaming concurrently cost only 2 MiB of buffers.
-const READ_BUF_BYTES: usize = 8192;
+/// Size of each per-node read-ahead chunk, in bytes. At 1–4 encoded
+/// bytes/op one 64 KiB read pulls tens of thousands of ops' worth of bytes
+/// into memory at once, and even 256 nodes streaming concurrently cost
+/// only 16 MiB of buffers.
+const READ_AHEAD_BYTES: usize = 64 * 1024;
+
+/// Byte-level read-ahead over one stream's slice of the trace file — the
+/// buffered layer between the file and a per-node decode cursor.
+///
+/// Bytes are pulled in [`READ_AHEAD_BYTES`] chunks (clamped to the
+/// stream's declared length, so a cursor never reads into a neighbouring
+/// stream) and served from an in-memory buffer, making the decoder's
+/// per-byte path an inline bounds check instead of a [`Read::read`] call
+/// per byte. The layer buffers *encoded bytes*, never decoded ops, so the
+/// replay memory bound (`peak_buffered_ops() ≤ 2 × window`) is untouched.
+#[derive(Debug)]
+struct ReadAheadInput {
+    file: File,
+    /// Encoded stream bytes not yet pulled into the buffer.
+    left: u64,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl ReadAheadInput {
+    /// Seeks `file` to the stream's first byte; `bytes` is the stream's
+    /// declared encoded length.
+    fn new(mut file: File, offset: u64, bytes: u64) -> io::Result<ReadAheadInput> {
+        file.seek(SeekFrom::Start(offset))?;
+        Ok(ReadAheadInput {
+            file,
+            left: bytes,
+            buf: Vec::new(),
+            pos: 0,
+        })
+    }
+
+    /// Refills the chunk buffer with the next slice of the stream; the
+    /// buffer stays empty only when the stream is spent (or the file was
+    /// truncated behind our back — the caller reports that as corruption).
+    fn refill(&mut self) -> io::Result<()> {
+        let want = self.left.min(READ_AHEAD_BYTES as u64) as usize;
+        self.buf.resize(want, 0);
+        self.pos = 0;
+        let mut filled = 0;
+        while filled < want {
+            match self.file.read(&mut self.buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.truncate(filled);
+        self.left -= filled as u64;
+        Ok(())
+    }
+}
+
+impl TraceInput for ReadAheadInput {
+    fn byte(&mut self, what: &str) -> Result<u8, TraceError> {
+        if let Some(&b) = self.buf.get(self.pos) {
+            self.pos += 1;
+            return Ok(b);
+        }
+        self.refill()?;
+        let Some(&b) = self.buf.get(self.pos) else {
+            return Err(TraceError::Corrupt(format!(
+                "truncated while reading {what}"
+            )));
+        };
+        self.pos += 1;
+        Ok(b)
+    }
+}
 
 /// One node's entry in the file index built by [`StreamingTrace::open`].
 #[derive(Debug, Clone, Copy)]
@@ -414,7 +486,9 @@ pub struct TraceScanStats {
 ///
 /// The program keeps a sliding window of the last `window` decoded ops
 /// (the stream's declared repeat window) so repeat blocks can re-emit
-/// them; nothing else of the stream is retained.
+/// them; nothing else of the stream is retained. File bytes arrive
+/// through a per-cursor [`ReadAheadInput`] chunk buffer, so draining an op
+/// costs an inline decode, not a `Read` call per encoded byte.
 /// [`StreamingTraceProgram::peak_buffered_ops`] reports the high-water
 /// mark, which tests assert against [`StreamingTraceProgram::window_ops`].
 ///
@@ -442,18 +516,26 @@ pub struct TraceScanStats {
 pub struct StreamingTraceProgram {
     trace: Arc<StreamingTrace>,
     node: u16,
-    input: IoInput<BufReader<File>>,
+    input: ReadAheadInput,
     state: DeltaState,
     /// Logical ops not yet emitted.
     remaining: u64,
     /// Repeat blocks decoded so far (validated against the header count).
     repeats_seen: u64,
-    /// Sliding window of the last `window_ops` emitted ops.
+    /// Sliding window of the last `window_ops` decoded ops. During a
+    /// repeat expansion the window is *not* maintained per op — the
+    /// expansion is periodic, so [`Self::fold_replay`] reconstructs the
+    /// window (and delta state) from the body in O(window + body) when the
+    /// next literal decode needs them.
     window: VecDeque<Op>,
-    /// The body currently being re-emitted by a repeat block, if any.
+    /// The body being (or last) re-emitted by a repeat block; kept until
+    /// the finished expansion is folded into `window` and `state`.
     replay: Vec<Op>,
     replay_pos: usize,
     replay_left: u64,
+    /// Ops the current/last repeat block covers — what `fold_replay` owes
+    /// the window and delta state (0 once folded).
+    replay_covered: u64,
     peak_buffered: usize,
 }
 
@@ -476,9 +558,8 @@ impl StreamingTraceProgram {
             trace.nodes()
         );
         let index = trace.streams[usize::from(node)];
-        let mut file = File::open(&trace.path)?;
-        file.seek(SeekFrom::Start(index.offset))?;
-        let input = IoInput::new(BufReader::with_capacity(READ_BUF_BYTES, file));
+        let file = File::open(&trace.path)?;
+        let input = ReadAheadInput::new(file, index.offset, index.meta.bytes)?;
         Ok(StreamingTraceProgram {
             trace,
             node,
@@ -490,6 +571,7 @@ impl StreamingTraceProgram {
             replay: Vec::new(),
             replay_pos: 0,
             replay_left: 0,
+            replay_covered: 0,
             peak_buffered: 0,
         })
     }
@@ -510,26 +592,49 @@ impl StreamingTraceProgram {
         &self.trace.streams[usize::from(self.node)].meta
     }
 
-    fn push_window(&mut self, op: Op) {
+    /// Folds a finished repeat expansion into the window and delta state.
+    ///
+    /// Re-emitting a `body × reps` expansion does neither per op — the
+    /// expansion is periodic, so only its final `window` ops (and the
+    /// delta-chain values after them) can influence what decodes next.
+    /// Walking a suffix of length `k ≡ covered (mod body)`, `k ≥ window`,
+    /// reproduces both exactly: O(window + body) work per repeat block
+    /// however many ops it covered, the same virtual expansion
+    /// [`scan_stream_v2`] uses.
+    fn fold_replay(&mut self) {
+        if self.replay_covered == 0 {
+            return;
+        }
         let cap = self.meta().window as usize;
-        push_ring(&mut self.window, cap, op);
-        self.peak_buffered = self
-            .peak_buffered
-            .max(self.window.len() + self.replay.len());
+        let body = self.replay.len() as u64;
+        let covered = self.replay_covered;
+        let full = cap as u64 + body;
+        let walk = if covered <= full + body {
+            covered
+        } else {
+            full + (covered - full) % body
+        };
+        for i in 0..walk {
+            let op = self.replay[(i % body) as usize];
+            note_op(&mut self.state, op);
+            push_ring(&mut self.window, cap, op);
+        }
+        self.replay.clear();
+        self.replay_pos = 0;
+        self.replay_covered = 0;
     }
 
     fn decode_next(&mut self) -> Result<Op, TraceError> {
         if self.replay_left > 0 {
             let op = self.replay[self.replay_pos];
-            self.replay_pos = (self.replay_pos + 1) % self.replay.len();
-            self.replay_left -= 1;
-            if self.replay_left == 0 {
-                self.replay.clear();
+            self.replay_pos += 1;
+            if self.replay_pos == self.replay.len() {
                 self.replay_pos = 0;
             }
-            note_op(&mut self.state, op);
+            self.replay_left -= 1;
             return Ok(op);
         }
+        self.fold_replay();
         let meta = *self.meta();
         let produced = meta.ops - self.remaining;
         let opcode = self.input.byte("opcode")?;
@@ -547,12 +652,16 @@ impl StreamingTraceProgram {
                 .extend(self.window.iter().skip(self.window.len() - body as usize));
             self.replay_pos = 0;
             self.replay_left = covered;
+            self.replay_covered = covered;
             self.peak_buffered = self
                 .peak_buffered
                 .max(self.window.len() + self.replay.len());
             return self.decode_next();
         }
-        decode_op(&mut self.input, &mut self.state, opcode, self.node)
+        let op = decode_op(&mut self.input, &mut self.state, opcode, self.node)?;
+        push_ring(&mut self.window, meta.window as usize, op);
+        self.peak_buffered = self.peak_buffered.max(self.window.len());
+        Ok(op)
     }
 }
 
@@ -579,7 +688,6 @@ impl Program for StreamingTraceProgram {
                 self.node
             )
         });
-        self.push_window(op);
         self.remaining -= 1;
         Some(op)
     }

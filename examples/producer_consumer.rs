@@ -12,7 +12,7 @@
 
 use ltp::core::{BlockId, Pc, PolicyRegistry, PredictorConfig, SelfInvalidationPolicy};
 use ltp::dsm::SystemConfig;
-use ltp::sim::{Cycle, Simulation, StopReason};
+use ltp::sim::{Cycle, StopReason};
 use ltp::system::Machine;
 use ltp::workloads::{LoopedScript, Op, Program};
 
@@ -69,14 +69,9 @@ fn main() {
             .collect();
         let mut machine = Machine::new(cfg.clone(), policies, programs(nodes, 8, 20));
         machine.attach_core_metrics();
-        let mut sim = Simulation::new(machine).with_horizon(Cycle::new(1_000_000_000));
-        {
-            let (world, queue) = sim.world_and_queue_mut();
-            world.prime(queue);
-        }
-        let summary = sim.run();
+        let summary = machine.run(Cycle::new(1_000_000_000));
         assert_ne!(summary.stop, StopReason::HorizonReached, "deadlock");
-        let (m, _) = sim.into_world().finish();
+        let (m, _) = machine.finish();
         let m = m.expect("core metrics attached");
         let base = *base_cycles.get_or_insert(m.exec_cycles);
         println!(

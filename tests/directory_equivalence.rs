@@ -16,7 +16,7 @@
 
 use ltp::core::{BlockId, Pc, PolicyRegistry, PredictorConfig, SelfInvalidationPolicy};
 use ltp::dsm::{DirectoryKind, SystemConfig};
-use ltp::sim::{Cycle, SimRng, Simulation, StopReason};
+use ltp::sim::{Cycle, SimRng, StopReason};
 use ltp::system::{ExperimentSpec, Machine, Metrics};
 use ltp::workloads::{Benchmark, LoopedScript, Op, Program};
 
@@ -88,20 +88,15 @@ fn run(
         .collect();
     let mut machine = Machine::new(cfg, policies, lower(per_node, iters));
     machine.attach_core_metrics();
-    let mut sim = Simulation::new(machine).with_horizon(Cycle::new(200_000_000));
-    {
-        let (world, queue) = sim.world_and_queue_mut();
-        world.prime(queue);
-    }
-    let summary = sim.run();
+    let summary = machine.run(Cycle::new(200_000_000));
     assert_ne!(
         summary.stop,
         StopReason::HorizonReached,
         "deadlock under {directory} / {policy_spec}:\n{}",
-        sim.world().stuck_report()
+        machine.stuck_report()
     );
-    assert!(sim.world().all_finished());
-    let (metrics, _) = sim.into_world().finish();
+    assert!(machine.all_finished());
+    let (metrics, _) = machine.finish();
     metrics.expect("core metrics attached")
 }
 
@@ -184,13 +179,11 @@ fn exact_fit_has_no_extra_invalidations() {
             .collect();
         let mut machine = Machine::new(cfg, policies, (0..u64::from(nodes)).map(mk).collect());
         machine.attach_core_metrics();
-        let mut sim = Simulation::new(machine).with_horizon(Cycle::new(10_000_000));
-        {
-            let (world, queue) = sim.world_and_queue_mut();
-            world.prime(queue);
-        }
-        assert_ne!(sim.run().stop, StopReason::HorizonReached);
-        let (m, _) = sim.into_world().finish();
+        assert_ne!(
+            machine.run(Cycle::new(10_000_000)).stop,
+            StopReason::HorizonReached
+        );
+        let (m, _) = machine.finish();
         let m = m.expect("core metrics attached");
         assert_eq!(
             m.extra_invalidations, 0,

@@ -12,7 +12,7 @@
 
 use ltp::core::{BlockId, Pc, PolicyRegistry, PredictorConfig, SelfInvalidationPolicy};
 use ltp::dsm::SystemConfig;
-use ltp::sim::{Cycle, SimRng, Simulation, StopReason};
+use ltp::sim::{Cycle, SimRng, StopReason};
 use ltp::system::Machine;
 use ltp::workloads::{Lock, LoopedScript, Op, Program};
 
@@ -93,20 +93,15 @@ fn run(policy_spec: &str, per_node: &[Vec<GenOp>], iters: u32) -> ltp::system::M
         .collect();
     let mut machine = Machine::new(cfg, policies, lower(per_node, iters));
     machine.attach_core_metrics();
-    let mut sim = Simulation::new(machine).with_horizon(Cycle::new(200_000_000));
-    {
-        let (world, queue) = sim.world_and_queue_mut();
-        world.prime(queue);
-    }
-    let summary = sim.run();
+    let summary = machine.run(Cycle::new(200_000_000));
     assert_ne!(
         summary.stop,
         StopReason::HorizonReached,
         "protocol deadlock under {policy_spec}:\n{}",
-        sim.world().stuck_report()
+        machine.stuck_report()
     );
-    assert!(sim.world().all_finished());
-    let (metrics, _) = sim.into_world().finish();
+    assert!(machine.all_finished());
+    let (metrics, _) = machine.finish();
     metrics.expect("core metrics attached")
 }
 
