@@ -68,12 +68,17 @@
 mod confidence;
 mod dsi;
 mod encode;
+pub mod fast_hash;
 mod last_pc;
 mod ltp;
+pub mod offline;
+mod oracle;
+mod perceptron;
 mod policy;
 pub mod registry;
 mod sharer;
 mod table;
+mod tage;
 mod types;
 
 pub use confidence::TwoBitCounter;
@@ -82,12 +87,20 @@ pub use encode::{
     json_escape_into, InvalidSignatureBits, JsonObject, JsonValue, Signature, SignatureBits,
     SignatureEncoder, TruncatedAdd, XorRotate,
 };
+pub use fast_hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use last_pc::{LastPc, LastPcEncoder};
 pub use ltp::{GlobalLtp, PerBlockLtp, PredictorConfig, PrematurePenalty, TracePredictor};
+pub use offline::{
+    replay_capture, verdicts_by_site, CaptureLog, CapturePolicy, CaptureRecord, Decision,
+    PredictStats, ReplayOutcome, StreamEvent, VerdictEngine, VerdictRecord,
+};
+pub use oracle::OraclePolicy;
+pub use perceptron::PerceptronPredictor;
 pub use policy::{
     FillInfo, FillKind, NullPolicy, SelfInvalidationPolicy, SyncKind, Touch, VerifyOutcome,
 };
 pub use registry::{PolicyFactory, PolicyRegistry, PolicySpecError, SpecParams};
 pub use sharer::{SharerIter, SharerSet};
 pub use table::{GlobalTable, LastTouchTable, PerBlockTable, Probe, StorageStats};
+pub use tage::TagePredictor;
 pub use types::{BlockId, NodeId, Pc};

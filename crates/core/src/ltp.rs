@@ -32,7 +32,10 @@
 //! of §3.1), so the confidence counter pins it down. Signatures that matched
 //! mid-trace but were not the final signature are likewise weakened.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::hash_map::Entry;
+use std::collections::{HashSet, VecDeque};
+
+use crate::fast_hash::FxHashMap;
 
 use crate::encode::{Signature, SignatureEncoder, TruncatedAdd};
 use crate::policy::{FillKind, SelfInvalidationPolicy, Touch, VerifyOutcome};
@@ -92,9 +95,9 @@ pub struct TracePredictor<E, T> {
     table: T,
     config: PredictorConfig,
     name: &'static str,
-    traces: HashMap<BlockId, TraceState>,
+    traces: FxHashMap<BlockId, TraceState>,
     /// FIFO of signatures whose self-invalidations await directory verdicts.
-    pending: HashMap<BlockId, VecDeque<Signature>>,
+    pending: FxHashMap<BlockId, VecDeque<Signature>>,
     fired_total: u64,
 }
 
@@ -106,8 +109,8 @@ impl<E: SignatureEncoder, T: LastTouchTable> TracePredictor<E, T> {
             table,
             config,
             name,
-            traces: HashMap::new(),
-            pending: HashMap::new(),
+            traces: FxHashMap::default(),
+            pending: FxHashMap::default(),
             fired_total: 0,
         }
     }
@@ -143,14 +146,17 @@ impl<E: SignatureEncoder, T: LastTouchTable> SelfInvalidationPolicy for TracePre
             // A new trace begins at the faulting instruction (§3.2: "an LTP
             // initializes a block's current signature upon a coherence miss
             // with the PC of the faulting instruction").
-            self.traces.insert(
-                touch.block,
-                TraceState {
-                    sig: self.encoder.start(touch.pc),
-                    matched: Vec::new(),
-                },
-            );
-            self.traces.get_mut(&touch.block).expect("just inserted")
+            let fresh = TraceState {
+                sig: self.encoder.start(touch.pc),
+                matched: Vec::new(),
+            };
+            match self.traces.entry(touch.block) {
+                Entry::Occupied(mut e) => {
+                    *e.get_mut() = fresh;
+                    e.into_mut()
+                }
+                Entry::Vacant(v) => v.insert(fresh),
+            }
         } else {
             // Hit or upgrade: the trace continues. A missing state here means
             // the block was cached before this policy attached; start fresh.

@@ -1,0 +1,142 @@
+//! The ideal last-touch oracle — the upper bound every real predictor in
+//! the zoo is measured against.
+//!
+//! [`OraclePolicy`] is primed with per-block *ground truth*: for each block,
+//! the ordinals (within this node's touch sequence for that block) of the
+//! touches that a baseline run proved to be last touches — i.e. the touches
+//! after which the block was externally invalidated without this node
+//! touching it again. Once primed it fires on exactly those touches, and on
+//! no others.
+//!
+//! Ground truth is schedule-determined, not policy-determined: in the
+//! offline logical replay (`ltp-workloads::replay`) the touch stream each
+//! node emits does not depend on which predictor runs, so the primed
+//! ordinals stay valid when the oracle itself actuates — every fire lands
+//! on a true last touch (100% accuracy) and every invalidation opportunity
+//! is converted (100% coverage), by construction. `ltp predict` computes
+//! the ground truth with a baseline pass when any requested spec reports
+//! [`SelfInvalidationPolicy::wants_ground_truth`].
+//!
+//! Inside the full machine (`ltp run`) nothing primes the oracle, so it
+//! degrades to the base system (never fires) — a deliberate signal that the
+//! oracle is an offline-evaluation construct, not a buildable predictor.
+
+use crate::fast_hash::FxHashMap;
+
+use crate::policy::{SelfInvalidationPolicy, Touch};
+use crate::table::StorageStats;
+use crate::types::BlockId;
+
+/// The primed ideal predictor (see the module docs).
+#[derive(Debug, Default)]
+pub struct OraclePolicy {
+    /// Per block: sorted last-touch ordinals and a cursor into them.
+    marked: FxHashMap<u64, Marked>,
+    /// Per block: touches observed so far (1-based ordinals).
+    counts: FxHashMap<u64, u64>,
+}
+
+#[derive(Debug, Default)]
+struct Marked {
+    ordinals: Vec<u64>,
+    next: usize,
+}
+
+impl OraclePolicy {
+    /// An unprimed oracle (never fires until `prime_last_touches`).
+    pub fn new() -> Self {
+        OraclePolicy::default()
+    }
+}
+
+impl SelfInvalidationPolicy for OraclePolicy {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn wants_ground_truth(&self) -> bool {
+        true
+    }
+
+    fn prime_last_touches(&mut self, last_touches: &[(BlockId, u64)]) {
+        for &(block, ordinal) in last_touches {
+            self.marked
+                .entry(block.index())
+                .or_default()
+                .ordinals
+                .push(ordinal);
+        }
+        for marked in self.marked.values_mut() {
+            marked.ordinals.sort_unstable();
+            marked.ordinals.dedup();
+            marked.next = 0;
+        }
+    }
+
+    fn on_touch(&mut self, touch: Touch) -> bool {
+        let count = self.counts.entry(touch.block.index()).or_insert(0);
+        *count += 1;
+        let Some(marked) = self.marked.get_mut(&touch.block.index()) else {
+            return false;
+        };
+        if marked.ordinals.get(marked.next) == Some(&*count) {
+            marked.next += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn storage(&self) -> StorageStats {
+        StorageStats {
+            blocks_tracked: self.marked.len() as u64,
+            live_entries: self.marked.values().map(|m| m.ordinals.len() as u64).sum(),
+            signature_bits: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FillInfo, FillKind};
+    use crate::types::Pc;
+
+    fn touch(block: u64) -> Touch {
+        Touch {
+            block: BlockId::new(block),
+            pc: Pc::new(0x40),
+            is_write: false,
+            exclusive: false,
+            fill: Some(FillInfo {
+                kind: FillKind::Demand,
+                dir_version: 0,
+                migratory_upgrade: false,
+            }),
+        }
+    }
+
+    #[test]
+    fn unprimed_never_fires() {
+        let mut o = OraclePolicy::new();
+        assert!(o.wants_ground_truth());
+        for _ in 0..10 {
+            assert!(!o.on_touch(touch(3)));
+        }
+    }
+
+    #[test]
+    fn fires_exactly_on_marked_ordinals() {
+        let mut o = OraclePolicy::new();
+        // Touches 2 and 5 of block 3 are last touches; block 9 untouched.
+        o.prime_last_touches(&[
+            (BlockId::new(3), 5),
+            (BlockId::new(3), 2),
+            (BlockId::new(9), 1),
+        ]);
+        let fires: Vec<bool> = (0..6).map(|_| o.on_touch(touch(3))).collect();
+        assert_eq!(fires, vec![false, true, false, false, true, false]);
+        assert_eq!(o.storage().live_entries, 3);
+        assert_eq!(o.storage().blocks_tracked, 2);
+    }
+}

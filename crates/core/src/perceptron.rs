@@ -1,0 +1,295 @@
+//! A perceptron last-touch predictor (Jiménez & Lin-style, adapted from
+//! branch prediction to the last-touch problem).
+//!
+//! Where the paper's [`crate::TracePredictor`] hashes the whole touch trace
+//! into one signature and demands an exact match, the perceptron learns a
+//! *weighted vote* over the recent touch history: each of the last `hist`
+//! PCs that touched the block (plus a per-block bias) indexes a small
+//! weight table, the weights are summed, and the block is self-invalidated
+//! when the sum clears a threshold. Training is mistake-driven with
+//! saturating arithmetic:
+//!
+//! * an external invalidation means the preceding touch *was* a last touch
+//!   the predictor missed (or under-voted) — weights for that touch's
+//!   feature vector are incremented, unless the vote already cleared the
+//!   threshold;
+//! * a verified-premature self-invalidation means the vote fired on a
+//!   non-last touch — the fired feature vector's weights are decremented;
+//! * weights clamp at ±(2^(bits−1) − 1) — they saturate, never wrap
+//!   (`tests/predict_properties.rs` fuzzes this).
+//!
+//! Spec string: `perceptron[:bits=8][,hist=4][,size=256][,theta=8]`.
+
+use crate::fast_hash::FxHashMap;
+
+use crate::ltp::PredictorConfig;
+use crate::offline::PendingFifo;
+use crate::policy::{FillKind, SelfInvalidationPolicy, Touch, VerifyOutcome};
+use crate::table::StorageStats;
+use crate::types::{BlockId, Pc};
+
+/// Default touch-history depth (feature positions).
+pub const PERCEPTRON_DEFAULT_HIST: usize = 4;
+/// Default rows per weight table.
+pub const PERCEPTRON_DEFAULT_SIZE: usize = 256;
+/// Default weight width in bits (weights clamp at ±(2^(bits−1) − 1)).
+pub const PERCEPTRON_DEFAULT_BITS: u32 = 8;
+/// Default firing threshold.
+pub const PERCEPTRON_DEFAULT_THETA: i32 = 8;
+
+/// The perceptron last-touch predictor (see the module docs).
+#[derive(Debug)]
+pub struct PerceptronPredictor {
+    hist: usize,
+    size: usize,
+    theta: i32,
+    weight_max: i32,
+    config: PredictorConfig,
+    /// One weight table per history position, plus a bias table indexed by
+    /// block: `weights[position][row]`.
+    weights: Vec<Vec<i32>>,
+    bias: Vec<i32>,
+    /// Per-block recent-PC history, newest last; reset on demand fills.
+    histories: FxHashMap<u64, Vec<Pc>>,
+    /// Per block: the feature rows and vote of the most recent touch — the
+    /// training example an external invalidation rewards.
+    last_vote: FxHashMap<u64, (Vec<usize>, i32)>,
+    /// Fired feature vectors awaiting directory verdicts, FIFO per block.
+    pending: PendingFifo<(Vec<usize>, i32)>,
+}
+
+impl PerceptronPredictor {
+    /// Builds a predictor with the given geometry. `bits` ∈ 1..=31 is the
+    /// weight width; `hist` the history depth; `size` the rows per table;
+    /// `theta` the firing threshold.
+    pub fn new(bits: u32, hist: usize, size: usize, theta: i32, config: PredictorConfig) -> Self {
+        let bits = bits.clamp(1, 31);
+        let hist = hist.max(1);
+        let size = size.max(1);
+        PerceptronPredictor {
+            hist,
+            size,
+            theta,
+            weight_max: (1i32 << (bits - 1)) - 1,
+            config,
+            weights: vec![vec![0; size]; hist],
+            bias: vec![0; size],
+            histories: FxHashMap::default(),
+            last_vote: FxHashMap::default(),
+            pending: PendingFifo::new(),
+        }
+    }
+
+    /// The largest weight magnitude currently stored — bounded by
+    /// ±(2^(bits−1) − 1) at all times (fuzzed in `tests/`).
+    pub fn max_abs_weight(&self) -> i32 {
+        self.weights
+            .iter()
+            .flatten()
+            .chain(self.bias.iter())
+            .map(|w| w.abs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// FNV-1a over (position, value), folded into a table row.
+    fn row(&self, position: u64, value: u64) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in position
+            .to_le_bytes()
+            .into_iter()
+            .chain(value.to_le_bytes())
+        {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.size as u64) as usize
+    }
+
+    /// Feature rows under the current history: returned rows index
+    /// `weights` position-wise (the per-block bias row is computed
+    /// separately). Missing history positions hash a sentinel so short
+    /// histories still produce a full vector.
+    fn features(&self, history: &[Pc]) -> Vec<usize> {
+        (0..self.hist)
+            .map(|j| {
+                let pc = history
+                    .len()
+                    .checked_sub(j + 1)
+                    .map(|i| u64::from(history[i].value()))
+                    .unwrap_or(u64::MAX);
+                self.row(j as u64, pc)
+            })
+            .collect()
+    }
+
+    fn vote(&self, block: BlockId, rows: &[usize]) -> i32 {
+        let bias_row = self.row(u64::MAX, block.index());
+        let mut y = self.bias[bias_row];
+        for (j, &row) in rows.iter().enumerate() {
+            y += self.weights[j][row];
+        }
+        y
+    }
+
+    /// Saturating train: `delta` = ±1 applied to the bias row and every
+    /// feature row, clamped to ±weight_max.
+    fn train(&mut self, block: BlockId, rows: &[usize], delta: i32) {
+        let max = self.weight_max;
+        let bias_row = self.row(u64::MAX, block.index());
+        let b = &mut self.bias[bias_row];
+        *b = (*b + delta).clamp(-max, max);
+        for (j, &row) in rows.iter().enumerate() {
+            let w = &mut self.weights[j][row];
+            *w = (*w + delta).clamp(-max, max);
+        }
+    }
+}
+
+impl SelfInvalidationPolicy for PerceptronPredictor {
+    fn name(&self) -> &'static str {
+        "perceptron"
+    }
+
+    fn on_touch(&mut self, touch: Touch) -> bool {
+        let history = self.histories.entry(touch.block.index()).or_default();
+        if matches!(touch.fill.map(|f| f.kind), Some(FillKind::Demand)) {
+            // A demand fill starts a fresh residency: the old history
+            // belongs to a trace that already ended.
+            history.clear();
+        }
+        history.push(touch.pc);
+        let keep = history.len().saturating_sub(self.hist);
+        if keep > 0 {
+            history.drain(..keep);
+        }
+        let history = history.clone();
+        let rows = self.features(&history);
+        let y = self.vote(touch.block, &rows);
+        self.last_vote
+            .insert(touch.block.index(), (rows.clone(), y));
+        let fire = y >= self.theta && (self.config.self_invalidate_shared || touch.exclusive);
+        if fire {
+            self.histories.remove(&touch.block.index());
+            self.pending.push(touch.block, (rows, y));
+        }
+        fire
+    }
+
+    fn on_invalidation(&mut self, block: BlockId) {
+        self.histories.remove(&block.index());
+        // The touch we last voted on turned out to be a last touch. Reward
+        // its features if the vote failed to clear the threshold.
+        if let Some((rows, y)) = self.last_vote.remove(&block.index()) {
+            if y < self.theta {
+                self.train(block, &rows, 1);
+            }
+        }
+    }
+
+    fn on_verification(&mut self, block: BlockId, outcome: VerifyOutcome) {
+        let Some((rows, _y)) = self.pending.pop(block) else {
+            debug_assert!(false, "verification without a pending prediction");
+            return;
+        };
+        if outcome == VerifyOutcome::Premature {
+            self.train(block, &rows, -1);
+        }
+    }
+
+    fn storage(&self) -> StorageStats {
+        StorageStats {
+            blocks_tracked: self.histories.len() as u64,
+            live_entries: self
+                .weights
+                .iter()
+                .flatten()
+                .chain(self.bias.iter())
+                .filter(|w| **w != 0)
+                .count() as u64,
+            signature_bits: (self.weight_max as u64 + 1).ilog2() as u8 + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn touch(block: u64, pc: u32, demand: bool) -> Touch {
+        Touch {
+            block: BlockId::new(block),
+            pc: Pc::new(pc),
+            is_write: true,
+            exclusive: true,
+            fill: demand.then_some(crate::policy::FillInfo {
+                kind: FillKind::Demand,
+                dir_version: 0,
+                migratory_upgrade: false,
+            }),
+        }
+    }
+
+    fn p() -> PerceptronPredictor {
+        PerceptronPredictor::new(
+            PERCEPTRON_DEFAULT_BITS,
+            PERCEPTRON_DEFAULT_HIST,
+            PERCEPTRON_DEFAULT_SIZE,
+            PERCEPTRON_DEFAULT_THETA,
+            PredictorConfig::default(),
+        )
+    }
+
+    #[test]
+    fn learns_a_repeated_last_touch() {
+        let mut pred = p();
+        let mut fired_round = None;
+        for round in 0..20 {
+            assert!(!pred.on_touch(touch(5, 0x100, true)));
+            assert!(!pred.on_touch(touch(5, 0x104, false)));
+            let fire = pred.on_touch(touch(5, 0x108, false));
+            if fire {
+                fired_round = Some(round);
+                pred.on_verification(BlockId::new(5), VerifyOutcome::Correct);
+            } else {
+                pred.on_invalidation(BlockId::new(5));
+            }
+        }
+        let round = fired_round.expect("perceptron learns the pattern");
+        assert!(round >= 1, "cannot fire before any training");
+    }
+
+    #[test]
+    fn premature_verdicts_untrain() {
+        let mut pred = p();
+        // Train until it fires...
+        while !pred.on_touch(touch(5, 0x100, true)) {
+            pred.on_invalidation(BlockId::new(5));
+        }
+        // ...then punish every fire; it must eventually stop firing.
+        let mut stopped = false;
+        for _ in 0..64 {
+            if pred.on_touch(touch(5, 0x100, true)) {
+                pred.on_verification(BlockId::new(5), VerifyOutcome::Premature);
+            } else {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(
+            stopped,
+            "premature penalties must eventually suppress firing"
+        );
+    }
+
+    #[test]
+    fn weights_saturate() {
+        let mut pred = PerceptronPredictor::new(3, 2, 8, 1000, PredictorConfig::default());
+        // theta too high to ever fire => every invalidation trains +1.
+        for _ in 0..1000 {
+            pred.on_touch(touch(1, 0x100, true));
+            pred.on_invalidation(BlockId::new(1));
+        }
+        assert_eq!(pred.max_abs_weight(), 3, "3-bit weights clamp at ±3");
+    }
+}

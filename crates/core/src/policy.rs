@@ -130,6 +130,23 @@ pub trait SelfInvalidationPolicy: fmt::Debug + Send {
         let _ = (block, outcome);
     }
 
+    /// True when the policy needs per-block last-touch ground truth to be
+    /// computed and supplied via [`Self::prime_last_touches`] before a run.
+    /// Only the offline evaluation path (`ltp predict`) honors this; inside
+    /// the full machine an unprimed oracle simply never fires.
+    fn wants_ground_truth(&self) -> bool {
+        false
+    }
+
+    /// Supplies per-block last-touch ground truth: for each block, the
+    /// 1-based ordinals (within this node's touch sequence for that block)
+    /// of the touches after which the block was invalidated externally in a
+    /// baseline run. Ordinals for one block arrive sorted ascending. Default
+    /// ignores it; only oracle-style policies implement this.
+    fn prime_last_touches(&mut self, last_touches: &[(BlockId, u64)]) {
+        let _ = last_touches;
+    }
+
     /// Reports predictor storage for Table 3 (zero for policies without
     /// signature tables).
     fn storage(&self) -> StorageStats {

@@ -32,6 +32,9 @@
 //! | `ltp` | per-block trace LTP | `bits` (13), `capacity` (16) |
 //! | `ltp-global` | global-table trace LTP | `bits` (30), `sets` (256), `ways` (2) |
 //! | `ltp-xor` | per-block LTP, XOR-rotate encoder | `bits` (13), `rot` (5), `capacity` (16) |
+//! | `oracle` | ideal last-touch oracle (offline upper bound) | — |
+//! | `perceptron` | perceptron last-touch predictor | `bits` (8), `hist` (4), `size` (256), `theta` (8) |
+//! | `tage` | TAGE-style tagged geometric-history predictor | `tables` (4), `size` (512) |
 //!
 //! # Examples
 //!
@@ -72,8 +75,14 @@ use crate::dsi::DsiPolicy;
 use crate::encode::{SignatureBits, XorRotate};
 use crate::last_pc::LastPc;
 use crate::ltp::{GlobalLtp, PerBlockLtp, PredictorConfig, TracePredictor};
+use crate::oracle::OraclePolicy;
+use crate::perceptron::{
+    PerceptronPredictor, PERCEPTRON_DEFAULT_BITS, PERCEPTRON_DEFAULT_HIST, PERCEPTRON_DEFAULT_SIZE,
+    PERCEPTRON_DEFAULT_THETA,
+};
 use crate::policy::{NullPolicy, SelfInvalidationPolicy};
 use crate::table::PerBlockTable;
+use crate::tage::{TagePredictor, TAGE_DEFAULT_SIZE, TAGE_DEFAULT_TABLES};
 
 /// Default per-block signature-table capacity (LRU beyond this). Sized above
 /// the paper's worst observed demand (dsmc: 7.8 signatures/block).
@@ -325,7 +334,8 @@ struct Entry {
 /// drivers resolve every policy spec string through one of these.
 ///
 /// [`PolicyRegistry::with_builtins`] pre-registers the six policies of the
-/// paper's evaluation; [`PolicyRegistry::register`] and
+/// paper's evaluation plus the predictor zoo (`tage`, `perceptron`,
+/// `oracle`); [`PolicyRegistry::register`] and
 /// [`PolicyRegistry::register_factory`] open the table to external crates —
 /// a new policy is an `impl PolicyFactory`, not a fork of the system crate.
 pub struct PolicyRegistry {
@@ -356,7 +366,8 @@ impl PolicyRegistry {
     }
 
     /// A registry pre-loaded with the six policies of the paper's
-    /// evaluation (see the module table).
+    /// evaluation plus the predictor zoo — `oracle`, `perceptron`, `tage`
+    /// (see the module table).
     pub fn with_builtins() -> Self {
         let mut r = PolicyRegistry::empty();
         r.register("base", "no self-invalidation (the baseline DSM)", |_| {
@@ -414,6 +425,51 @@ impl PolicyRegistry {
                     rotation,
                     capacity: capacity.unwrap_or(DEFAULT_PER_BLOCK_CAPACITY as u64) as usize,
                 }))
+            },
+        )
+        .expect("fresh registry");
+        r.register(
+            "oracle",
+            "ideal last-touch oracle, primed from ground truth (offline upper bound)",
+            |_| Ok(Arc::new(OracleFactory)),
+        )
+        .expect("fresh registry");
+        r.register(
+            "perceptron",
+            "perceptron last-touch predictor [bits=8,hist=4,size=256,theta=8]",
+            |p| {
+                let bits =
+                    p.take_u64_in("bits", 1, 31)?
+                        .unwrap_or(u64::from(PERCEPTRON_DEFAULT_BITS)) as u32;
+                let hist = p
+                    .take_u64_in("hist", 1, 64)?
+                    .unwrap_or(PERCEPTRON_DEFAULT_HIST as u64) as usize;
+                let size = p
+                    .take_u64_in("size", 1, 1 << 20)?
+                    .unwrap_or(PERCEPTRON_DEFAULT_SIZE as u64) as usize;
+                let theta = p
+                    .take_u64_in("theta", 1, 1 << 20)?
+                    .unwrap_or(PERCEPTRON_DEFAULT_THETA as u64) as i32;
+                Ok(Arc::new(PerceptronFactory {
+                    bits,
+                    hist,
+                    size,
+                    theta,
+                }))
+            },
+        )
+        .expect("fresh registry");
+        r.register(
+            "tage",
+            "TAGE-style tagged geometric-history last-touch predictor [tables=4,size=512]",
+            |p| {
+                let tables = p
+                    .take_u64_in("tables", 1, 8)?
+                    .unwrap_or(TAGE_DEFAULT_TABLES as u64) as usize;
+                let size = p
+                    .take_u64_in("size", 1, 1 << 20)?
+                    .unwrap_or(TAGE_DEFAULT_SIZE as u64) as usize;
+                Ok(Arc::new(TageFactory { tables, size }))
             },
         )
         .expect("fresh registry");
@@ -735,13 +791,104 @@ impl PolicyFactory for XorLtpFactory {
     }
 }
 
+/// Factory for the ideal last-touch oracle (unprimed until the offline
+/// evaluation path supplies ground truth; never fires inside a live
+/// machine).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OracleFactory;
+
+impl PolicyFactory for OracleFactory {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn build(&self, _config: PredictorConfig) -> Box<dyn SelfInvalidationPolicy> {
+        Box::new(OraclePolicy::new())
+    }
+}
+
+/// Factory for the perceptron last-touch predictor.
+#[derive(Debug, Clone, Copy)]
+pub struct PerceptronFactory {
+    /// Weight width in bits (weights clamp at ±(2^(bits−1) − 1)).
+    pub bits: u32,
+    /// Touch-history depth (feature positions).
+    pub hist: usize,
+    /// Rows per weight table.
+    pub size: usize,
+    /// Firing threshold.
+    pub theta: i32,
+}
+
+impl Default for PerceptronFactory {
+    fn default() -> Self {
+        PerceptronFactory {
+            bits: PERCEPTRON_DEFAULT_BITS,
+            hist: PERCEPTRON_DEFAULT_HIST,
+            size: PERCEPTRON_DEFAULT_SIZE,
+            theta: PERCEPTRON_DEFAULT_THETA,
+        }
+    }
+}
+
+impl PolicyFactory for PerceptronFactory {
+    fn name(&self) -> &str {
+        "perceptron"
+    }
+
+    fn spec(&self) -> String {
+        format!(
+            "perceptron:bits={},hist={},size={},theta={}",
+            self.bits, self.hist, self.size, self.theta
+        )
+    }
+
+    fn build(&self, config: PredictorConfig) -> Box<dyn SelfInvalidationPolicy> {
+        Box::new(PerceptronPredictor::new(
+            self.bits, self.hist, self.size, self.theta, config,
+        ))
+    }
+}
+
+/// Factory for the TAGE-style tagged geometric-history predictor.
+#[derive(Debug, Clone, Copy)]
+pub struct TageFactory {
+    /// Number of tagged tables (history lengths 2, 4, 8, …).
+    pub tables: usize,
+    /// Entries per table.
+    pub size: usize,
+}
+
+impl Default for TageFactory {
+    fn default() -> Self {
+        TageFactory {
+            tables: TAGE_DEFAULT_TABLES,
+            size: TAGE_DEFAULT_SIZE,
+        }
+    }
+}
+
+impl PolicyFactory for TageFactory {
+    fn name(&self) -> &str {
+        "tage"
+    }
+
+    fn spec(&self) -> String {
+        format!("tage:tables={},size={}", self.tables, self.size)
+    }
+
+    fn build(&self, config: PredictorConfig) -> Box<dyn SelfInvalidationPolicy> {
+        Box::new(TagePredictor::new(self.tables, self.size, config))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::policy::{FillInfo, FillKind, SyncKind, Touch, VerifyOutcome};
     use crate::types::{BlockId, Pc};
 
-    const BUILTIN_SPECS: [&str; 9] = [
+    const BUILTIN_SPECS: [&str; 14] = [
         "base",
         "dsi",
         "last-pc",
@@ -751,6 +898,11 @@ mod tests {
         "ltp-global",
         "ltp-global:bits=30,sets=64,ways=4",
         "ltp-xor:rot=7",
+        "oracle",
+        "perceptron",
+        "perceptron:bits=6,hist=3,size=64,theta=4",
+        "tage",
+        "tage:tables=3,size=64",
     ];
 
     fn touch(block: u64, pc: u32, fill: bool) -> Touch {
@@ -839,7 +991,17 @@ mod tests {
         let names: Vec<&str> = registry.names().collect();
         assert_eq!(
             names,
-            ["base", "dsi", "last-pc", "ltp", "ltp-global", "ltp-xor"]
+            [
+                "base",
+                "dsi",
+                "last-pc",
+                "ltp",
+                "ltp-global",
+                "ltp-xor",
+                "oracle",
+                "perceptron",
+                "tage"
+            ]
         );
         assert!(registry.contains("ltp"));
         assert!(!registry.contains("ltp2"));

@@ -13,7 +13,7 @@
 //! Both implement [`LastTouchTable`] and report [`StorageStats`] used to
 //! regenerate Table 3.
 
-use std::collections::HashMap;
+use crate::fast_hash::FxHashMap;
 use std::fmt;
 
 use crate::confidence::TwoBitCounter;
@@ -221,7 +221,7 @@ impl SignatureSet {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PerBlockTable {
-    tables: HashMap<BlockId, SignatureSet>,
+    tables: FxHashMap<BlockId, SignatureSet>,
     bits: SignatureBits,
     capacity: usize,
     init: TwoBitCounter,
@@ -241,7 +241,7 @@ impl PerBlockTable {
     pub fn new(bits: SignatureBits, capacity: usize, initial_confidence: u8) -> Self {
         assert!(capacity > 0, "per-block table capacity must be nonzero");
         PerBlockTable {
-            tables: HashMap::new(),
+            tables: FxHashMap::default(),
             bits,
             capacity,
             init: TwoBitCounter::new(initial_confidence),

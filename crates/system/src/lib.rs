@@ -14,6 +14,11 @@
 //! * [`SweepSpec`] — cross products of design points executed in parallel
 //!   (longest runs dispatched first), streaming per-run [`RunReport`]s
 //!   through a [`ReportSink`];
+//! * [`PredictSpec`] — the offline predictor tournament behind
+//!   `ltp predict`: workloads drained through the un-timed logical
+//!   coherence replay and raced across predictor specs for accuracy,
+//!   coverage, and timeliness, about an order of magnitude faster than
+//!   full simulation;
 //! * [`Metrics`] — the quantities behind Figures 6–9 and Tables 3–4,
 //!   reconstructed from the event stream by the built-in
 //!   [`probes::CoreMetricsProbe`];
@@ -48,6 +53,7 @@ mod compat;
 mod experiment;
 mod machine;
 mod metrics;
+pub mod predict;
 pub mod probe;
 pub mod probes;
 mod report;
@@ -59,6 +65,7 @@ pub use compat::PolicyKind;
 pub use experiment::{ExperimentBuilder, ExperimentSpec};
 pub use machine::{Event, Machine};
 pub use metrics::Metrics;
+pub use predict::{PredictRow, PredictSpec, DEFAULT_ZOO};
 pub use probe::{
     FnProbeFactory, MetricsSection, Probe, ProbeCtx, ProbeFactory, ProbeRegistry, ProbeSpecError,
     RunInfo, SimEvent,

@@ -479,7 +479,7 @@ const MSG_LAT_BOUNDS: [u64; 12] = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 
 /// home's protocol engine services ([`SimEvent::MessageServiced`]) — the
 /// distributions of queueing delay, service occupancy, and their sum (the
 /// message's total latency at the home). Classes that never appeared are
-/// omitted from the section; rows render in the fixed [`MSG_CLASS_NAMES`]
+/// omitted from the section; rows render in the fixed `MSG_CLASS_NAMES`
 /// order, so the section is byte-identical however the run was sharded
 /// (events reach dynamic probes in canonical order either way).
 #[derive(Debug)]

@@ -22,12 +22,20 @@
 //! streamed — so traces are first-class inputs to experiments and sweeps.
 //! [`random_trace`] generates valid random workloads for fuzzing and
 //! import testing.
+//!
+//! For offline predictor evaluation, [`replay`] drains a workload's
+//! programs through an un-timed logical coherence model — same touches,
+//! fills, invalidations, and verification verdicts as the full machine,
+//! no cycle simulation — and [`ground_truth`] extracts per-node last-touch
+//! ordinals for priming the `oracle` policy. This is the engine behind
+//! `ltp predict`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod program;
+mod replay;
 mod source;
 mod suite;
 
@@ -35,6 +43,7 @@ pub mod kernels;
 pub mod trace;
 
 pub use program::{collect_ops, Lock, LoopedScript, Op, Program};
+pub use replay::{ground_truth, replay, ReplayReport};
 pub use source::{EstimateSource, RunEstimate, SourceError, WorkloadSource};
 pub use suite::{Benchmark, WorkloadParams};
 pub use trace::{

@@ -487,7 +487,7 @@ pub struct TraceScanStats {
 /// The program keeps a sliding window of the last `window` decoded ops
 /// (the stream's declared repeat window) so repeat blocks can re-emit
 /// them; nothing else of the stream is retained. File bytes arrive
-/// through a per-cursor [`ReadAheadInput`] chunk buffer, so draining an op
+/// through a per-cursor `ReadAheadInput` chunk buffer, so draining an op
 /// costs an inline decode, not a `Read` call per encoded byte.
 /// [`StreamingTraceProgram::peak_buffered_ops`] reports the high-water
 /// mark, which tests assert against [`StreamingTraceProgram::window_ops`].

@@ -1,0 +1,39 @@
+//! Golden-report test: `reports/predictors.md` is regenerated from the
+//! committed trace and must match byte for byte.
+//!
+//! The committed report is the human-readable face of the predictor zoo;
+//! this test (and the matching CI step, which regenerates it through the
+//! `ltp predict` CLI) pins it to the code. If a predictor, the replay
+//! engine, or the renderer changes behaviour, the diff shows up here —
+//! regenerate with:
+//!
+//! ```text
+//! cargo run --release -- predict -t tests/data/em3d-4node-3iter.v1.ltrace \
+//!     --report reports/predictors.md --quiet
+//! ```
+
+use ltp::core::PolicyRegistry;
+use ltp::system::predict::{render_markdown, PredictSpec, DEFAULT_ZOO};
+use ltp::workloads::Trace;
+
+#[test]
+fn committed_report_matches_regeneration_byte_for_byte() {
+    let golden = include_str!("../reports/predictors.md");
+    let trace = Trace::load(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/data/em3d-4node-3iter.v1.ltrace"
+    ))
+    .expect("committed trace loads");
+    let registry = PolicyRegistry::with_builtins();
+    let rows = PredictSpec::new()
+        .trace(std::sync::Arc::new(trace))
+        .default_zoo(&registry)
+        .expect("builtin zoo resolves")
+        .execute();
+    assert_eq!(rows.len(), DEFAULT_ZOO.len(), "one row per zoo member");
+    let regenerated = render_markdown(&rows);
+    assert_eq!(
+        regenerated, golden,
+        "reports/predictors.md drifted — regenerate it (see module docs)"
+    );
+}
