@@ -54,6 +54,6 @@ fn main() {
     println!(
         "dsi slows down {dsi_slowdowns} of 9 applications (paper: 4 of 9); \
          ltp best {:.3} (paper 1.30)",
-        ltp_speedups.iter().cloned().fold(f64::MIN, f64::max)
+        ltp_speedups.iter().copied().fold(f64::MIN, f64::max)
     );
 }

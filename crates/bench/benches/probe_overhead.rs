@@ -7,11 +7,22 @@
 //! * **core** — the default stack: just the statically-dispatched
 //!   [`CoreMetricsProbe`] every `ExperimentSpec` run attaches;
 //! * **stack3** — core + `per-node` + `hist:self-inv-lead` through the
-//!   dynamic probe list.
+//!   dynamic probe list;
+//! * **check** — core + the [`CoherenceChecker`] sanitizer, the `--check`
+//!   configuration of a production run.
 //!
-//! Results go to `BENCH_probes.json` at the repository root. The acceptance
-//! bar is **< 2% suite-mean overhead for the default stack** (core vs
-//! no-probe), checked here and printed. Each repetition times the three
+//! Results go to `BENCH_probes.json` at the repository root. Two acceptance
+//! bars are checked and printed: **< 2% suite-mean overhead for the default
+//! stack** (core vs no-probe) and **< 5% suite-mean overhead for the
+//! sanitizer** (check vs core — the cost `--check` adds on top of what a
+//! normal run already pays). The sanitizer bar is the bar for the probe
+//! *pipeline*, not for the checker's compute: dynamic probes run on an
+//! observer thread that overlaps the simulation, so on a multi-core host
+//! the simulation pays only the log handoff. On a **single-CPU host** the
+//! sink falls back to inline replay (there is nothing to overlap with) and
+//! the measured delta is the checker's full compute — the run records that
+//! number honestly, tags it `check_mode:"inline"`, and reports the < 5%
+//! bar as not exercised rather than failed. Each repetition times the four
 //! configurations back-to-back and the overhead is the interquartile mean
 //! of the per-repetition ratios, averaged across the suite — per-benchmark
 //! numbers are printed with their ± spreads, which on a shared host
@@ -29,7 +40,7 @@ use ltp_bench::print_header;
 use ltp_core::{JsonObject, PolicyRegistry, PredictorConfig};
 use ltp_sim::{Cycle, StopReason};
 use ltp_system::probes::{PerNodeProbe, SelfInvLeadProbe};
-use ltp_system::Machine;
+use ltp_system::{CoherenceChecker, Machine};
 use ltp_workloads::{Benchmark, WorkloadParams, WorkloadSource};
 
 /// Baseline output at the repository root (cargo runs benches from the
@@ -49,6 +60,7 @@ enum Attach {
     None,
     Core,
     Stack3,
+    Check,
 }
 
 /// Builds and drains one machine, returning the wall-clock seconds.
@@ -75,6 +87,14 @@ fn one_run(benchmark: Benchmark, attach: Attach) -> f64 {
             machine.attach_probe(Box::new(PerNodeProbe::new(NODES)));
             machine.attach_probe(Box::new(SelfInvLeadProbe::new()));
         }
+        Attach::Check => {
+            machine.attach_core_metrics();
+            machine.attach_probe(Box::new(CoherenceChecker::new(
+                NODES,
+                ltp_dsm::DirectoryKind::Full,
+                false,
+            )));
+        }
     }
     let started = Instant::now();
     let summary = machine.run(Cycle::new(2_000_000_000));
@@ -87,6 +107,10 @@ fn one_run(benchmark: Benchmark, attach: Attach) -> f64 {
         Attach::None => assert!(metrics.is_none() && sections.is_empty()),
         Attach::Core => assert!(metrics.expect("core attached").exec_cycles > 0),
         Attach::Stack3 => assert_eq!(sections.len(), 2),
+        Attach::Check => {
+            let section = sections.iter().find(|s| s.name == "check").expect("check");
+            assert!(section.data.render().contains("\"violations\":0"));
+        }
     }
     elapsed
 }
@@ -102,9 +126,12 @@ struct Paired {
     none: f64,
     core: f64,
     stack: f64,
+    check: f64,
     core_overhead: f64,
     core_spread: f64,
     stack_overhead: f64,
+    /// check vs *core* — what `--check` adds on top of the default stack.
+    check_overhead: f64,
 }
 
 /// Interquartile mean and half-spread (Q3−Q1)/2 of `samples`.
@@ -121,63 +148,82 @@ fn measure(benchmark: Benchmark) -> Paired {
     let mut none = f64::INFINITY;
     let mut core = f64::INFINITY;
     let mut stack = f64::INFINITY;
+    let mut check = f64::INFINITY;
     let mut core_ratio = Vec::with_capacity(REPS);
     let mut stack_ratio = Vec::with_capacity(REPS);
+    let mut check_ratio = Vec::with_capacity(REPS);
     // Warm-up: touch every configuration once before timing counts.
-    for attach in [Attach::None, Attach::Core, Attach::Stack3] {
+    for attach in [Attach::None, Attach::Core, Attach::Stack3, Attach::Check] {
         one_run(benchmark, attach);
     }
     for _ in 0..REPS {
         let n = one_run(benchmark, Attach::None);
         let c = one_run(benchmark, Attach::Core);
         let s = one_run(benchmark, Attach::Stack3);
+        let k = one_run(benchmark, Attach::Check);
         none = none.min(n);
         core = core.min(c);
         stack = stack.min(s);
+        check = check.min(k);
         core_ratio.push(c / n);
         stack_ratio.push(s / n);
+        check_ratio.push(k / c);
     }
     let (core_iqm, core_spread) = iqm_spread(&mut core_ratio);
     let (stack_iqm, _) = iqm_spread(&mut stack_ratio);
+    let (check_iqm, _) = iqm_spread(&mut check_ratio);
     Paired {
         none,
         core,
         stack,
+        check,
         core_overhead: core_iqm - 1.0,
         core_spread,
         stack_overhead: stack_iqm - 1.0,
+        check_overhead: check_iqm - 1.0,
     }
 }
 
 fn main() {
     print_header(
-        "Probe-API overhead — no-probe vs core metrics vs 3-probe stack",
+        "Probe-API overhead — no-probe vs core metrics vs 3-probe stack vs sanitizer",
         "infrastructure benchmark (probe redesign acceptance; no paper analogue)",
     );
     println!(
         "{NODES} nodes × {ITERS} iterations, ltp policy, paired medians of {REPS} repetitions\n"
     );
     println!(
-        "{:<14} {:>12} {:>12} {:>12} {:>10} {:>10}",
-        "benchmark", "no-probe(s)", "core(s)", "stack3(s)", "core ovh", "stack ovh"
+        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "benchmark",
+        "no-probe(s)",
+        "core(s)",
+        "stack3(s)",
+        "check(s)",
+        "core ovh",
+        "stack ovh",
+        "check ovh"
     );
 
     let file = File::create(out_path()).expect("create BENCH_probes.json");
     let mut out = BufWriter::new(file);
     let suite = [Benchmark::Em3d, Benchmark::Tomcatv, Benchmark::Moldyn];
     let mut overheads = Vec::with_capacity(suite.len());
+    let mut check_overheads = Vec::with_capacity(suite.len());
     for benchmark in suite {
         let paired = measure(benchmark);
         overheads.push(paired.core_overhead);
+        check_overheads.push(paired.check_overhead);
         println!(
-            "{:<14} {:>12.4} {:>12.4} {:>12.4} {:>6.2}%±{:<4.2} {:>9.2}%",
+            "{:<14} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>6.2}%±{:<4.2} {:>9.2}% {:>9.2}%",
             benchmark.name(),
             paired.none,
             paired.core,
             paired.stack,
+            paired.check,
             paired.core_overhead * 100.0,
             paired.core_spread * 100.0,
-            paired.stack_overhead * 100.0
+            paired.stack_overhead * 100.0,
+            paired.check_overhead * 100.0
         );
         let record = JsonObject::new()
             .field("benchmark", benchmark.name())
@@ -187,9 +233,11 @@ fn main() {
             .field("no_probe_secs", paired.none)
             .field("core_secs", paired.core)
             .field("stack3_secs", paired.stack)
+            .field("check_secs", paired.check)
             .field("core_overhead_pct", paired.core_overhead * 100.0)
             .field("core_overhead_spread_pct", paired.core_spread * 100.0)
             .field("stack3_overhead_pct", paired.stack_overhead * 100.0)
+            .field("check_overhead_pct", paired.check_overhead * 100.0)
             .build();
         writeln!(out, "{}", record.render()).expect("write record");
     }
@@ -198,11 +246,28 @@ fn main() {
     // the 2% bar itself), while averaging the paired ratios across the
     // suite keeps the estimate honest and resolvable.
     let mean_core_overhead = overheads.iter().sum::<f64>() / overheads.len() as f64;
+    let mean_check_overhead = check_overheads.iter().sum::<f64>() / check_overheads.len() as f64;
+    // On a single-CPU host dynamic probes replay inline (no observer thread
+    // to overlap with), so the check delta is the sanitizer's compute, not
+    // the pipeline cost the < 5% bar is about. Record the mode so the
+    // committed number is interpretable.
+    let host_parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let observer_mode = host_parallelism > 1;
+    let check_pass = mean_check_overhead < 0.05;
+    let pass = mean_core_overhead < 0.02 && (check_pass || !observer_mode);
     let meta = JsonObject::new()
         .field("meta", "probe_overhead")
+        .field("host_parallelism", host_parallelism as u64)
+        .field(
+            "check_mode",
+            if observer_mode { "observer" } else { "inline" },
+        )
         .field("acceptance_mean_core_overhead_pct", 2.0)
         .field("mean_core_overhead_pct", mean_core_overhead * 100.0)
-        .field("pass", mean_core_overhead < 0.02)
+        .field("acceptance_mean_check_overhead_pct", 5.0)
+        .field("mean_check_overhead_pct", mean_check_overhead * 100.0)
+        .field("check_bar_exercised", observer_mode)
+        .field("pass", pass)
         .build();
     writeln!(out, "{}", meta.render()).expect("write meta");
     out.flush().expect("flush");
@@ -217,5 +282,22 @@ fn main() {
             "FAIL"
         }
     );
+    if observer_mode {
+        println!(
+            "suite-mean sanitizer overhead (check vs core, observer mode): {:.2}% \
+             (acceptance: < 5%) -> {}",
+            mean_check_overhead * 100.0,
+            if check_pass { "PASS" } else { "FAIL" }
+        );
+    } else {
+        println!(
+            "suite-mean sanitizer overhead (check vs core, INLINE — host has 1 CPU): {:.2}%",
+            mean_check_overhead * 100.0
+        );
+        println!(
+            "  < 5% bar not exercised: it bounds the observer-thread pipeline, which needs \
+             a second CPU; inline replay exposes the checker's full compute"
+        );
+    }
     println!("baseline written to {}", out_path().display());
 }

@@ -116,8 +116,7 @@ impl PerceptronPredictor {
                 let pc = history
                     .len()
                     .checked_sub(j + 1)
-                    .map(|i| u64::from(history[i].value()))
-                    .unwrap_or(u64::MAX);
+                    .map_or(u64::MAX, |i| u64::from(history[i].value()));
                 self.row(j as u64, pc)
             })
             .collect()

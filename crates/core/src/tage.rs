@@ -96,7 +96,7 @@ impl TagePredictor {
     }
 
     fn max_len(&self) -> usize {
-        self.tables.last().map(|t| t.len).unwrap_or(2)
+        self.tables.last().map_or(2, |t| t.len)
     }
 
     /// FNV-1a with a per-purpose seed over (table id, block, the last `len`
@@ -191,13 +191,10 @@ impl SelfInvalidationPolicy for TagePredictor {
         }
         let history = history.clone();
         let lookup = self.lookup(touch.block, &history);
-        let confident = lookup
-            .provider
-            .map(|i| {
-                let (row, _) = lookup.slots[i];
-                self.tables[i].entries[row].ctr.is_saturated()
-            })
-            .unwrap_or(false);
+        let confident = lookup.provider.is_some_and(|i| {
+            let (row, _) = lookup.slots[i];
+            self.tables[i].entries[row].ctr.is_saturated()
+        });
         let fire = confident && (self.config.self_invalidate_shared || touch.exclusive);
         if fire {
             self.histories.remove(&touch.block.index());

@@ -123,6 +123,17 @@ impl NodeCache {
         self.lines.len()
     }
 
+    /// Iterates the resident lines in arbitrary order (the checker/explorer
+    /// inspection surface).
+    pub fn lines(&self) -> impl Iterator<Item = (BlockId, Line)> + '_ {
+        self.lines.iter().map(|(&b, &l)| (b, l))
+    }
+
+    /// Number of outstanding misses.
+    pub fn pending_misses(&self) -> usize {
+        self.pending.len()
+    }
+
     /// Presents one CPU access.
     ///
     /// On a miss the returned request kind must be sent to the block's home

@@ -182,6 +182,12 @@ struct DirBlock {
     mask: Vec<MaskEntry>,
     /// Requests shelved while Busy.
     pending: VecDeque<Message>,
+    /// Nodes whose `InvAck` is still in flight for an invalidation that a
+    /// crossing self-invalidation already answered. Such an orphaned ack
+    /// must not be mistaken for the acknowledgement of a *later*
+    /// invalidation of the same node (it would complete a Busy transaction
+    /// while the targeted copy is still live, breaking SWMR).
+    stale_acks: SharerSet,
 }
 
 impl Default for DirBlock {
@@ -192,6 +198,7 @@ impl Default for DirBlock {
             token: 0,
             mask: Vec::new(),
             pending: VecDeque::new(),
+            stale_acks: SharerSet::new(),
         }
     }
 }
@@ -215,6 +222,99 @@ pub struct DirCounters {
     pub self_inv_late: Counter,
     /// Stale messages ignored (acks for completed transactions etc.).
     pub stale_ignored: Counter,
+}
+
+/// Read-only snapshot of one block's sharing state (the checker/explorer
+/// inspection surface; see [`Directory::view_of`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirStateView {
+    /// Only the home copy exists.
+    Idle,
+    /// Read-only copies tracked by the sharer representation.
+    Shared {
+        /// The stored sharer bits (node bits for `full`/`ptr`, cluster bits
+        /// for `coarse`).
+        sharers: SharerSet,
+        /// `ptr:I` only: the pointer array overflowed into broadcast mode.
+        broadcast: bool,
+    },
+    /// A writable copy at one node.
+    Exclusive(NodeId),
+    /// Collecting invalidation acks / writeback for an in-flight request.
+    Busy {
+        /// The node whose request is in flight.
+        requester: NodeId,
+        /// Grant exclusive (GetX/Upgrade) vs read-only (GetS).
+        want_exclusive: bool,
+        /// Reply with `UpgradeAck` instead of `DataX`.
+        upgrade_reply: bool,
+        /// Nodes whose acknowledgement or writeback is still awaited.
+        waiting: SharerSet,
+        /// Verdict to piggyback on the eventual grant.
+        verify: Option<VerifyOutcome>,
+    },
+}
+
+/// Read-only snapshot of one §4 verification-mask entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskEntryView {
+    /// The self-invalidating node awaiting a verdict.
+    pub node: NodeId,
+    /// The copy relinquished was exclusive (writeback) vs read-only.
+    pub relinquished_exclusive: bool,
+    /// Whether the self-invalidation reached the directory in a stable state.
+    pub timely: bool,
+}
+
+/// Read-only snapshot of one per-block directory record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirBlockView {
+    /// The sharing state.
+    pub state: DirStateView,
+    /// DSI write-version (incremented on every exclusive grant).
+    pub version: u32,
+    /// Home copy of the data token.
+    pub token: u64,
+    /// §4 verification mask, in insertion order.
+    pub mask: Vec<MaskEntryView>,
+    /// Requests shelved while Busy, in arrival order.
+    pub pending: Vec<Message>,
+    /// Nodes owing an orphaned `InvAck` (their self-invalidation crossed an
+    /// invalidation in flight).
+    pub stale_acks: SharerSet,
+}
+
+fn view_block(rec: &DirBlock) -> DirBlockView {
+    DirBlockView {
+        state: match &rec.state {
+            DirState::Idle => DirStateView::Idle,
+            DirState::Shared(s) => DirStateView::Shared {
+                sharers: s.set,
+                broadcast: s.broadcast,
+            },
+            DirState::Exclusive(owner) => DirStateView::Exclusive(*owner),
+            DirState::Busy(b) => DirStateView::Busy {
+                requester: b.requester,
+                want_exclusive: b.want_exclusive,
+                upgrade_reply: b.upgrade_reply,
+                waiting: b.waiting,
+                verify: b.verify,
+            },
+        },
+        version: rec.version,
+        token: rec.token,
+        mask: rec
+            .mask
+            .iter()
+            .map(|m| MaskEntryView {
+                node: m.node,
+                relinquished_exclusive: m.relinquished_exclusive,
+                timely: m.timely,
+            })
+            .collect(),
+        pending: rec.pending.iter().copied().collect(),
+        stale_acks: rec.stale_acks,
+    }
 }
 
 // ---- representation helpers (free functions so callers can hold a mutable
@@ -297,9 +397,10 @@ fn inv_targets(kind: DirectoryKind, total_nodes: u16, s: &Sharers, exclude: Node
         DirectoryKind::Full => targets = s.set,
         DirectoryKind::Coarse { cluster } => {
             let k = cluster.max(1);
-            for c in s.set.iter() {
+            let span = crate::mutation::coarse_span(k);
+            for c in s.set {
                 let base = c.index() as u16 * k;
-                for node in base..(base + k).min(total_nodes) {
+                for node in base..(base + span).min(total_nodes) {
                     targets.insert(NodeId::new(node));
                 }
             }
@@ -399,6 +500,19 @@ impl Directory {
         self.blocks
             .get(&block)
             .is_none_or(|b| b.state == DirState::Idle)
+    }
+
+    /// Read-only snapshot of one tracked block, if the directory has a
+    /// record for it (the checker/explorer inspection surface).
+    pub fn view_of(&self, block: BlockId) -> Option<DirBlockView> {
+        self.blocks.get(&block).map(view_block)
+    }
+
+    /// Iterates read-only snapshots of every tracked block, in arbitrary
+    /// order. Counters are deliberately excluded: two directories that agree
+    /// on every view are protocol-equivalent.
+    pub fn blocks_view(&self) -> impl Iterator<Item = (BlockId, DirBlockView)> + '_ {
+        self.blocks.iter().map(|(&b, rec)| (b, view_block(rec)))
     }
 
     /// Processes one incoming message; see module docs.
@@ -575,7 +689,7 @@ impl Directory {
                 } else {
                     let waiting = inv_targets(kind, total, sharers, msg.src);
                     let mut s = DirStep::control();
-                    for n in waiting.iter() {
+                    for n in waiting {
                         self.counters.invalidations_sent.incr();
                         s.events.push(DirEvent::InvalidationSent { to: n });
                         s.sends.push(Message::new(home, n, block, MsgKind::Inv));
@@ -614,7 +728,7 @@ impl Directory {
                     s
                 } else {
                     let mut s = DirStep::control();
-                    for n in waiting.iter() {
+                    for n in waiting {
                         self.counters.invalidations_sent.incr();
                         s.events.push(DirEvent::InvalidationSent { to: n });
                         s.sends.push(Message::new(home, n, block, MsgKind::Inv));
@@ -693,6 +807,9 @@ impl Directory {
                 busy.waiting.remove(msg.src);
                 let requester = busy.requester;
                 let relinq_ex = writeback.is_some();
+                // The Inv we sent will still be acknowledged (without a
+                // copy); remember to discard that orphaned ack.
+                entry.stale_acks.insert(msg.src);
                 if let Some(token) = writeback {
                     debug_assert!(token >= entry.token, "token regressed on writeback");
                     entry.token = token;
@@ -734,6 +851,15 @@ impl Directory {
     ) -> DirStep {
         let block = msg.block;
         let entry = self.blocks.entry(block).or_default();
+        if entry.stale_acks.remove(msg.src) {
+            // Orphaned ack for an invalidation a crossing self-invalidation
+            // already answered; the node's copy was long gone.
+            debug_assert!(!had_copy, "orphaned ack cannot carry a copy");
+            self.counters.stale_ignored.incr();
+            let mut step = DirStep::control();
+            step.events.push(DirEvent::StaleIgnored { from: msg.src });
+            return step;
+        }
         match &mut entry.state {
             DirState::Busy(busy) if busy.waiting.contains(msg.src) => {
                 busy.waiting.remove(msg.src);

@@ -43,13 +43,17 @@ mod config;
 mod directory;
 mod engine;
 mod msg;
+pub mod mutation;
 mod network;
 
 pub use cache::{AccessOutcome, FillComplete, InvResponse, Line, NodeCache};
 pub use config::{
     ConfigError, DirectoryKind, ParseDirectoryKindError, SystemConfig, SystemConfigBuilder,
 };
-pub use directory::{DirCounters, DirEvent, DirStep, Directory, ServiceClass};
+pub use directory::{
+    DirBlockView, DirCounters, DirEvent, DirStateView, DirStep, Directory, MaskEntryView,
+    ServiceClass,
+};
 pub use engine::{EngineStats, ProtocolEngine};
 pub use msg::{Message, MsgKind};
 pub use network::NetIface;

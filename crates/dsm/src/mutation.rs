@@ -1,0 +1,117 @@
+//! Runtime-selectable protocol mutants for checker self-tests.
+//!
+//! The coherence sanitizer in `ltp-system` claims to flag protocol bugs. A
+//! claim like that needs negative evidence: this module plants four known
+//! bugs behind the `mutate` cargo feature, and `tests/mutation_check.rs`
+//! (in the workspace root) asserts that each one trips the checker while
+//! the unmutated build stays silent.
+//!
+//! Without the feature every hook below compiles to the identity/`false`
+//! constant and the optimizer erases it; with the feature the active mutant
+//! is selected at runtime through an atomic, so one test binary can drive
+//! all mutants sequentially.
+
+#[cfg(feature = "mutate")]
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+/// The plantable protocol bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutant {
+    /// A cache swallows one invalidation acknowledgement: the home's Busy
+    /// transaction never completes (message-conservation violation).
+    DropInvAck,
+    /// A node ignores the verification verdict piggybacked on one fill
+    /// (verification-mask soundness violation).
+    SkipFillVerify,
+    /// A `coarse:K` directory expands each marked cluster one node too
+    /// wide when collecting invalidation targets (sharer-decode violation).
+    WidenCoarseDecode,
+    /// Arrival event keys invert their source-node tiebreaker, so
+    /// same-cycle deliveries to one node pop in the wrong order
+    /// (shard-determinism violation).
+    ReorderArrival,
+}
+
+#[cfg(feature = "mutate")]
+const fn code(m: Mutant) -> u8 {
+    match m {
+        Mutant::DropInvAck => 1,
+        Mutant::SkipFillVerify => 2,
+        Mutant::WidenCoarseDecode => 3,
+        Mutant::ReorderArrival => 4,
+    }
+}
+
+#[cfg(feature = "mutate")]
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+#[cfg(feature = "mutate")]
+static FIRED: AtomicBool = AtomicBool::new(false);
+
+/// Selects the active mutant (or none) and re-arms the fire-once latch.
+/// Tests driving different mutants must serialize on an external lock.
+#[cfg(feature = "mutate")]
+pub fn set_active(m: Option<Mutant>) {
+    FIRED.store(false, Ordering::SeqCst);
+    ACTIVE.store(m.map_or(0, code), Ordering::SeqCst);
+}
+
+#[cfg(feature = "mutate")]
+fn is_active(m: Mutant) -> bool {
+    ACTIVE.load(Ordering::SeqCst) == code(m)
+}
+
+/// Fires `m` exactly once per [`set_active`] arming — used by mutants that
+/// must corrupt a single protocol step rather than every step.
+#[cfg(feature = "mutate")]
+fn fire_once(m: Mutant) -> bool {
+    is_active(m) && !FIRED.swap(true, Ordering::SeqCst)
+}
+
+/// The cluster-expansion span for a `coarse:K` invalidation round
+/// (`K`, or one wider under [`Mutant::WidenCoarseDecode`]).
+#[inline]
+pub fn coarse_span(k: u16) -> u16 {
+    #[cfg(feature = "mutate")]
+    if is_active(Mutant::WidenCoarseDecode) {
+        return k + 1;
+    }
+    k
+}
+
+/// Whether to swallow the next `InvAck` ([`Mutant::DropInvAck`], once).
+#[inline]
+pub fn fire_drop_invack() -> bool {
+    #[cfg(feature = "mutate")]
+    {
+        fire_once(Mutant::DropInvAck)
+    }
+    #[cfg(not(feature = "mutate"))]
+    {
+        false
+    }
+}
+
+/// Whether to drop the next piggybacked fill verdict
+/// ([`Mutant::SkipFillVerify`], once).
+#[inline]
+pub fn fire_skip_fill_verify() -> bool {
+    #[cfg(feature = "mutate")]
+    {
+        fire_once(Mutant::SkipFillVerify)
+    }
+    #[cfg(not(feature = "mutate"))]
+    {
+        false
+    }
+}
+
+/// The source-node tiebreaker an arrival event key should carry
+/// (`src`, or inverted under [`Mutant::ReorderArrival`]).
+#[inline]
+pub fn arrive_key_src(src: u16) -> u16 {
+    #[cfg(feature = "mutate")]
+    if is_active(Mutant::ReorderArrival) {
+        return u16::MAX - src;
+    }
+    src
+}

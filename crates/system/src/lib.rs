@@ -49,6 +49,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checker;
 mod compat;
 mod experiment;
 mod machine;
@@ -60,6 +61,10 @@ mod report;
 mod shard;
 mod sweep;
 
+pub use checker::{
+    explore, CheckerFactory, CoherenceChecker, ExploreConfig, ExploreOutcome, MachineView,
+    Violation,
+};
 #[allow(deprecated)]
 pub use compat::PolicyKind;
 pub use experiment::{ExperimentBuilder, ExperimentSpec};

@@ -37,7 +37,9 @@
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::{Mutex, MutexGuard};
+use std::thread::JoinHandle;
 
 use ltp_core::{BlockId, NodeId, SelfInvalidationPolicy};
 use ltp_dsm::SystemConfig;
@@ -108,6 +110,237 @@ impl GlobalSync {
             }
         }
         released
+    }
+}
+
+/// Bounded depth of the probe-observer channel, in batches. Deep enough to
+/// absorb bursty batches without stalling the simulation, shallow enough to
+/// bound the memory held by in-flight logs.
+const OBSERVER_DEPTH: usize = 4;
+
+/// Entries accumulated before a batch is handed to the observer thread.
+/// Channel hops cost microseconds (mutex + thread wake), so windows are
+/// batched until the handoff cost is noise per event.
+const OBSERVER_BATCH: usize = 32 * 1024;
+
+/// One unit of work for the probe-observer thread, sent in simulation
+/// order.
+enum ObserverMsg {
+    /// Accumulated per-window, per-shard event logs (chronological outer
+    /// order, shard order inner, each unsorted — the observer merges them
+    /// into serial emission order).
+    Batch(Vec<Vec<ProbeEntry>>),
+    /// A barrier release folded at a window boundary; sent after a flush,
+    /// so it sits exactly where the serial replay would put it.
+    Sync { event: SimEvent, now: Cycle },
+}
+
+/// The observer thread disappeared mid-run — a probe panicked (e.g.
+/// `check:strict` on a violation). The run stops and the panic payload is
+/// re-raised when the sink is finished.
+struct ObserverDead;
+
+/// The asynchronous half of [`ProbeSink`]: a dedicated thread that owns the
+/// probes for the duration of a run.
+struct Observer {
+    tx: SyncSender<ObserverMsg>,
+    /// Emptied log buffers coming back from the observer for reuse.
+    recycle: Receiver<Vec<ProbeEntry>>,
+    thread: JoinHandle<Vec<Box<dyn Probe>>>,
+    /// Windows accumulated since the last send (outer: chronological,
+    /// inner: shard order).
+    pending: Vec<Vec<ProbeEntry>>,
+    pending_entries: usize,
+}
+
+impl Observer {
+    /// Moves `probes` onto a fresh observer thread.
+    fn spawn(probes: Vec<Box<dyn Probe>>, nodes: u16) -> Self {
+        let (tx, rx) = mpsc::sync_channel::<ObserverMsg>(OBSERVER_DEPTH);
+        let (recycle_tx, recycle) = mpsc::channel::<Vec<ProbeEntry>>();
+        let thread = std::thread::spawn(move || {
+            let mut probes = probes;
+            let mut scratch: Vec<ProbeEntry> = Vec::new();
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    ObserverMsg::Batch(mut logs) => {
+                        scratch.clear();
+                        for log in &mut logs {
+                            scratch.append(log);
+                        }
+                        for log in logs {
+                            // The coordinator may already be gone; buffers
+                            // then simply drop.
+                            let _ = recycle_tx.send(log);
+                        }
+                        replay(&mut scratch, &mut probes, nodes);
+                    }
+                    ObserverMsg::Sync { event, now } => {
+                        let ctx = ProbeCtx { now, nodes };
+                        for p in &mut probes {
+                            p.on_event(&ctx, &event);
+                        }
+                    }
+                }
+            }
+            probes
+        });
+        Observer {
+            tx,
+            recycle,
+            thread,
+            pending: Vec::new(),
+            pending_entries: 0,
+        }
+    }
+
+    /// Sends the accumulated batch (if any) to the observer thread.
+    fn flush(&mut self) -> Result<(), ObserverDead> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.pending_entries = 0;
+        self.tx
+            .send(ObserverMsg::Batch(std::mem::take(&mut self.pending)))
+            .map_err(|_| ObserverDead)
+    }
+
+    /// Joins the observer, recovering the probes. Re-raises the probe's
+    /// panic if the thread died on one.
+    fn join(mut self) -> Vec<Box<dyn Probe>> {
+        let _ = self.flush();
+        let Observer {
+            tx,
+            recycle,
+            thread,
+            ..
+        } = self;
+        drop(tx); // close the channel so the thread drains and exits
+        drop(recycle);
+        match thread.join() {
+            Ok(probes) => probes,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// Sorts one batch of log entries into serial emission order and dispatches
+/// it. `(at, key)` is globally unique per cycle and the sort is stable, so
+/// one handler's emissions stay contiguous and in order; batches cover
+/// disjoint ascending window ranges, so batching does not reorder.
+fn replay(entries: &mut [ProbeEntry], probes: &mut [Box<dyn Probe>], nodes: u16) {
+    entries.sort_by_key(|e| (e.at, e.key));
+    for e in entries.iter() {
+        let ctx = ProbeCtx { now: e.now, nodes };
+        for p in probes.iter_mut() {
+            p.on_event(&ctx, &e.event);
+        }
+    }
+}
+
+/// Where window probe logs go: a dedicated observer thread when the host
+/// has cores to spare, the calling thread otherwise.
+///
+/// Generic probes ([`Machine::attach_probe`]) observe the merged cross-shard
+/// event stream in exact serial order — but nothing about that order
+/// requires the *simulation* to wait for them. On multi-core hosts the
+/// machine hands batches of window logs to an observer thread, which
+/// merges, sorts, and dispatches them while the shards already run the next
+/// window: the simulation's critical path pays only the per-event log
+/// append, and the probes' own work (metrics, histograms, the coherence
+/// sanitizer) overlaps execution. Drained buffers are recycled, so
+/// steady-state logging allocates nothing, and the channel is bounded — a
+/// probe slower than the simulation backpressures it instead of
+/// accumulating unbounded logs.
+///
+/// On a single-core host there is nothing to overlap with, so the sink
+/// replays each window synchronously at the boundary (the classic
+/// behavior), avoiding pure context-switch overhead. Both modes dispatch
+/// the identical event sequence, so results are bit-identical.
+enum ProbeSink {
+    Sync {
+        probes: Vec<Box<dyn Probe>>,
+        scratch: Vec<ProbeEntry>,
+        nodes: u16,
+    },
+    Async(Observer),
+}
+
+impl ProbeSink {
+    fn new(probes: Vec<Box<dyn Probe>>, nodes: u16) -> Self {
+        let parallel = std::thread::available_parallelism().map_or(1, std::num::NonZero::get) > 1;
+        if parallel {
+            ProbeSink::Async(Observer::spawn(probes, nodes))
+        } else {
+            ProbeSink::Sync {
+                probes,
+                scratch: Vec::new(),
+                nodes,
+            }
+        }
+    }
+
+    /// Consumes one window's per-shard logs at a boundary.
+    fn window<S: std::ops::DerefMut<Target = Shard>>(
+        &mut self,
+        shards: &mut [S],
+    ) -> Result<(), ObserverDead> {
+        match self {
+            ProbeSink::Sync {
+                probes,
+                scratch,
+                nodes,
+            } => {
+                scratch.clear();
+                for s in shards.iter_mut() {
+                    scratch.append(s.probe_log_mut());
+                }
+                replay(scratch, probes, *nodes);
+                Ok(())
+            }
+            ProbeSink::Async(obs) => {
+                for s in shards.iter_mut() {
+                    let mut log = obs.recycle.try_recv().unwrap_or_default();
+                    debug_assert!(log.is_empty(), "recycled buffers come back drained");
+                    std::mem::swap(s.probe_log_mut(), &mut log);
+                    obs.pending_entries += log.len();
+                    obs.pending.push(log);
+                }
+                if obs.pending_entries >= OBSERVER_BATCH {
+                    obs.flush()?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Dispatches one boundary-time event (barrier releases), in order with
+    /// the window entries around it.
+    fn sync_event(&mut self, event: SimEvent, now: Cycle) -> Result<(), ObserverDead> {
+        match self {
+            ProbeSink::Sync { probes, nodes, .. } => {
+                let ctx = ProbeCtx { now, nodes: *nodes };
+                for p in probes.iter_mut() {
+                    p.on_event(&ctx, &event);
+                }
+                Ok(())
+            }
+            ProbeSink::Async(obs) => {
+                obs.flush()?;
+                obs.tx
+                    .send(ObserverMsg::Sync { event, now })
+                    .map_err(|_| ObserverDead)
+            }
+        }
+    }
+
+    /// Recovers the probes, joining the observer thread if one was spawned.
+    /// Re-raises a probe panic from the observer.
+    fn finish(self) -> Vec<Box<dyn Probe>> {
+        match self {
+            ProbeSink::Sync { probes, .. } => probes,
+            ProbeSink::Async(obs) => obs.join(),
+        }
     }
 }
 
@@ -246,6 +479,23 @@ impl Machine {
             .map(|l| l.token)
     }
 
+    /// Snapshots the machine-wide ground state (every directory record and
+    /// cached line) for invariant checking — see
+    /// [`crate::checker::quiescence_violations`]. Deterministically sorted.
+    pub fn view(&self) -> crate::checker::MachineView {
+        let mut view = crate::checker::MachineView {
+            nodes: self.cfg.nodes(),
+            directory: self.cfg.directory(),
+            ..Default::default()
+        };
+        for s in &self.shards {
+            lock(s).view_into(&mut view);
+        }
+        view.dir_blocks.sort_by_key(|&(home, b, _)| (home, b));
+        view.cache_lines.sort_by_key(|&(p, b, _)| (p, b));
+        view
+    }
+
     // ---- observation -----------------------------------------------------
 
     /// Attaches the built-in core-metrics observer. Without it,
@@ -299,10 +549,24 @@ impl Machine {
         for s in &mut self.shards {
             lock_mut(s).set_log_events(log_events);
         }
+        // Generic probes move into a sink for the duration of the run — a
+        // dedicated observer thread on multi-core hosts, an in-place replay
+        // buffer otherwise (see [`ProbeSink`]) — and come back at the end.
+        let mut sink =
+            log_events.then(|| ProbeSink::new(std::mem::take(&mut self.probes), self.cfg.nodes()));
         let stop = if threadless {
-            self.run_threadless(horizon)
+            self.run_threadless(horizon, sink.as_mut())
         } else {
-            self.run_parallel(horizon)
+            self.run_parallel(horizon, sink.as_mut())
+        };
+        if let Some(sink) = sink {
+            // Re-raises the probe's own panic if the observer died mid-run
+            // (`Err(ObserverDead)` below).
+            self.probes = sink.finish();
+        }
+        let stop = match stop {
+            Ok(stop) => stop,
+            Err(ObserverDead) => unreachable!("a dead observer re-raises its panic on finish"),
         };
         let mut end_time = Cycle::ZERO;
         let mut events_handled = 0;
@@ -319,25 +583,29 @@ impl Machine {
     }
 
     /// The threadless engine: every shard's slice of each window runs on
-    /// the calling thread, in shard order. With one shard this is the
+    /// the calling thread, in shard order (generic probes, when attached,
+    /// still observe from their own thread). With one shard this is the
     /// serial path — and the reference the worker-thread path is
     /// bit-identical to.
-    fn run_threadless(&mut self, horizon: Cycle) -> StopReason {
-        let nodes = self.cfg.nodes();
-        let (shards, sync, probes) = (&mut self.shards, &mut self.sync, &mut self.probes);
+    fn run_threadless(
+        &mut self,
+        horizon: Cycle,
+        mut sink: Option<&mut ProbeSink>,
+    ) -> Result<StopReason, ObserverDead> {
+        let (shards, sync) = (&mut self.shards, &mut self.sync);
         loop {
             let mut guards: Vec<&mut Shard> = shards.iter_mut().map(lock_mut).collect();
             let Some(t) = guards.iter().filter_map(|s| s.next_event_time()).min() else {
-                return StopReason::Drained;
+                return Ok(StopReason::Drained);
             };
             if t > horizon {
-                return StopReason::HorizonReached;
+                return Ok(StopReason::HorizonReached);
             }
             let (start, end) = self.clock.window_of(t);
-            for s in guards.iter_mut() {
+            for s in &mut guards {
                 s.run_window(start, end);
             }
-            boundary(&mut guards, sync, probes, self.part, nodes, end);
+            boundary(&mut guards, sync, sink.as_deref_mut(), self.part, end)?;
         }
     }
 
@@ -345,13 +613,15 @@ impl Machine {
     /// coordinator twice per window on a spin barrier. Worker panics are
     /// caught, the fleet is shut down cleanly, and the first panic is
     /// re-raised on the coordinating thread.
-    fn run_parallel(&mut self, horizon: Cycle) -> StopReason {
+    fn run_parallel(
+        &mut self,
+        horizon: Cycle,
+        mut sink: Option<&mut ProbeSink>,
+    ) -> Result<StopReason, ObserverDead> {
         let clock = self.clock;
         let part = self.part;
-        let nodes = self.cfg.nodes();
         let shards = &self.shards;
         let sync = &mut self.sync;
-        let probes = &mut self.probes;
         let barrier = SpinBarrier::new(shards.len() + 1);
         let running = AtomicBool::new(true);
         let win_start = AtomicU64::new(0);
@@ -403,7 +673,7 @@ impl Machine {
                 if let Some(stop) = decision {
                     running.store(false, Ordering::Release);
                     barrier.wait(); // release workers; they observe the flag and exit
-                    return stop;
+                    return Ok(stop);
                 }
                 barrier.wait(); // workers start the window
                 barrier.wait(); // workers finished the window
@@ -418,12 +688,22 @@ impl Machine {
                     let mut guards: Vec<MutexGuard<'_, Shard>> =
                         shards.iter().map(|s| lock(s)).collect();
                     let end = Cycle::new(win_end.load(Ordering::Acquire));
-                    boundary(&mut guards, sync, probes, part, nodes, end);
+                    boundary(&mut guards, sync, sink.as_deref_mut(), part, end)
                 }));
-                if let Err(payload) = result {
+                let fold = match result {
+                    Ok(fold) => fold,
+                    Err(payload) => {
+                        running.store(false, Ordering::Release);
+                        barrier.wait(); // release workers; they observe the flag and exit
+                        panic::resume_unwind(payload);
+                    }
+                };
+                if fold.is_err() {
+                    // The observer thread died (a probe panicked); shut the
+                    // fleet down and let the caller re-raise on join.
                     running.store(false, Ordering::Release);
                     barrier.wait(); // release workers; they observe the flag and exit
-                    panic::resume_unwind(payload);
+                    return Err(ObserverDead);
                 }
             }
         })
@@ -499,17 +779,17 @@ fn lock_raw<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
-/// One window boundary: cross-shard message exchange, probe-log merge and
-/// replay, and the global barrier fold. Shared verbatim by the serial and
-/// parallel paths — `S` is `&mut Shard` or a mutex guard.
+/// One window boundary: cross-shard message exchange, probe-log handoff to
+/// the sink, and the global barrier fold. Shared verbatim by the serial and
+/// parallel paths — `S` is `&mut Shard` or a mutex guard. Returns `Err`
+/// when the sink's observer thread has died (a probe panicked).
 fn boundary<S: std::ops::DerefMut<Target = Shard>>(
     shards: &mut [S],
     sync: &mut GlobalSync,
-    probes: &mut [Box<dyn Probe>],
+    mut sink: Option<&mut ProbeSink>,
     part: Partition,
-    nodes: u16,
     end: Cycle,
-) {
+) -> Result<(), ObserverDead> {
     // 1. Redistribute cross-shard messages into their destination queues.
     //    Delivery cycles are ≥ `end` by the conservative lookahead, so every
     //    message lands in a window that has not run yet.
@@ -530,22 +810,11 @@ fn boundary<S: std::ops::DerefMut<Target = Shard>>(
             }
         }
     }
-    // 2. Merge the shards' event logs into serial emission order and replay
-    //    them through the generic probes. `(at, key)` — the handled event's
-    //    tag — is globally unique per cycle, and the sort is stable, so one
-    //    handler's emissions stay contiguous and in order.
-    if !probes.is_empty() {
-        let mut entries: Vec<ProbeEntry> = Vec::new();
-        for s in shards.iter_mut() {
-            entries.append(s.probe_log_mut());
-        }
-        entries.sort_by_key(|e| (e.at, e.key));
-        for e in &entries {
-            let ctx = ProbeCtx { now: e.now, nodes };
-            for p in probes.iter_mut() {
-                p.on_event(&ctx, &e.event);
-            }
-        }
+    // 2. Hand the shards' event logs (in shard order) to the probe sink —
+    //    replayed in place, or batched to the observer thread so the probes'
+    //    work overlaps the next window (see [`ProbeSink`]).
+    if let Some(sink) = sink.as_deref_mut() {
+        sink.window(shards)?;
     }
     // 3. Fold barrier arrivals and completions (in global `(cycle, node)`
     //    order) and schedule releases at the boundary cycle — a grid point,
@@ -557,13 +826,12 @@ fn boundary<S: std::ops::DerefMut<Target = Shard>>(
     if !records.is_empty() {
         records.sort_by_key(|r| (r.at, r.node));
         for (id, waiters) in sync.fold(&records) {
-            let ctx = ProbeCtx { now: end, nodes };
             let event = SimEvent::BarrierRelease {
                 id,
                 waiters: waiters.len() as u16,
             };
-            for p in probes.iter_mut() {
-                p.on_event(&ctx, &event);
+            if let Some(sink) = sink.as_deref_mut() {
+                sink.sync_event(event, end)?;
             }
             for w in waiters {
                 let node = NodeId::new(w);
@@ -571,6 +839,7 @@ fn boundary<S: std::ops::DerefMut<Target = Shard>>(
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]

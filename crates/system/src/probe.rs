@@ -137,6 +137,17 @@ pub enum SimEvent {
         /// The message.
         msg: Message,
     },
+    /// A home's protocol engine dequeued a message and handed it to the
+    /// directory state machine (start of service; the matching
+    /// [`SimEvent::MessageServiced`] follows with the timing). Unlike
+    /// `MessageServiced` this carries the *full* message, so checkers can
+    /// replay directory decisions from ground state.
+    DirAccepted {
+        /// The home node servicing the message.
+        home: NodeId,
+        /// The message entering service.
+        msg: Message,
+    },
     /// A home's protocol engine completed one directory service.
     MessageServiced {
         /// The home node whose engine serviced the message.
@@ -526,6 +537,22 @@ impl ProbeRegistry {
     pub fn with_builtins() -> Self {
         let mut r = ProbeRegistry::empty();
         r.register(
+            "check",
+            "online coherence sanitizer: replay the event stream against an \
+             independent shadow directory and the invariant catalog \
+             (check:strict panics at the first violation)",
+            |arg| match arg {
+                None => Ok(Arc::new(crate::checker::CheckerFactory { strict: false })),
+                Some("strict") => Ok(Arc::new(crate::checker::CheckerFactory { strict: true })),
+                Some(other) => Err(ProbeSpecError::InvalidArg {
+                    probe: "check".to_string(),
+                    arg: other.to_string(),
+                    expected: "no argument, or :strict".to_string(),
+                }),
+            },
+        )
+        .expect("fresh registry");
+        r.register(
             "per-node",
             "per-node accuracy and traffic breakdown (one record per node)",
             |arg| match arg {
@@ -753,6 +780,8 @@ mod tests {
     fn builtin_specs_resolve_and_round_trip() {
         let registry = ProbeRegistry::with_builtins();
         for (spec, canonical) in [
+            ("check", "check"),
+            ("check:strict", "check:strict"),
             ("per-node", "per-node"),
             ("hist:self-inv-lead", "hist:self-inv-lead"),
             (" hist : self-inv-lead ", "hist:self-inv-lead"),
@@ -765,7 +794,7 @@ mod tests {
             assert_eq!(factory.spec(), canonical);
         }
         let names: Vec<&str> = registry.names().collect();
-        assert_eq!(names, ["hist", "per-node", "record"]);
+        assert_eq!(names, ["check", "hist", "per-node", "record"]);
     }
 
     #[test]
@@ -778,6 +807,10 @@ mod tests {
         assert!(matches!(
             registry.parse("hist"),
             Err(ProbeSpecError::MissingArg { .. })
+        ));
+        assert!(matches!(
+            registry.parse("check:lenient"),
+            Err(ProbeSpecError::InvalidArg { .. })
         ));
         assert!(matches!(
             registry.parse("hist:uptime"),
@@ -819,6 +852,6 @@ mod tests {
             registry.register("per-node", "dup", |_| Err(ProbeSpecError::EmptySpec)),
             Err(ProbeSpecError::DuplicateName { .. })
         ));
-        assert_eq!(registry.entries().count(), 4);
+        assert_eq!(registry.entries().count(), 5);
     }
 }

@@ -37,7 +37,7 @@ impl WindowClock {
     }
 
     /// The window `[start, end)` containing cycle `t`.
-    pub fn window_of(&self, t: Cycle) -> (Cycle, Cycle) {
+    pub fn window_of(self, t: Cycle) -> (Cycle, Cycle) {
         let k = t.as_u64() / self.lookahead;
         (
             Cycle::new(k * self.lookahead),

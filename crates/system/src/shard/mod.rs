@@ -108,7 +108,7 @@ impl EventKey {
         EventKey {
             class: 1,
             actor: dst.index() as u16,
-            src: src.index() as u16,
+            src: ltp_dsm::mutation::arrive_key_src(src.index() as u16),
             seq,
         }
     }
@@ -512,6 +512,28 @@ impl Shard {
     /// introspection).
     pub fn cached_line(&self, p: NodeId, block: BlockId) -> Option<ltp_dsm::Line> {
         self.nodes[self.li(p)].cache.line(block)
+    }
+
+    /// Appends this shard's slice of the machine-wide ground state to a
+    /// [`crate::checker::MachineView`].
+    pub fn view_into(&self, view: &mut crate::checker::MachineView) {
+        for dir in &self.dirs {
+            let home = dir.home();
+            for (b, rec) in dir.blocks_view() {
+                view.dir_blocks.push((home, b, rec));
+            }
+        }
+        for n in &self.nodes {
+            for (b, line) in n.cache.lines() {
+                view.cache_lines.push((n.id, b, line));
+            }
+            view.cache_pending += n.cache.pending_misses();
+        }
+        view.engine_backlog += self
+            .engines
+            .iter()
+            .map(ProtocolEngine::backlog)
+            .sum::<usize>();
     }
 
     // ---- observation -----------------------------------------------------
@@ -1049,6 +1071,7 @@ impl Shard {
         let Some((msg, queued)) = self.engines[hi].dequeue(now) else {
             return;
         };
+        self.emit_aux(now, || SimEvent::DirAccepted { home: h, msg });
         let step = self.dirs[hi].process(msg);
         let service = if step.data_service {
             self.cfg.dir_data_service()
@@ -1138,6 +1161,9 @@ impl Shard {
                 if resp.had_copy {
                     self.nodes[i].policy.on_invalidation(msg.block);
                 }
+                if ltp_dsm::mutation::fire_drop_invack() {
+                    return;
+                }
                 let home = self.cfg.home_of(msg.block);
                 self.route(
                     Message::new(
@@ -1189,7 +1215,10 @@ impl Shard {
             matches!(ctx.cont, Continuation::LockTas(_)) && self.nodes[i].cache.try_tas(msg.block);
         // Resolve an earlier prediction first (FIFO per block), then start
         // the new trace with this access's touch.
-        if let Some(v) = fill.verify {
+        if let Some(v) = fill
+            .verify
+            .filter(|_| !ltp_dsm::mutation::fire_skip_fill_verify())
+        {
             // Verdicts piggybacked on fills resolved when this very request
             // reached the directory — never timely.
             self.emit(

@@ -32,13 +32,13 @@ impl Partition {
     }
 
     /// Number of shards in the partition (after clamping).
-    pub fn shards(&self) -> usize {
+    pub fn shards(self) -> usize {
         usize::from(self.shards)
     }
 
     /// The shard owning node `p`.
     #[inline]
-    pub fn shard_of(&self, p: NodeId) -> usize {
+    pub fn shard_of(self, p: NodeId) -> usize {
         let i = p.index() as u32;
         let base = u32::from(self.nodes / self.shards);
         let rem = u32::from(self.nodes % self.shards);
@@ -52,7 +52,7 @@ impl Partition {
     }
 
     /// The `[lo, hi)` node-index range owned by shard `s`.
-    pub fn range(&self, s: usize) -> (u16, u16) {
+    pub fn range(self, s: usize) -> (u16, u16) {
         assert!(s < self.shards(), "shard index out of range");
         let s = s as u16;
         let base = self.nodes / self.shards;

@@ -149,7 +149,7 @@ mod tests {
     #[test]
     fn flags_are_invisible_to_dsi() {
         let mut progs = programs(3, 1);
-        for p in progs.iter_mut() {
+        for p in &mut progs {
             for op in collect_ops(p.as_mut()) {
                 assert!(
                     !matches!(op, Op::Lock(_) | Op::Unlock(_)),

@@ -179,7 +179,7 @@ mod tests {
     fn uses_few_contended_locks() {
         let mut progs = programs(8, 2, 3);
         let mut locks = std::collections::HashSet::new();
-        for p in progs.iter_mut() {
+        for p in &mut progs {
             for op in collect_ops(p.as_mut()) {
                 if let Op::Lock(l) = op {
                     assert!(l.exposed);

@@ -189,7 +189,7 @@ mod tests {
         // Every buffer block written by someone must be read by someone.
         let mut written = std::collections::HashSet::new();
         let mut read_set = std::collections::HashSet::new();
-        for p in progs.iter_mut() {
+        for p in &mut progs {
             for op in collect_ops(p.as_mut()) {
                 match op {
                     Op::Write { pc, block } if pc.value() == PC_LIB_STORE => {

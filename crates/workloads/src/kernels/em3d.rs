@@ -80,7 +80,7 @@ mod tests {
         let mut programs = programs(nodes, 1);
         let mut writes = std::collections::HashMap::new();
         let mut reads = std::collections::HashMap::new();
-        for p in programs.iter_mut() {
+        for p in &mut programs {
             for op in collect_ops(p.as_mut()) {
                 match op {
                     Op::Write { block, .. } => *writes.entry(block).or_insert(0) += 1,

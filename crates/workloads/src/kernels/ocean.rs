@@ -257,7 +257,7 @@ mod tests {
     fn every_node_has_a_private_lock() {
         let mut progs = programs(4, 1);
         let mut locks = std::collections::HashSet::new();
-        for p in progs.iter_mut() {
+        for p in &mut progs {
             for op in collect_ops(p.as_mut()) {
                 if let Op::Lock(l) = op {
                     assert!(l.exposed, "ocean locks are library locks");

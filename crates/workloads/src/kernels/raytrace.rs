@@ -125,7 +125,7 @@ mod tests {
     fn one_global_lock_guards_the_pool() {
         let mut progs = programs(6, 3, 5);
         let mut locks = std::collections::HashSet::new();
-        for p in progs.iter_mut() {
+        for p in &mut progs {
             for op in collect_ops(p.as_mut()) {
                 if let Op::Lock(l) = op {
                     locks.insert(l.block);

@@ -21,7 +21,7 @@ fn main() {
     let trace = Trace::record(Benchmark::Unstructured, &params);
     let path = std::env::temp_dir().join("ltp-example-unstructured.ltrace");
     trace.save(&path).expect("trace saves");
-    let on_disk = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let on_disk = std::fs::metadata(&path).map_or(0, |m| m.len());
     println!(
         "recorded {}: {} nodes, {} ops -> {} ({} bytes, {:.2} B/op)",
         trace.name(),

@@ -25,10 +25,12 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use ltp::core::{PolicyFactory, PolicyRegistry};
+use ltp::core::{JsonValue, PolicyFactory, PolicyRegistry};
 use ltp::dsm::DirectoryKind;
 use ltp::system::predict::{render_json, render_markdown, PredictSpec, DEFAULT_ZOO};
-use ltp::system::{JsonLinesSink, NullSink, ProbeRegistry, RunReport, SweepSpec};
+use ltp::system::{
+    explore, ExploreConfig, JsonLinesSink, NullSink, ProbeRegistry, RunReport, SweepSpec,
+};
 use ltp::workloads::{
     random_trace, Benchmark, StreamingTrace, Trace, WorkloadParams, WorkloadSource,
 };
@@ -41,6 +43,8 @@ USAGE:
     ltp list-policies
     ltp list-probes
     ltp run        -b <benchmark> -p <policy-spec> [options]
+    ltp check      [-b <b1,..|all>] [-p <specs>] [options]
+    ltp check      --exhaustive [-d <kind,..>] [--ops <N>]
     ltp sweep      -b <b1,b2,..|all> -p <spec1,spec2,..> [options]
     ltp compare    -b <benchmark> [options]
     ltp suite      -p <policy-spec> [options]
@@ -71,15 +75,24 @@ OPTIONS:
                               splits each simulated machine across N threads;
                               reports stay bit-identical to --shards 1
                               (`auto` = all available cores)
-        --probe <spec>        attach a probe (repeatable; run/sweep/compare/suite)
+        --probe <spec>        attach a probe (repeatable; run/sweep/compare/suite/check)
                               e.g. --probe per-node --probe hist:self-inv-lead
                               (grammar: name[:argument]; see list-probes)
+        --check               attach the coherence sanitizer to every run
+                              (run/sweep/compare/suite; exit 1 on violations)
+        --exhaustive          (check only) exhaustively model-check small
+                              configs instead of sanitizing benchmark runs
         --record <FILE>       tee the live run's op stream to FILE.ltrace (run only)
         --report <FILE>       write the tournament markdown table to FILE (predict only)
         --json                emit RunReports as JSON to stdout
         --json-lines <FILE>   stream per-run JSON lines to FILE
         --debug               print the sweep schedule (estimated ops + source)
         --quiet               suppress the human-readable table
+
+`check` asserts the protocol invariant catalog (docs/manual.md §Protocol
+checking): without --exhaustive it replays benchmark runs under the online
+sanitizer probe; with --exhaustive it enumerates every message interleaving
+of 2–3-node configurations and prints a minimal counterexample on failure.
 
 `predict` replays workloads through the offline logical coherence model —
 no cycle simulation — and races predictor specs (default: the full zoo,
@@ -91,7 +104,7 @@ Every table and figure of the paper is regenerated by `cargo bench`.
 Full manual: docs/manual.md";
 
 /// Parsed command-line options.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct Options {
     benchmarks: Option<String>,
     policies: Option<String>,
@@ -108,6 +121,8 @@ struct Options {
     jobs: Option<usize>,
     shards: Option<usize>,
     probes: Vec<String>,
+    check: bool,
+    exhaustive: bool,
     record: Option<String>,
     report: Option<String>,
     json: bool,
@@ -208,6 +223,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.shards = Some(shards);
             }
             "--probe" | "--probes" => opts.probes.push(value("--probe")?),
+            "--check" => opts.check = true,
+            "--exhaustive" => opts.exhaustive = true,
             "--record" => opts.record = Some(value("--record")?),
             "--report" => opts.report = Some(value("--report")?),
             "--json" => opts.json = true,
@@ -500,6 +517,11 @@ fn execute(
     for spec in &opts.probes {
         sweep = sweep.probe_spec(probes, spec).map_err(|e| e.to_string())?;
     }
+    if opts.check && !opts.probes.iter().any(|s| s.trim().starts_with("check")) {
+        sweep = sweep
+            .probe_spec(probes, "check")
+            .map_err(|e| e.to_string())?;
+    }
     if let Some(record) = &opts.record {
         sweep = sweep
             .probe_spec(probes, &format!("record:{record}"))
@@ -581,7 +603,56 @@ fn execute(
     if !opts.quiet && !opts.json && count > 1 {
         eprintln!("# {count} runs in {:.2}s", started.elapsed().as_secs_f64());
     }
+    if opts.check {
+        scan_check_sections(&reports)?;
+    }
     Ok(reports)
+}
+
+/// Reads the sanitizer's `check` section out of every report and fails
+/// with the collected evidence when any run saw a violation.
+fn scan_check_sections(reports: &[RunReport]) -> Result<(), String> {
+    fn field<'v>(value: &'v JsonValue, key: &str) -> Option<&'v JsonValue> {
+        match value {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    let mut total = 0u64;
+    let mut evidence: Vec<String> = Vec::new();
+    for report in reports {
+        for section in &report.sections {
+            if section.name != "check" && section.name != "check:strict" {
+                continue;
+            }
+            let Some(&JsonValue::U64(violations)) = field(&section.data, "violations") else {
+                continue;
+            };
+            if violations == 0 {
+                continue;
+            }
+            total += violations;
+            let what = format!(
+                "{} / {} / {} nodes / {}",
+                report.benchmark, report.policy_spec, report.workload.nodes, report.directory
+            );
+            evidence.push(format!("{what}: {violations} violation(s)"));
+            if let Some(JsonValue::Array(first)) = field(&section.data, "first") {
+                for line in first {
+                    if let JsonValue::Str(s) = line {
+                        evidence.push(format!("  {s}"));
+                    }
+                }
+            }
+        }
+    }
+    if total == 0 {
+        return Ok(());
+    }
+    Err(format!(
+        "coherence check failed: {total} violation(s)\n{}",
+        evidence.join("\n")
+    ))
 }
 
 fn cmd_run(
@@ -593,6 +664,135 @@ fn cmd_run(
     let policies = parse_policies(registry, opts)?;
     let reports = execute(sources, policies, probes, opts)?;
     emit_all(&reports, opts);
+    Ok(())
+}
+
+/// `ltp check`: the protocol-correctness front end. Without `--exhaustive`
+/// it replays benchmark runs (default: the whole suite under `ltp`) with
+/// the online sanitizer attached; with `--exhaustive` it model-checks
+/// small configurations over every message interleaving.
+fn cmd_check(
+    registry: &PolicyRegistry,
+    probes: &ProbeRegistry,
+    opts: &Options,
+) -> Result<(), String> {
+    if opts.exhaustive {
+        return cmd_check_exhaustive(opts);
+    }
+    let mut opts = opts.clone();
+    opts.check = true;
+    if opts.benchmarks.is_none() && opts.traces.is_empty() {
+        opts.benchmarks = Some("all".to_string());
+    }
+    if opts.policies.is_none() {
+        opts.policies = Some("ltp".to_string());
+    }
+    let sources = parse_sources(&opts)?;
+    let policies = parse_policies(registry, &opts)?;
+    let reports = execute(sources, policies, probes, &opts)?;
+    if opts.json {
+        emit_all(&reports, &opts);
+    } else if !opts.quiet {
+        for report in &reports {
+            let events = report
+                .sections
+                .iter()
+                .find(|s| s.name.starts_with("check"))
+                .and_then(|s| match &s.data {
+                    JsonValue::Object(fields) => fields.iter().find_map(|(k, v)| match v {
+                        JsonValue::U64(n) if k == "events" => Some(*n),
+                        _ => None,
+                    }),
+                    _ => None,
+                })
+                .unwrap_or(0);
+            println!(
+                "  ok  {} / {} / {} nodes / {} — {events} events, 0 violations",
+                report.benchmark, report.policy_spec, report.workload.nodes, report.directory
+            );
+        }
+        println!(
+            "coherence check passed: {} run(s), 0 violations",
+            reports.len()
+        );
+    }
+    Ok(())
+}
+
+/// The `--exhaustive` matrix: both acceptance geometries crossed with the
+/// requested (default: all three) sharer organizations.
+fn cmd_check_exhaustive(opts: &Options) -> Result<(), String> {
+    let kinds: Vec<DirectoryKind> = if opts.dirs.is_empty() {
+        vec![
+            DirectoryKind::Full,
+            DirectoryKind::Coarse { cluster: 1 },
+            DirectoryKind::LimitedPtr { pointers: 1 },
+        ]
+    } else {
+        opts.dirs.clone()
+    };
+    // (nodes, blocks, ops-per-node): exhaustive yet CI-sized. The op budget
+    // bounds the search; --ops overrides it for deeper local runs, and
+    // -n restricts the matrix to one geometry.
+    let mut geometries: Vec<(u16, u64, u32)> = vec![(2, 1, 3), (3, 2, 1)];
+    if !opts.nodes.is_empty() {
+        geometries.retain(|(n, _, _)| opts.nodes.contains(n));
+        if geometries.is_empty() {
+            return Err("-n: no exhaustive geometry matches (available: 2, 3)".to_string());
+        }
+    }
+    let started = Instant::now();
+    for kind in &kinds {
+        for &(nodes, blocks, default_ops) in &geometries {
+            let ops_per_node = opts
+                .ops
+                .map_or(default_ops, |n| u32::try_from(n).unwrap_or(u32::MAX));
+            let config = ExploreConfig {
+                nodes,
+                blocks,
+                ops_per_node,
+                directory: *kind,
+                max_states: 50_000_000,
+            };
+            let out = explore(&config);
+            if let Some(cx) = out.violation {
+                let mut msg = format!(
+                    "invariant `{}` violated ({}) in {nodes}-node/{blocks}-block/{kind} \
+                     after {} states\ncounterexample ({} steps):",
+                    cx.invariant,
+                    cx.detail,
+                    out.states,
+                    cx.trace.len()
+                );
+                for (i, step) in cx.trace.iter().enumerate() {
+                    msg.push_str(&format!("\n  {i:>3}. {step}"));
+                }
+                return Err(msg);
+            }
+            if !opts.quiet {
+                println!(
+                    "  ok  {nodes} nodes / {blocks} block(s) / {ops_per_node} ops / {kind:<9} — \
+                     {} states, {} transitions{}",
+                    out.states,
+                    out.transitions,
+                    if out.truncated { " (TRUNCATED)" } else { "" }
+                );
+            }
+            if out.truncated {
+                return Err(format!(
+                    "state space truncated at {} states; lower --ops",
+                    out.states
+                ));
+            }
+        }
+    }
+    if !opts.quiet {
+        println!(
+            "exhaustive check passed: {} config(s), 0 violations, {:.2}s",
+            kinds.len() * geometries.len(),
+            started.elapsed().as_secs_f64()
+        );
+    }
     Ok(())
 }
 
@@ -737,7 +937,7 @@ fn save_trace(trace: &Trace, output: &str, opts: &Options) -> Result<(), String>
 }
 
 fn report_written(verb: &str, trace: &Trace, output: &str) {
-    let bytes = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+    let bytes = std::fs::metadata(output).map_or(0, |m| m.len());
     println!(
         "{verb} {}: {} nodes, {} ops -> {} ({} bytes, {:.2} B/op)",
         trace.name(),
@@ -904,11 +1104,22 @@ fn main() -> ExitCode {
         // Probes observe simulations; commands that run none would drop
         // them silently.
         if !opts.probes.is_empty()
-            && !matches!(command.as_str(), "run" | "sweep" | "compare" | "suite")
+            && !matches!(command.as_str(), "run" | "sweep" | "compare" | "suite" | "check")
         {
             return Err(format!(
-                "--probe applies to run/sweep/compare/suite only (`{command}` runs no simulation)"
+                "--probe applies to run/sweep/compare/suite/check only (`{command}` runs no simulation)"
             ));
+        }
+        // `--check` attaches the sanitizer to simulations; `--exhaustive`
+        // selects the model checker inside `check`.
+        if opts.check && !matches!(command.as_str(), "run" | "sweep" | "compare" | "suite" | "check")
+        {
+            return Err(format!(
+                "--check applies to run/sweep/compare/suite (`{command}` runs no simulation)"
+            ));
+        }
+        if opts.exhaustive && command != "check" {
+            return Err("--exhaustive applies to `check` only".to_string());
         }
         match command.as_str() {
             "list" => {
@@ -924,6 +1135,7 @@ fn main() -> ExitCode {
                 Ok(())
             }
             "run" => cmd_run(&registry, &probes, &opts),
+            "check" => cmd_check(&registry, &probes, &opts),
             "sweep" => cmd_sweep(&registry, &probes, &opts),
             "compare" => cmd_compare(&registry, &probes, &opts),
             "suite" => cmd_suite(&registry, &probes, &opts),
