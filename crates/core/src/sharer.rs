@@ -1,27 +1,49 @@
-//! [`SharerSet`]: a compact, allocation-free set of node identifiers.
+//! [`SharerSet`]: a compact, width-generic set of node identifiers.
 //!
 //! Directory protocols track "which nodes hold a copy of this block" on
 //! every block of the machine, on the hot path of every read, write, and
 //! invalidation. A heap-backed set (the seed's `BTreeSet<NodeId>`) costs an
 //! allocation per sharing episode and O(n·log n) clone-and-collect on every
-//! exclusive request; at the 64–256-node geometries the roadmap targets that
-//! bookkeeping starts to dominate directory service.
+//! exclusive request; fixed inline bit-words (the previous four `u64`s)
+//! avoid that but hard-cap the machine at 256 nodes — too small for the
+//! roadmap's 1024–4096-node scaling study.
 //!
-//! [`SharerSet`] is four inline `u64` bit-words — 32 bytes, `Copy`, no heap,
-//! constant-time insert/remove/contains, popcount-based length, and
-//! bit-scan iteration in ascending node order (the same order a `BTreeSet`
-//! iterates, so full-map directories built on it are bit-identical to the
-//! seed behavior).
+//! [`SharerSet`] is a hybrid: sharing episodes with at most
+//! [`SharerSet::INLINE`] members (the common case — most blocks have a
+//! handful of sharers regardless of machine size) live in a sorted inline
+//! array of node ids, allocation-free. The ninth member spills the set into
+//! a heap bit-vector sized to the largest inserted id, and a removal that
+//! brings the population back to [`SharerSet::INLINE`] shrinks it inline
+//! again. Both representations iterate in ascending node order (the same
+//! order a `BTreeSet` iterates, so full-map directories built on it are
+//! bit-identical to the seed behavior at any width).
+//!
+//! The representation is canonical — a set is inline if and only if its
+//! population is at most [`SharerSet::INLINE`], and a spilled bit-vector
+//! carries no trailing zero words — so equality and hashing never depend on
+//! the insertion/removal history.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use crate::types::NodeId;
 
-/// Number of bit-words in the inline representation.
-const WORDS: usize = 4;
+/// Members held inline (sorted array of node ids) before spilling to a
+/// heap bit-vector.
+const INLINE: usize = 8;
 
-/// A set of [`NodeId`]s with indices below [`SharerSet::CAPACITY`], stored
-/// inline as bit-words.
+/// The two storage forms. Canonical invariants maintained by every mutator:
+/// `Inline` iff `len <= INLINE`; `ids[..len]` sorted ascending, `ids[len..]`
+/// zeroed; `Bits` words carry no trailing zero word and `len` caches the
+/// total popcount.
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, ids: [u16; INLINE] },
+    Bits { len: u32, words: Vec<u64> },
+}
+
+/// A set of [`NodeId`]s of any width: inline up to [`SharerSet::INLINE`]
+/// members, heap bit-vector beyond.
 ///
 /// # Examples
 ///
@@ -30,27 +52,38 @@ const WORDS: usize = 4;
 ///
 /// let mut set = SharerSet::new();
 /// assert!(set.insert(NodeId::new(3)));
-/// assert!(set.insert(NodeId::new(200)));
+/// assert!(set.insert(NodeId::new(4000)));
 /// assert!(!set.insert(NodeId::new(3)), "already present");
 /// assert_eq!(set.len(), 2);
-/// assert!(set.contains(NodeId::new(200)));
+/// assert!(set.contains(NodeId::new(4000)));
 /// // Iteration is in ascending node order.
 /// let nodes: Vec<u16> = set.iter().map(|n| n.index() as u16).collect();
-/// assert_eq!(nodes, vec![3, 200]);
+/// assert_eq!(nodes, vec![3, 4000]);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Clone)]
 pub struct SharerSet {
-    words: [u64; WORDS],
+    repr: Repr,
+}
+
+impl Default for SharerSet {
+    fn default() -> Self {
+        SharerSet::new()
+    }
 }
 
 impl SharerSet {
-    /// The largest machine a `SharerSet` can index: node ids `0..256`.
-    pub const CAPACITY: u16 = (WORDS * 64) as u16;
+    /// Members held inline before the set spills to a heap bit-vector.
+    pub const INLINE: usize = INLINE;
 
     /// The empty set.
     #[inline]
     pub const fn new() -> Self {
-        SharerSet { words: [0; WORDS] }
+        SharerSet {
+            repr: Repr::Inline {
+                len: 0,
+                ids: [0; INLINE],
+            },
+        }
     }
 
     /// A set holding exactly `node`.
@@ -61,70 +94,205 @@ impl SharerSet {
         set
     }
 
+    /// Whether the set currently lives in the spilled (heap bit-vector)
+    /// representation. Exposed for storage accounting and representation
+    /// tests; protocol code never needs it.
     #[inline]
-    fn slot(node: NodeId) -> (usize, u64) {
-        let index = node.index();
-        assert!(
-            index < Self::CAPACITY as usize,
-            "{node} exceeds SharerSet capacity {}",
-            Self::CAPACITY
-        );
-        (index / 64, 1u64 << (index % 64))
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.repr, Repr::Bits { .. })
     }
 
     /// Inserts `node`; returns whether it was newly inserted.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node.index() >= SharerSet::CAPACITY`.
     #[inline]
     pub fn insert(&mut self, node: NodeId) -> bool {
-        let (word, bit) = Self::slot(node);
-        let fresh = self.words[word] & bit == 0;
-        self.words[word] |= bit;
-        fresh
+        let id = node.index() as u16;
+        match &mut self.repr {
+            Repr::Inline { len, ids } => {
+                let n = *len as usize;
+                match ids[..n].binary_search(&id) {
+                    Ok(_) => false,
+                    Err(pos) => {
+                        if n < INLINE {
+                            ids.copy_within(pos..n, pos + 1);
+                            ids[pos] = id;
+                            *len += 1;
+                        } else {
+                            self.spill_with(id);
+                        }
+                        true
+                    }
+                }
+            }
+            Repr::Bits { len, words } => {
+                let (word, bit) = (id as usize / 64, 1u64 << (id % 64));
+                if word >= words.len() {
+                    words.resize(word + 1, 0);
+                }
+                let fresh = words[word] & bit == 0;
+                if fresh {
+                    words[word] |= bit;
+                    *len += 1;
+                }
+                fresh
+            }
+        }
+    }
+
+    /// Converts an inline set at full population into the bit-vector form,
+    /// adding the not-yet-present `extra` id.
+    #[cold]
+    fn spill_with(&mut self, extra: u16) {
+        let Repr::Inline { len, ids } = &self.repr else {
+            unreachable!("spill from inline only");
+        };
+        let n = *len as usize;
+        let max = ids[..n].iter().copied().max().unwrap_or(0).max(extra);
+        let mut words = vec![0u64; max as usize / 64 + 1];
+        for &id in ids[..n].iter().chain(std::iter::once(&extra)) {
+            words[id as usize / 64] |= 1u64 << (id % 64);
+        }
+        self.repr = Repr::Bits {
+            len: n as u32 + 1,
+            words,
+        };
+    }
+
+    /// Collapses a spilled set whose population fits inline back into the
+    /// sorted-array form.
+    #[cold]
+    fn shrink(&mut self) {
+        let Repr::Bits { len, words } = &self.repr else {
+            unreachable!("shrink from bits only");
+        };
+        debug_assert!(*len as usize <= INLINE);
+        let mut ids = [0u16; INLINE];
+        let mut n = 0usize;
+        for (w, &bits) in words.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                ids[n] = (w * 64 + bits.trailing_zeros() as usize) as u16;
+                bits &= bits - 1;
+                n += 1;
+            }
+        }
+        self.repr = Repr::Inline { len: n as u8, ids };
     }
 
     /// Removes `node`; returns whether it was present.
     #[inline]
     pub fn remove(&mut self, node: NodeId) -> bool {
-        let (word, bit) = Self::slot(node);
-        let present = self.words[word] & bit != 0;
-        self.words[word] &= !bit;
-        present
+        let id = node.index() as u16;
+        match &mut self.repr {
+            Repr::Inline { len, ids } => {
+                let n = *len as usize;
+                match ids[..n].binary_search(&id) {
+                    Ok(pos) => {
+                        ids.copy_within(pos + 1..n, pos);
+                        ids[n - 1] = 0;
+                        *len -= 1;
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            Repr::Bits { len, words } => {
+                let (word, bit) = (id as usize / 64, 1u64 << (id % 64));
+                if word >= words.len() || words[word] & bit == 0 {
+                    return false;
+                }
+                words[word] &= !bit;
+                *len -= 1;
+                while words.last() == Some(&0) {
+                    words.pop();
+                }
+                if *len as usize <= INLINE {
+                    self.shrink();
+                }
+                true
+            }
+        }
     }
 
     /// Whether `node` is in the set.
     #[inline]
     pub fn contains(&self, node: NodeId) -> bool {
-        let (word, bit) = Self::slot(node);
-        self.words[word] & bit != 0
+        let id = node.index() as u16;
+        match &self.repr {
+            Repr::Inline { len, ids } => ids[..*len as usize].binary_search(&id).is_ok(),
+            Repr::Bits { words, .. } => {
+                let word = id as usize / 64;
+                word < words.len() && words[word] & (1u64 << (id % 64)) != 0
+            }
+        }
     }
 
-    /// Number of nodes in the set (popcount).
+    /// Number of nodes in the set.
     #[inline]
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Bits { len, .. } => *len as usize,
+        }
     }
 
     /// Whether the set is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.len() == 0
     }
 
-    /// Empties the set.
+    /// Empties the set (dropping any heap storage).
     #[inline]
     pub fn clear(&mut self) {
-        self.words = [0; WORDS];
+        self.repr = Repr::Inline {
+            len: 0,
+            ids: [0; INLINE],
+        };
     }
 
-    /// Iterates the members in ascending node order (bit-scan).
+    /// Iterates the members in ascending node order.
     #[inline]
-    pub fn iter(&self) -> SharerIter {
-        SharerIter {
-            words: self.words,
-            word: 0,
+    pub fn iter(&self) -> SharerIter<'_> {
+        match &self.repr {
+            Repr::Inline { len, ids } => SharerIter {
+                ids: &ids[..*len as usize],
+                words: &[],
+                word: 0,
+                cur: 0,
+            },
+            Repr::Bits { words, .. } => SharerIter {
+                ids: &[],
+                words,
+                word: 0,
+                cur: words.first().copied().unwrap_or(0),
+            },
+        }
+    }
+}
+
+impl PartialEq for SharerSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Representations are canonical (inline iff len <= INLINE, no
+        // trailing zero words), so mixed-variant comparisons are never equal.
+        match (&self.repr, &other.repr) {
+            (Repr::Inline { len: a, ids: ai }, Repr::Inline { len: b, ids: bi }) => {
+                a == b && ai[..*a as usize] == bi[..*b as usize]
+            }
+            (Repr::Bits { len: a, words: aw }, Repr::Bits { len: b, words: bw }) => {
+                a == b && aw == bw
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for SharerSet {}
+
+impl Hash for SharerSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_usize(self.len());
+        for node in self {
+            state.write_u16(node.index() as u16);
         }
     }
 }
@@ -149,18 +317,18 @@ impl Extend<NodeId> for SharerSet {
 
 impl IntoIterator for SharerSet {
     type Item = NodeId;
-    type IntoIter = SharerIter;
+    type IntoIter = SharerIntoIter;
 
-    fn into_iter(self) -> SharerIter {
-        self.iter()
+    fn into_iter(self) -> SharerIntoIter {
+        SharerIntoIter { set: self, at: 0 }
     }
 }
 
-impl IntoIterator for &SharerSet {
+impl<'a> IntoIterator for &'a SharerSet {
     type Item = NodeId;
-    type IntoIter = SharerIter;
+    type IntoIter = SharerIter<'a>;
 
-    fn into_iter(self) -> SharerIter {
+    fn into_iter(self) -> SharerIter<'a> {
         self.iter()
     }
 }
@@ -178,40 +346,104 @@ impl fmt::Debug for SharerSet {
     }
 }
 
-/// Bit-scan iterator over a [`SharerSet`] (ascending node order).
+/// Borrowing iterator over a [`SharerSet`] (ascending node order). Walks the
+/// inline id slice directly, or bit-scans the spilled words.
 #[derive(Debug, Clone)]
-pub struct SharerIter {
-    words: [u64; WORDS],
+pub struct SharerIter<'a> {
+    ids: &'a [u16],
+    words: &'a [u64],
     word: usize,
+    cur: u64,
 }
 
-impl Iterator for SharerIter {
+impl Iterator for SharerIter<'_> {
     type Item = NodeId;
 
     #[inline]
     fn next(&mut self) -> Option<NodeId> {
-        while self.word < WORDS {
-            let w = self.words[self.word];
-            if w != 0 {
-                let bit = w.trailing_zeros() as usize;
-                self.words[self.word] = w & (w - 1);
+        if let Some((&id, rest)) = self.ids.split_first() {
+            self.ids = rest;
+            return Some(NodeId::new(id));
+        }
+        loop {
+            if self.cur != 0 {
+                let bit = self.cur.trailing_zeros() as usize;
+                self.cur &= self.cur - 1;
                 return Some(NodeId::new((self.word * 64 + bit) as u16));
             }
             self.word += 1;
+            if self.word >= self.words.len() {
+                return None;
+            }
+            self.cur = self.words[self.word];
         }
-        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let remaining: usize = self.words[self.word.min(WORDS - 1)..]
-            .iter()
-            .map(|w| w.count_ones() as usize)
-            .sum();
+        let remaining = self.ids.len()
+            + self.cur.count_ones() as usize
+            + self.words[(self.word + 1).min(self.words.len())..]
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>();
         (remaining, Some(remaining))
     }
 }
 
-impl ExactSizeIterator for SharerIter {}
+impl ExactSizeIterator for SharerIter<'_> {}
+
+/// Owning iterator over a [`SharerSet`] (ascending node order).
+#[derive(Debug, Clone)]
+pub struct SharerIntoIter {
+    set: SharerSet,
+    /// Inline: next index into `ids`. Bits: next word to scan (bits already
+    /// yielded are cleared in place).
+    at: usize,
+}
+
+impl Iterator for SharerIntoIter {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        match &mut self.set.repr {
+            Repr::Inline { len, ids } => {
+                if self.at < *len as usize {
+                    let id = ids[self.at];
+                    self.at += 1;
+                    Some(NodeId::new(id))
+                } else {
+                    None
+                }
+            }
+            Repr::Bits { words, .. } => {
+                while self.at < words.len() {
+                    let w = words[self.at];
+                    if w != 0 {
+                        let bit = w.trailing_zeros() as usize;
+                        words[self.at] = w & (w - 1);
+                        return Some(NodeId::new((self.at * 64 + bit) as u16));
+                    }
+                    self.at += 1;
+                }
+                None
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = match &self.set.repr {
+            Repr::Inline { len, .. } => (*len as usize).saturating_sub(self.at),
+            Repr::Bits { words, .. } => words[self.at.min(words.len())..]
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum(),
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SharerIntoIter {}
 
 #[cfg(test)]
 mod tests {
@@ -260,9 +492,9 @@ mod tests {
     }
 
     #[test]
-    fn copy_semantics_make_snapshots_cheap() {
+    fn clone_semantics_make_snapshots_independent() {
         let mut a = SharerSet::from_node(n(1));
-        let snapshot = a;
+        let snapshot = a.clone();
         a.insert(n(2));
         assert_eq!(snapshot.len(), 1, "snapshot is an independent copy");
         assert_eq!(a.len(), 2);
@@ -275,8 +507,78 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds SharerSet capacity")]
-    fn out_of_range_nodes_panic() {
-        SharerSet::new().insert(n(256));
+    fn width_is_unbounded() {
+        let mut s = SharerSet::new();
+        assert!(s.insert(n(256)), "the old 256-node ceiling is gone");
+        assert!(s.insert(n(4095)));
+        assert!(s.insert(n(u16::MAX)));
+        assert_eq!(s.len(), 3);
+        let scanned: Vec<u16> = s.iter().map(|x| x.index() as u16).collect();
+        assert_eq!(scanned, vec![256, 4095, u16::MAX]);
+    }
+
+    #[test]
+    fn ninth_member_spills_and_removal_shrinks_inline() {
+        let mut s = SharerSet::new();
+        for i in 0..SharerSet::INLINE as u16 {
+            s.insert(n(i * 100));
+        }
+        assert!(!s.is_spilled(), "eight members fit inline");
+        s.insert(n(901));
+        assert!(s.is_spilled(), "ninth member spills to the bit-vector");
+        assert_eq!(s.len(), 9);
+        assert!(s.contains(n(700)));
+        s.remove(n(300));
+        assert!(!s.is_spilled(), "back at eight members: inline again");
+        assert_eq!(s.len(), 8);
+        let scanned: Vec<u16> = s.iter().map(|x| x.index() as u16).collect();
+        assert_eq!(scanned, vec![0, 100, 200, 400, 500, 600, 700, 901]);
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_history() {
+        use std::collections::hash_map::DefaultHasher;
+
+        fn hash_of(s: &SharerSet) -> u64 {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        }
+
+        // Build {0, 5}: directly, and via a spill-then-shrink detour over
+        // high ids.
+        let direct: SharerSet = [n(0), n(5)].into_iter().collect();
+        let mut detour = SharerSet::new();
+        for i in 0..12u16 {
+            detour.insert(n(i * 333));
+        }
+        assert!(detour.is_spilled());
+        for i in 1..12u16 {
+            detour.remove(n(i * 333));
+        }
+        detour.insert(n(5));
+        assert_eq!(direct, detour);
+        assert_eq!(hash_of(&direct), hash_of(&detour));
+
+        // Same exercise fully in the spilled regime: {0..9} built ascending
+        // vs reached by removing a high straggler.
+        let asc: SharerSet = (0..10).map(n).collect();
+        let mut pruned: SharerSet = (0..10).map(n).collect();
+        pruned.insert(n(9000));
+        pruned.remove(n(9000));
+        assert!(asc.is_spilled() && pruned.is_spilled());
+        assert_eq!(asc, pruned);
+        assert_eq!(hash_of(&asc), hash_of(&pruned));
+    }
+
+    #[test]
+    fn owning_and_borrowing_iterators_agree() {
+        for width in [5usize, 40] {
+            let s: SharerSet = (0..width as u16).map(|i| n(i * 7)).collect();
+            let borrowed: Vec<NodeId> = (&s).into_iter().collect();
+            let owned: Vec<NodeId> = s.clone().into_iter().collect();
+            assert_eq!(borrowed, owned);
+            assert_eq!(s.clone().into_iter().len(), width);
+        }
     }
 }

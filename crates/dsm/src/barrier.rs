@@ -1,0 +1,266 @@
+//! Combining-tree barrier bookkeeping.
+//!
+//! The seed simulator tracked global barriers with one central wait-set: a
+//! flat list of arrived nodes compared against the live population after
+//! every record. That is faithful to a small machine, but a 4096-node
+//! barrier funnelling every arrival through one counter is exactly the
+//! hot-spot combining trees were invented to avoid (Yew, Tzeng & Lawrie),
+//! and the flat scan costs O(n) per release. This module replaces the
+//! wait-set with a software combining tree of configurable fan-in: leaves
+//! are processors, each internal node counts arrivals from its subtree, and
+//! a subtree propagates one combined arrival to its parent when it
+//! completes. Arrival cost is O(log_f n); a release resets only the
+//! O(n/(f-1)) internal counters.
+//!
+//! Timing is unchanged by design: the tree is *bookkeeping* folded at shard
+//! window boundaries, and releases are still scheduled on the window grid
+//! (the boundary cycle `end`), which is what keeps sharded runs
+//! bit-identical to serial runs — and to the pre-tree central wait-set.
+//!
+//! Population shrink: a processor that finishes its program permanently
+//! [`retire`](CombiningTree::retire)s its leaf. Retiring decrements the
+//! expected count along the leaf's path; an empty subtree detaches from its
+//! parent, and a retire that makes a partially-arrived subtree complete
+//! propagates upward exactly like an arrival (a finish can be what releases
+//! a barrier).
+
+/// One internal node of the combining tree.
+///
+/// `expected` is the number of *live* children (children whose subtree
+/// still contains at least one unfinished leaf); `arrived` counts children
+/// whose subtrees have fully arrived this episode. Within one episode a
+/// leaf either arrives or retires — a waiting processor cannot finish — so
+/// `arrived` never exceeds `expected`.
+#[derive(Debug, Clone, Copy, Default)]
+struct TreeNode {
+    arrived: u32,
+    expected: u32,
+}
+
+/// A software combining tree over `leaves` processors with fan-in `fanin`.
+///
+/// One *episode* is one barrier: leaves [`arrive`](CombiningTree::arrive)
+/// until the root completes (the call returns `true`), after which
+/// [`reset_episode`](CombiningTree::reset_episode) re-arms the counters for
+/// the next barrier. Retirement is permanent and spans episodes.
+#[derive(Debug)]
+pub struct CombiningTree {
+    fanin: usize,
+    /// `levels[0]` groups leaves; each higher level groups the one below;
+    /// the last level is the single root.
+    levels: Vec<Vec<TreeNode>>,
+    live: u32,
+}
+
+impl CombiningTree {
+    /// Builds the tree for `leaves` processors with the given fan-in
+    /// (at least 2; [`SystemConfig`](crate::SystemConfig) enforces this at
+    /// configuration time, this constructor enforces it at the API edge).
+    pub fn new(leaves: u16, fanin: u16) -> Self {
+        assert!(fanin >= 2, "combining-tree fan-in must be at least 2");
+        assert!(leaves >= 1, "a barrier needs at least one processor");
+        let fanin = usize::from(fanin);
+        let mut levels = Vec::new();
+        let mut width = usize::from(leaves);
+        loop {
+            let groups = width.div_ceil(fanin);
+            levels.push(
+                (0..groups)
+                    .map(|g| TreeNode {
+                        arrived: 0,
+                        expected: (width - g * fanin).min(fanin) as u32,
+                    })
+                    .collect(),
+            );
+            if groups == 1 {
+                break;
+            }
+            width = groups;
+        }
+        CombiningTree {
+            fanin,
+            levels,
+            live: u32::from(leaves),
+        }
+    }
+
+    /// Unfinished processors still participating in barriers.
+    pub fn live(&self) -> u32 {
+        self.live
+    }
+
+    /// Tree height (number of counter levels): `ceil(log_f leaves)`, min 1.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Records `leaf`'s arrival at the current barrier. Returns `true` when
+    /// this arrival completes the root — every live leaf has arrived.
+    pub fn arrive(&mut self, leaf: u16) -> bool {
+        let idx = usize::from(leaf) / self.fanin;
+        let node = &mut self.levels[0][idx];
+        debug_assert!(node.arrived < node.expected, "leaf arrived twice");
+        node.arrived += 1;
+        if node.arrived < node.expected {
+            return false;
+        }
+        self.propagate_from(0, idx)
+    }
+
+    /// Permanently removes `leaf` (its processor finished). Returns `true`
+    /// when the shrink completes a partially-arrived barrier — the callers'
+    /// job is to ignore that signal when no barrier is collecting.
+    pub fn retire(&mut self, leaf: u16) -> bool {
+        debug_assert!(self.live > 0, "retire on an empty tree");
+        self.live -= 1;
+        let mut idx = usize::from(leaf);
+        for lvl in 0..self.levels.len() {
+            idx /= self.fanin;
+            let node = &mut self.levels[lvl][idx];
+            debug_assert!(node.expected > 0, "retire under an empty subtree");
+            node.expected -= 1;
+            if node.expected == 0 {
+                // The whole subtree is finished: detach it from its parent
+                // (the next loop iteration decrements the parent's expected
+                // count). `arrived` must be 0 here — an arrived leaf is
+                // waiting and cannot finish.
+                debug_assert_eq!(node.arrived, 0, "detaching an arrived subtree");
+                continue;
+            }
+            if node.arrived == node.expected {
+                // The shrink completed this subtree: the waiters above no
+                // longer wait on anything below, so propagate the combined
+                // arrival upward.
+                return self.propagate_from(lvl, idx);
+            }
+            return false;
+        }
+        // Every leaf retired: the machine is empty, nothing to release.
+        false
+    }
+
+    /// Re-arms every counter for the next barrier. Expected counts (the
+    /// live population structure) persist.
+    pub fn reset_episode(&mut self) {
+        for level in &mut self.levels {
+            for node in level {
+                node.arrived = 0;
+            }
+        }
+    }
+
+    /// Propagates the completion of subtree (`lvl`, `idx`) toward the root.
+    /// Returns `true` when the root itself completes.
+    fn propagate_from(&mut self, mut lvl: usize, mut idx: usize) -> bool {
+        loop {
+            if lvl + 1 == self.levels.len() {
+                return true;
+            }
+            lvl += 1;
+            idx /= self.fanin;
+            let node = &mut self.levels[lvl][idx];
+            node.arrived += 1;
+            debug_assert!(node.arrived <= node.expected, "over-arrived subtree");
+            if node.arrived < node.expected {
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives `order` arrivals and asserts only the last completes.
+    fn run_episode(tree: &mut CombiningTree, order: &[u16]) {
+        for (i, &leaf) in order.iter().enumerate() {
+            let done = tree.arrive(leaf);
+            assert_eq!(
+                done,
+                i + 1 == order.len(),
+                "arrival {i} of {} misfired",
+                order.len()
+            );
+        }
+        tree.reset_episode();
+    }
+
+    #[test]
+    fn completes_only_on_the_last_arrival() {
+        for n in [1u16, 2, 3, 4, 5, 16, 17, 63, 64, 65, 257] {
+            for f in [2u16, 3, 4, 8] {
+                let mut tree = CombiningTree::new(n, f);
+                let order: Vec<u16> = (0..n).collect();
+                run_episode(&mut tree, &order);
+                // A second episode on the re-armed counters.
+                let reversed: Vec<u16> = (0..n).rev().collect();
+                run_episode(&mut tree, &reversed);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        assert_eq!(CombiningTree::new(1, 4).depth(), 1);
+        assert_eq!(CombiningTree::new(4, 4).depth(), 1);
+        assert_eq!(CombiningTree::new(5, 4).depth(), 2);
+        assert_eq!(CombiningTree::new(16, 4).depth(), 2);
+        assert_eq!(CombiningTree::new(17, 4).depth(), 3);
+        assert_eq!(CombiningTree::new(4096, 4).depth(), 6);
+        assert_eq!(CombiningTree::new(4096, 2).depth(), 12);
+    }
+
+    #[test]
+    fn a_finish_can_release_the_barrier() {
+        // 6 leaves, fan-in 2: leaves 0..4 arrive, then 4 and 5 finish —
+        // the second retire must complete the episode.
+        let mut tree = CombiningTree::new(6, 2);
+        for leaf in 0..4 {
+            assert!(!tree.arrive(leaf));
+        }
+        assert!(!tree.retire(4));
+        assert!(tree.retire(5));
+        assert_eq!(tree.live(), 4);
+        tree.reset_episode();
+        // The shrunken population still barriers correctly.
+        run_episode(&mut tree, &[3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn retired_subtrees_detach() {
+        // Fan-in 2 over 8 leaves: retire an entire half of the machine,
+        // then barrier with the surviving half.
+        let mut tree = CombiningTree::new(8, 2);
+        for leaf in 4..8 {
+            assert!(!tree.retire(leaf));
+        }
+        assert_eq!(tree.live(), 4);
+        run_episode(&mut tree, &[0, 1, 2, 3]);
+        run_episode(&mut tree, &[3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn single_survivor_self_releases() {
+        let mut tree = CombiningTree::new(3, 4);
+        assert!(!tree.retire(0));
+        assert!(!tree.retire(2));
+        assert!(tree.arrive(1));
+        tree.reset_episode();
+        assert!(tree.arrive(1));
+    }
+
+    #[test]
+    fn retiring_the_last_leaf_is_not_a_release() {
+        let mut tree = CombiningTree::new(2, 2);
+        assert!(!tree.retire(0));
+        assert!(!tree.retire(1), "an empty machine releases nothing");
+        assert_eq!(tree.live(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-in must be at least 2")]
+    fn fanin_below_two_is_rejected() {
+        let _ = CombiningTree::new(8, 1);
+    }
+}

@@ -24,7 +24,7 @@
 use std::fmt;
 use std::str::FromStr;
 
-use ltp_core::{BlockId, NodeId, SharerSet};
+use ltp_core::{BlockId, NodeId};
 use ltp_sim::Cycle;
 
 /// Error produced by [`SystemConfigBuilder::build`] on invalid parameters.
@@ -32,13 +32,12 @@ use ltp_sim::Cycle;
 pub enum ConfigError {
     /// The machine needs at least two nodes to share anything.
     TooFewNodes(u16),
-    /// The sharer representation indexes at most [`SharerSet::CAPACITY`]
-    /// nodes.
-    TooManyNodes(u16),
     /// A timing parameter that must be nonzero was zero.
     ZeroTiming(&'static str),
     /// The directory organization parameter is out of range.
     BadDirectory(&'static str),
+    /// The combining-tree barrier fan-in must be at least 2.
+    BadBarrierFanin(u16),
 }
 
 impl fmt::Display for ConfigError {
@@ -47,11 +46,10 @@ impl fmt::Display for ConfigError {
             ConfigError::TooFewNodes(n) => {
                 write!(f, "a DSM needs at least 2 nodes, got {n}")
             }
-            ConfigError::TooManyNodes(n) => {
+            ConfigError::BadBarrierFanin(f_in) => {
                 write!(
                     f,
-                    "directory sharer sets index at most {} nodes, got {n}",
-                    SharerSet::CAPACITY
+                    "combining-tree barrier fan-in must be at least 2, got {f_in}"
                 )
             }
             ConfigError::ZeroTiming(what) => {
@@ -68,10 +66,10 @@ impl std::error::Error for ConfigError {}
 
 /// The directory's sharer-representation organization.
 ///
-/// The paper evaluates a 32-node full-map directory; at the 64–256-node
+/// The paper evaluates a 32-node full-map directory; at the 1024–4096-node
 /// geometries the roadmap targets, an exact bit per node per block is the
-/// classic directory-storage scaling problem, and the two classic answers
-/// are selectable here:
+/// classic directory-storage scaling problem, and the classic answers are
+/// selectable here:
 ///
 /// * [`DirectoryKind::Full`] — one bit per node, exact (the paper's
 ///   organization and the default);
@@ -82,13 +80,21 @@ impl std::error::Error for ConfigError {}
 ///   accumulate *extra* invalidations;
 /// * [`DirectoryKind::LimitedPtr`] — `Dir_i_B` limited pointers: up to
 ///   `pointers` exact sharers, falling back to broadcast-on-write once the
-///   pointer array overflows.
+///   pointer array overflows;
+/// * [`DirectoryKind::Sparse`] — a bounded directory-entry *cache* of
+///   `entries` blocks per home (the SGI-Origin-style sparse directory):
+///   entries are exact full maps, but allocating a record for a new block
+///   when all `entries` are occupied evicts the least-recently-used stable
+///   entry, invalidating its sharers first so the untracked block can fall
+///   back to Idle safely.
 ///
 /// Over-invalidation is observable in the run report:
 /// `extra_invalidations` counts invalidations acknowledged without a copy,
-/// `broadcast_overflows` counts limited-pointer overflow events.
+/// `broadcast_overflows` counts limited-pointer overflow events, and
+/// `dir_evictions`/`eviction_invalidations` count sparse replacements and
+/// the invalidations they forced.
 ///
-/// The spec-string grammar is `full`, `coarse:<K>`, `ptr:<I>`:
+/// The spec-string grammar is `full`, `coarse:<K>`, `ptr:<I>`, `sparse:<E>`:
 ///
 /// ```
 /// use ltp_dsm::DirectoryKind;
@@ -96,6 +102,7 @@ impl std::error::Error for ConfigError {}
 /// assert_eq!("full".parse(), Ok(DirectoryKind::Full));
 /// assert_eq!("coarse:4".parse(), Ok(DirectoryKind::Coarse { cluster: 4 }));
 /// assert_eq!("ptr:8".parse(), Ok(DirectoryKind::LimitedPtr { pointers: 8 }));
+/// assert_eq!("sparse:64".parse(), Ok(DirectoryKind::Sparse { entries: 64 }));
 /// assert_eq!(DirectoryKind::Coarse { cluster: 4 }.to_string(), "coarse:4");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -113,44 +120,73 @@ pub enum DirectoryKind {
         /// Exact sharers tracked before falling back to broadcast.
         pointers: u16,
     },
+    /// Sparse directory: a bounded entry cache with eviction-driven
+    /// invalidation.
+    Sparse {
+        /// Non-Idle blocks tracked per home before replacements evict.
+        entries: u16,
+    },
 }
 
 impl DirectoryKind {
     /// Whether this organization always knows the exact sharer set.
     ///
-    /// `full` and `coarse:1` are always exact; `ptr:I` is exact until its
-    /// pointer array overflows; wider coarse clusters are never exact.
+    /// `full`, `coarse:1`, and `sparse:E` (whose *tracked* entries are exact
+    /// full maps) are always exact; `ptr:I` is exact until its pointer array
+    /// overflows; wider coarse clusters are never exact.
     pub fn always_exact(self) -> bool {
         match self {
             DirectoryKind::Full => true,
             DirectoryKind::Coarse { cluster } => cluster <= 1,
             DirectoryKind::LimitedPtr { .. } => false,
+            DirectoryKind::Sparse { .. } => true,
         }
     }
 
-    /// Validates the organization parameters.
+    /// Validates the organization parameters in isolation (machine-size
+    /// checks live in [`DirectoryKind::validate_for`]).
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError::BadDirectory`] when a cluster width or pointer
-    /// count is zero or exceeds [`SharerSet::CAPACITY`].
+    /// Returns [`ConfigError::BadDirectory`] when a cluster width, pointer
+    /// count, or entry count is zero.
     pub fn validate(self) -> Result<(), ConfigError> {
         match self {
             DirectoryKind::Full => Ok(()),
             DirectoryKind::Coarse { cluster: 0 } => Err(ConfigError::BadDirectory(
                 "coarse cluster width must be at least 1",
             )),
-            DirectoryKind::Coarse { cluster } if cluster > SharerSet::CAPACITY => Err(
-                ConfigError::BadDirectory("coarse cluster width exceeds the node capacity"),
-            ),
             DirectoryKind::Coarse { .. } => Ok(()),
             DirectoryKind::LimitedPtr { pointers: 0 } => Err(ConfigError::BadDirectory(
                 "limited-pointer directories need at least 1 pointer",
             )),
-            DirectoryKind::LimitedPtr { pointers } if pointers > SharerSet::CAPACITY => Err(
-                ConfigError::BadDirectory("limited-pointer count exceeds the node capacity"),
-            ),
             DirectoryKind::LimitedPtr { .. } => Ok(()),
+            DirectoryKind::Sparse { entries: 0 } => Err(ConfigError::BadDirectory(
+                "sparse directories need at least 1 entry",
+            )),
+            DirectoryKind::Sparse { .. } => Ok(()),
+        }
+    }
+
+    /// Validates the organization parameters against a concrete machine
+    /// size: a cluster width or pointer count larger than the machine would
+    /// be inert misconfiguration, so it is rejected here (the sharer
+    /// representation itself is width-generic and imposes no cap).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadDirectory`] when the parameters fail
+    /// [`DirectoryKind::validate`] or exceed `nodes`.
+    pub fn validate_for(self, nodes: u16) -> Result<(), ConfigError> {
+        self.validate()?;
+        match self {
+            DirectoryKind::Coarse { cluster } if cluster > nodes => Err(ConfigError::BadDirectory(
+                "coarse cluster width exceeds the node count",
+            )),
+            DirectoryKind::LimitedPtr { pointers } if pointers > nodes => Err(
+                ConfigError::BadDirectory("limited-pointer count exceeds the node count"),
+            ),
+            _ => Ok(()),
         }
     }
 }
@@ -162,6 +198,7 @@ impl fmt::Display for DirectoryKind {
             DirectoryKind::Full => f.pad("full"),
             DirectoryKind::Coarse { cluster } => f.pad(&format!("coarse:{cluster}")),
             DirectoryKind::LimitedPtr { pointers } => f.pad(&format!("ptr:{pointers}")),
+            DirectoryKind::Sparse { entries } => f.pad(&format!("sparse:{entries}")),
         }
     }
 }
@@ -177,7 +214,7 @@ impl fmt::Display for ParseDirectoryKindError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "invalid directory spec `{}`: {} (expected full | coarse:<K> | ptr:<I>)",
+            "invalid directory spec `{}`: {} (expected full | coarse:<K> | ptr:<I> | sparse:<E>)",
             self.spec, self.reason
         )
     }
@@ -200,7 +237,7 @@ impl FromStr for DirectoryKind {
         let parse_param = |what| -> Result<u16, ParseDirectoryKindError> {
             let raw = param.ok_or_else(|| err(what))?;
             let value: u16 = raw.parse().map_err(|_| err(what))?;
-            if value == 0 || value > SharerSet::CAPACITY {
+            if value == 0 {
                 return Err(err(what));
             }
             Ok(value)
@@ -213,10 +250,13 @@ impl FromStr for DirectoryKind {
                 Ok(DirectoryKind::Full)
             }
             "coarse" => Ok(DirectoryKind::Coarse {
-                cluster: parse_param("needs a cluster width 1..=256")?,
+                cluster: parse_param("needs a cluster width of at least 1")?,
             }),
             "ptr" => Ok(DirectoryKind::LimitedPtr {
-                pointers: parse_param("needs a pointer count 1..=256")?,
+                pointers: parse_param("needs a pointer count of at least 1")?,
+            }),
+            "sparse" => Ok(DirectoryKind::Sparse {
+                entries: parse_param("needs an entry count of at least 1")?,
             }),
             _ => Err(err("unknown organization")),
         }
@@ -236,6 +276,7 @@ pub struct SystemConfig {
     ni_occupancy: Cycle,
     pipeline_stages: u32,
     directory: DirectoryKind,
+    barrier_fanin: u16,
 }
 
 impl SystemConfig {
@@ -317,6 +358,12 @@ impl SystemConfig {
         self.directory
     }
 
+    /// Fan-in of the combining-tree barrier (arrivals combined per tree
+    /// node; the tree has O(log_fanin n) depth).
+    pub fn barrier_fanin(&self) -> u16 {
+        self.barrier_fanin
+    }
+
     /// The home node of `block`: blocks are interleaved round-robin across
     /// nodes, the common fine-grain DSM layout.
     pub fn home_of(&self, block: BlockId) -> NodeId {
@@ -364,6 +411,7 @@ pub struct SystemConfigBuilder {
     ni_occupancy: u64,
     pipeline_stages: u32,
     directory: DirectoryKind,
+    barrier_fanin: u16,
 }
 
 impl Default for SystemConfigBuilder {
@@ -378,6 +426,7 @@ impl Default for SystemConfigBuilder {
             ni_occupancy: 8,
             pipeline_stages: 2,
             directory: DirectoryKind::Full,
+            barrier_fanin: 4,
         }
     }
 }
@@ -437,21 +486,29 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Sets the combining-tree barrier fan-in (≥2, default 4).
+    pub fn barrier_fanin(&mut self, fanin: u16) -> &mut Self {
+        self.barrier_fanin = fanin;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] if fewer than 2 (or more than
-    /// [`SharerSet::CAPACITY`]) nodes are configured, any required timing
-    /// parameter is zero, or the directory organization is malformed.
+    /// Returns [`ConfigError`] if fewer than 2 nodes are configured, any
+    /// required timing parameter is zero, the directory organization is
+    /// malformed or sized beyond the node count, or the barrier fan-in is
+    /// below 2. The node count itself is unbounded up to `u16::MAX` — the
+    /// sharer representation is width-generic.
     pub fn build(&self) -> Result<SystemConfig, ConfigError> {
         if self.nodes < 2 {
             return Err(ConfigError::TooFewNodes(self.nodes));
         }
-        if self.nodes > SharerSet::CAPACITY {
-            return Err(ConfigError::TooManyNodes(self.nodes));
+        if self.barrier_fanin < 2 {
+            return Err(ConfigError::BadBarrierFanin(self.barrier_fanin));
         }
-        self.directory.validate()?;
+        self.directory.validate_for(self.nodes)?;
         for (name, v) in [
             ("mem_access", self.mem_access),
             ("dir_control", self.dir_control),
@@ -475,6 +532,7 @@ impl SystemConfigBuilder {
             ni_occupancy: Cycle::new(self.ni_occupancy),
             pipeline_stages: self.pipeline_stages,
             directory: self.directory,
+            barrier_fanin: self.barrier_fanin,
         })
     }
 }
@@ -558,17 +616,51 @@ mod tests {
     }
 
     #[test]
-    fn builder_accepts_directory_kinds_up_to_capacity() {
-        let cfg = SystemConfig::builder()
-            .nodes(256)
-            .directory(DirectoryKind::Coarse { cluster: 8 })
+    fn builder_accepts_any_machine_width() {
+        // The 256-node ceiling is gone: 257 (the old first-illegal width),
+        // 1024, and 4096 all build.
+        for nodes in [256u16, 257, 1024, 4096] {
+            let cfg = SystemConfig::builder()
+                .nodes(nodes)
+                .directory(DirectoryKind::Coarse { cluster: 8 })
+                .build()
+                .unwrap();
+            assert_eq!(cfg.nodes(), nodes);
+            assert_eq!(cfg.directory(), DirectoryKind::Coarse { cluster: 8 });
+        }
+    }
+
+    #[test]
+    fn directory_parameters_validate_against_the_node_count() {
+        // 257-node edge: a 257-wide cluster or pointer array is exactly as
+        // large as the machine — legal — while 258 exceeds it.
+        for kind in [
+            DirectoryKind::Coarse { cluster: 257 },
+            DirectoryKind::LimitedPtr { pointers: 257 },
+        ] {
+            SystemConfig::builder()
+                .nodes(257)
+                .directory(kind)
+                .build()
+                .unwrap_or_else(|e| panic!("{kind} on 257 nodes must build: {e}"));
+            let err = SystemConfig::builder()
+                .nodes(257)
+                .directory(match kind {
+                    DirectoryKind::Coarse { .. } => DirectoryKind::Coarse { cluster: 258 },
+                    _ => DirectoryKind::LimitedPtr { pointers: 258 },
+                })
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, ConfigError::BadDirectory(_)));
+            assert!(err.to_string().contains("node count"), "{err}");
+        }
+        // Sparse entry counts are a cache size, not a node index: any
+        // nonzero value is legal regardless of machine width.
+        SystemConfig::builder()
+            .nodes(4)
+            .directory(DirectoryKind::Sparse { entries: 4096 })
             .build()
             .unwrap();
-        assert_eq!(cfg.nodes(), 256);
-        assert_eq!(cfg.directory(), DirectoryKind::Coarse { cluster: 8 });
-        let err = SystemConfig::builder().nodes(257).build().unwrap_err();
-        assert_eq!(err, ConfigError::TooManyNodes(257));
-        assert!(err.to_string().contains("at most 256"));
     }
 
     #[test]
@@ -576,27 +668,57 @@ mod tests {
         for kind in [
             DirectoryKind::Coarse { cluster: 0 },
             DirectoryKind::LimitedPtr { pointers: 0 },
+            DirectoryKind::Sparse { entries: 0 },
             DirectoryKind::Coarse { cluster: 300 },
             DirectoryKind::LimitedPtr { pointers: 300 },
         ] {
+            // Default 32-node builder: zero params are always bad, and
+            // 300 > 32 exceeds the node count.
             let err = SystemConfig::builder().directory(kind).build().unwrap_err();
             assert!(matches!(err, ConfigError::BadDirectory(_)), "{kind}");
         }
     }
 
     #[test]
+    fn builder_validates_barrier_fanin() {
+        for bad in [0u16, 1] {
+            let err = SystemConfig::builder()
+                .barrier_fanin(bad)
+                .build()
+                .unwrap_err();
+            assert_eq!(err, ConfigError::BadBarrierFanin(bad));
+            assert!(err.to_string().contains("at least 2"));
+        }
+        let cfg = SystemConfig::builder().barrier_fanin(2).build().unwrap();
+        assert_eq!(cfg.barrier_fanin(), 2);
+        assert_eq!(SystemConfig::isca00().barrier_fanin(), 4, "default fan-in");
+    }
+
+    #[test]
     fn directory_kind_parses_and_round_trips() {
-        for spec in ["full", "coarse:4", "ptr:8", "coarse:256"] {
+        for spec in [
+            "full",
+            "coarse:4",
+            "ptr:8",
+            "coarse:256",
+            "coarse:4096",
+            "sparse:64",
+        ] {
             let kind: DirectoryKind = spec.parse().unwrap();
             assert_eq!(kind.to_string(), spec);
             kind.validate().unwrap();
         }
-        for bad in ["", "coarse", "ptr", "ptr:0", "coarse:257", "full:3", "dir"] {
+        for bad in [
+            "", "coarse", "ptr", "ptr:0", "sparse", "sparse:0", "full:3", "dir",
+        ] {
             assert!(bad.parse::<DirectoryKind>().is_err(), "`{bad}` must fail");
         }
         let msg = "ptr:x".parse::<DirectoryKind>().unwrap_err().to_string();
         assert!(msg.contains("ptr:x"), "{msg}");
-        assert!(msg.contains("full | coarse:<K> | ptr:<I>"), "{msg}");
+        assert!(
+            msg.contains("full | coarse:<K> | ptr:<I> | sparse:<E>"),
+            "{msg}"
+        );
     }
 
     #[test]
@@ -614,5 +736,9 @@ mod tests {
         assert!(DirectoryKind::Coarse { cluster: 1 }.always_exact());
         assert!(!DirectoryKind::Coarse { cluster: 4 }.always_exact());
         assert!(!DirectoryKind::LimitedPtr { pointers: 4 }.always_exact());
+        assert!(
+            DirectoryKind::Sparse { entries: 8 }.always_exact(),
+            "sparse tracked entries are exact full maps"
+        );
     }
 }

@@ -8,9 +8,10 @@
 //! *verification mask* of self-invalidators, and a queue of requests shelved
 //! while the block is Busy.
 //!
-//! Sharer tracking is built on [`ltp_core::SharerSet`] — four inline `u64`
-//! bit-words, no per-block heap allocation up to 256 nodes — interpreted
-//! according to the configured [`DirectoryKind`]:
+//! Sharer tracking is built on [`ltp_core::SharerSet`] — a width-generic
+//! hybrid set (inline up to eight sharers, heap bit-vector beyond, any
+//! machine width) — interpreted according to the configured
+//! [`DirectoryKind`]:
 //!
 //! * **`full`** — one bit per node, exact; the paper's organization and
 //!   bit-identical to the original `BTreeSet` full map (both iterate
@@ -22,11 +23,20 @@
 //!   copy;
 //! * **`ptr:I`** — `Dir_I_B` limited pointers: up to `I` exact sharers,
 //!   then a broadcast bit. Writes to overflowed blocks invalidate every
-//!   node.
+//!   node;
+//! * **`sparse:E`** — a bounded directory-entry cache: at most `E` blocks
+//!   per home may be tracked (non-Idle) at once. Tracked entries are exact
+//!   full maps; allocating beyond `E` evicts the least-recently-used stable
+//!   entry, invalidating its holders first (transient Evicting state) so
+//!   the untracked block safely falls back to Idle. Memory state (version,
+//!   token, verification mask) persists across evictions — only the
+//!   *sharing* record is bounded.
 //!
 //! Over-invalidation is measurable: [`DirCounters::extra_invalidations`]
-//! counts invalidations acknowledged without a copy and
-//! [`DirCounters::broadcast_overflows`] counts pointer-array overflows.
+//! counts invalidations acknowledged without a copy,
+//! [`DirCounters::broadcast_overflows`] counts pointer-array overflows, and
+//! [`DirCounters::dir_evictions`]/[`DirCounters::eviction_invalidations`]
+//! count sparse replacements and the invalidations they forced.
 //!
 //! The directory is a pure state machine: [`Directory::process`] consumes one
 //! message and returns the messages to emit, the requests to re-inject, and
@@ -88,6 +98,16 @@ pub enum DirEvent {
         /// The sender of the stale message.
         from: NodeId,
     },
+    /// A sparse directory replaced a tracked entry to make room for the
+    /// in-service request's block. Unlike the other events, the block
+    /// concerned is the *victim*, not the processed message's block.
+    EntryEvicted {
+        /// The evicted block.
+        block: BlockId,
+        /// Invalidations sent to the victim's holders (0 if the mutation
+        /// hook suppressed them).
+        invalidations: u16,
+    },
 }
 
 /// Result of processing one message at the directory.
@@ -121,7 +141,7 @@ impl DirStep {
 /// The per-block sharer representation: bit semantics depend on the
 /// directory's [`DirectoryKind`] (node bits for `full`/`ptr`, cluster bits
 /// for `coarse`), plus the limited-pointer broadcast flag.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 struct Sharers {
     set: SharerSet,
     /// `ptr:I` only: the pointer array overflowed; `set` is no longer
@@ -140,10 +160,16 @@ enum DirState {
     Exclusive(NodeId),
     /// Collecting invalidation acks / writeback for an in-flight request.
     Busy(Busy),
+    /// Sparse only: collecting invalidation acks for an evicted entry; the
+    /// block falls back to Idle when the last holder has answered.
+    Evicting {
+        /// Nodes whose acknowledgement or writeback is still awaited.
+        waiting: SharerSet,
+    },
 }
 
 /// The in-flight transaction while Busy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Busy {
     requester: NodeId,
     /// Grant exclusive (GetX/Upgrade) vs read-only (GetS).
@@ -188,6 +214,9 @@ struct DirBlock {
     /// invalidation of the same node (it would complete a Busy transaction
     /// while the targeted copy is still live, breaking SWMR).
     stale_acks: SharerSet,
+    /// Sparse replacement recency: the directory's service tick of the last
+    /// message processed for this block (inert outside `sparse:E`).
+    last_use: u64,
 }
 
 impl Default for DirBlock {
@@ -199,6 +228,7 @@ impl Default for DirBlock {
             mask: Vec::new(),
             pending: VecDeque::new(),
             stale_acks: SharerSet::new(),
+            last_use: 0,
         }
     }
 }
@@ -222,6 +252,11 @@ pub struct DirCounters {
     pub self_inv_late: Counter,
     /// Stale messages ignored (acks for completed transactions etc.).
     pub stale_ignored: Counter,
+    /// Sparse only: tracked entries replaced to make room for a new block.
+    pub dir_evictions: Counter,
+    /// Sparse only: invalidations forced by entry replacement (counted
+    /// separately from request-driven `invalidations_sent`).
+    pub eviction_invalidations: Counter,
 }
 
 /// Read-only snapshot of one block's sharing state (the checker/explorer
@@ -252,6 +287,11 @@ pub enum DirStateView {
         waiting: SharerSet,
         /// Verdict to piggyback on the eventual grant.
         verify: Option<VerifyOutcome>,
+    },
+    /// Sparse only: collecting invalidation acks for an evicted entry.
+    Evicting {
+        /// Nodes whose acknowledgement or writeback is still awaited.
+        waiting: SharerSet,
     },
 }
 
@@ -289,7 +329,7 @@ fn view_block(rec: &DirBlock) -> DirBlockView {
         state: match &rec.state {
             DirState::Idle => DirStateView::Idle,
             DirState::Shared(s) => DirStateView::Shared {
-                sharers: s.set,
+                sharers: s.set.clone(),
                 broadcast: s.broadcast,
             },
             DirState::Exclusive(owner) => DirStateView::Exclusive(*owner),
@@ -297,8 +337,11 @@ fn view_block(rec: &DirBlock) -> DirBlockView {
                 requester: b.requester,
                 want_exclusive: b.want_exclusive,
                 upgrade_reply: b.upgrade_reply,
-                waiting: b.waiting,
+                waiting: b.waiting.clone(),
                 verify: b.verify,
+            },
+            DirState::Evicting { waiting } => DirStateView::Evicting {
+                waiting: waiting.clone(),
             },
         },
         version: rec.version,
@@ -313,7 +356,7 @@ fn view_block(rec: &DirBlock) -> DirBlockView {
             })
             .collect(),
         pending: rec.pending.iter().copied().collect(),
-        stale_acks: rec.stale_acks,
+        stale_acks: rec.stale_acks.clone(),
     }
 }
 
@@ -323,7 +366,9 @@ fn view_block(rec: &DirBlock) -> DirBlockView {
 /// The bit a node occupies in the stored set.
 fn rep_bit(kind: DirectoryKind, node: NodeId) -> NodeId {
     match kind {
-        DirectoryKind::Full | DirectoryKind::LimitedPtr { .. } => node,
+        DirectoryKind::Full | DirectoryKind::LimitedPtr { .. } | DirectoryKind::Sparse { .. } => {
+            node
+        }
         DirectoryKind::Coarse { cluster } => {
             NodeId::new((node.index() / cluster.max(1) as usize) as u16)
         }
@@ -333,7 +378,7 @@ fn rep_bit(kind: DirectoryKind, node: NodeId) -> NodeId {
 /// Whether the representation currently knows the exact sharer set.
 fn rep_exact_now(kind: DirectoryKind, s: &Sharers) -> bool {
     match kind {
-        DirectoryKind::Full => true,
+        DirectoryKind::Full | DirectoryKind::Sparse { .. } => true,
         DirectoryKind::Coarse { cluster } => cluster <= 1,
         DirectoryKind::LimitedPtr { .. } => !s.broadcast,
     }
@@ -343,7 +388,7 @@ fn rep_exact_now(kind: DirectoryKind, s: &Sharers) -> bool {
 /// limited-pointer array into broadcast mode.
 fn rep_insert(kind: DirectoryKind, s: &mut Sharers, node: NodeId) -> bool {
     match kind {
-        DirectoryKind::Full | DirectoryKind::Coarse { .. } => {
+        DirectoryKind::Full | DirectoryKind::Coarse { .. } | DirectoryKind::Sparse { .. } => {
             s.set.insert(rep_bit(kind, node));
             false
         }
@@ -394,11 +439,11 @@ fn rep_of(kind: DirectoryKind, node: NodeId) -> Sharers {
 fn inv_targets(kind: DirectoryKind, total_nodes: u16, s: &Sharers, exclude: NodeId) -> SharerSet {
     let mut targets = SharerSet::new();
     match kind {
-        DirectoryKind::Full => targets = s.set,
+        DirectoryKind::Full | DirectoryKind::Sparse { .. } => targets = s.set.clone(),
         DirectoryKind::Coarse { cluster } => {
             let k = cluster.max(1);
             let span = crate::mutation::coarse_span(k);
-            for c in s.set {
+            for c in &s.set {
                 let base = c.index() as u16 * k;
                 for node in base..(base + span).min(total_nodes) {
                     targets.insert(NodeId::new(node));
@@ -411,7 +456,7 @@ fn inv_targets(kind: DirectoryKind, total_nodes: u16, s: &Sharers, exclude: Node
                     targets.insert(NodeId::new(node));
                 }
             } else {
-                targets = s.set;
+                targets = s.set.clone();
             }
         }
     }
@@ -444,12 +489,17 @@ pub struct Directory {
     nodes: u16,
     blocks: HashMap<BlockId, DirBlock>,
     counters: DirCounters,
+    /// Monotonic service tick stamped into each touched block's `last_use`
+    /// (the sparse LRU clock; inert outside `sparse:E`).
+    tick: u64,
 }
 
 impl Directory {
-    /// Creates a full-map directory for home node `home`.
+    /// Creates a full-map directory for home node `home` (any machine
+    /// width — the full map never expands imprecise representations, so the
+    /// node count is immaterial).
     pub fn new(home: NodeId) -> Self {
-        Directory::with_kind(home, DirectoryKind::Full, SharerSet::CAPACITY)
+        Directory::with_kind(home, DirectoryKind::Full, u16::MAX)
     }
 
     /// Creates a directory with an explicit sharer organization for a
@@ -457,21 +507,18 @@ impl Directory {
     ///
     /// # Panics
     ///
-    /// Panics if `nodes` exceeds [`SharerSet::CAPACITY`] or the kind fails
-    /// [`DirectoryKind::validate`].
+    /// Panics if the kind fails [`DirectoryKind::validate_for`] against
+    /// `nodes`.
     pub fn with_kind(home: NodeId, kind: DirectoryKind, nodes: u16) -> Self {
-        assert!(
-            nodes <= SharerSet::CAPACITY,
-            "directory indexes at most {} nodes",
-            SharerSet::CAPACITY
-        );
-        kind.validate().expect("valid directory organization");
+        kind.validate_for(nodes)
+            .expect("valid directory organization");
         Directory {
             home,
             kind,
             nodes,
             blocks: HashMap::new(),
             counters: DirCounters::default(),
+            tick: 0,
         }
     }
 
@@ -523,6 +570,9 @@ impl Directory {
     /// kind (`DataS` etc.) is delivered to the directory.
     pub fn process(&mut self, msg: Message) -> DirStep {
         assert_eq!(msg.dst, self.home, "message routed to the wrong home");
+        self.tick += 1;
+        let tick = self.tick;
+        self.blocks.entry(msg.block).or_default().last_use = tick;
         match msg.kind {
             MsgKind::GetS | MsgKind::GetX | MsgKind::Upgrade => self.process_request(msg),
             MsgKind::SelfInvClean => self.process_self_inv(msg, None),
@@ -571,11 +621,87 @@ impl Directory {
         (verify_for_requester, notifications)
     }
 
+    /// Sparse replacement: if servicing a request for the untracked `block`
+    /// would exceed the entry budget, evict the least-recently-used stable
+    /// entry first — invalidating its holders (the block enters Evicting
+    /// until they have all answered). Appends the eviction's sends/events
+    /// to `step` and returns whether an eviction happened.
+    ///
+    /// If every tracked entry is transient (Busy/Evicting), the allocation
+    /// proceeds anyway: in-flight transactions may transiently push
+    /// occupancy past the budget, exactly as a hardware sparse directory
+    /// holds overflow in its transaction buffers.
+    fn evict_for(&mut self, block: BlockId, step: &mut DirStep) -> bool {
+        let DirectoryKind::Sparse { entries } = self.kind else {
+            return false;
+        };
+        let tracked = |state: &DirState| !matches!(state, DirState::Idle);
+        if !matches!(
+            self.blocks.get(&block).map(|r| &r.state),
+            None | Some(DirState::Idle)
+        ) {
+            return false; // already tracked: no new entry needed
+        }
+        let occupied = self.blocks.values().filter(|r| tracked(&r.state)).count();
+        if occupied < entries as usize {
+            return false;
+        }
+        // Deterministic LRU over the stable entries (min service tick,
+        // block id as the tie-break, independent of map iteration order).
+        let victim = self
+            .blocks
+            .iter()
+            .filter(|(&b, r)| {
+                b != block && matches!(r.state, DirState::Shared(_) | DirState::Exclusive(_))
+            })
+            .min_by_key(|(&b, r)| (r.last_use, b))
+            .map(|(&b, _)| b);
+        let Some(victim) = victim else {
+            return false;
+        };
+        let home = self.home;
+        let rec = self.blocks.get_mut(&victim).expect("victim exists");
+        // Sparse entries are exact full maps, so the holders to invalidate
+        // are exactly the stored set (no exclusion: the evicted block is
+        // not the requested one).
+        let targets = match &rec.state {
+            DirState::Shared(sharers) => sharers.set.clone(),
+            DirState::Exclusive(owner) => SharerSet::from_node(*owner),
+            _ => unreachable!("victims are stable"),
+        };
+        self.counters.dir_evictions.incr();
+        if crate::mutation::fire_skip_eviction_inv() {
+            // Seeded mutant: free the entry without invalidating holders,
+            // leaving stale copies live in their caches.
+            rec.state = DirState::Idle;
+            step.events.push(DirEvent::EntryEvicted {
+                block: victim,
+                invalidations: 0,
+            });
+            return true;
+        }
+        for _ in 0..targets.len() {
+            self.counters.eviction_invalidations.incr();
+        }
+        step.events.push(DirEvent::EntryEvicted {
+            block: victim,
+            invalidations: targets.len() as u16,
+        });
+        for n in &targets {
+            step.sends.push(Message::new(home, n, victim, MsgKind::Inv));
+        }
+        rec.state = DirState::Evicting { waiting: targets };
+        true
+    }
+
     fn process_request(&mut self, msg: Message) -> DirStep {
         let block = msg.block;
-        // Shelve requests for Busy blocks (the pipelined engine holds off
-        // conflicting transactions rather than NACKing).
-        if let DirState::Busy(_) = self.blocks.entry(block).or_default().state {
+        // Shelve requests for Busy/Evicting blocks (the pipelined engine
+        // holds off conflicting transactions rather than NACKing).
+        if matches!(
+            self.blocks.entry(block).or_default().state,
+            DirState::Busy(_) | DirState::Evicting { .. }
+        ) {
             self.blocks
                 .get_mut(&block)
                 .expect("just inserted")
@@ -583,6 +709,9 @@ impl Directory {
                 .push_back(msg);
             return DirStep::control();
         }
+
+        let mut prelude = DirStep::control();
+        self.evict_for(block, &mut prelude);
 
         let write_request = matches!(msg.kind, MsgKind::GetX | MsgKind::Upgrade);
         let (verify, mut notifications) = self.resolve_mask(block, msg.src, write_request);
@@ -689,7 +818,7 @@ impl Directory {
                 } else {
                     let waiting = inv_targets(kind, total, sharers, msg.src);
                     let mut s = DirStep::control();
-                    for n in waiting {
+                    for n in &waiting {
                         self.counters.invalidations_sent.incr();
                         s.events.push(DirEvent::InvalidationSent { to: n });
                         s.sends.push(Message::new(home, n, block, MsgKind::Inv));
@@ -728,7 +857,7 @@ impl Directory {
                     s
                 } else {
                     let mut s = DirStep::control();
-                    for n in waiting {
+                    for n in &waiting {
                         self.counters.invalidations_sent.incr();
                         s.events.push(DirEvent::InvalidationSent { to: n });
                         s.sends.push(Message::new(home, n, block, MsgKind::Inv));
@@ -759,11 +888,19 @@ impl Directory {
                 s.sends.push(Message::new(home, owner, block, MsgKind::Inv));
                 s
             }
-            (DirState::Busy(_), _) => unreachable!("busy handled above"),
+            (DirState::Busy(_) | DirState::Evicting { .. }, _) => {
+                unreachable!("busy/evicting handled above")
+            }
             (state, kind) => unreachable!("unhandled request {kind:?} in {state:?}"),
         };
         step.sends.append(&mut notifications);
-        step
+        // An eviction prelude's invalidations/events precede the request's
+        // own traffic within the same service.
+        prelude.sends.append(&mut step.sends);
+        prelude.events.append(&mut step.events);
+        prelude.reinject.append(&mut step.reinject);
+        prelude.data_service |= step.data_service;
+        prelude
     }
 
     fn process_self_inv(&mut self, msg: Message, writeback: Option<u64>) -> DirStep {
@@ -833,6 +970,32 @@ impl Directory {
                 self.finish_busy_if_ready(block, &mut step);
                 step
             }
+            DirState::Evicting { waiting } if waiting.contains(msg.src) => {
+                // The self-invalidation crossed an eviction's Inv: same late
+                // -ack treatment as the Busy case, but the entry just falls
+                // back to Idle once the last holder has answered.
+                waiting.remove(msg.src);
+                let relinq_ex = writeback.is_some();
+                entry.stale_acks.insert(msg.src);
+                if let Some(token) = writeback {
+                    debug_assert!(token >= entry.token, "token regressed on writeback");
+                    entry.token = token;
+                }
+                self.counters.self_inv_late.incr();
+                let mut step = if relinq_ex {
+                    DirStep::data()
+                } else {
+                    DirStep::control()
+                };
+                step.sends.push(Message::new(
+                    home,
+                    msg.src,
+                    block,
+                    MsgKind::VerifyCorrect { timely: false },
+                ));
+                self.finish_evicting_if_ready(block, &mut step);
+                step
+            }
             _ => {
                 // Stale: the copy was already invalidated by a crossing Inv.
                 self.counters.stale_ignored.incr();
@@ -885,6 +1048,27 @@ impl Directory {
                 self.finish_busy_if_ready(block, &mut step);
                 step
             }
+            DirState::Evicting { waiting } if waiting.contains(msg.src) => {
+                waiting.remove(msg.src);
+                if !had_copy {
+                    self.counters.extra_invalidations.incr();
+                }
+                if let Some(token) = dirty_token {
+                    debug_assert!(token >= entry.token, "token regressed on writeback");
+                    entry.token = token;
+                }
+                let mut step = if dirty_token.is_some() {
+                    DirStep::data()
+                } else {
+                    DirStep::control()
+                };
+                step.events.push(DirEvent::InvalidationAcked {
+                    from: msg.src,
+                    had_copy,
+                });
+                self.finish_evicting_if_ready(block, &mut step);
+                step
+            }
             _ => {
                 // An ack for a transaction a self-invalidation already
                 // completed.
@@ -894,6 +1078,20 @@ impl Directory {
                 step
             }
         }
+    }
+
+    /// Completes an eviction once every holder has answered: the entry
+    /// falls back to Idle and shelved requests re-enter the engine.
+    fn finish_evicting_if_ready(&mut self, block: BlockId, step: &mut DirStep) {
+        let entry = self.blocks.get_mut(&block).expect("evicting block exists");
+        let DirState::Evicting { waiting } = &entry.state else {
+            return;
+        };
+        if !waiting.is_empty() {
+            return;
+        }
+        entry.state = DirState::Idle;
+        step.reinject.extend(entry.pending.drain(..));
     }
 
     /// Completes the Busy transaction once every awaited ack arrived:
@@ -908,7 +1106,7 @@ impl Directory {
         if !busy.waiting.is_empty() {
             return;
         }
-        let busy = *busy;
+        let busy = busy.clone();
         if busy.want_exclusive {
             entry.version += 1;
             entry.state = DirState::Exclusive(busy.requester);

@@ -38,6 +38,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod barrier;
 mod cache;
 mod config;
 mod directory;
@@ -46,6 +47,7 @@ mod msg;
 pub mod mutation;
 mod network;
 
+pub use barrier::CombiningTree;
 pub use cache::{AccessOutcome, FillComplete, InvResponse, Line, NodeCache};
 pub use config::{
     ConfigError, DirectoryKind, ParseDirectoryKindError, SystemConfig, SystemConfigBuilder,

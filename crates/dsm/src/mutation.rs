@@ -1,7 +1,7 @@
 //! Runtime-selectable protocol mutants for checker self-tests.
 //!
 //! The coherence sanitizer in `ltp-system` claims to flag protocol bugs. A
-//! claim like that needs negative evidence: this module plants four known
+//! claim like that needs negative evidence: this module plants five known
 //! bugs behind the `mutate` cargo feature, and `tests/mutation_check.rs`
 //! (in the workspace root) asserts that each one trips the checker while
 //! the unmutated build stays silent.
@@ -30,6 +30,10 @@ pub enum Mutant {
     /// same-cycle deliveries to one node pop in the wrong order
     /// (shard-determinism violation).
     ReorderArrival,
+    /// A `sparse:E` directory frees an evicted entry without invalidating
+    /// its holders, leaving stale copies live in their caches
+    /// (eviction-invalidation violation).
+    SkipEvictionInv,
 }
 
 #[cfg(feature = "mutate")]
@@ -39,6 +43,7 @@ const fn code(m: Mutant) -> u8 {
         Mutant::SkipFillVerify => 2,
         Mutant::WidenCoarseDecode => 3,
         Mutant::ReorderArrival => 4,
+        Mutant::SkipEvictionInv => 5,
     }
 }
 
@@ -114,4 +119,18 @@ pub fn arrive_key_src(src: u16) -> u16 {
         return u16::MAX - src;
     }
     src
+}
+
+/// Whether to skip the next sparse eviction's invalidation round
+/// ([`Mutant::SkipEvictionInv`], once).
+#[inline]
+pub fn fire_skip_eviction_inv() -> bool {
+    #[cfg(feature = "mutate")]
+    {
+        fire_once(Mutant::SkipEvictionInv)
+    }
+    #[cfg(not(feature = "mutate"))]
+    {
+        false
+    }
 }

@@ -29,7 +29,9 @@ use super::shadow::rep_admits;
 pub struct ExploreConfig {
     /// Machine size (keep at 2–3; the state space is exponential).
     pub nodes: u16,
-    /// Number of distinct blocks in the op alphabet (1–2).
+    /// Number of distinct blocks in the op alphabet (1–3; homes are
+    /// `block % nodes`, so 3 blocks on 2 nodes co-home a pair — the
+    /// geometry that exercises sparse-directory evictions).
     pub blocks: u64,
     /// Reads/writes each node may issue (the run budget).
     pub ops_per_node: u32,
@@ -421,6 +423,21 @@ fn check_state(cfg: &ExploreConfig, st: &State) -> Option<(&'static str, String)
                         }
                     }
                 }
+                DirStateView::Evicting { waiting } => {
+                    // Mid-eviction the only legal copies are at holders whose
+                    // invalidation is still in flight.
+                    for &(n, _) in hs {
+                        if !waiting.contains(n) {
+                            return Some((
+                                "agreement",
+                                format!(
+                                    "b{} Evicting at home yet cached by bystander {n}",
+                                    b.index()
+                                ),
+                            ));
+                        }
+                    }
+                }
             }
             for m in &rec.mask {
                 if holders
@@ -577,6 +594,13 @@ fn encode(st: &State) -> Vec<u8> {
                     enc_u16(&mut out, requester.index() as u16);
                     out.push(u8::from(*want_exclusive) | (u8::from(*upgrade_reply) << 1));
                     enc_verify(&mut out, *verify);
+                    enc_u16(&mut out, waiting.len() as u16);
+                    for n in waiting {
+                        enc_u16(&mut out, n.index() as u16);
+                    }
+                }
+                DirStateView::Evicting { waiting } => {
+                    out.push(4);
                     enc_u16(&mut out, waiting.len() as u16);
                     for n in waiting {
                         enc_u16(&mut out, n.index() as u16);

@@ -165,6 +165,10 @@ pub fn quiescence_violations(view: &MachineView) -> Vec<Violation> {
                 "conservation",
                 format!("{home}: {b} still Busy at quiescence"),
             ),
+            DirStateView::Evicting { .. } => fail(
+                "conservation",
+                format!("{home}: {b} still Evicting at quiescence"),
+            ),
             DirStateView::Exclusive(owner) => match lines.get(&(*owner, *b)) {
                 Some(l) if l.exclusive => {}
                 Some(_) => fail(
@@ -735,6 +739,20 @@ impl Probe for CoherenceChecker {
             }
             SimEvent::BroadcastOverflow { home, .. } => {
                 self.expect_event(home, at, ShadowDirEvent::Overflow);
+            }
+            SimEvent::DirEntryEvicted {
+                home,
+                block,
+                invalidations,
+            } => {
+                self.expect_event(
+                    home,
+                    at,
+                    ShadowDirEvent::Evicted {
+                        block,
+                        invalidations,
+                    },
+                );
             }
             SimEvent::StaleIgnored { home, from, .. } => {
                 self.expect_event(home, at, ShadowDirEvent::Stale(from));

@@ -38,12 +38,13 @@ pub(crate) enum ShadowDirEvent {
     InvAcked { from: NodeId, had_copy: bool },
     Overflow,
     Stale(NodeId),
+    Evicted { block: BlockId, invalidations: u16 },
 }
 
 /// The sharer representation as the spec defines it: node bits for
-/// `full`/`ptr`, cluster bits for `coarse`, plus the pointer-overflow
-/// broadcast flag.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// `full`/`ptr`/`sparse`, cluster bits for `coarse`, plus the
+/// pointer-overflow broadcast flag.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct Rep {
     set: SharerSet,
     broadcast: bool,
@@ -52,7 +53,9 @@ struct Rep {
 /// The bit `node` occupies in the stored set.
 fn bit_of(kind: DirectoryKind, node: NodeId) -> NodeId {
     match kind {
-        DirectoryKind::Full | DirectoryKind::LimitedPtr { .. } => node,
+        DirectoryKind::Full | DirectoryKind::LimitedPtr { .. } | DirectoryKind::Sparse { .. } => {
+            node
+        }
         DirectoryKind::Coarse { cluster } => {
             NodeId::new((node.index() / usize::from(cluster.max(1))) as u16)
         }
@@ -60,10 +63,12 @@ fn bit_of(kind: DirectoryKind, node: NodeId) -> NodeId {
 }
 
 /// Whether the representation is exact right now (and may thus prove a
-/// node's membership or forget a departing sharer).
+/// node's membership or forget a departing sharer). Sparse tracked entries
+/// are exact full maps — imprecision shows up as evictions, not as
+/// over-approximate decode.
 fn exact_now(kind: DirectoryKind, r: &Rep) -> bool {
     match kind {
-        DirectoryKind::Full => true,
+        DirectoryKind::Full | DirectoryKind::Sparse { .. } => true,
         DirectoryKind::Coarse { cluster } => cluster <= 1,
         DirectoryKind::LimitedPtr { .. } => !r.broadcast,
     }
@@ -81,7 +86,7 @@ pub(crate) fn rep_admits(
 
 fn insert_sharer(kind: DirectoryKind, r: &mut Rep, node: NodeId) -> bool {
     match kind {
-        DirectoryKind::Full | DirectoryKind::Coarse { .. } => {
+        DirectoryKind::Full | DirectoryKind::Coarse { .. } | DirectoryKind::Sparse { .. } => {
             r.set.insert(bit_of(kind, node));
             false
         }
@@ -113,7 +118,7 @@ pub(crate) fn decode_targets(
 ) -> SharerSet {
     let mut targets = SharerSet::new();
     match kind {
-        DirectoryKind::Full => targets = *set,
+        DirectoryKind::Full | DirectoryKind::Sparse { .. } => targets = set.clone(),
         DirectoryKind::Coarse { cluster } => {
             let k = cluster.max(1);
             for c in set {
@@ -129,7 +134,7 @@ pub(crate) fn decode_targets(
                     targets.insert(NodeId::new(node));
                 }
             } else {
-                targets = *set;
+                targets = set.clone();
             }
         }
     }
@@ -148,6 +153,11 @@ enum SState {
         upgrade_reply: bool,
         waiting: SharerSet,
         verify: Option<VerifyOutcome>,
+    },
+    /// Sparse only: an evicted entry collecting its holders' acks before
+    /// falling back to Idle.
+    Evicting {
+        waiting: SharerSet,
     },
 }
 
@@ -168,6 +178,9 @@ struct SBlock {
     /// Nodes owing an orphaned `InvAck` (self-invalidation crossed the Inv);
     /// mirrors the real directory's stale-ack filter.
     stale_acks: SharerSet,
+    /// Sparse replacement recency: the home's service tick of the last
+    /// message processed for this block.
+    last_use: u64,
 }
 
 impl Default for SBlock {
@@ -179,6 +192,7 @@ impl Default for SBlock {
             mask: Vec::new(),
             shelved: VecDeque::new(),
             stale_acks: SharerSet::new(),
+            last_use: 0,
         }
     }
 }
@@ -190,6 +204,8 @@ pub(crate) struct ShadowDir {
     kind: DirectoryKind,
     total: u16,
     blocks: FxHashMap<BlockId, SBlock>,
+    /// Monotonic service tick (the sparse LRU clock).
+    tick: u64,
 }
 
 impl ShadowDir {
@@ -199,6 +215,7 @@ impl ShadowDir {
             kind,
             total,
             blocks: FxHashMap::default(),
+            tick: 0,
         }
     }
 
@@ -208,6 +225,9 @@ impl ShadowDir {
         for (b, rec) in &self.blocks {
             if matches!(rec.state, SState::Busy { .. }) {
                 return Some(format!("{}: {b} still Busy at quiescence", self.home));
+            }
+            if matches!(rec.state, SState::Evicting { .. }) {
+                return Some(format!("{}: {b} still Evicting at quiescence", self.home));
             }
             if !rec.shelved.is_empty() {
                 return Some(format!(
@@ -238,6 +258,9 @@ impl ShadowDir {
             ));
             return step;
         }
+        self.tick += 1;
+        let tick = self.tick;
+        self.blocks.entry(msg.block).or_default().last_use = tick;
         match msg.kind {
             MsgKind::GetS | MsgKind::GetX | MsgKind::Upgrade => self.request(msg, &mut step),
             MsgKind::SelfInvClean => self.self_inv(msg, None, &mut step),
@@ -287,6 +310,57 @@ impl ShadowDir {
         (piggyback, notify)
     }
 
+    /// Sparse replacement, as the spec defines it: when servicing a request
+    /// whose block is untracked while the home already tracks `E` non-Idle
+    /// blocks, the least-recently-serviced stable entry (ties broken by
+    /// block id) is evicted — every holder is invalidated and the entry
+    /// goes Evicting until the acks drain.
+    fn predict_eviction(&mut self, block: BlockId, step: &mut ShadowStep) {
+        let DirectoryKind::Sparse { entries } = self.kind else {
+            return;
+        };
+        if !matches!(
+            self.blocks.get(&block).map(|r| &r.state),
+            None | Some(SState::Idle)
+        ) {
+            return;
+        }
+        let occupied = self
+            .blocks
+            .values()
+            .filter(|r| !matches!(r.state, SState::Idle))
+            .count();
+        if occupied < usize::from(entries) {
+            return;
+        }
+        let victim = self
+            .blocks
+            .iter()
+            .filter(|(&b, r)| {
+                b != block && matches!(r.state, SState::Shared(_) | SState::Exclusive(_))
+            })
+            .min_by_key(|(&b, r)| (r.last_use, b))
+            .map(|(&b, _)| b);
+        let Some(victim) = victim else {
+            return;
+        };
+        let home = self.home;
+        let rec = self.blocks.get_mut(&victim).expect("victim exists");
+        let targets = match &rec.state {
+            SState::Shared(r) => r.set.clone(),
+            SState::Exclusive(owner) => SharerSet::from_node(*owner),
+            _ => unreachable!("victims are stable"),
+        };
+        step.events.push(ShadowDirEvent::Evicted {
+            block: victim,
+            invalidations: targets.len() as u16,
+        });
+        for n in &targets {
+            step.sends.push(Message::new(home, n, victim, MsgKind::Inv));
+        }
+        rec.state = SState::Evicting { waiting: targets };
+    }
+
     #[allow(clippy::too_many_lines)]
     fn request(&mut self, msg: Message, step: &mut ShadowStep) {
         let block = msg.block;
@@ -295,9 +369,9 @@ impl ShadowDir {
         let total = self.total;
         if matches!(
             self.blocks.entry(block).or_default().state,
-            SState::Busy { .. }
+            SState::Busy { .. } | SState::Evicting { .. }
         ) {
-            // Requests against Busy blocks are shelved unresolved.
+            // Requests against Busy/Evicting blocks are shelved unresolved.
             self.blocks
                 .get_mut(&block)
                 .expect("just inserted")
@@ -305,6 +379,7 @@ impl ShadowDir {
                 .push_back(msg);
             return;
         }
+        self.predict_eviction(block, step);
         let write = matches!(msg.kind, MsgKind::GetX | MsgKind::Upgrade);
         let (verify, mut notify) = self.resolve_mask(block, msg.src, write);
         let rec = self.blocks.get_mut(&block).expect("resolved above");
@@ -392,7 +467,7 @@ impl ShadowDir {
                     ));
                 } else {
                     let waiting = decode_targets(kind, total, &r.set, r.broadcast, msg.src);
-                    for n in waiting {
+                    for n in &waiting {
                         step.events.push(ShadowDirEvent::InvSent(n));
                         step.sends.push(Message::new(home, n, block, MsgKind::Inv));
                     }
@@ -422,7 +497,7 @@ impl ShadowDir {
                         },
                     ));
                 } else {
-                    for n in waiting {
+                    for n in &waiting {
                         step.events.push(ShadowDirEvent::InvSent(n));
                         step.sends.push(Message::new(home, n, block, MsgKind::Inv));
                     }
@@ -527,6 +602,29 @@ impl ShadowDir {
                 ));
                 self.finish_busy(block, step);
             }
+            SState::Evicting { waiting } if waiting.contains(msg.src) => {
+                // Crossed an eviction's Inv: same late-ack treatment, the
+                // entry just settles to Idle when the last holder answers.
+                waiting.remove(msg.src);
+                rec.stale_acks.insert(msg.src);
+                if let Some(token) = writeback {
+                    if token < rec.token {
+                        step.violations.push(format!(
+                            "{home}: {block} writeback token {token} regressed below {}",
+                            rec.token
+                        ));
+                    }
+                    rec.token = token;
+                    step.data = true;
+                }
+                step.sends.push(Message::new(
+                    home,
+                    msg.src,
+                    block,
+                    MsgKind::VerifyCorrect { timely: false },
+                ));
+                self.finish_evicting(block, step);
+            }
             _ => step.events.push(ShadowDirEvent::Stale(msg.src)),
         }
     }
@@ -569,27 +667,61 @@ impl ShadowDir {
                 });
                 self.finish_busy(block, step);
             }
+            SState::Evicting { waiting } if waiting.contains(msg.src) => {
+                waiting.remove(msg.src);
+                if let Some(token) = dirty_token {
+                    if token < rec.token {
+                        step.violations.push(format!(
+                            "{}: {block} writeback token {token} regressed below {}",
+                            self.home, rec.token
+                        ));
+                    }
+                    rec.token = token;
+                    step.data = true;
+                }
+                step.events.push(ShadowDirEvent::InvAcked {
+                    from: msg.src,
+                    had_copy,
+                });
+                self.finish_evicting(block, step);
+            }
             _ => step.events.push(ShadowDirEvent::Stale(msg.src)),
         }
+    }
+
+    /// Once the last eviction acknowledgement lands, the entry frees and any
+    /// requests shelved behind the eviction replay.
+    fn finish_evicting(&mut self, block: BlockId, step: &mut ShadowStep) {
+        let rec = self.blocks.get_mut(&block).expect("evicting block exists");
+        let SState::Evicting { waiting } = &rec.state else {
+            return;
+        };
+        if !waiting.is_empty() {
+            return;
+        }
+        rec.state = SState::Idle;
+        step.reinject.extend(rec.shelved.drain(..));
     }
 
     fn finish_busy(&mut self, block: BlockId, step: &mut ShadowStep) {
         let home = self.home;
         let kind = self.kind;
         let rec = self.blocks.get_mut(&block).expect("busy block exists");
-        let SState::Busy {
-            requester,
-            want_exclusive,
-            upgrade_reply,
-            waiting,
-            verify,
-        } = rec.state
-        else {
-            return;
+        let (requester, want_exclusive, upgrade_reply, verify) = match &rec.state {
+            SState::Busy {
+                requester,
+                want_exclusive,
+                upgrade_reply,
+                waiting,
+                verify,
+            } => {
+                if !waiting.is_empty() {
+                    return;
+                }
+                (*requester, *want_exclusive, *upgrade_reply, *verify)
+            }
+            _ => return,
         };
-        if !waiting.is_empty() {
-            return;
-        }
         if want_exclusive {
             rec.version += 1;
             rec.state = SState::Exclusive(requester);

@@ -61,6 +61,10 @@ pub struct ExperimentSpec {
     /// clamped to the node count). Purely a wall-clock knob: the report is
     /// bit-identical for every value.
     pub shards: usize,
+    /// Combining-tree barrier fan-in (default 4, minimum 2). Purely a
+    /// bookkeeping-cost knob: releases land on the window grid for every
+    /// value, so the report is bit-identical across fan-ins.
+    pub barrier_fanin: u16,
 }
 
 impl ExperimentSpec {
@@ -79,6 +83,7 @@ impl ExperimentSpec {
                 directory: DirectoryKind::Full,
                 probes: Vec::new(),
                 shards: 1,
+                barrier_fanin: 4,
             },
         }
     }
@@ -171,6 +176,7 @@ impl ExperimentSpec {
         let config = SystemConfig::builder()
             .nodes(workload.nodes)
             .directory(self.directory)
+            .barrier_fanin(self.barrier_fanin)
             .build()
             .expect("valid node count and directory organization");
         let n = workload.nodes;
@@ -288,6 +294,12 @@ impl ExperimentBuilder {
     /// Sets the predictor tuning knobs.
     pub fn predictor(mut self, predictor: PredictorConfig) -> Self {
         self.spec.predictor = predictor;
+        self
+    }
+
+    /// Sets the combining-tree barrier fan-in (default 4; minimum 2).
+    pub fn barrier_fanin(mut self, fanin: u16) -> Self {
+        self.spec.barrier_fanin = fanin;
         self
     }
 

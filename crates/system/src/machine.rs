@@ -42,7 +42,7 @@ use std::sync::{Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 use ltp_core::{BlockId, NodeId, SelfInvalidationPolicy};
-use ltp_dsm::SystemConfig;
+use ltp_dsm::{CombiningTree, SystemConfig};
 use ltp_sim::{Cycle, RunSummary, StopReason};
 use ltp_workloads::Program;
 
@@ -62,19 +62,27 @@ pub use crate::shard::Event;
 /// malformed workload and is rejected with a hard error (not a
 /// `debug_assert`), because silently merging distinct barriers would corrupt
 /// the release bookkeeping.
+///
+/// Arrival counting runs through a [`CombiningTree`] (fan-in from
+/// [`SystemConfig::barrier_fanin`]) instead of a central wait-set, so a
+/// 4096-node barrier costs O(log n) per arrival rather than funnelling
+/// every node through one counter. The tree only changes *how* completion
+/// is detected: records still fold in the deterministic `(cycle, node)`
+/// order and releases are still scheduled at the window-boundary cycle, so
+/// release timing — and therefore every simulated cycle count — is
+/// bit-identical to the central wait-set at any shard count.
 #[derive(Debug)]
 struct GlobalSync {
-    total: usize,
-    finished: usize,
-    /// The barrier currently collecting arrivals, with its waiters so far.
+    tree: CombiningTree,
+    /// The barrier currently collecting arrivals, with its waiters so far
+    /// (kept alongside the tree for the release event and resume fan-out).
     waiting: Option<(u32, Vec<u16>)>,
 }
 
 impl GlobalSync {
-    fn new(total: usize) -> Self {
+    fn new(total: u16, fanin: u16) -> Self {
         GlobalSync {
-            total,
-            finished: 0,
+            tree: CombiningTree::new(total, fanin),
             waiting: None,
         }
     }
@@ -86,27 +94,31 @@ impl GlobalSync {
     fn fold(&mut self, records: &[SyncRecord]) -> Vec<(u32, Vec<u16>)> {
         let mut released = Vec::new();
         for r in records {
-            match r.ev {
-                SyncEvent::Finish => self.finished += 1,
-                SyncEvent::Arrive(id) => match &mut self.waiting {
-                    Some((other, waiters)) if *other != id => panic!(
-                        "{} arrived at barrier {id} while {} node(s) wait at distinct \
-                         barrier {other}: the workload skips or reorders barriers",
-                        NodeId::new(r.node),
-                        waiters.len()
-                    ),
-                    Some((_, waiters)) => waiters.push(r.node),
-                    None => self.waiting = Some((id, vec![r.node])),
-                },
-            }
-            // Check after every record: an arrival can complete the set, and
-            // so can a finish shrinking the live population.
-            if let Some((_, waiters)) = &self.waiting {
-                if waiters.len() == self.total - self.finished {
-                    let (id, mut waiters) = self.waiting.take().expect("checked above");
-                    waiters.sort_unstable();
-                    released.push((id, waiters));
+            let complete = match r.ev {
+                // A finish shrinks the live population, which can be what
+                // completes a partially-arrived barrier.
+                SyncEvent::Finish => self.tree.retire(r.node),
+                SyncEvent::Arrive(id) => {
+                    match &mut self.waiting {
+                        Some((other, waiters)) if *other != id => panic!(
+                            "{} arrived at barrier {id} while {} node(s) wait at distinct \
+                             barrier {other}: the workload skips or reorders barriers",
+                            NodeId::new(r.node),
+                            waiters.len()
+                        ),
+                        Some((_, waiters)) => waiters.push(r.node),
+                        None => self.waiting = Some((id, vec![r.node])),
+                    }
+                    self.tree.arrive(r.node)
                 }
+            };
+            // The tree also reports completion when the *last* live node
+            // retires with nothing collecting; only a real barrier releases.
+            if complete && self.waiting.is_some() {
+                let (id, mut waiters) = self.waiting.take().expect("checked above");
+                waiters.sort_unstable();
+                released.push((id, waiters));
+                self.tree.reset_episode();
             }
         }
         released
@@ -425,12 +437,13 @@ impl Machine {
                 ))
             })
             .collect();
+        let sync = GlobalSync::new(cfg.nodes(), cfg.barrier_fanin());
         Machine {
             cfg,
             part,
             clock,
             shards,
-            sync: GlobalSync::new(n),
+            sync,
             probes: Vec::new(),
         }
     }

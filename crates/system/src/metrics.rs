@@ -45,6 +45,13 @@ pub struct Metrics {
     pub extra_invalidations: u64,
     /// Limited-pointer sharer arrays that overflowed into broadcast mode.
     pub broadcast_overflows: u64,
+    /// Sparse-directory entry replacements (always 0 for unbounded
+    /// organizations).
+    pub dir_evictions: u64,
+    /// Invalidations sent to live holders purely to reclaim a sparse
+    /// directory entry — the over-invalidation cost of bounding the
+    /// directory's capacity rather than its per-entry precision.
+    pub eviction_invalidations: u64,
     /// Total protocol messages delivered.
     pub messages: u64,
     /// Directory-engine queueing delay per message (cycles).

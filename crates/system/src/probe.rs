@@ -189,6 +189,18 @@ pub enum SimEvent {
         /// The block.
         block: BlockId,
     },
+    /// A `sparse:E` directory replaced a tracked entry: the victim block's
+    /// holders were sent eviction invalidations (counted separately from
+    /// demand `InvalidationSent` traffic).
+    DirEntryEvicted {
+        /// The home whose entry cache replaced an entry.
+        home: NodeId,
+        /// The *victim* block whose entry was reclaimed.
+        block: BlockId,
+        /// Eviction invalidations sent for the victim (0 under the
+        /// `SkipEvictionInv` mutant).
+        invalidations: u16,
+    },
     /// The directory ignored a stale message (race bookkeeping). A stale
     /// *self-invalidation* (`kind` is `SelfInvClean`/`SelfInvDirty`) means
     /// that prediction will never receive a verdict — lead-time trackers

@@ -66,6 +66,8 @@ pub struct CoreMetricsProbe {
     invalidations_sent: u64,
     extra_invalidations: u64,
     broadcast_overflows: u64,
+    dir_evictions: u64,
+    eviction_invalidations: u64,
     stale_ignored: u64,
     storage: StorageStats,
 }
@@ -83,6 +85,8 @@ impl CoreMetricsProbe {
             invalidations_sent: 0,
             extra_invalidations: 0,
             broadcast_overflows: 0,
+            dir_evictions: 0,
+            eviction_invalidations: 0,
             stale_ignored: 0,
             storage: StorageStats::default(),
         }
@@ -129,6 +133,10 @@ impl CoreMetricsProbe {
                 had_copy: false, ..
             } => self.extra_invalidations += 1,
             SimEvent::BroadcastOverflow { .. } => self.broadcast_overflows += 1,
+            SimEvent::DirEntryEvicted { invalidations, .. } => {
+                self.dir_evictions += 1;
+                self.eviction_invalidations += u64::from(invalidations);
+            }
             SimEvent::StaleIgnored { .. } => self.stale_ignored += 1,
             SimEvent::NodeFinished { .. } => {
                 self.exec_cycles = self.exec_cycles.max(ctx.now);
@@ -174,6 +182,8 @@ impl CoreMetricsProbe {
         self.invalidations_sent += other.invalidations_sent;
         self.extra_invalidations += other.extra_invalidations;
         self.broadcast_overflows += other.broadcast_overflows;
+        self.dir_evictions += other.dir_evictions;
+        self.eviction_invalidations += other.eviction_invalidations;
         self.stale_ignored += other.stale_ignored;
         self.storage.blocks_tracked += other.storage.blocks_tracked;
         self.storage.live_entries += other.storage.live_entries;
@@ -210,6 +220,8 @@ impl CoreMetricsProbe {
         m.invalidations_sent = self.invalidations_sent;
         m.extra_invalidations = self.extra_invalidations;
         m.broadcast_overflows = self.broadcast_overflows;
+        m.dir_evictions = self.dir_evictions;
+        m.eviction_invalidations = self.eviction_invalidations;
         m.stale_ignored = self.stale_ignored;
         m
     }

@@ -110,7 +110,7 @@ impl RunReport {
 /// Encodes [`Metrics`] as a JSON value (the report's `"metrics"` object and
 /// the core probe's standalone section share this shape).
 pub(crate) fn metrics_json(m: &Metrics) -> JsonValue {
-    JsonObject::new()
+    let mut obj = JsonObject::new()
         .field("predicted", m.predicted)
         .field("predicted_timely", m.predicted_timely)
         .field("not_predicted", m.not_predicted)
@@ -121,8 +121,16 @@ pub(crate) fn metrics_json(m: &Metrics) -> JsonValue {
         .field("self_invalidations_sent", m.self_invalidations_sent)
         .field("invalidations_sent", m.invalidations_sent)
         .field("extra_invalidations", m.extra_invalidations)
-        .field("broadcast_overflows", m.broadcast_overflows)
-        .field("messages", m.messages)
+        .field("broadcast_overflows", m.broadcast_overflows);
+    // Only sparse directories replace entries; gating the fields on use
+    // keeps every unbounded-organization report byte-identical to the
+    // pre-sparse format (the golden suite pins those bytes).
+    if m.dir_evictions != 0 || m.eviction_invalidations != 0 {
+        obj = obj
+            .field("dir_evictions", m.dir_evictions)
+            .field("eviction_invalidations", m.eviction_invalidations);
+    }
+    obj.field("messages", m.messages)
         .field("stale_ignored", m.stale_ignored)
         .field(
             "dir_queueing",

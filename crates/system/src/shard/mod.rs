@@ -1110,11 +1110,21 @@ impl Shard {
                         block,
                         kind: msg.kind,
                     },
+                    DirEvent::EntryEvicted {
+                        block: victim,
+                        invalidations,
+                    } => SimEvent::DirEntryEvicted {
+                        home: h,
+                        block: victim,
+                        invalidations,
+                    },
                 },
             );
         }
         // Clamp departures so sends for one block leave in service order
-        // (see `dir_send_order`).
+        // (see `dir_send_order`). A sparse eviction's invalidations ride in
+        // the same service but target the *victim* block, so each send
+        // clamps on its own block's lane.
         let depart = {
             let last = self.dir_send_order[hi]
                 .entry(msg.block)
@@ -1124,8 +1134,17 @@ impl Shard {
             depart
         };
         for m in step.sends {
-            debug_assert_eq!(m.block, msg.block, "directory sends stay on-block");
-            self.route(m, depart);
+            let at = if m.block == msg.block {
+                depart
+            } else {
+                let last = self.dir_send_order[hi]
+                    .entry(m.block)
+                    .or_insert(Cycle::ZERO);
+                let at = done.max(*last);
+                *last = at;
+                at
+            };
+            self.route(m, at);
         }
         for r in step.reinject {
             let seq = {

@@ -286,6 +286,7 @@ impl SweepSpec {
                             predictor: self.predictor,
                             directory,
                             probes: self.probes.clone(),
+                            barrier_fanin: 4,
                         });
                     }
                 }

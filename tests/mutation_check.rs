@@ -1,7 +1,7 @@
 //! Mutation self-test for the coherence sanitizer (`--features mutate`).
 //!
 //! The sanitizer's value rests on negative evidence: a checker that never
-//! fires might be watching nothing. `ltp_dsm::mutation` plants four known
+//! fires might be watching nothing. `ltp_dsm::mutation` plants five known
 //! protocol bugs behind runtime switches; each test here arms one, runs a
 //! real workload with the (non-strict) sanitizer attached, and asserts the
 //! mutant is reported — with evidence lines — while the unmutated control
@@ -153,6 +153,21 @@ fn widen_coarse_decode_is_flagged() {
         "shadow",
         Benchmark::Moldyn,
         DirectoryKind::Coarse { cluster: 2 },
+        2,
+    );
+}
+
+#[test]
+fn skip_eviction_inv_is_flagged() {
+    // The sparse directory frees the victim entry without invalidating its
+    // holders: the shadow predicted an eviction invalidation round that
+    // never appears on the wire, and the stale copies later collide with
+    // the home's idle record.
+    assert_flagged(
+        Mutant::SkipEvictionInv,
+        "shadow",
+        Benchmark::Moldyn,
+        DirectoryKind::Sparse { entries: 2 },
         2,
     );
 }
