@@ -1,0 +1,513 @@
+//! A zero-dependency JSON parser producing [`JsonValue`] trees.
+//!
+//! The counterpart of the [`crate::encode`] renderer: campaign stores,
+//! report folders, and spec files persist documents with the encoder and
+//! read them back here. The parser accepts standard JSON (RFC 8259); the
+//! number policy mirrors the encoder so that every document the encoder can
+//! produce round-trips value-for-value:
+//!
+//! * integers without sign parse as [`JsonValue::U64`];
+//! * negative integers parse as [`JsonValue::I64`];
+//! * anything with a fraction or exponent parses as [`JsonValue::F64`]
+//!   (Rust's shortest-round-trip `{}` float rendering parses back to the
+//!   identical bit pattern).
+//!
+//! # Examples
+//!
+//! ```
+//! use ltp_core::{parse_json, JsonObject, JsonValue};
+//!
+//! let doc = JsonObject::new()
+//!     .field("name", "em3d")
+//!     .field("ops", 12288u64)
+//!     .field("ratio", 0.25)
+//!     .build();
+//! let parsed = parse_json(&doc.render()).unwrap();
+//! assert_eq!(parsed, doc, "encoder output round-trips");
+//! assert_eq!(parsed.get("ops").and_then(JsonValue::as_u64), Some(12288));
+//! ```
+
+use std::fmt;
+
+use crate::encode::JsonValue;
+
+/// A JSON document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+///
+/// # Errors
+///
+/// Returns a [`JsonParseError`] locating the first offending byte.
+pub fn parse_json(input: &str) -> Result<JsonValue, JsonParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+/// Nesting depth cap: campaign documents are a few levels deep; a bound
+/// keeps adversarial inputs from overflowing the parse stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.error(format!("unexpected byte `{}`", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a following \uXXXX low half
+                                // is required.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.error("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.error("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.error("lone low surrogate"));
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(ch) => out.push(ch),
+                                None => return Err(self.error("invalid unicode escape")),
+                            }
+                        }
+                        other => {
+                            return Err(self.error(format!("invalid escape `\\{}`", other as char)));
+                        }
+                    }
+                }
+                0x00..=0x1f => return Err(self.error("raw control character in string")),
+                _ => {
+                    // Re-borrow the original slice to copy the full UTF-8
+                    // sequence this byte starts.
+                    let start = self.pos - 1;
+                    let rest = &self.bytes[start..];
+                    let ch_len = utf8_len(c).ok_or_else(|| self.error("invalid UTF-8"))?;
+                    if rest.len() < ch_len {
+                        return Err(self.error("truncated UTF-8 sequence"));
+                    }
+                    let s = std::str::from_utf8(&rest[..ch_len])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = start + ch_len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let code = u32::from_str_radix(digits, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        if self.peek() == Some(b'.') {
+            fractional = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            fractional = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !fractional {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(JsonValue::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(JsonValue::I64(v));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(JsonValue::F64(v)),
+            _ => {
+                self.pos = start;
+                Err(self.error(format!("invalid number `{text}`")))
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7f => Some(1),
+        0xc0..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf7 => Some(4),
+        _ => None,
+    }
+}
+
+impl JsonValue {
+    /// Looks up a field by key (objects only; first match wins, mirroring
+    /// the encoder's no-duplicate discipline).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (any numeric variant widens losslessly enough
+    /// for reporting arithmetic).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::U64(v) => Some(*v as f64),
+            JsonValue::I64(v) => Some(*v as f64),
+            JsonValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value's items, if it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's fields, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::JsonObject;
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse_json("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse_json("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse_json("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse_json("42").unwrap(), JsonValue::U64(42));
+        assert_eq!(parse_json("-7").unwrap(), JsonValue::I64(-7));
+        assert_eq!(parse_json("0.5").unwrap(), JsonValue::F64(0.5));
+        assert_eq!(parse_json("1e3").unwrap(), JsonValue::F64(1000.0));
+        assert_eq!(
+            parse_json("\"hi\\n\\u0041\"").unwrap(),
+            JsonValue::Str("hi\nA".to_string())
+        );
+    }
+
+    #[test]
+    fn encoder_output_round_trips_exactly() {
+        let doc = JsonObject::new()
+            .field("name", "em3d \"quoted\" \\ path\nline")
+            .field("ops", u64::MAX)
+            .field("delta", -42i64)
+            .field("ratio", 0.1 + 0.2)
+            .field("none", JsonValue::Null)
+            .field(
+                "nested",
+                JsonObject::new()
+                    .field("list", JsonValue::Array(vec![1u64.into(), "x".into()]))
+                    .build(),
+            )
+            .build();
+        let text = doc.render();
+        let parsed = parse_json(&text).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.render(), text, "render→parse→render is identity");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            parse_json("\"\\ud83d\\ude00\"").unwrap(),
+            JsonValue::Str("😀".to_string())
+        );
+        assert!(parse_json("\"\\ud83d\"").is_err(), "lone high surrogate");
+        assert!(parse_json("\"\\ude00\"").is_err(), "lone low surrogate");
+    }
+
+    #[test]
+    fn multibyte_utf8_passes_through() {
+        let parsed = parse_json("\"héllo 世界\"").unwrap();
+        assert_eq!(parsed, JsonValue::Str("héllo 世界".to_string()));
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_offsets() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "01x",
+            "\"\\q\"",
+            "1 2",
+            "{\"a\":1,}",
+            "[1,]",
+            "nan",
+            "-",
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted: {bad:?}");
+        }
+        let err = parse_json("[1, oops]").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn huge_integers_fall_back_in_order() {
+        // > u64::MAX but fits i64? No — only negatives reach I64.
+        let over = "18446744073709551616"; // u64::MAX + 1
+        assert!(matches!(parse_json(over).unwrap(), JsonValue::F64(_)));
+        assert_eq!(
+            parse_json("-9223372036854775808").unwrap(),
+            JsonValue::I64(i64::MIN)
+        );
+        assert!(matches!(
+            parse_json("-9223372036854775809").unwrap(),
+            JsonValue::F64(_)
+        ));
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_documents() {
+        let v = parse_json(r#"{"metrics":{"exec_cycles":123,"pct":4.5},"tags":["a"],"ok":true}"#)
+            .unwrap();
+        let metrics = v.get("metrics").unwrap();
+        assert_eq!(
+            metrics.get("exec_cycles").and_then(JsonValue::as_u64),
+            Some(123)
+        );
+        assert_eq!(metrics.get("pct").and_then(JsonValue::as_f64), Some(4.5));
+        assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(
+            v.get("tags").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(1)
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(JsonValue::Null.get("x"), None);
+    }
+
+    #[test]
+    fn depth_limit_rejects_pathological_nesting() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(parse_json(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse_json(&ok).is_ok());
+    }
+}

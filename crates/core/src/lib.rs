@@ -66,9 +66,11 @@
 #![warn(missing_debug_implementations)]
 
 mod confidence;
+mod decode;
 mod dsi;
 mod encode;
 pub mod fast_hash;
+mod fingerprint;
 mod last_pc;
 mod ltp;
 pub mod offline;
@@ -82,12 +84,14 @@ mod tage;
 mod types;
 
 pub use confidence::TwoBitCounter;
+pub use decode::{parse_json, JsonParseError};
 pub use dsi::DsiPolicy;
 pub use encode::{
     json_escape_into, InvalidSignatureBits, JsonObject, JsonValue, Signature, SignatureBits,
     SignatureEncoder, TruncatedAdd, XorRotate,
 };
 pub use fast_hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use fingerprint::{Fingerprint, FingerprintHasher, FingerprintParseError};
 pub use last_pc::{LastPc, LastPcEncoder};
 pub use ltp::{GlobalLtp, PerBlockLtp, PredictorConfig, PrematurePenalty, TracePredictor};
 pub use offline::{

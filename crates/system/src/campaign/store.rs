@@ -1,0 +1,602 @@
+//! The on-disk campaign store: checkpointed run results keyed by content
+//! hash.
+//!
+//! Layout of a campaign directory `DIR`:
+//!
+//! ```text
+//! DIR/manifest.jsonl    # header line + one line per checkpointed run
+//! DIR/runs/<hash>.json  # the full run document (spec + report/diagnosis)
+//! DIR/campaign.jsonl    # final aggregate, cross-product order (on finish)
+//! ```
+//!
+//! **Durability.** Each run document is written and fsync'd *before* its
+//! manifest line is appended and fsync'd, so the manifest never references
+//! a missing or torn run file. A crash between the two writes leaves an
+//! orphaned run file that the next resume simply overwrites — the manifest
+//! is the source of truth for completion.
+//!
+//! **Determinism.** While a campaign executes, manifest lines append in
+//! completion order (whatever the workers finish first). When the campaign
+//! *finishes*, the manifest is rewritten in canonical cross-product order
+//! and the aggregate is composed from the stored run documents — so the
+//! final `manifest.jsonl` and `campaign.jsonl` are byte-identical whether
+//! the campaign ran uninterrupted or was killed and resumed any number of
+//! times.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use ltp_core::{parse_json, Fingerprint, JsonObject, JsonValue};
+
+use crate::report::RunReport;
+use crate::stuck::StuckReport;
+
+use super::hash::STORE_FORMAT_VERSION;
+
+/// A campaign-store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem trouble, with the path involved.
+    Io(PathBuf, io::Error),
+    /// A store document failed to parse or had the wrong shape.
+    Malformed(PathBuf, String),
+    /// The store was written by an incompatible format version.
+    FormatMismatch {
+        /// The directory whose manifest mismatched.
+        dir: PathBuf,
+        /// The version found in the manifest header.
+        found: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(path, e) => write!(f, "{}: {e}", path.display()),
+            StoreError::Malformed(path, why) => {
+                write!(f, "{}: malformed store document: {why}", path.display())
+            }
+            StoreError::FormatMismatch { dir, found } => write!(
+                f,
+                "{}: campaign store format {found} (this build reads format {})",
+                dir.display(),
+                STORE_FORMAT_VERSION
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Completion status of one checkpointed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The run finished and its report is stored.
+    Done,
+    /// The run hit the cycle horizon; its stuck diagnosis is stored.
+    Stuck,
+}
+
+impl RunStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            RunStatus::Done => "done",
+            RunStatus::Stuck => "stuck",
+        }
+    }
+
+    fn parse(s: &str) -> Option<RunStatus> {
+        match s {
+            "done" => Some(RunStatus::Done),
+            "stuck" => Some(RunStatus::Stuck),
+            _ => None,
+        }
+    }
+}
+
+/// One run document loaded back from the store.
+#[derive(Debug, Clone)]
+pub struct StoredRun {
+    /// The run's content hash.
+    pub hash: Fingerprint,
+    /// Whether the run finished or stalled.
+    pub status: RunStatus,
+    /// The canonical spec descriptor recorded with the run.
+    pub spec: JsonValue,
+    /// The result document: the full report (`Done`) or the stuck
+    /// diagnosis (`Stuck`).
+    pub body: JsonValue,
+}
+
+/// A campaign directory opened for reading and checkpointing.
+#[derive(Debug)]
+pub struct CampaignStore {
+    dir: PathBuf,
+}
+
+impl CampaignStore {
+    /// Opens (creating if necessary) the campaign store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem trouble, a corrupt manifest header, or a store
+    /// written by an incompatible format version.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<CampaignStore, StoreError> {
+        let dir = dir.into();
+        let runs_dir = dir.join("runs");
+        fs::create_dir_all(&runs_dir).map_err(|e| StoreError::Io(runs_dir.clone(), e))?;
+        let store = CampaignStore { dir };
+        let manifest = store.manifest_path();
+        if manifest.exists() {
+            store.check_header()?;
+        } else {
+            store.write_manifest_atomic(&[])?;
+        }
+        Ok(store)
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the manifest file.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir.join("manifest.jsonl")
+    }
+
+    /// Path of the final aggregate.
+    pub fn aggregate_path(&self) -> PathBuf {
+        self.dir.join("campaign.jsonl")
+    }
+
+    fn run_path(&self, hash: Fingerprint) -> PathBuf {
+        self.dir.join("runs").join(format!("{hash}.json"))
+    }
+
+    fn header_line() -> String {
+        JsonObject::new()
+            .field("campaign_format", u64::from(STORE_FORMAT_VERSION))
+            .build()
+            .render()
+    }
+
+    fn check_header(&self) -> Result<(), StoreError> {
+        let path = self.manifest_path();
+        let text = fs::read_to_string(&path).map_err(|e| StoreError::Io(path.clone(), e))?;
+        let Some(first) = text.lines().next() else {
+            return Err(StoreError::Malformed(path, "empty manifest".to_string()));
+        };
+        let header =
+            parse_json(first).map_err(|e| StoreError::Malformed(path.clone(), e.to_string()))?;
+        let found = header
+            .get("campaign_format")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| {
+                StoreError::Malformed(path.clone(), "manifest header lacks a version".to_string())
+            })?;
+        if found != u64::from(STORE_FORMAT_VERSION) {
+            return Err(StoreError::FormatMismatch {
+                dir: self.dir.clone(),
+                found,
+            });
+        }
+        Ok(())
+    }
+
+    /// Every checkpointed run in the manifest, keyed by content hash.
+    ///
+    /// A final line without its terminating newline is a torn append — the
+    /// process died (or was killed) mid-checkpoint — and is ignored rather
+    /// than rejected: the run it named simply re-executes on resume. Torn
+    /// lines *inside* the file cannot happen (every append is
+    /// newline-terminated), so those still fail as malformed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem trouble or a malformed manifest line.
+    pub fn completed(&self) -> Result<BTreeMap<Fingerprint, RunStatus>, StoreError> {
+        let path = self.manifest_path();
+        let text = fs::read_to_string(&path).map_err(|e| StoreError::Io(path.clone(), e))?;
+        let complete = match text.rfind('\n') {
+            Some(last_newline) => &text[..=last_newline],
+            None => "",
+        };
+        let mut out = BTreeMap::new();
+        for line in complete.lines().skip(1) {
+            if line.is_empty() {
+                continue;
+            }
+            let doc =
+                parse_json(line).map_err(|e| StoreError::Malformed(path.clone(), e.to_string()))?;
+            let hash: Fingerprint = doc
+                .get("hash")
+                .and_then(JsonValue::as_str)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| {
+                    StoreError::Malformed(path.clone(), format!("bad hash in line: {line}"))
+                })?;
+            let status = doc
+                .get("status")
+                .and_then(JsonValue::as_str)
+                .and_then(RunStatus::parse)
+                .ok_or_else(|| {
+                    StoreError::Malformed(path.clone(), format!("bad status in line: {line}"))
+                })?;
+            out.insert(hash, status);
+        }
+        Ok(out)
+    }
+
+    /// Checkpoints one finished run: writes and fsyncs the run document,
+    /// then appends and fsyncs its manifest line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem trouble.
+    pub fn record_done(
+        &self,
+        hash: Fingerprint,
+        spec: &JsonValue,
+        report: &RunReport,
+    ) -> Result<(), StoreError> {
+        self.record(hash, RunStatus::Done, spec, &report.to_json())
+    }
+
+    /// Checkpoints one stuck run (see [`StuckReport`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem trouble.
+    pub fn record_stuck(
+        &self,
+        hash: Fingerprint,
+        spec: &JsonValue,
+        stuck: &StuckReport,
+    ) -> Result<(), StoreError> {
+        self.record(hash, RunStatus::Stuck, spec, &stuck.to_json())
+    }
+
+    fn record(
+        &self,
+        hash: Fingerprint,
+        status: RunStatus,
+        spec: &JsonValue,
+        body_json: &str,
+    ) -> Result<(), StoreError> {
+        // The body is rendered JSON already; splice it in verbatim rather
+        // than re-parsing, so stored bytes are exactly what the producer
+        // rendered.
+        let doc = format!(
+            "{{\"hash\":\"{hash}\",\"status\":\"{}\",\"spec\":{},\"{}\":{body_json}}}\n",
+            status.as_str(),
+            spec.render(),
+            match status {
+                RunStatus::Done => "report",
+                RunStatus::Stuck => "stuck",
+            },
+        );
+        let path = self.run_path(hash);
+        write_sync(&path, doc.as_bytes()).map_err(|e| StoreError::Io(path, e))?;
+
+        let line = JsonObject::new()
+            .field("hash", hash.to_string())
+            .field("status", status.as_str())
+            .build()
+            .render();
+        let path = self.manifest_path();
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| StoreError::Io(path.clone(), e))?;
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.write_all(b"\n"))
+            .and_then(|()| file.sync_data())
+            .map_err(|e| StoreError::Io(path, e))
+    }
+
+    /// Loads one checkpointed run document.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem trouble or a malformed document.
+    pub fn load_run(&self, hash: Fingerprint) -> Result<StoredRun, StoreError> {
+        let path = self.run_path(hash);
+        let text = fs::read_to_string(&path).map_err(|e| StoreError::Io(path.clone(), e))?;
+        let doc = parse_json(text.trim_end())
+            .map_err(|e| StoreError::Malformed(path.clone(), e.to_string()))?;
+        let status = doc
+            .get("status")
+            .and_then(JsonValue::as_str)
+            .and_then(RunStatus::parse)
+            .ok_or_else(|| StoreError::Malformed(path.clone(), "bad status".to_string()))?;
+        let body_key = match status {
+            RunStatus::Done => "report",
+            RunStatus::Stuck => "stuck",
+        };
+        let spec = doc
+            .get("spec")
+            .cloned()
+            .ok_or_else(|| StoreError::Malformed(path.clone(), "missing spec".to_string()))?;
+        let body = doc
+            .get(body_key)
+            .cloned()
+            .ok_or_else(|| StoreError::Malformed(path.clone(), format!("missing {body_key}")))?;
+        Ok(StoredRun {
+            hash,
+            status,
+            spec,
+            body,
+        })
+    }
+
+    /// Finalizes a completed campaign: composes `campaign.jsonl` from the
+    /// stored run documents in cross-product order, and rewrites the
+    /// manifest canonically (this campaign's runs in cross-product order,
+    /// then any other checkpointed runs sorted by hash).
+    ///
+    /// Composing the aggregate from the store — never from in-memory
+    /// results — is what makes a resumed campaign's aggregate byte-identical
+    /// to an uninterrupted one: both take exactly this path.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem trouble or a malformed run document.
+    pub fn finalize(&self, order: &[Fingerprint]) -> Result<(), StoreError> {
+        let mut aggregate = String::new();
+        for (seq, &hash) in order.iter().enumerate() {
+            let run = self.load_run(hash)?;
+            let (body, status_field) = match run.status {
+                RunStatus::Done => (run.body, None),
+                RunStatus::Stuck => (run.body, Some("stuck")),
+            };
+            let rendered = body.render();
+            let rest = rendered.strip_prefix('{').unwrap_or(&rendered);
+            aggregate.push_str(&format!("{{\"run\":{seq},"));
+            if let Some(status) = status_field {
+                aggregate.push_str(&format!("\"status\":\"{status}\","));
+            }
+            aggregate.push_str(rest);
+            aggregate.push('\n');
+        }
+        let path = self.aggregate_path();
+        write_sync(&path, aggregate.as_bytes()).map_err(|e| StoreError::Io(path, e))?;
+
+        // Canonical manifest: campaign order first (deduplicated), then
+        // foreign entries sorted by hash.
+        let all = self.completed()?;
+        let mut lines: Vec<Fingerprint> = Vec::new();
+        for &hash in order {
+            if !lines.contains(&hash) {
+                lines.push(hash);
+            }
+        }
+        let foreign: Vec<Fingerprint> =
+            all.keys().copied().filter(|h| !lines.contains(h)).collect();
+        lines.extend(foreign);
+        let entries: Vec<(Fingerprint, RunStatus)> = lines
+            .into_iter()
+            .map(|h| {
+                all.get(&h).map(|&s| (h, s)).ok_or_else(|| {
+                    StoreError::Malformed(
+                        self.manifest_path(),
+                        format!("finalize of unrecorded run {h}"),
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        self.write_manifest_atomic(&entries)
+    }
+
+    fn write_manifest_atomic(
+        &self,
+        entries: &[(Fingerprint, RunStatus)],
+    ) -> Result<(), StoreError> {
+        let mut text = Self::header_line();
+        text.push('\n');
+        for &(hash, status) in entries {
+            text.push_str(
+                &JsonObject::new()
+                    .field("hash", hash.to_string())
+                    .field("status", status.as_str())
+                    .build()
+                    .render(),
+            );
+            text.push('\n');
+        }
+        let tmp = self.dir.join("manifest.jsonl.tmp");
+        write_sync(&tmp, text.as_bytes()).map_err(|e| StoreError::Io(tmp.clone(), e))?;
+        let path = self.manifest_path();
+        fs::rename(&tmp, &path).map_err(|e| StoreError::Io(path, e))
+    }
+}
+
+/// Writes a file and fsyncs it (create-or-truncate).
+fn write_sync(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut file = File::create(path)?;
+    file.write_all(bytes)?;
+    file.sync_data()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltp_dsm::DirectoryKind;
+    use ltp_workloads::WorkloadParams;
+
+    use crate::metrics::Metrics;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ltp-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            benchmark: "em3d".to_string(),
+            policy: "ltp".to_string(),
+            policy_spec: "ltp:bits=13".to_string(),
+            directory: DirectoryKind::Full,
+            workload: WorkloadParams::quick(4, 3),
+            metrics: Metrics {
+                predicted: 5,
+                exec_cycles: 1000,
+                ..Metrics::default()
+            },
+            sections: Vec::new(),
+            events_handled: 9,
+        }
+    }
+
+    #[test]
+    fn a_torn_trailing_manifest_line_is_ignored_not_fatal() {
+        let dir = tmp_dir("torn");
+        let store = CampaignStore::open(&dir).unwrap();
+        let hash = Fingerprint::of_str("run-1");
+        let spec = JsonObject::new().field("benchmark", "em3d").build();
+        store.record_done(hash, &spec, &sample_report()).unwrap();
+
+        // Simulate a SIGKILL mid-append: half a manifest line, no newline.
+        let manifest = store.manifest_path();
+        let mut text = fs::read_to_string(&manifest).unwrap();
+        text.push_str("{\"hash\":\"00000000000000000000");
+        fs::write(&manifest, &text).unwrap();
+
+        let completed = store.completed().unwrap();
+        assert_eq!(completed.len(), 1, "the torn line names no completed run");
+        assert_eq!(completed.get(&hash), Some(&RunStatus::Done));
+    }
+
+    #[test]
+    fn checkpoint_and_read_back_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let store = CampaignStore::open(&dir).unwrap();
+        let hash = Fingerprint::of_str("run-1");
+        let spec = JsonObject::new().field("benchmark", "em3d").build();
+        store.record_done(hash, &spec, &sample_report()).unwrap();
+
+        let completed = store.completed().unwrap();
+        assert_eq!(completed.get(&hash), Some(&RunStatus::Done));
+
+        let run = store.load_run(hash).unwrap();
+        assert_eq!(run.status, RunStatus::Done);
+        assert_eq!(
+            run.body.get("benchmark").and_then(JsonValue::as_str),
+            Some("em3d")
+        );
+        assert_eq!(
+            run.body
+                .get("metrics")
+                .and_then(|m| m.get("exec_cycles"))
+                .and_then(JsonValue::as_u64),
+            Some(1000)
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_existing_checkpoints() {
+        let dir = tmp_dir("reopen");
+        let hash = Fingerprint::of_str("run-2");
+        {
+            let store = CampaignStore::open(&dir).unwrap();
+            let spec = JsonObject::new().build();
+            store.record_done(hash, &spec, &sample_report()).unwrap();
+        }
+        let store = CampaignStore::open(&dir).unwrap();
+        assert_eq!(store.completed().unwrap().len(), 1);
+        assert!(store.completed().unwrap().contains_key(&hash));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn format_mismatch_is_rejected() {
+        let dir = tmp_dir("format");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("manifest.jsonl"), "{\"campaign_format\":999}\n").unwrap();
+        match CampaignStore::open(&dir) {
+            Err(StoreError::FormatMismatch { found, .. }) => assert_eq!(found, 999),
+            other => panic!("expected format mismatch, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn finalize_composes_aggregate_in_given_order() {
+        let dir = tmp_dir("finalize");
+        let store = CampaignStore::open(&dir).unwrap();
+        let spec = JsonObject::new().build();
+        let a = Fingerprint::of_str("a");
+        let b = Fingerprint::of_str("b");
+        let mut report_b = sample_report();
+        report_b.benchmark = "moldyn".to_string();
+        // Checkpoint out of order; the aggregate follows `order`.
+        store.record_done(b, &spec, &report_b).unwrap();
+        store.record_done(a, &spec, &sample_report()).unwrap();
+        store.finalize(&[a, b]).unwrap();
+
+        let text = fs::read_to_string(store.aggregate_path()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].starts_with("{\"run\":0,\"benchmark\":\"em3d\""),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].starts_with("{\"run\":1,\"benchmark\":\"moldyn\""),
+            "{}",
+            lines[1]
+        );
+
+        // The canonical manifest lists campaign order, not completion order.
+        let manifest = fs::read_to_string(store.manifest_path()).unwrap();
+        let mlines: Vec<&str> = manifest.lines().collect();
+        assert_eq!(mlines.len(), 3);
+        assert!(mlines[1].contains(&a.to_string()));
+        assert!(mlines[2].contains(&b.to_string()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stuck_runs_checkpoint_with_their_diagnosis() {
+        let dir = tmp_dir("stuck");
+        let store = CampaignStore::open(&dir).unwrap();
+        let hash = Fingerprint::of_str("stuck-run");
+        let stuck = StuckReport {
+            benchmark: "raytrace".to_string(),
+            policy: "ltp".to_string(),
+            policy_spec: "ltp:bits=13".to_string(),
+            directory: DirectoryKind::Full,
+            workload: WorkloadParams::quick(64, 6),
+            horizon_cycles: 2_000_000_000,
+            nodes_finished: 62,
+            stuck_nodes: Vec::new(),
+            events_handled: 1,
+        };
+        let spec = JsonObject::new().build();
+        store.record_stuck(hash, &spec, &stuck).unwrap();
+        assert_eq!(
+            store.completed().unwrap().get(&hash),
+            Some(&RunStatus::Stuck)
+        );
+        let run = store.load_run(hash).unwrap();
+        assert_eq!(run.status, RunStatus::Stuck);
+        assert_eq!(
+            run.body.get("horizon_cycles").and_then(JsonValue::as_u64),
+            Some(2_000_000_000)
+        );
+
+        store.finalize(&[hash]).unwrap();
+        let text = fs::read_to_string(store.aggregate_path()).unwrap();
+        assert!(
+            text.starts_with("{\"run\":0,\"status\":\"stuck\",\"benchmark\":\"raytrace\""),
+            "{text}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

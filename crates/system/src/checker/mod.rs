@@ -7,9 +7,9 @@
 //!
 //! * the **online sanitizer** ([`CoherenceChecker`], probe spec
 //!   `check[:strict]`) replays the live [`SimEvent`] stream against an
-//!   independent [`shadow`] directory and a node-side ground-state model,
+//!   independent shadow directory and a node-side ground-state model,
 //!   flagging any divergence;
-//! * the **exhaustive explorer** ([`explore`]) enumerates every reachable
+//! * the **exhaustive explorer** ([`mod@explore`]) enumerates every reachable
 //!   state of a small configuration over all message interleavings — a
 //!   zero-dependency mini-Murphi for the MSI+LTP protocol — and asserts
 //!   the same catalog in each state, printing a minimal counterexample

@@ -21,6 +21,7 @@ use ltp_workloads::{RunEstimate, StreamingTrace, Trace, WorkloadParams, Workload
 use crate::machine::Machine;
 use crate::probe::{FnProbeFactory, Probe, ProbeFactory, ProbeRegistry, ProbeSpecError, RunInfo};
 use crate::report::RunReport;
+use crate::stuck::{RunOutcome, StuckReport};
 
 /// A complete experiment description.
 ///
@@ -170,8 +171,23 @@ impl ExperimentSpec {
     ///
     /// Panics if the machine deadlocks (horizon reached with unfinished
     /// processors) — by construction this indicates a protocol bug, and the
-    /// panic message carries the stuck-node diagnosis.
+    /// panic message carries the stuck-node diagnosis. Campaign drivers
+    /// that must survive stuck runs use [`ExperimentSpec::try_run`].
     pub fn run(&self) -> RunReport {
+        match self.try_run() {
+            RunOutcome::Completed(report) => *report,
+            RunOutcome::Stuck(stuck) => panic!("{}", stuck.render_human()),
+        }
+    }
+
+    /// Runs the experiment, converting a horizon overrun into a structured
+    /// [`StuckReport`] instead of panicking.
+    ///
+    /// This is the campaign driver's entry point: the known seeded-kernel
+    /// lock livelock at wide pinned geometries (see ROADMAP) would
+    /// otherwise kill a thousands-of-runs campaign; here it becomes a
+    /// per-node diagnosis recorded in the store.
+    pub fn try_run(&self) -> RunOutcome {
         let workload = self.source.effective_params(self.workload);
         let config = SystemConfig::builder()
             .nodes(workload.nodes)
@@ -197,17 +213,23 @@ impl ExperimentSpec {
         }
 
         let summary = machine.run(Cycle::new(HORIZON_CYCLES));
-        assert_ne!(
-            summary.stop,
-            StopReason::HorizonReached,
-            "{} under {} deadlocked; stuck nodes:\n{}",
-            self.source,
-            self.policy.spec(),
-            machine.stuck_report()
-        );
+        if summary.stop == StopReason::HorizonReached && !machine.all_finished() {
+            let stuck_nodes = machine.stuck_nodes();
+            return RunOutcome::Stuck(Box::new(StuckReport {
+                benchmark: self.source.name().to_string(),
+                policy: self.policy.name().to_string(),
+                policy_spec: self.policy.spec(),
+                directory: self.directory,
+                workload,
+                horizon_cycles: HORIZON_CYCLES,
+                nodes_finished: workload.nodes - stuck_nodes.len() as u16,
+                stuck_nodes,
+                events_handled: summary.events_handled,
+            }));
+        }
         assert!(machine.all_finished(), "drained but processors unfinished");
         let (metrics, sections) = machine.finish();
-        RunReport {
+        RunOutcome::Completed(Box::new(RunReport {
             benchmark: self.source.name().to_string(),
             policy: self.policy.name().to_string(),
             policy_spec: self.policy.spec(),
@@ -216,7 +238,7 @@ impl ExperimentSpec {
             metrics: metrics.expect("core metrics probe attached"),
             sections,
             events_handled: summary.events_handled,
-        }
+        }))
     }
 
     /// Up-front run-length estimate at the effective geometry, when the
@@ -389,6 +411,20 @@ mod tests {
             .iterations(iters)
             .build()
             .run()
+    }
+
+    #[test]
+    fn try_run_completes_on_a_healthy_config() {
+        let outcome = ExperimentSpec::builder(Benchmark::Em3d)
+            .policy_spec("ltp")
+            .unwrap()
+            .nodes(4)
+            .iterations(3)
+            .build()
+            .try_run();
+        assert!(!outcome.is_stuck());
+        let report = outcome.completed().expect("completed");
+        assert!(report.metrics.exec_cycles > 0);
     }
 
     #[test]

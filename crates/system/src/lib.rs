@@ -49,6 +49,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod checker;
 mod compat;
 mod experiment;
@@ -59,6 +60,7 @@ pub mod probe;
 pub mod probes;
 mod report;
 mod shard;
+mod stuck;
 mod sweep;
 
 pub use checker::{
@@ -76,4 +78,5 @@ pub use probe::{
     RunInfo, SimEvent,
 };
 pub use report::{JsonLinesSink, MemorySink, NullSink, ReportSink, RunReport};
+pub use stuck::{RunOutcome, StuckClass, StuckNode, StuckReport};
 pub use sweep::SweepSpec;

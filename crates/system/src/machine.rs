@@ -469,6 +469,16 @@ impl Machine {
         out
     }
 
+    /// Structured per-node stuck diagnosis (all unfinished nodes, in node
+    /// order — shards own contiguous ranges, so concatenation is sorted).
+    pub fn stuck_nodes(&self) -> Vec<crate::StuckNode> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            lock(s).stuck_nodes_into(&mut out);
+        }
+        out
+    }
+
     /// Host nanoseconds each shard has spent executing its windows (barrier
     /// waits and coordinator boundary work excluded), indexed by shard.
     /// Exact per-shard work under [`Machine::run_single_threaded`] (windows

@@ -48,8 +48,9 @@ use std::thread;
 use std::time::Instant;
 
 use ltp_core::{
-    BlockId, JsonObject, JsonValue, PolicyFactory, PolicyRegistry, PolicySpecError, PredictStats,
-    PredictorConfig, SelfInvalidationPolicy, StorageStats,
+    BlockId, Fingerprint, FingerprintHasher, JsonObject, JsonValue, PolicyFactory, PolicyRegistry,
+    PolicySpecError, PredictStats, PredictorConfig, PrematurePenalty, SelfInvalidationPolicy,
+    StorageStats,
 };
 use ltp_workloads::{
     ground_truth, replay, Benchmark, StreamingTrace, Trace, WorkloadParams, WorkloadSource,
@@ -285,6 +286,64 @@ impl PredictSpec {
         self.len() == 0
     }
 
+    /// The campaign-store hash of this tournament's inputs: workloads (at
+    /// their effective geometry), predictor specs in order, and predictor
+    /// tuning, canonicalized with the same field discipline as
+    /// [`crate::campaign::run_fingerprint`] and versioned by the same
+    /// [`crate::campaign::STORE_FORMAT_VERSION`].
+    ///
+    /// The committed `reports/predictors.md` carries this hash in its
+    /// provenance footer, so a regenerated report states exactly which
+    /// trace/spec set produced it — two tables are comparable only when
+    /// their fingerprints match.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FingerprintHasher::new();
+        h.update_str("ltp-predict-tournament");
+        h.update_u64(u64::from(crate::campaign::STORE_FORMAT_VERSION));
+        h.update_u64(self.sources.len() as u64);
+        for source in &self.sources {
+            let workload = source.effective_params(self.workload);
+            match source {
+                WorkloadSource::Synthetic(benchmark) => {
+                    h.update_str("bench");
+                    h.update_str(benchmark.name());
+                }
+                // Buffered and streaming replay are bit-identical, so both
+                // trace kinds hash alike (as in the campaign store).
+                WorkloadSource::Trace(trace) => {
+                    h.update_str("trace");
+                    h.update_str(trace.name());
+                    h.update_u64(trace.total_ops());
+                }
+                WorkloadSource::StreamingTrace(trace) => {
+                    h.update_str("trace");
+                    h.update_str(trace.name());
+                    h.update_u64(trace.total_ops());
+                }
+            }
+            h.update_u64(u64::from(workload.nodes));
+            h.update_u64(workload.seed);
+            match workload.iterations {
+                Some(iters) => {
+                    h.update_str("iters");
+                    h.update_u64(u64::from(iters));
+                }
+                None => h.update_str("natural"),
+            }
+        }
+        h.update_u64(self.policies.len() as u64);
+        for policy in &self.policies {
+            h.update_str(&policy.spec());
+        }
+        h.update_u64(u64::from(self.predictor.initial_confidence));
+        h.update_str(match self.predictor.premature_penalty {
+            PrematurePenalty::Weaken => "weaken",
+            PrematurePenalty::Reset => "reset",
+        });
+        h.update_u64(u64::from(self.predictor.self_invalidate_shared));
+        h.finish()
+    }
+
     /// Builds one job's policies and runs its replay.
     fn run_job(
         &self,
@@ -459,6 +518,30 @@ pub fn render_markdown(rows: &[PredictRow]) -> String {
             row.storage.live_entries,
         ));
     }
+    out
+}
+
+/// Renders the committed report: the tournament table plus a provenance
+/// footer stating which inputs produced it.
+///
+/// The footer carries [`PredictSpec::fingerprint`] — the campaign-store
+/// hash of the tournament's workloads, geometry, and predictor specs — so
+/// a regenerated `reports/predictors.md` is honest about its inputs:
+/// tables whose fingerprints differ were produced from different
+/// trace/spec sets and must not be compared row for row. (The same
+/// honesty rule `BENCH_predict.json` applies to its throughput
+/// acceptance: `pass` is reported from the measured numbers, never
+/// assumed.)
+pub fn render_report(spec: &PredictSpec, rows: &[PredictRow]) -> String {
+    let mut out = render_markdown(rows);
+    out.push_str(&format!(
+        "\n**Provenance:** inputs fingerprint `{}` — the campaign-store hash\n\
+         (the `ltp campaign` resume-key canonicalization, store format v{})\n\
+         of this tournament's workloads, geometry, and predictor specs.\n\
+         Compare tables only when their fingerprints match.\n",
+        spec.fingerprint(),
+        crate::campaign::STORE_FORMAT_VERSION,
+    ));
     out
 }
 

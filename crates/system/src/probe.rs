@@ -82,7 +82,9 @@ use ltp_dsm::{DirectoryKind, Message};
 use ltp_sim::Cycle;
 use ltp_workloads::{Op, WorkloadParams};
 
-use crate::probes::{MsgLatencyProbe, PerNodeProbe, SelfInvLeadProbe, TraceRecorderProbe};
+use crate::probes::{
+    HeatProbe, MsgLatencyProbe, PerNodeProbe, SelfInvLeadProbe, TraceRecorderProbe,
+};
 
 /// One observation from the running machine.
 ///
@@ -598,6 +600,26 @@ impl ProbeRegistry {
         )
         .expect("fresh registry");
         r.register(
+            "heat",
+            "per-block heat map: the K hottest blocks by access count, with \
+             demand invalidations and directory-entry evictions (heat:<K>)",
+            |arg| match arg {
+                Some(k) => match k.parse::<usize>() {
+                    Ok(k) if k >= 1 => Ok(Arc::new(HeatFactory { k })),
+                    _ => Err(ProbeSpecError::InvalidArg {
+                        probe: "heat".to_string(),
+                        arg: k.to_string(),
+                        expected: "a block count of at least 1 (heat:<K>)".to_string(),
+                    }),
+                },
+                None => Err(ProbeSpecError::MissingArg {
+                    probe: "heat".to_string(),
+                    expected: "a block count (heat:<K>)".to_string(),
+                }),
+            },
+        )
+        .expect("fresh registry");
+        r.register(
             "record",
             "tee the as-simulated op stream into a trace file (record:<FILE.ltrace>)",
             |arg| match arg {
@@ -759,6 +781,27 @@ impl ProbeFactory for MsgLatencyFactory {
     }
 }
 
+/// Factory for the per-block heat map (`heat:<K>`).
+#[derive(Debug, Clone, Copy)]
+pub struct HeatFactory {
+    /// How many of the hottest blocks the section keeps.
+    pub k: usize,
+}
+
+impl ProbeFactory for HeatFactory {
+    fn name(&self) -> &str {
+        "heat"
+    }
+
+    fn spec(&self) -> String {
+        format!("heat:{}", self.k)
+    }
+
+    fn build(&self, _run: &RunInfo) -> Box<dyn Probe> {
+        Box::new(HeatProbe::new(self.k))
+    }
+}
+
 /// Factory for the live trace recorder (`record:<file>`).
 #[derive(Debug, Clone)]
 pub struct RecordFactory {
@@ -799,6 +842,7 @@ mod tests {
             (" hist : self-inv-lead ", "hist:self-inv-lead"),
             ("hist:msg-latency", "hist:msg-latency"),
             ("record:/tmp/x.ltrace", "record:/tmp/x.ltrace"),
+            ("heat:16", "heat:16"),
         ] {
             let factory = registry
                 .parse(spec)
@@ -806,7 +850,7 @@ mod tests {
             assert_eq!(factory.spec(), canonical);
         }
         let names: Vec<&str> = registry.names().collect();
-        assert_eq!(names, ["check", "hist", "per-node", "record"]);
+        assert_eq!(names, ["check", "heat", "hist", "per-node", "record"]);
     }
 
     #[test]
@@ -864,6 +908,6 @@ mod tests {
             registry.register("per-node", "dup", |_| Err(ProbeSpecError::EmptySpec)),
             Err(ProbeSpecError::DuplicateName { .. })
         ));
-        assert_eq!(registry.entries().count(), 5);
+        assert_eq!(registry.entries().count(), 6);
     }
 }

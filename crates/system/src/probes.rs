@@ -622,6 +622,81 @@ impl Probe for TraceRecorderProbe {
     }
 }
 
+/// Per-block heat map (`heat:K`): the K hottest blocks by access count.
+///
+/// Folds the event stream into per-block tallies — accesses (cache hits +
+/// misses), demand invalidations the directory sent for the block, and
+/// sparse-directory entry evictions that victimized it — then keeps the
+/// top K. Ties on access count break toward the lower block id, so the
+/// section is a deterministic function of the run. The heat map is how a
+/// sweep answers "*which* blocks carry the sharing" before reaching for
+/// the per-node breakdown or a trace.
+#[derive(Debug)]
+pub struct HeatProbe {
+    k: usize,
+    blocks: HashMap<u64, BlockHeat>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct BlockHeat {
+    accesses: u64,
+    invalidations: u64,
+    evictions: u64,
+}
+
+impl HeatProbe {
+    /// A heat map keeping the `k` hottest blocks.
+    pub fn new(k: usize) -> Self {
+        HeatProbe {
+            k,
+            blocks: HashMap::new(),
+        }
+    }
+}
+
+impl Probe for HeatProbe {
+    fn on_event(&mut self, _ctx: &ProbeCtx, event: &SimEvent) {
+        match *event {
+            SimEvent::CacheHit { block, .. } | SimEvent::CacheMiss { block, .. } => {
+                self.blocks.entry(block.index()).or_default().accesses += 1;
+            }
+            SimEvent::InvalidationSent { block, .. } => {
+                self.blocks.entry(block.index()).or_default().invalidations += 1;
+            }
+            SimEvent::DirEntryEvicted { block, .. } => {
+                self.blocks.entry(block.index()).or_default().evictions += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(self: Box<Self>) -> Option<MetricsSection> {
+        let mut ranked: Vec<(u64, BlockHeat)> = self.blocks.into_iter().collect();
+        ranked.sort_by(|(a_block, a), (b_block, b)| {
+            b.accesses.cmp(&a.accesses).then(a_block.cmp(b_block))
+        });
+        let tracked = ranked.len() as u64;
+        ranked.truncate(self.k);
+        let top: Vec<JsonValue> = ranked
+            .into_iter()
+            .map(|(block, heat)| {
+                JsonObject::new()
+                    .field("block", block)
+                    .field("accesses", heat.accesses)
+                    .field("invalidations", heat.invalidations)
+                    .field("evictions", heat.evictions)
+                    .build()
+            })
+            .collect();
+        let data = JsonObject::new()
+            .field("k", self.k as u64)
+            .field("blocks_tracked", tracked)
+            .field("top", JsonValue::Array(top))
+            .build();
+        Some(MetricsSection::new("heat", data))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -794,5 +869,63 @@ mod tests {
         assert_eq!(m.misses, 1);
         assert_eq!(m.not_predicted, 1, "copyless invalidations do not count");
         assert_eq!(m.exec_cycles, 400);
+    }
+
+    #[test]
+    fn heat_probe_ranks_blocks_by_access_with_id_tiebreak() {
+        let mut p = Box::new(HeatProbe::new(2));
+        let n0 = NodeId::new(0);
+        let touch = |p: &mut HeatProbe, block: u64, times: usize| {
+            for _ in 0..times {
+                p.on_event(
+                    &ctx(1),
+                    &SimEvent::CacheHit {
+                        node: n0,
+                        block: BlockId::new(block),
+                        pc: ltp_core::Pc::new(0x10),
+                        is_write: false,
+                        exclusive: false,
+                    },
+                );
+            }
+        };
+        // Block 9 is hottest; blocks 3 and 5 tie, so 3 wins the last slot.
+        touch(&mut p, 5, 2);
+        touch(&mut p, 9, 4);
+        touch(&mut p, 3, 2);
+        p.on_event(
+            &ctx(2),
+            &SimEvent::InvalidationSent {
+                home: n0,
+                to: NodeId::new(1),
+                block: BlockId::new(9),
+            },
+        );
+        p.on_event(
+            &ctx(3),
+            &SimEvent::DirEntryEvicted {
+                home: n0,
+                block: BlockId::new(9),
+                invalidations: 1,
+            },
+        );
+        let section = p.finish().expect("heat section");
+        assert_eq!(section.name, "heat");
+        assert_eq!(
+            section.data.render(),
+            "{\"k\":2,\"blocks_tracked\":3,\"top\":[\
+             {\"block\":9,\"accesses\":4,\"invalidations\":1,\"evictions\":1},\
+             {\"block\":3,\"accesses\":2,\"invalidations\":0,\"evictions\":0}]}"
+        );
+    }
+
+    #[test]
+    fn heat_specs_parse_and_reject_bad_arguments() {
+        let registry = crate::probe::ProbeRegistry::with_builtins();
+        let factory = registry.parse("heat:8").expect("heat:8 parses");
+        assert_eq!(factory.spec(), "heat:8");
+        assert!(registry.parse("heat").is_err(), "K is required");
+        assert!(registry.parse("heat:0").is_err(), "K of 0 is useless");
+        assert!(registry.parse("heat:lots").is_err(), "K must be a number");
     }
 }

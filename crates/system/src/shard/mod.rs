@@ -214,6 +214,11 @@ struct NodeState {
     /// Cumulative failed lock attempts — execution state (it seeds the
     /// deterministic backoff), not a metric.
     lock_failures: u64,
+    /// Cycle of the most recent op fetch — the node's last forward
+    /// progress, reported by the stuck-run watchdog.
+    last_progress: Cycle,
+    /// Operations this node has retired (fetched from its program).
+    ops_retired: u64,
 }
 
 impl std::fmt::Debug for NodeState {
@@ -325,6 +330,8 @@ impl Shard {
                     program,
                     exec: ExecState::Ready,
                     lock_failures: 0,
+                    last_progress: Cycle::ZERO,
+                    ops_retired: 0,
                 }
             })
             .collect();
@@ -498,6 +505,44 @@ impl Shard {
             if !matches!(n.exec, ExecState::Finished) {
                 let _ = writeln!(out, "{}: {:?}", n.id, n.exec);
             }
+        }
+    }
+
+    /// Appends this shard's unfinished nodes, structured, to a watchdog
+    /// diagnosis (see [`crate::StuckReport`]).
+    pub fn stuck_nodes_into(&self, out: &mut Vec<crate::StuckNode>) {
+        use crate::stuck::{StuckClass, StuckNode};
+        for n in &self.nodes {
+            let (class, detail) = match &n.exec {
+                ExecState::Finished => continue,
+                ExecState::Locking(lock, stage) => (
+                    StuckClass::LockSpin,
+                    format!("lock block {} ({stage:?})", lock.block),
+                ),
+                ExecState::FlagSpin(_, block) => {
+                    (StuckClass::FlagSpin, format!("flag block {block}"))
+                }
+                ExecState::InBarrier(id) => (StuckClass::BarrierWait, format!("barrier {id}")),
+                ExecState::BlockedMem(ctx) => (
+                    StuckClass::MemWait,
+                    format!(
+                        "{} block {}",
+                        if ctx.is_write { "write" } else { "read" },
+                        ctx.block
+                    ),
+                ),
+                ExecState::Completing(block, ..) => {
+                    (StuckClass::Completing, format!("completing block {block}"))
+                }
+                ExecState::Ready => (StuckClass::Ready, "awaiting CpuStep".to_string()),
+            };
+            out.push(StuckNode {
+                node: n.id.index() as u16,
+                class,
+                detail,
+                last_progress_cycle: n.last_progress.as_u64(),
+                ops_retired: n.ops_retired,
+            });
         }
     }
 
@@ -678,6 +723,8 @@ impl Shard {
             });
             return;
         };
+        self.nodes[i].last_progress = now;
+        self.nodes[i].ops_retired += 1;
         self.emit_aux(now, || SimEvent::OpRetired { node: p, op });
         match op {
             Op::Think(c) => {

@@ -245,6 +245,12 @@ impl SweepSpec {
         self
     }
 
+    /// The configured worker-thread cap (`None` = automatic sizing); the
+    /// campaign driver reuses the sweep's setting for its own dispatch.
+    pub(crate) fn threads_cap(&self) -> Option<usize> {
+        self.threads
+    }
+
     /// Number of runs in the cross product.
     pub fn len(&self) -> usize {
         self.sources.len()

@@ -25,9 +25,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use ltp::core::{JsonValue, PolicyFactory, PolicyRegistry};
+use ltp::core::{parse_json, JsonValue, PolicyFactory, PolicyRegistry};
 use ltp::dsm::DirectoryKind;
-use ltp::system::predict::{render_json, render_markdown, PredictSpec, DEFAULT_ZOO};
+use ltp::system::campaign::{generate_reports, Campaign, FigureId, RunStatus};
+use ltp::system::predict::{render_json, render_report, PredictSpec, DEFAULT_ZOO};
 use ltp::system::{
     explore, ExploreConfig, JsonLinesSink, NullSink, ProbeRegistry, RunReport, SweepSpec,
 };
@@ -52,6 +53,8 @@ USAGE:
     ltp gen-trace  -o <FILE.ltrace> [options]
     ltp trace-info <FILE.ltrace> [FILE..]
     ltp predict    -b <b1,..|all> and/or -t <FILE> [-p <spec1,..>] [options]
+    ltp campaign   [SPEC.json] [-b .. -p .. -n .. -d ..] -o <DIR> [--resume] [--dry-run]
+    ltp report     <DIR> [--fig all|1|2|6|7|9|t2|t3|t4] [-o <OUTDIR>]
 
 OPTIONS:
     -b, --benchmarks <names>  comma-separated benchmarks, or `all`
@@ -85,6 +88,9 @@ OPTIONS:
                               configs instead of sanitizing benchmark runs
         --record <FILE>       tee the live run's op stream to FILE.ltrace (run only)
         --report <FILE>       write the tournament markdown table to FILE (predict only)
+        --resume              (campaign) continue into a non-empty store
+        --dry-run             (campaign) print done/pending counts and exit
+        --fig <ids>           (report) comma-separated artifacts    [default: all]
         --json                emit RunReports as JSON to stdout
         --json-lines <FILE>   stream per-run JSON lines to FILE
         --debug               print the sweep schedule (estimated ops + source)
@@ -99,6 +105,14 @@ of 2–3-node configurations and prints a minimal counterexample on failure.
 no cycle simulation — and races predictor specs (default: the full zoo,
 including `tage`, `perceptron`, and the ideal `oracle`) for the paper's
 accuracy / coverage / timeliness metrics.
+
+`campaign` runs a cross product through a resumable content-addressed
+store: every run is keyed by a canonical fingerprint of its full
+configuration, completed runs are checkpointed (fsync'd) as they finish,
+and a restarted campaign skips everything already in the store — the
+final aggregate is byte-identical to an uninterrupted run. `report`
+folds a campaign store into the paper's figures and tables (markdown +
+JSON) without re-running anything. See docs/manual.md §Campaigns.
 
 Trace files replay at their recorded geometry (-n/-i/-s do not apply).
 Every table and figure of the paper is regenerated by `cargo bench`.
@@ -126,6 +140,9 @@ struct Options {
     exhaustive: bool,
     record: Option<String>,
     report: Option<String>,
+    resume: bool,
+    dry_run: bool,
+    figs: Option<String>,
     json: bool,
     json_lines: Option<String>,
     debug: bool,
@@ -228,6 +245,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--exhaustive" => opts.exhaustive = true,
             "--record" => opts.record = Some(value("--record")?),
             "--report" => opts.report = Some(value("--report")?),
+            "--resume" => opts.resume = true,
+            "--dry-run" => opts.dry_run = true,
+            "--fig" | "--figs" => opts.figs = Some(value("--fig")?),
             "--json" => opts.json = true,
             "--json-lines" => opts.json_lines = Some(value("--json-lines")?),
             "--debug" => opts.debug = true,
@@ -996,13 +1016,13 @@ fn cmd_predict(registry: &PolicyRegistry, opts: &Options) -> Result<(), String> 
     let rows = spec.execute();
     let elapsed = started.elapsed().as_secs_f64();
     if let Some(path) = &opts.report {
-        std::fs::write(path, render_markdown(&rows))
+        std::fs::write(path, render_report(&spec, &rows))
             .map_err(|e| format!("--report {path}: {e}"))?;
     }
     if opts.json {
         println!("{}", render_json(&rows));
     } else if !opts.quiet {
-        print!("{}", render_markdown(&rows));
+        print!("{}", render_report(&spec, &rows));
         let total_ops: u64 = rows.iter().map(|r| r.ops).sum();
         eprintln!(
             "# {jobs} jobs, {total_ops} replayed ops in {elapsed:.2}s ({:.0} ops/s offline)",
@@ -1011,6 +1031,274 @@ fn cmd_predict(registry: &PolicyRegistry, opts: &Options) -> Result<(), String> 
         if let Some(path) = &opts.report {
             eprintln!("# report written to {path}");
         }
+    }
+    Ok(())
+}
+
+/// Merges a campaign spec file into `opts`. Flags given on the command
+/// line win; the file fills in whatever they left unset. The grammar is
+/// the flag surface as JSON:
+///
+/// ```json
+/// {
+///   "benchmarks": ["em3d", "tomcatv"],
+///   "policies": ["base", "dsi", "ltp:bits=13"],
+///   "nodes": [8, 16],
+///   "dirs": ["full", "coarse:2"],
+///   "seed": 365633536,
+///   "iterations": 3,
+///   "shards": 1,
+///   "jobs": 4,
+///   "probes": ["per-node"]
+/// }
+/// ```
+fn apply_campaign_spec(path: &str, opts: &mut Options) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let Some(fields) = doc.as_object() else {
+        return Err(format!("{path}: campaign spec must be a JSON object"));
+    };
+    let strings = |value: &JsonValue, key: &str| -> Result<Vec<String>, String> {
+        match value {
+            JsonValue::Str(s) => Ok(vec![s.clone()]),
+            JsonValue::Array(items) => items
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("{path}: `{key}` entries must be strings"))
+                })
+                .collect(),
+            _ => Err(format!(
+                "{path}: `{key}` must be a string or array of strings"
+            )),
+        }
+    };
+    for (key, value) in fields {
+        match key.as_str() {
+            "benchmarks" => {
+                if opts.benchmarks.is_none() {
+                    opts.benchmarks = Some(strings(value, key)?.join(","));
+                }
+            }
+            "policies" => {
+                if opts.policies.is_none() {
+                    opts.policies = Some(strings(value, key)?.join(","));
+                }
+            }
+            "traces" => {
+                if opts.traces.is_empty() {
+                    opts.traces = strings(value, key)?;
+                }
+            }
+            "nodes" => {
+                if opts.nodes.is_empty() {
+                    for v in value.as_array().into_iter().flatten() {
+                        let n = v
+                            .as_u64()
+                            .and_then(|n| u16::try_from(n).ok())
+                            .filter(|&n| n >= 2)
+                            .ok_or_else(|| format!("{path}: bad `nodes` entry {v}"))?;
+                        opts.nodes.push(n);
+                    }
+                }
+            }
+            "dirs" => {
+                if opts.dirs.is_empty() {
+                    for d in strings(value, key)? {
+                        opts.dirs
+                            .push(d.parse().map_err(|e| format!("{path}: dirs: {e}"))?);
+                    }
+                }
+            }
+            "probes" => {
+                if opts.probes.is_empty() {
+                    opts.probes = strings(value, key)?;
+                }
+            }
+            "seed" => {
+                if opts.seed.is_none() {
+                    opts.seed =
+                        Some(value.as_u64().ok_or_else(|| {
+                            format!("{path}: `seed` must be an unsigned integer")
+                        })?);
+                }
+            }
+            "iterations" => {
+                if opts.iters.is_none() {
+                    opts.iters = Some(
+                        value
+                            .as_u64()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or_else(|| format!("{path}: bad `iterations`"))?,
+                    );
+                }
+            }
+            "shards" => {
+                if opts.shards.is_none() {
+                    opts.shards = Some(
+                        value
+                            .as_u64()
+                            .and_then(|n| usize::try_from(n).ok())
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| format!("{path}: bad `shards`"))?,
+                    );
+                }
+            }
+            "jobs" => {
+                if opts.jobs.is_none() {
+                    opts.jobs = Some(
+                        value
+                            .as_u64()
+                            .and_then(|n| usize::try_from(n).ok())
+                            .ok_or_else(|| format!("{path}: bad `jobs`"))?,
+                    );
+                }
+            }
+            other => return Err(format!("{path}: unknown campaign spec key `{other}`")),
+        }
+    }
+    Ok(())
+}
+
+/// `ltp campaign`: the resumable checkpointed sweep driver.
+fn cmd_campaign(
+    registry: &PolicyRegistry,
+    probes: &ProbeRegistry,
+    opts: &Options,
+) -> Result<(), String> {
+    let mut opts = opts.clone();
+    match opts.positional.len() {
+        0 => {}
+        1 => {
+            let spec = opts.positional[0].clone();
+            apply_campaign_spec(&spec, &mut opts)?;
+        }
+        _ => return Err("campaign takes at most one SPEC.json".to_string()),
+    }
+    let Some(dir) = opts.output.clone() else {
+        return Err("campaign needs --output <DIR> (the store directory)".to_string());
+    };
+    let sources = parse_sources(&opts)?;
+    let policies = parse_policies(registry, &opts)?;
+    let mut sweep = SweepSpec::new();
+    for source in sources {
+        sweep = sweep.source(source);
+    }
+    for policy in policies {
+        sweep = sweep.policy(policy);
+    }
+    for g in geometries(&opts) {
+        sweep = sweep.geometry(g);
+    }
+    for &d in &opts.dirs {
+        sweep = sweep.directory(d);
+    }
+    for spec in &opts.probes {
+        sweep = sweep.probe_spec(probes, spec).map_err(|e| e.to_string())?;
+    }
+    if let Some(jobs) = opts.jobs {
+        sweep = sweep.threads(jobs);
+    }
+    if let Some(shards) = opts.shards {
+        sweep = sweep.shards(shards);
+    }
+
+    let campaign = Campaign::new(sweep, &dir);
+    let status = campaign.status().map_err(|e| e.to_string())?;
+    if opts.dry_run {
+        println!(
+            "campaign {dir}: {} run(s) total — {} done, {} stuck, {} pending",
+            status.total, status.done, status.stuck, status.pending
+        );
+        return Ok(());
+    }
+    let stored = status.done + status.stuck;
+    if stored > 0 && !opts.resume {
+        return Err(format!(
+            "store {dir} already holds {stored} completed run(s); pass --resume to \
+             continue it (or --dry-run to inspect)"
+        ));
+    }
+    if !opts.quiet {
+        println!(
+            "campaign {dir}: {} run(s) — {} already stored, {} to execute",
+            status.total, stored, status.pending
+        );
+    }
+    let started = Instant::now();
+    let quiet = opts.quiet;
+    let summary = campaign
+        .run_with(&mut |finished| {
+            if !quiet {
+                let verdict = match finished.status {
+                    RunStatus::Done => "done",
+                    RunStatus::Stuck => "STUCK",
+                };
+                println!(
+                    "  [{}/{}] {verdict}  run {} ({})",
+                    finished.finished, finished.to_execute, finished.seq, finished.hash
+                );
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    if !opts.quiet {
+        println!(
+            "campaign complete: {} run(s) — {} executed, {} skipped (already stored), \
+             {} stuck — in {:.2}s",
+            summary.total,
+            summary.executed,
+            summary.skipped,
+            summary.stuck,
+            started.elapsed().as_secs_f64()
+        );
+        println!(
+            "aggregate: {}",
+            std::path::Path::new(&dir).join("campaign.jsonl").display()
+        );
+    }
+    Ok(())
+}
+
+/// `ltp report`: folds a campaign store into the paper artifacts.
+fn cmd_report(opts: &Options) -> Result<(), String> {
+    let [dir] = &opts.positional[..] else {
+        return Err("report takes exactly one campaign store DIR".to_string());
+    };
+    let figures: Vec<FigureId> = match opts.figs.as_deref() {
+        None | Some("all") => FigureId::ALL.to_vec(),
+        Some(raw) => raw
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                FigureId::parse(s)
+                    .ok_or_else(|| format!("--fig: unknown artifact `{s}` (see usage)"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if figures.is_empty() {
+        return Err("--fig names no artifact".to_string());
+    }
+    let out = opts.output.clone().map_or_else(
+        || std::path::Path::new(dir).join("reports"),
+        std::path::PathBuf::from,
+    );
+    let artifacts =
+        generate_reports(std::path::Path::new(dir), &out, &figures).map_err(|e| e.to_string())?;
+    if !opts.quiet {
+        for artifact in &artifacts {
+            println!(
+                "{}  {}",
+                artifact.figure.stem(),
+                artifact.markdown.display()
+            );
+        }
+        println!(
+            "{} artifact(s) written to {}",
+            artifacts.len(),
+            out.display()
+        );
     }
     Ok(())
 }
@@ -1096,9 +1384,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let result = parse_options(rest).and_then(|opts| {
-        // Only trace-info takes positional arguments; everywhere else a
-        // bare word is a mistake (e.g. a trace path missing its --trace).
-        if command != "trace-info" {
+        // Only trace-info (files), campaign (spec file), and report (store
+        // dir) take positional arguments; everywhere else a bare word is a
+        // mistake (e.g. a trace path missing its --trace).
+        if !matches!(command.as_str(), "trace-info" | "campaign" | "report") {
             if let Some(stray) = opts.positional.first() {
                 return Err(format!("unexpected argument `{stray}`"));
             }
@@ -1117,15 +1406,31 @@ fn main() -> ExitCode {
         // Probes observe simulations; commands that run none would drop
         // them silently.
         if !opts.probes.is_empty()
-            && !matches!(command.as_str(), "run" | "sweep" | "compare" | "suite" | "check")
+            && !matches!(
+                command.as_str(),
+                "run" | "sweep" | "compare" | "suite" | "check" | "campaign"
+            )
         {
             return Err(format!(
-                "--probe applies to run/sweep/compare/suite/check only (`{command}` runs no simulation)"
+                "--probe applies to run/sweep/compare/suite/check/campaign only \
+                 (`{command}` runs no simulation)"
             ));
+        }
+        // `--resume`/`--dry-run` steer the campaign store; `--fig` selects
+        // report artifacts.
+        if (opts.resume || opts.dry_run) && command != "campaign" {
+            return Err("--resume/--dry-run apply to `campaign` only".to_string());
+        }
+        if opts.figs.is_some() && command != "report" {
+            return Err("--fig applies to `report` only".to_string());
         }
         // `--check` attaches the sanitizer to simulations; `--exhaustive`
         // selects the model checker inside `check`.
-        if opts.check && !matches!(command.as_str(), "run" | "sweep" | "compare" | "suite" | "check")
+        if opts.check
+            && !matches!(
+                command.as_str(),
+                "run" | "sweep" | "compare" | "suite" | "check"
+            )
         {
             return Err(format!(
                 "--check applies to run/sweep/compare/suite (`{command}` runs no simulation)"
@@ -1156,6 +1461,8 @@ fn main() -> ExitCode {
             "gen-trace" => cmd_gen_trace(&opts),
             "trace-info" => cmd_trace_info(&opts),
             "predict" => cmd_predict(&registry, &opts),
+            "campaign" => cmd_campaign(&registry, &probes, &opts),
+            "report" => cmd_report(&opts),
             "help" | "--help" | "-h" => {
                 println!("{USAGE}");
                 Ok(())

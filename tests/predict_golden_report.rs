@@ -13,7 +13,7 @@
 //! ```
 
 use ltp::core::PolicyRegistry;
-use ltp::system::predict::{render_markdown, PredictSpec, DEFAULT_ZOO};
+use ltp::system::predict::{render_report, PredictSpec, DEFAULT_ZOO};
 use ltp::workloads::Trace;
 
 #[test]
@@ -25,15 +25,43 @@ fn committed_report_matches_regeneration_byte_for_byte() {
     ))
     .expect("committed trace loads");
     let registry = PolicyRegistry::with_builtins();
-    let rows = PredictSpec::new()
+    let spec = PredictSpec::new()
         .trace(std::sync::Arc::new(trace))
         .default_zoo(&registry)
-        .expect("builtin zoo resolves")
-        .execute();
+        .expect("builtin zoo resolves");
+    let rows = spec.execute();
     assert_eq!(rows.len(), DEFAULT_ZOO.len(), "one row per zoo member");
-    let regenerated = render_markdown(&rows);
+    let regenerated = render_report(&spec, &rows);
     assert_eq!(
         regenerated, golden,
         "reports/predictors.md drifted — regenerate it (see module docs)"
     );
+    assert!(
+        golden.contains("**Provenance:** inputs fingerprint `"),
+        "the committed report must state which inputs produced it"
+    );
+}
+
+#[test]
+fn provenance_fingerprint_tracks_the_inputs() {
+    let registry = PolicyRegistry::with_builtins();
+    let base = PredictSpec::new()
+        .benchmark(ltp::workloads::Benchmark::Em3d)
+        .default_zoo(&registry)
+        .unwrap();
+    let same = PredictSpec::new()
+        .benchmark(ltp::workloads::Benchmark::Em3d)
+        .default_zoo(&registry)
+        .unwrap();
+    assert_eq!(base.fingerprint(), same.fingerprint());
+    let other_workload = PredictSpec::new()
+        .benchmark(ltp::workloads::Benchmark::Ocean)
+        .default_zoo(&registry)
+        .unwrap();
+    assert_ne!(base.fingerprint(), other_workload.fingerprint());
+    let other_zoo = PredictSpec::new()
+        .benchmark(ltp::workloads::Benchmark::Em3d)
+        .policy_specs(&registry, &["ltp", "oracle"])
+        .unwrap();
+    assert_ne!(base.fingerprint(), other_zoo.fingerprint());
 }
